@@ -1,0 +1,137 @@
+// Command experiments regenerates the paper's figures against the
+// simulated testbed and prints each as a text table.
+//
+// Usage:
+//
+//	experiments                # run everything
+//	experiments -fig 11        # one figure (1a 1b 2 3 5 7 9 10 11 12 13 14 15 16 17 18 19)
+//	experiments -seed 7        # change the experiment seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mlcd/internal/experiments"
+)
+
+// datasetter is implemented by results that export a uniform table.
+type datasetter interface {
+	Dataset() experiments.Dataset
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure to run (default: all; also 'fidelity', 'ablation', 'robustness')")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	format := flag.String("format", "text", "output format: text|csv|markdown")
+	outDir := flag.String("out", "", "also write each figure's dataset as CSV into this directory")
+	parallel := flag.Bool("parallel", false, "run figures concurrently")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	type runner struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	str := func(s fmt.Stringer, err error) (fmt.Stringer, error) { return s, err }
+	runners := []runner{
+		{"1a", func() (fmt.Stringer, error) { return experiments.Fig1a(cfg), nil }},
+		{"1b", func() (fmt.Stringer, error) { return experiments.Fig1b(cfg), nil }},
+		{"2", func() (fmt.Stringer, error) { return str(experiments.Fig2(cfg)) }},
+		{"3", func() (fmt.Stringer, error) { return experiments.Fig3(cfg), nil }},
+		{"5", func() (fmt.Stringer, error) { return str(experiments.Fig5(cfg)) }},
+		{"7", func() (fmt.Stringer, error) { return str(experiments.Fig7(cfg)) }},
+		{"9", func() (fmt.Stringer, error) { return str(experiments.Fig9(cfg)) }},
+		{"10", func() (fmt.Stringer, error) { return str(experiments.Fig10(cfg)) }},
+		{"11", func() (fmt.Stringer, error) { return str(experiments.Fig11(cfg)) }},
+		{"12", func() (fmt.Stringer, error) { return str(experiments.Fig12(cfg)) }},
+		{"13", func() (fmt.Stringer, error) { return str(experiments.Fig13(cfg)) }},
+		{"14", func() (fmt.Stringer, error) { return str(experiments.Fig14(cfg)) }},
+		{"15", func() (fmt.Stringer, error) { return str(experiments.Fig15(cfg)) }},
+		{"16", func() (fmt.Stringer, error) { return str(experiments.Fig16(cfg)) }},
+		{"17", func() (fmt.Stringer, error) { return str(experiments.Fig17(cfg)) }},
+		{"18", func() (fmt.Stringer, error) { return str(experiments.Fig18(cfg)) }},
+		{"19", func() (fmt.Stringer, error) { return str(experiments.Fig19(cfg)) }},
+		{"fidelity", func() (fmt.Stringer, error) { return str(experiments.Fidelity(cfg)) }},
+		{"ablation", func() (fmt.Stringer, error) { return str(experiments.Ablation(cfg)) }},
+		{"robustness", func() (fmt.Stringer, error) { return str(experiments.Robustness(cfg)) }},
+	}
+
+	type finished struct {
+		id      string
+		res     fmt.Stringer
+		err     error
+		elapsed time.Duration
+	}
+	var selected []runner
+	for _, r := range runners {
+		if *fig == "" || r.id == *fig {
+			selected = append(selected, r)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	results := make([]finished, len(selected))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, r := range selected {
+			wg.Add(1)
+			go func(i int, r runner) {
+				defer wg.Done()
+				start := time.Now()
+				res, err := r.run()
+				results[i] = finished{r.id, res, err, time.Since(start)}
+			}(i, r)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range selected {
+			start := time.Now()
+			res, err := r.run()
+			results[i] = finished{r.id, res, err, time.Since(start)}
+		}
+	}
+
+	for _, fr := range results {
+		r, res, err := fr, fr.res, fr.err
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if d, ok := res.(datasetter); ok {
+				path := filepath.Join(*outDir, d.Dataset().Name+".csv")
+				if err := os.WriteFile(path, []byte(d.Dataset().CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "fig %s: %v\n", r.id, err)
+					os.Exit(1)
+				}
+			}
+		}
+		switch *format {
+		case "csv", "markdown":
+			d, ok := res.(datasetter)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fig %s: no tabular export\n", r.id)
+				os.Exit(1)
+			}
+			if *format == "csv" {
+				fmt.Print(d.Dataset().CSV())
+			} else {
+				fmt.Print(d.Dataset().Markdown())
+			}
+		case "text":
+			fmt.Printf("================ figure %s (%.1fs) ================\n%s\n",
+				r.id, r.elapsed.Seconds(), res)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

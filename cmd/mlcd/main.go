@@ -1,0 +1,231 @@
+// Command mlcd runs the full MLCD pipeline for one training job: analyze
+// the user requirement, search deployments with the chosen engine, train
+// on the winner, and report what everything cost.
+//
+// Usage:
+//
+//	mlcd -job resnet-cifar10 -budget 100
+//	mlcd -job charrnn-text -deadline 8h -searcher convbo
+//	mlcd -job bert-wiki-tf -types c5n.xlarge,c5n.4xlarge,p2.xlarge -max-nodes 20 -budget 100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mlcd"
+)
+
+// reportJSON is the machine-readable view of a deployment report.
+type reportJSON struct {
+	Scenario       string     `json:"scenario"`
+	Best           string     `json:"best_deployment"`
+	BestThroughput float64    `json:"best_throughput_samples_per_sec"`
+	Satisfied      bool       `json:"requirement_satisfied"`
+	ProfileHours   float64    `json:"profile_hours"`
+	ProfileCost    float64    `json:"profile_cost_usd"`
+	TrainHours     float64    `json:"train_hours"`
+	TrainCost      float64    `json:"train_cost_usd"`
+	TotalHours     float64    `json:"total_hours"`
+	TotalCost      float64    `json:"total_cost_usd"`
+	Stopped        string     `json:"stop_reason"`
+	Steps          []stepJSON `json:"steps"`
+}
+
+type stepJSON struct {
+	Index      int     `json:"index"`
+	Deployment string  `json:"deployment"`
+	Throughput float64 `json:"throughput_samples_per_sec"`
+	ProbeHours float64 `json:"probe_hours"`
+	ProbeCost  float64 `json:"probe_cost_usd"`
+	Note       string  `json:"note"`
+}
+
+func jsonReport(r mlcd.Report) reportJSON {
+	out := reportJSON{
+		Scenario:       r.Scenario.String(),
+		Best:           r.Outcome.Best.String(),
+		BestThroughput: r.Outcome.BestThroughput,
+		Satisfied:      r.Satisfied,
+		ProfileHours:   r.Outcome.ProfileTime.Hours(),
+		ProfileCost:    r.Outcome.ProfileCost,
+		TrainHours:     r.TrainTime.Hours(),
+		TrainCost:      r.TrainCost,
+		TotalHours:     r.TotalTime.Hours(),
+		TotalCost:      r.TotalCost,
+		Stopped:        r.Outcome.Stopped,
+	}
+	for _, s := range r.Outcome.Steps {
+		out.Steps = append(out.Steps, stepJSON{
+			Index:      s.Index,
+			Deployment: s.Deployment.String(),
+			Throughput: s.Throughput,
+			ProbeHours: s.ProfileTime.Hours(),
+			ProbeCost:  s.ProfileCost,
+			Note:       s.Note,
+		})
+	}
+	return out
+}
+
+// jobMenu maps CLI names to predefined workloads.
+var jobMenu = map[string]mlcd.Job{
+	"resnet-cifar10":     mlcd.ResNetCIFAR10,
+	"alexnet-cifar10":    mlcd.AlexNetCIFAR10,
+	"inception-imagenet": mlcd.InceptionImageNet,
+	"charrnn-text":       mlcd.CharRNNText,
+	"bert-wiki-tf":       mlcd.BERTTF,
+	"bert-wiki-mxnet":    mlcd.BERTMXNet,
+	"zero-8b":            mlcd.ZeRO8BJob,
+	"zero-20b":           mlcd.ZeRO20BJob,
+}
+
+func main() {
+	var (
+		jobName  = flag.String("job", "resnet-cifar10", "workload to deploy (see -list)")
+		budget   = flag.Float64("budget", 0, "total budget in dollars (scenario 3)")
+		deadline = flag.Duration("deadline", 0, "total deadline (scenario 2)")
+		searcher = flag.String("searcher", "heterbo", "heterbo|convbo|bo_imprd|cherrypick|cp_imprd|paleo|pareto|random")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		seed     = flag.Int64("seed", 1, "simulation / search seed")
+		types    = flag.String("types", "", "comma-separated instance types (default: whole catalog)")
+		maxNodes = flag.Int("max-nodes", 0, "cap scale-out (default: 100 CPU / 50 GPU)")
+		cloudURL = flag.String("cloud", "", "base URL of a cloudd control plane (default: in-process)")
+		saveObs  = flag.String("save-obs", "", "write this run's observations to a JSON file")
+		warmObs  = flag.String("warm-obs", "", "warm-start HeterBO from observations saved by -save-obs")
+		list     = flag.Bool("list", false, "list jobs and instance types, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("jobs:")
+		for name, j := range jobMenu {
+			fmt.Printf("  %-20s %s\n", name, j.Model)
+		}
+		fmt.Println("instance types:")
+		fmt.Print(mlcd.DefaultCatalog())
+		return
+	}
+
+	job, ok := jobMenu[*jobName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown job %q (use -list)\n", *jobName)
+		os.Exit(2)
+	}
+
+	catalog := mlcd.DefaultCatalog()
+	if *types != "" {
+		var err error
+		catalog, err = catalog.Subset(strings.Split(*types, ",")...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	limits := mlcd.DefaultLimits
+	if *maxNodes > 0 {
+		limits = mlcd.SpaceLimits{MaxCPUNodes: *maxNodes, MaxGPUNodes: *maxNodes}
+	}
+
+	var warm []mlcd.Observation
+	if *warmObs != "" {
+		f, err := os.Open(*warmObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		savedJob, obs, err := mlcd.LoadObservations(f, catalog)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if savedJob != *jobName {
+			fmt.Fprintf(os.Stderr, "warm observations were measured for %q, not %q — refusing to reuse them\n", savedJob, *jobName)
+			os.Exit(2)
+		}
+		warm = obs
+	}
+
+	var engine mlcd.Searcher
+	switch *searcher {
+	case "heterbo":
+		engine = mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: *seed, WarmStart: warm})
+	case "convbo":
+		engine = mlcd.NewConvBO(*seed)
+	case "bo_imprd":
+		engine = mlcd.NewImprovedBO(*seed)
+	case "cherrypick":
+		engine = mlcd.NewCherryPick(*seed)
+	case "cp_imprd":
+		engine = mlcd.NewImprovedCherryPick(*seed)
+	case "paleo":
+		engine = mlcd.NewPaleo()
+	case "pareto":
+		engine = mlcd.NewParetoSearch(3)
+	case "random":
+		engine = mlcd.NewRandomSearch(10, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown searcher %q\n", *searcher)
+		os.Exit(2)
+	}
+
+	cfg := mlcd.SystemConfig{
+		Catalog:  catalog,
+		Limits:   limits,
+		Searcher: engine,
+		Seed:     *seed,
+	}
+	if *cloudURL != "" {
+		cfg.Provider = mlcd.NewCloudClient(*cloudURL, catalog)
+	}
+	sys := mlcd.NewSystem(cfg)
+	report, err := sys.Deploy(job, mlcd.Requirements{Budget: *budget, Deadline: *deadline})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *saveObs != "" {
+		f, err := os.Create(*saveObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = mlcd.SaveObservations(f, *jobName, mlcd.ObservationsFromOutcome(report.Outcome))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport(report)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario: %s\n\n", report.Scenario)
+	fmt.Print(mlcd.RenderSteps(report.Outcome))
+	fmt.Printf("\ntraining:  %s for %s ($%.2f)\n",
+		report.Outcome.Best, report.TrainTime.Round(time.Second), report.TrainCost)
+	fmt.Printf("totals:    %s, $%.2f (profiling %s, $%.2f)\n",
+		report.TotalTime.Round(time.Second), report.TotalCost,
+		report.Outcome.ProfileTime, report.Outcome.ProfileCost)
+	if report.Satisfied {
+		fmt.Println("requirement: satisfied")
+	} else {
+		fmt.Println("requirement: VIOLATED")
+	}
+}

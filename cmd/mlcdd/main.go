@@ -1,0 +1,30 @@
+// Command mlcdd serves MLCD as an HTTP service — the MLaaS front door:
+//
+//	mlcdd -addr :9090 &
+//	curl -XPOST localhost:9090/v1/jobs -d '{"job":"resnet-cifar10","budget_usd":100}'
+//	curl localhost:9090/v1/jobs/job-0001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"mlcd/internal/mlcdapi"
+	"mlcd/internal/mlcdsys"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":9090", "listen address")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sys := mlcdsys.New(mlcdsys.Config{Seed: *seed})
+	server := mlcdapi.NewServer(sys, nil)
+	defer server.Close()
+	fmt.Printf("mlcdd: MLaaS deployment service on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server))
+}

@@ -1,0 +1,101 @@
+// Command profile dumps training-speed curves for a workload — the raw
+// material of the paper's Figs. 1(b) and 3 — from either the analytical
+// performance model or the discrete-event simulator.
+//
+// Usage:
+//
+//	profile -job charrnn-text -type c5.xlarge -max 100         # scale-out curve
+//	profile -job charrnn-text -scaleup -nodes 10               # scale-up curve
+//	profile -job bert-wiki-tf -type c5n.4xlarge -max 20 -events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlcd"
+	"mlcd/internal/eventsim"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+var jobMenu = map[string]mlcd.Job{
+	"resnet-cifar10":     mlcd.ResNetCIFAR10,
+	"alexnet-cifar10":    mlcd.AlexNetCIFAR10,
+	"inception-imagenet": mlcd.InceptionImageNet,
+	"charrnn-text":       mlcd.CharRNNText,
+	"bert-wiki-tf":       mlcd.BERTTF,
+	"bert-wiki-mxnet":    mlcd.BERTMXNet,
+	"zero-8b":            mlcd.ZeRO8BJob,
+	"zero-20b":           mlcd.ZeRO20BJob,
+}
+
+func main() {
+	var (
+		jobName  = flag.String("job", "charrnn-text", "workload")
+		typeName = flag.String("type", "c5.xlarge", "instance type for the scale-out curve")
+		maxNodes = flag.Int("max", 50, "scale-out range")
+		scaleUp  = flag.Bool("scaleup", false, "sweep instance types instead of node counts")
+		nodes    = flag.Int("nodes", 10, "fixed node count for the scale-up sweep")
+		events   = flag.Bool("events", false, "use the discrete-event simulator instead of the analytical model")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	job, ok := jobMenu[*jobName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown job %q\n", *jobName)
+		os.Exit(2)
+	}
+	physics := sim.New(*seed)
+	cat := mlcd.DefaultCatalog()
+
+	measure := func(d mlcd.Deployment) (float64, error) {
+		if !*events {
+			return physics.Throughput(job, d), nil
+		}
+		r, err := eventsim.Simulate(physics, job, d, eventsim.DefaultConfig(*seed))
+		if err != nil {
+			return 0, err
+		}
+		return r.Throughput, nil
+	}
+
+	mode := "analytical"
+	if *events {
+		mode = "event-driven"
+	}
+	if *scaleUp {
+		fmt.Printf("# %s scale-up at n=%d (%s model)\n", job, *nodes, mode)
+		fmt.Printf("%-14s %8s %12s %12s\n", "type", "vcpus", "samples/s", "$/h")
+		for _, it := range cat.Types() {
+			d := mlcd.NewDeployment(it, *nodes)
+			thr, err := measure(d)
+			if err != nil {
+				fmt.Printf("%-14s %8d %12s %12.2f\n", it.Name, it.VCPUs, "OOM", d.HourlyCost())
+				continue
+			}
+			fmt.Printf("%-14s %8d %12.1f %12.2f\n", it.Name, it.VCPUs, thr, d.HourlyCost())
+		}
+		return
+	}
+
+	it, ok := cat.Lookup(*typeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown instance type %q\n", *typeName)
+		os.Exit(2)
+	}
+	fmt.Printf("# %s scale-out on %s (%s model)\n", job, it.Name, mode)
+	fmt.Printf("%6s %12s %12s %14s\n", "nodes", "samples/s", "$/h", "train-hours")
+	for n := 1; n <= *maxNodes; n++ {
+		d := mlcd.NewDeployment(it, n)
+		thr, err := measure(d)
+		if err != nil || thr == 0 {
+			fmt.Printf("%6d %12s %12.2f %14s\n", n, "OOM", d.HourlyCost(), "-")
+			continue
+		}
+		trainHours := workload.Job(job).TotalSamples() / thr / 3600
+		fmt.Printf("%6d %12.1f %12.2f %14.2f\n", n, thr, d.HourlyCost(), trainHours)
+	}
+}

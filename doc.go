@@ -1,0 +1,33 @@
+// Package mlcd is a from-scratch Go implementation of MLCD, the automated
+// MLaaS training Cloud Deployment system driven by the HeterBO search
+// method ("Not All Explorations Are Equal: Harnessing Heterogeneous
+// Profiling Cost for Efficient MLaaS Training", IPDPS 2020).
+//
+// The library answers one question: given a distributed training job and
+// a user requirement (a deadline, a budget, or neither), which cloud
+// deployment D(m, n) — instance type m × node count n — should run it?
+//
+// # Quick start
+//
+//	sys := mlcd.NewSystem(mlcd.SystemConfig{Seed: 1})
+//	report, err := sys.Deploy(mlcd.ResNetCIFAR10, mlcd.Requirements{Budget: 100})
+//	// report.Outcome.Best is the chosen deployment;
+//	// report.TotalCost ≤ 100 is guaranteed by HeterBO's protective reserve.
+//
+// # Layers
+//
+//   - Search methods: HeterBO (NewHeterBO) plus the paper's baselines —
+//     conventional BO (NewConvBO), CherryPick (NewCherryPick), their
+//     budget-aware variants, random and exhaustive search, and the
+//     analytical Paleo model (NewPaleo). All implement Searcher.
+//   - Substrate: an EC2-like instance catalog (DefaultCatalog), a
+//     distributed-training performance simulator (NewSimulator) standing
+//     in for the paper's AWS testbed, the paper's profiling cost model
+//     (NewSimProfiler), and a simulated cloud control plane.
+//   - System: NewSystem wires everything into the paper's MLCD pipeline —
+//     Scenario Analyzer, Deployment Engine, Profiler, Cloud Interface,
+//     ML Platform Interface — behind one Deploy call.
+//
+// Everything is deterministic given seeds; see DESIGN.md for the
+// paper-to-module map and EXPERIMENTS.md for reproduced figures.
+package mlcd

@@ -1,0 +1,56 @@
+// Comparison: run every search strategy in the repository on the same
+// problem — Inception-v3 on ImageNet under an $80 total budget (the
+// paper's Fig. 13 setup) — and tabulate who finds what, at what search
+// cost, and who blows the budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlcd"
+)
+
+func main() {
+	const budget = 80.0
+	job := mlcd.InceptionImageNet
+	simulator := mlcd.NewSimulator(1)
+	space := mlcd.NewSpace(mlcd.DefaultCatalog(), mlcd.DefaultLimits)
+	cons := mlcd.Constraints{Budget: budget}
+
+	engines := []mlcd.Searcher{
+		mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 1}),
+		mlcd.NewConvBO(1),
+		mlcd.NewImprovedBO(1),
+		mlcd.NewCherryPick(1),
+		mlcd.NewImprovedCherryPick(1),
+		mlcd.NewPaleo(),
+		mlcd.NewParetoSearch(3),
+		mlcd.NewRandomSearch(8, 1),
+	}
+
+	var rows []mlcd.BreakdownRow
+	for _, engine := range engines {
+		out, err := engine.Search(job, space, mlcd.FastestWithBudget, cons, mlcd.NewSimProfiler(simulator))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, mlcd.BreakdownRow{
+			Name:        engine.Name(),
+			ProfileTime: out.ProfileTime,
+			TrainTime:   simulator.TrainTime(job, out.Best),
+			ProfileCost: out.ProfileCost,
+			TrainCost:   simulator.TrainCost(job, out.Best),
+		})
+	}
+	fmt.Printf("job %s, total budget $%.0f\n\n", job, budget)
+	fmt.Print(mlcd.RenderBreakdown(rows, fmt.Sprintf("budget $%.0f", budget)))
+	fmt.Println()
+	for _, r := range rows {
+		if r.TotalCost() > budget {
+			fmt.Printf("  %-12s VIOLATES the budget ($%.2f)\n", r.Name, r.TotalCost())
+		} else {
+			fmt.Printf("  %-12s within budget ($%.2f)\n", r.Name, r.TotalCost())
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Customcloud: bring your own provider and your own model. This example
+// defines a small fictional instance menu and a custom 1.2B-parameter
+// transformer, then asks HeterBO for the fastest deployment under a $60
+// budget — the workflow a downstream user follows when their catalog
+// isn't EC2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlcd"
+)
+
+func main() {
+	catalog, err := mlcd.NewCatalog([]mlcd.InstanceType{
+		{Name: "cpu.small", Family: "cpu", VCPUs: 8, MemGiB: 32, NetworkGbps: 10,
+			PricePerHr: 0.40, CPUGFLOPS: 150},
+		{Name: "cpu.big", Family: "cpu", VCPUs: 32, MemGiB: 128, NetworkGbps: 25,
+			PricePerHr: 1.50, CPUGFLOPS: 600},
+		{Name: "gpu.v100", Family: "gpu", VCPUs: 16, MemGiB: 122, GPUs: 2,
+			GPUModel: "V100", GPUMemGiB: 16, NetworkGbps: 25,
+			PricePerHr: 5.50, CPUGFLOPS: 160, GPUGFLOPS: 11000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	job := mlcd.Job{
+		Name: "my-transformer",
+		Model: mlcd.Model{
+			Name:                "my-transformer",
+			Arch:                mlcd.TransformerArch,
+			Params:              1_200_000_000,
+			TrainFLOPsPerSample: 900e9,
+			GPUEfficiency:       0.9,
+			CPUEfficiency:       0.8,
+			ShardedStates:       true,
+		},
+		Dataset:     mlcd.Dataset{Name: "my-corpus", Samples: 300_000},
+		Epochs:      0.2,
+		GlobalBatch: 256,
+		Platform:    mlcd.PyTorch,
+		Topology:    mlcd.RingAllReduce,
+	}
+	if err := job.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	simulator := mlcd.NewSimulator(7)
+	space := mlcd.NewSpace(catalog, mlcd.SpaceLimits{MaxCPUNodes: 32, MaxGPUNodes: 16})
+	engine := mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 7})
+	out, err := engine.Search(job, space, mlcd.FastestWithBudget,
+		mlcd.Constraints{Budget: 60}, mlcd.NewSimProfiler(simulator))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(mlcd.RenderSteps(out))
+	fmt.Println()
+	fmt.Print(mlcd.RenderSearchProcess(out))
+	fmt.Printf("\nchosen: %s — training %s for $%.2f; search spent $%.2f\n",
+		out.Best, simulator.TrainTime(job, out.Best).Round(1e9), simulator.TrainCost(job, out.Best), out.ProfileCost)
+}

@@ -1,0 +1,49 @@
+// Deadline: the paper's Scenario 2 — train Char-RNN as cheaply as
+// possible while finishing (search included) inside 8 hours. The example
+// contrasts HeterBO with conventional BO: HeterBO's protective reserve
+// keeps the total under the deadline, while ConvBO commits to a
+// deployment as if its own profiling hours were free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlcd"
+)
+
+func main() {
+	const deadline = 8 * time.Hour
+	job := mlcd.CharRNNText
+	simulator := mlcd.NewSimulator(1)
+	space := mlcd.NewSpace(mlcd.DefaultCatalog(), mlcd.DefaultLimits)
+	cons := mlcd.Constraints{Deadline: deadline}
+
+	fmt.Printf("job %s, deadline %s (profiling + training)\n\n", job, deadline)
+	var rows []mlcd.BreakdownRow
+	for _, engine := range []mlcd.Searcher{
+		mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 1}),
+		mlcd.NewConvBO(1),
+	} {
+		out, err := engine.Search(job, space, mlcd.CheapestWithDeadline, cons, mlcd.NewSimProfiler(simulator))
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainTime := simulator.TrainTime(job, out.Best)
+		rows = append(rows, mlcd.BreakdownRow{
+			Name:        engine.Name(),
+			ProfileTime: out.ProfileTime,
+			TrainTime:   trainTime,
+			ProfileCost: out.ProfileCost,
+			TrainCost:   simulator.TrainCost(job, out.Best),
+		})
+		verdict := "meets the deadline"
+		if out.ProfileTime+trainTime > deadline {
+			verdict = "OVERRUNS the deadline"
+		}
+		fmt.Printf("%s picks %s and %s\n", engine.Name(), out.Best, verdict)
+	}
+	fmt.Println()
+	fmt.Print(mlcd.RenderBreakdown(rows, fmt.Sprintf("deadline %s", deadline)))
+}

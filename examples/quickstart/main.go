@@ -1,0 +1,30 @@
+// Quickstart: deploy a training job through the full MLCD pipeline with
+// one call. HeterBO searches the deployment space, the system trains on
+// the winner, and the $100 budget covers profiling AND training.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlcd"
+)
+
+func main() {
+	sys := mlcd.NewSystem(mlcd.SystemConfig{Seed: 1})
+
+	report, err := sys.Deploy(mlcd.ResNetCIFAR10, mlcd.Requirements{Budget: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("job:      %s\n", mlcd.ResNetCIFAR10)
+	fmt.Printf("scenario: %s\n\n", report.Scenario)
+	fmt.Print(mlcd.RenderSteps(report.Outcome))
+	fmt.Printf("\nchosen deployment: %s\n", report.Outcome.Best)
+	fmt.Printf("training took %s and cost $%.2f\n",
+		report.TrainTime.Round(time.Second), report.TrainCost)
+	fmt.Printf("grand total (search + training): %s, $%.2f — budget satisfied: %v\n",
+		report.TotalTime.Round(time.Second), report.TotalCost, report.Satisfied)
+}

@@ -1,0 +1,55 @@
+// Warmstart: re-run a search without re-paying for evidence. The paper's
+// §II-C observes that with exhaustive profiling "if there are any changes
+// made in the training job… the expensive search needs to be re-performed";
+// HeterBO can instead seed a new search with the observations of a
+// previous one. Here a $60 search is later upgraded to a $120 budget —
+// the second search reuses every probe the first one paid for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlcd"
+)
+
+func main() {
+	job := mlcd.ResNetCIFAR10
+	simulator := mlcd.NewSimulator(1)
+	space := mlcd.NewSpace(mustSubset("c5.4xlarge"), mlcd.SpaceLimits{MaxCPUNodes: 100, MaxGPUNodes: 1})
+
+	run := func(budget float64, warm []mlcd.Observation) mlcd.Outcome {
+		out, err := mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 1, WarmStart: warm}).
+			Search(job, space, mlcd.FastestWithBudget, mlcd.Constraints{Budget: budget}, mlcd.NewSimProfiler(simulator))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	first := run(60, nil)
+	fmt.Printf("first search  (budget $60):  %d probes, $%.2f profiling, picked %s\n",
+		len(first.Steps), first.ProfileCost, first.Best)
+
+	// The user finds more budget; reuse everything already measured.
+	var warm []mlcd.Observation
+	for _, st := range first.Steps {
+		warm = append(warm, mlcd.Observation{Deployment: st.Deployment, Throughput: st.Throughput})
+	}
+	second := run(120, warm)
+	fmt.Printf("second search (budget $120): %d probes, $%.2f profiling, picked %s\n",
+		len(second.Steps), second.ProfileCost, second.Best)
+
+	t1 := simulator.TrainTime(job, first.Best)
+	t2 := simulator.TrainTime(job, second.Best)
+	fmt.Printf("\ntraining time improved %.2f h → %.2f h; the upgrade cost only $%.2f of new profiling.\n",
+		t1.Hours(), t2.Hours(), second.ProfileCost)
+}
+
+func mustSubset(names ...string) *mlcd.Catalog {
+	c, err := mlcd.DefaultCatalog().Subset(names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,3 @@
+module mlcd
+
+go 1.22

@@ -1,0 +1,321 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+var (
+	cat       = cloud.DefaultCatalog()
+	fullSpace = cloud.NewSpace(cat, cloud.DefaultLimits)
+	scaleOut  = fullSpace.Filter(func(d cloud.Deployment) bool { return d.Type.Name == "c5.4xlarge" })
+)
+
+func newProf(seed int64) (*sim.Simulator, profiler.Profiler) {
+	s := sim.New(seed)
+	return s, profiler.NewSimProfiler(s)
+}
+
+func mustSearch(t *testing.T, s search.Searcher, j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) search.Outcome {
+	t.Helper()
+	out, err := s.Search(j, space, scen, cons, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConvBOFindsReasonableScaleOut(t *testing.T) {
+	s, prof := newProf(1)
+	j := workload.ResNetCIFAR10
+	out := mustSearch(t, NewConvBO(42), j, scaleOut, search.FastestUnlimited, search.Constraints{}, prof)
+	if !out.Found {
+		t.Fatal("ConvBO must find something")
+	}
+	_, opt := s.FastestDeployment(j, scaleOut)
+	if got := s.TrainTime(j, out.Best); got.Seconds() > opt.Seconds()*1.3 {
+		t.Fatalf("ConvBO pick %v is %.2fh, optimum %.2fh", out.Best, got.Hours(), opt.Hours())
+	}
+}
+
+func TestConvBOStartsWithRandomInit(t *testing.T) {
+	_, prof := newProf(1)
+	out := mustSearch(t, NewConvBO(42), workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, prof)
+	if len(out.Steps) < 2 || out.Steps[0].Note != "init" || out.Steps[1].Note != "init" {
+		t.Fatal("ConvBO must begin with two random init probes")
+	}
+}
+
+func TestConvBOIsBudgetOblivious(t *testing.T) {
+	// §V-B/Fig. 11: ConvBO ignores what profiling costs, so its total
+	// spend can blow through the budget.
+	s, prof := newProf(1)
+	j := workload.ResNetCIFAR10
+	cons := search.Constraints{Budget: 100}
+	// Violation is probabilistic per seed; assert it occurs for at
+	// least half of a seed panel (with this simulator it is near-certain).
+	violations := 0
+	const seeds = 6
+	for seed := int64(0); seed < seeds; seed++ {
+		out := mustSearch(t, NewConvBO(40+seed), j, scaleOut, search.FastestWithBudget, cons, prof)
+		if out.ProfileCost+s.TrainCost(j, out.Best) > cons.Budget {
+			violations++
+		}
+	}
+	if violations < seeds/2 {
+		t.Fatalf("ConvBO violated the budget in only %d/%d runs", violations, seeds)
+	}
+}
+
+func TestImprovedBOKeepsBudget(t *testing.T) {
+	s, prof := newProf(1)
+	j := workload.ResNetCIFAR10
+	cons := search.Constraints{Budget: 100}
+	out := mustSearch(t, NewImprovedBO(42), j, scaleOut, search.FastestWithBudget, cons, prof)
+	if !out.Found {
+		t.Fatal("BO_imprd must find a feasible pick")
+	}
+	if total := out.ProfileCost + s.TrainCost(j, out.Best); total > cons.Budget {
+		t.Fatalf("BO_imprd must respect the budget, got $%.2f", total)
+	}
+}
+
+func TestCherryPickUsesCoarseGrid(t *testing.T) {
+	_, prof := newProf(1)
+	out := mustSearch(t, NewCherryPick(42), workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, prof)
+	allowed := map[int]bool{1: true, 2: true, 4: true, 8: true, 12: true,
+		16: true, 24: true, 32: true, 48: true, 64: true, 100: true}
+	for _, st := range out.Steps {
+		if !allowed[st.Deployment.Nodes] {
+			t.Fatalf("CherryPick probed off-grid point %v", st.Deployment)
+		}
+	}
+}
+
+func TestCherryPickStopsEarlierThanConvBO(t *testing.T) {
+	// The 10% EI stop rule plus the coarse grid make CherryPick probe
+	// fewer points than ConvBO's 1% rule.
+	_, profA := newProf(1)
+	cp := mustSearch(t, NewCherryPick(42), workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, profA)
+	_, profB := newProf(1)
+	cb := mustSearch(t, NewConvBO(42), workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, profB)
+	if len(cp.Steps) > len(cb.Steps) {
+		t.Fatalf("CherryPick probed %d ≥ ConvBO %d", len(cp.Steps), len(cb.Steps))
+	}
+}
+
+func TestImprovedCherryPickKeepsDeadline(t *testing.T) {
+	s, prof := newProf(1)
+	j := workload.CharRNNText
+	cons := search.Constraints{Deadline: 20 * time.Hour}
+	out := mustSearch(t, NewImprovedCherryPick(42), j, scaleOut, search.CheapestWithDeadline, cons, prof)
+	if !out.Found {
+		t.Fatal("CP_imprd must find a feasible pick")
+	}
+	if total := out.ProfileTime + s.TrainTime(j, out.Best); total > cons.Deadline {
+		t.Fatalf("CP_imprd must meet the deadline, got %v", total)
+	}
+}
+
+func TestRandomSearchProbesExactlyK(t *testing.T) {
+	_, prof := newProf(1)
+	r := NewRandom(9, 7)
+	out := mustSearch(t, r, workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, prof)
+	if len(out.Steps) != 9 {
+		t.Fatalf("steps = %d, want 9", len(out.Steps))
+	}
+	if r.Name() != "random-9" {
+		t.Fatalf("name = %q", r.Name())
+	}
+}
+
+func TestRandomSearchMoreProbesNoWorse(t *testing.T) {
+	// Fig. 12's x-axis: more random probes find better configs on
+	// average (here: a single seeded pair must be weakly ordered).
+	s := sim.New(3)
+	j := workload.ResNetCIFAR10
+	few := mustSearch(t, NewRandom(2, 11), j, scaleOut, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(s))
+	many := mustSearch(t, NewRandom(30, 11), j, scaleOut, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(3)))
+	if s.TrainTime(j, many.Best) > s.TrainTime(j, few.Best) {
+		t.Fatalf("30 probes picked %v, 2 probes picked %v", many.Best, few.Best)
+	}
+}
+
+func TestRandomSearchAvoidsDuplicatesWhenPossible(t *testing.T) {
+	_, prof := newProf(1)
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 30 })
+	out := mustSearch(t, NewRandom(10, 3), workload.ResNetCIFAR10, small, search.FastestUnlimited, search.Constraints{}, prof)
+	seen := map[string]bool{}
+	for _, st := range out.Steps {
+		if seen[st.Deployment.Key()] {
+			t.Fatalf("duplicate probe %v", st.Deployment)
+		}
+		seen[st.Deployment.Key()] = true
+	}
+}
+
+func TestExhaustiveSweepsWholeSpace(t *testing.T) {
+	_, prof := newProf(1)
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 20 })
+	out := mustSearch(t, NewExhaustive(1), workload.ResNetCIFAR10, small, search.FastestUnlimited, search.Constraints{}, prof)
+	if len(out.Steps) != 20 {
+		t.Fatalf("steps = %d, want 20", len(out.Steps))
+	}
+}
+
+func TestExhaustiveStride(t *testing.T) {
+	_, prof := newProf(1)
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 20 })
+	out := mustSearch(t, NewExhaustive(5), workload.ResNetCIFAR10, small, search.FastestUnlimited, search.Constraints{}, prof)
+	if len(out.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(out.Steps))
+	}
+}
+
+func TestExhaustiveFindsTrueOptimumModuloNoise(t *testing.T) {
+	s, prof := newProf(1)
+	j := workload.ResNetCIFAR10
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 50 })
+	out := mustSearch(t, NewExhaustive(1), j, small, search.FastestUnlimited, search.Constraints{}, prof)
+	_, opt := s.FastestDeployment(j, small)
+	if got := s.TrainTime(j, out.Best); got.Seconds() > opt.Seconds()*1.1 {
+		t.Fatalf("exhaustive pick %v is %.2fh vs optimum %.2fh", out.Best, got.Hours(), opt.Hours())
+	}
+}
+
+func TestExhaustiveIsDramaticallyMoreExpensiveThanBO(t *testing.T) {
+	// Fig. 2's point: even a strided exhaustive sweep dwarfs BO's
+	// profiling bill.
+	_, profA := newProf(1)
+	ex := mustSearch(t, NewExhaustive(17), workload.ResNetCIFAR10, fullSpace, search.FastestUnlimited, search.Constraints{}, profA)
+	_, profB := newProf(1)
+	cb := mustSearch(t, NewConvBO(42), workload.ResNetCIFAR10, fullSpace, search.FastestUnlimited, search.Constraints{}, profB)
+	if ex.ProfileCost < 2*cb.ProfileCost {
+		t.Fatalf("exhaustive $%.0f should dwarf ConvBO $%.0f", ex.ProfileCost, cb.ProfileCost)
+	}
+}
+
+func TestSearchersValidateInputs(t *testing.T) {
+	_, prof := newProf(1)
+	for _, s := range []search.Searcher{NewConvBO(1), NewImprovedBO(1), NewCherryPick(1), NewRandom(3, 1), NewExhaustive(1)} {
+		if _, err := s.Search(workload.ResNetCIFAR10, scaleOut, search.FastestWithBudget, search.Constraints{}, prof); err == nil {
+			t.Errorf("%s: missing budget must error", s.Name())
+		}
+		if _, err := s.Search(workload.ResNetCIFAR10, cloud.NewSpaceFrom(nil), search.FastestUnlimited, search.Constraints{}, prof); err == nil {
+			t.Errorf("%s: empty space must error", s.Name())
+		}
+	}
+}
+
+func TestSearcherNames(t *testing.T) {
+	names := map[string]search.Searcher{
+		"convbo":     NewConvBO(1),
+		"bo_imprd":   NewImprovedBO(1),
+		"cherrypick": NewCherryPick(1),
+		"cp_imprd":   NewImprovedCherryPick(1),
+		"exhaustive": NewExhaustive(1),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestParetoSamplesLogSpaced(t *testing.T) {
+	_, prof := newProf(1)
+	p := NewPareto(3)
+	out := mustSearch(t, p, workload.ResNetCIFAR10, scaleOut, search.FastestUnlimited, search.Constraints{}, prof)
+	// One type, three log-spaced probes: 1, 10, 100.
+	if len(out.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(out.Steps))
+	}
+	got := []int{out.Steps[0].Deployment.Nodes, out.Steps[1].Deployment.Nodes, out.Steps[2].Deployment.Nodes}
+	if got[0] != 1 || got[1] != 10 || got[2] != 100 {
+		t.Fatalf("plan = %v, want [1 10 100]", got)
+	}
+}
+
+func TestParetoPicksByScenario(t *testing.T) {
+	s, _ := newProf(1)
+	j := workload.ResNetCIFAR10
+	// Scenario 3: fastest front point fitting the budget.
+	out := mustSearch(t, NewPareto(4), j, scaleOut, search.FastestWithBudget, search.Constraints{Budget: 100}, profiler.NewSimProfiler(s))
+	if !out.Found {
+		t.Fatal("a budget-feasible front point exists")
+	}
+	if tc := search.EstTrainCost(j, out.Best, out.BestThroughput); tc > 100 {
+		t.Fatalf("pick's estimated training cost $%.2f exceeds budget", tc)
+	}
+	// Scenario 1: fastest observed front point.
+	out1 := mustSearch(t, NewPareto(4), j, scaleOut, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(1)))
+	for _, st := range out1.Steps {
+		if st.Throughput > out1.BestThroughput {
+			t.Fatalf("front head must be the fastest sampled point")
+		}
+	}
+}
+
+func TestParetoIsProfilingOblivious(t *testing.T) {
+	// Like ConvBO, Pareto judges feasibility by training estimates alone,
+	// so its total can exceed the budget once profiling is added.
+	s, _ := newProf(1)
+	j := workload.ResNetCIFAR10
+	out := mustSearch(t, NewPareto(5), j, fullSpace, search.FastestWithBudget, search.Constraints{Budget: 100}, profiler.NewSimProfiler(s))
+	if out.ProfileCost == 0 {
+		t.Fatal("Pareto must pay for its samples")
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	pts := []frontPoint{
+		{time: 10 * time.Hour, cost: 10},
+		{time: 5 * time.Hour, cost: 20},
+		{time: 7 * time.Hour, cost: 30}, // dominated by (5h, 20)
+		{time: 2 * time.Hour, cost: 50},
+	}
+	front := paretoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].time < front[i-1].time || front[i].cost > front[i-1].cost {
+			t.Fatal("front must be time-ascending and cost-descending")
+		}
+	}
+}
+
+func TestParallelExhaustiveSameCostLessWallClock(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 24 })
+	serial := mustSearch(t, NewExhaustive(1), j, small, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(1)))
+	par := mustSearch(t, NewParallelExhaustive(1, 6), j, small, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(1)))
+	if len(par.Steps) != len(serial.Steps) {
+		t.Fatalf("coverage differs: %d vs %d", len(par.Steps), len(serial.Steps))
+	}
+	if d := par.ProfileCost - serial.ProfileCost; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("parallelism must not change billing: $%.4f vs $%.4f", par.ProfileCost, serial.ProfileCost)
+	}
+	if par.ProfileTime*4 > serial.ProfileTime {
+		t.Fatalf("6-way parallel sweep should cut wall-clock ≥4×: %v vs %v", par.ProfileTime, serial.ProfileTime)
+	}
+	if par.Best != serial.Best {
+		t.Fatalf("same probes, same best: %v vs %v", par.Best, serial.Best)
+	}
+}
+
+func TestParallelExhaustiveConcurrencyOne(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	small := scaleOut.Filter(func(d cloud.Deployment) bool { return d.Nodes <= 10 })
+	serial := mustSearch(t, NewExhaustive(1), j, small, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(1)))
+	par := mustSearch(t, NewParallelExhaustive(1, 1), j, small, search.FastestUnlimited, search.Constraints{}, profiler.NewSimProfiler(sim.New(1)))
+	if par.ProfileTime != serial.ProfileTime {
+		t.Fatalf("concurrency 1 must equal the serial makespan: %v vs %v", par.ProfileTime, serial.ProfileTime)
+	}
+}

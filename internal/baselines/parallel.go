@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// ParallelExhaustive sweeps every stride-th deployment like Exhaustive,
+// but runs up to Concurrency probe clusters at once — the way a real
+// MLaaS account would parallelize a sweep under its instance quota.
+// Monetary cost is unchanged (every cluster-hour is still billed), but
+// the profiling *wall-clock* becomes the makespan of the parallel
+// schedule rather than the serial sum. Probes execute on real goroutines;
+// the Profiler must be safe for concurrent use (SimProfiler is).
+type ParallelExhaustive struct {
+	Stride      int
+	Concurrency int
+}
+
+// NewParallelExhaustive returns a parallel sweep with the given stride
+// and concurrent-cluster limit.
+func NewParallelExhaustive(stride, concurrency int) *ParallelExhaustive {
+	if stride < 1 {
+		stride = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &ParallelExhaustive{Stride: stride, Concurrency: concurrency}
+}
+
+// Name implements search.Searcher.
+func (e *ParallelExhaustive) Name() string {
+	return fmt.Sprintf("exhaustive-p%d", e.Concurrency)
+}
+
+// Search implements search.Searcher.
+func (e *ParallelExhaustive) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("baselines: empty deployment space")
+	}
+	var plan []cloud.Deployment
+	for i := 0; i < space.Len(); i += e.Stride {
+		plan = append(plan, space.At(i))
+	}
+
+	results := make([]profiler.Result, len(plan))
+	var (
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, e.Concurrency)
+	)
+	for i, d := range plan {
+		wg.Add(1)
+		go func(i int, d cloud.Deployment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = prof.Profile(j, d)
+		}(i, d)
+	}
+	wg.Wait()
+
+	// Virtual wall-clock: probes run in waves of Concurrency clusters;
+	// each wave lasts as long as its slowest probe. (This matches a
+	// quota of Concurrency simultaneous clusters and is the upper bound
+	// of any work-conserving schedule.)
+	sorted := append([]profiler.Result(nil), results...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Duration > sorted[b].Duration })
+	var makespan time.Duration
+	for i := 0; i < len(sorted); i += e.Concurrency {
+		makespan += sorted[i].Duration
+	}
+
+	var (
+		obs       []search.Observation
+		steps     []search.Step
+		spentCost float64
+	)
+	for i, r := range results {
+		spentCost += r.Cost
+		obs = append(obs, search.Observation{Deployment: plan[i], Throughput: r.Throughput})
+		steps = append(steps, search.Step{
+			Index: i + 1, Deployment: plan[i], Throughput: r.Throughput,
+			ProfileTime: r.Duration, ProfileCost: r.Cost,
+			CumProfileCost: spentCost, Note: "parallel-sweep",
+		})
+	}
+	best, found := incumbent(scen, obs)
+	return search.Outcome{
+		Searcher: e.Name(), Job: j, Scenario: scen, Constraints: cons,
+		Best: best.Deployment, BestThroughput: best.Throughput, Found: found,
+		Steps: steps, ProfileTime: makespan, ProfileCost: spentCost,
+		Stopped: "space swept",
+	}, nil
+}

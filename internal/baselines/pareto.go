@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// ParetoSearch is the Pareto-optimization approach the paper's related
+// work covers (§II, [10]): profile a stratified sample of deployments,
+// compute the Pareto front over (estimated training time, estimated
+// training cost), and pick the front point matching the user goal. It
+// predates constraint-aware search, so — like ConvBO — it ignores its own
+// profiling spend; the paper notes it "falls short in performance".
+type ParetoSearch struct {
+	// SamplesPerType is how many log-spaced node counts to probe per
+	// instance type (default 3).
+	SamplesPerType int
+}
+
+// NewPareto returns a Pareto-optimization searcher.
+func NewPareto(samplesPerType int) *ParetoSearch {
+	if samplesPerType < 1 {
+		samplesPerType = 3
+	}
+	return &ParetoSearch{SamplesPerType: samplesPerType}
+}
+
+// Name implements search.Searcher.
+func (p *ParetoSearch) Name() string { return "pareto" }
+
+// samplePlan picks log-spaced node counts per type present in the space:
+// n_i = maxN^(i/(k−1)) for i = 0..k−1, i.e. 1 … √maxN … maxN for k = 3.
+func (p *ParetoSearch) samplePlan(space *cloud.Space) []cloud.Deployment {
+	var plan []cloud.Deployment
+	for _, t := range space.Types() {
+		maxN := space.MaxNodes(t.Name)
+		seen := map[int]bool{}
+		for i := 0; i < p.SamplesPerType; i++ {
+			frac := 1.0
+			if p.SamplesPerType > 1 {
+				frac = float64(i) / float64(p.SamplesPerType-1)
+			}
+			n := int(math.Round(math.Pow(float64(maxN), frac)))
+			if n < 1 {
+				n = 1
+			}
+			if n > maxN {
+				n = maxN
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			plan = append(plan, cloud.Deployment{Type: t, Nodes: n})
+		}
+	}
+	return plan
+}
+
+// frontPoint is a profiled deployment with its estimated outcome.
+type frontPoint struct {
+	obs  search.Observation
+	time time.Duration
+	cost float64
+}
+
+// Search implements search.Searcher.
+func (p *ParetoSearch) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if err := j.Validate(); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("baselines: empty deployment space")
+	}
+	var (
+		steps     []search.Step
+		points    []frontPoint
+		obs       []search.Observation
+		spentTime time.Duration
+		spentCost float64
+	)
+	for _, d := range p.samplePlan(space) {
+		r := prof.Profile(j, d)
+		spentTime += r.Duration
+		spentCost += r.Cost
+		o := search.Observation{Deployment: d, Throughput: r.Throughput}
+		obs = append(obs, o)
+		steps = append(steps, search.Step{
+			Index: len(steps) + 1, Deployment: d, Throughput: r.Throughput,
+			ProfileTime: r.Duration, ProfileCost: r.Cost,
+			CumProfileTime: spentTime, CumProfileCost: spentCost, Note: "pareto-sample",
+		})
+		if r.Throughput > 0 {
+			points = append(points, frontPoint{
+				obs:  o,
+				time: search.EstTrainTime(j, r.Throughput),
+				cost: search.EstTrainCost(j, d, r.Throughput),
+			})
+		}
+	}
+	front := paretoFront(points)
+
+	best, found := pickFromFront(front, scen, cons)
+	out := search.Outcome{
+		Searcher: p.Name(), Job: j, Scenario: scen, Constraints: cons,
+		Steps: steps, ProfileTime: spentTime, ProfileCost: spentCost,
+		Stopped: "sample plan exhausted",
+	}
+	if found {
+		out.Best = best.obs.Deployment
+		out.BestThroughput = best.obs.Throughput
+		out.Found = true
+	} else if len(front) > 0 {
+		// Best effort: fastest front point.
+		out.Best = front[0].obs.Deployment
+		out.BestThroughput = front[0].obs.Throughput
+	}
+	return out, nil
+}
+
+// paretoFront keeps the points not dominated in (time, cost), sorted by
+// ascending time.
+func paretoFront(points []frontPoint) []frontPoint {
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].time != points[j].time {
+			return points[i].time < points[j].time
+		}
+		return points[i].cost < points[j].cost
+	})
+	var front []frontPoint
+	bestCost := -1.0
+	for _, pt := range points {
+		if bestCost < 0 || pt.cost < bestCost {
+			front = append(front, pt)
+			bestCost = pt.cost
+		}
+	}
+	return front
+}
+
+// pickFromFront selects the front point matching the scenario goal,
+// judging feasibility by training estimates alone (profiling-oblivious).
+func pickFromFront(front []frontPoint, scen search.Scenario, cons search.Constraints) (frontPoint, bool) {
+	switch scen {
+	case search.CheapestWithDeadline:
+		// Cheapest point whose est. time fits; front is time-ascending,
+		// cost-descending, so the last fitting point is the cheapest.
+		for i := len(front) - 1; i >= 0; i-- {
+			if front[i].time <= cons.Deadline {
+				return front[i], true
+			}
+		}
+	case search.FastestWithBudget:
+		for _, pt := range front {
+			if pt.cost <= cons.Budget {
+				return pt, true
+			}
+		}
+	default:
+		if len(front) > 0 {
+			return front[0], true
+		}
+	}
+	return frontPoint{}, false
+}

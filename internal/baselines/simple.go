@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// RandomSearch profiles K uniformly random deployments and picks the best
+// observation (Fig. 12's comparison subject).
+type RandomSearch struct {
+	Probes int
+	Seed   int64
+}
+
+// NewRandom returns a random searcher with k probes.
+func NewRandom(k int, seed int64) *RandomSearch {
+	if k < 1 {
+		k = 1
+	}
+	return &RandomSearch{Probes: k, Seed: seed}
+}
+
+// Name implements search.Searcher.
+func (r *RandomSearch) Name() string { return fmt.Sprintf("random-%d", r.Probes) }
+
+// Search implements search.Searcher.
+func (r *RandomSearch) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("baselines: empty deployment space")
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	var (
+		obs       []search.Observation
+		steps     []search.Step
+		spentTime time.Duration
+		spentCost float64
+		seen      = make(map[string]bool)
+	)
+	for i := 0; i < r.Probes; i++ {
+		d := space.At(rng.Intn(space.Len()))
+		if seen[d.Key()] && space.Len() > r.Probes {
+			i--
+			continue
+		}
+		seen[d.Key()] = true
+		res := prof.Profile(j, d)
+		spentTime += res.Duration
+		spentCost += res.Cost
+		obs = append(obs, search.Observation{Deployment: d, Throughput: res.Throughput})
+		steps = append(steps, search.Step{
+			Index: len(steps) + 1, Deployment: d, Throughput: res.Throughput,
+			ProfileTime: res.Duration, ProfileCost: res.Cost,
+			CumProfileTime: spentTime, CumProfileCost: spentCost, Note: "random",
+		})
+	}
+	best, found := incumbent(scen, obs)
+	return search.Outcome{
+		Searcher: r.Name(), Job: j, Scenario: scen, Constraints: cons,
+		Best: best.Deployment, BestThroughput: best.Throughput, Found: found,
+		Steps: steps, ProfileTime: spentTime, ProfileCost: spentCost,
+		Stopped: "probe count reached",
+	}, nil
+}
+
+// Exhaustive profiles every Stride-th deployment of the space — the
+// paper's Fig. 2 profiles 180 of the 3,100 choices — and picks the best.
+type Exhaustive struct {
+	Stride int
+}
+
+// NewExhaustive returns an exhaustive searcher visiting every stride-th
+// candidate (stride 1 = the whole space).
+func NewExhaustive(stride int) *Exhaustive {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Exhaustive{Stride: stride}
+}
+
+// Name implements search.Searcher.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements search.Searcher.
+func (e *Exhaustive) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("baselines: empty deployment space")
+	}
+	var (
+		obs       []search.Observation
+		steps     []search.Step
+		spentTime time.Duration
+		spentCost float64
+	)
+	for i := 0; i < space.Len(); i += e.Stride {
+		d := space.At(i)
+		res := prof.Profile(j, d)
+		spentTime += res.Duration
+		spentCost += res.Cost
+		obs = append(obs, search.Observation{Deployment: d, Throughput: res.Throughput})
+		steps = append(steps, search.Step{
+			Index: len(steps) + 1, Deployment: d, Throughput: res.Throughput,
+			ProfileTime: res.Duration, ProfileCost: res.Cost,
+			CumProfileTime: spentTime, CumProfileCost: spentCost, Note: "sweep",
+		})
+	}
+	best, found := incumbent(scen, obs)
+	return search.Outcome{
+		Searcher: e.Name(), Job: j, Scenario: scen, Constraints: cons,
+		Best: best.Deployment, BestThroughput: best.Throughput, Found: found,
+		Steps: steps, ProfileTime: spentTime, ProfileCost: spentCost,
+		Stopped: "space swept",
+	}, nil
+}

@@ -1,0 +1,81 @@
+// Package bo provides the generic Bayesian-optimization machinery shared
+// by ConvBO, CherryPick, and HeterBO: a Gaussian-process surrogate over
+// deployment features and the three classic acquisition functions the
+// paper discusses (§II-D) — Expected Improvement, Upper Confidence Bound,
+// and Probability of Improvement — all in maximization form.
+package bo
+
+import (
+	"fmt"
+
+	"mlcd/internal/stats"
+)
+
+// Acquisition scores a candidate from its posterior (mu, sigma) and the
+// incumbent best objective value. Larger is more attractive.
+type Acquisition interface {
+	Score(mu, sigma, best float64) float64
+	Name() string
+}
+
+// EI is Expected Improvement (the paper's base acquisition, Eq. 4,
+// written here for maximization):
+//
+//	EI = (μ − y*)·Φ(z) + σ·φ(z),  z = (μ − y*)/σ.
+type EI struct {
+	// Xi is the optional exploration margin ξ ≥ 0 subtracted from the
+	// improvement (0 = the paper's plain EI).
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (e EI) Score(mu, sigma, best float64) float64 {
+	imp := mu - best - e.Xi
+	if sigma <= 0 {
+		if imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := imp / sigma
+	return imp*stats.NormCDF(z) + sigma*stats.NormPDF(z)
+}
+
+// Name implements Acquisition.
+func (e EI) Name() string { return "ei" }
+
+// UCB is the Upper Confidence Bound acquisition: μ + β·σ.
+type UCB struct {
+	Beta float64 // exploration weight (default 2 when ≤0)
+}
+
+// Score implements Acquisition.
+func (u UCB) Score(mu, sigma, _ float64) float64 {
+	beta := u.Beta
+	if beta <= 0 {
+		beta = 2
+	}
+	return mu + beta*sigma
+}
+
+// Name implements Acquisition.
+func (u UCB) Name() string { return fmt.Sprintf("ucb(β=%g)", u.Beta) }
+
+// POI is the Probability of Improvement acquisition: Φ((μ − y* − ξ)/σ).
+type POI struct {
+	Xi float64
+}
+
+// Score implements Acquisition.
+func (p POI) Score(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		if mu > best+p.Xi {
+			return 1
+		}
+		return 0
+	}
+	return stats.NormCDF((mu - best - p.Xi) / sigma)
+}
+
+// Name implements Acquisition.
+func (p POI) Name() string { return "poi" }

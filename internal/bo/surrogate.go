@@ -1,0 +1,87 @@
+package bo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+)
+
+// Surrogate is a Gaussian-process regressor over the shared deployment
+// feature encoding (cloud.Features). It models the scenario objective
+// (training speed or cost efficiency) as a function of the deployment,
+// refitting kernel hyperparameters by marginal likelihood after every
+// few observations.
+type Surrogate struct {
+	kernel   gp.Kernel
+	rng      *rand.Rand
+	noise    float64
+	xs       [][]float64
+	ys       []float64
+	model    *gp.GP
+	sinceFit int
+	// RefitEvery controls how often hyperparameters are re-optimized
+	// (every observation would be wasteful; default 1 ⇒ always, which is
+	// fine at BO scale).
+	RefitEvery int
+}
+
+// NewSurrogate builds a surrogate with the given kernel over the 5-D
+// deployment features. A Matérn 5/2 kernel (gp.NewMatern52(5)) is the
+// conventional choice. rng drives hyperparameter multi-start.
+func NewSurrogate(kernel gp.Kernel, rng *rand.Rand) *Surrogate {
+	if kernel == nil {
+		kernel = gp.NewMatern52(len(cloud.Features(cloud.Deployment{Type: cloud.DefaultCatalog().Types()[0], Nodes: 1})))
+	}
+	if rng == nil {
+		panic("bo: nil rng")
+	}
+	return &Surrogate{kernel: kernel, rng: rng, noise: 1e-4, RefitEvery: 1}
+}
+
+// Len returns the number of observations absorbed.
+func (s *Surrogate) Len() int { return len(s.ys) }
+
+// Observe adds a (deployment, objective) pair and re-conditions the GP.
+func (s *Surrogate) Observe(d cloud.Deployment, y float64) error {
+	s.xs = append(s.xs, cloud.Features(d))
+	s.ys = append(s.ys, y)
+	if s.model == nil {
+		s.model = gp.New(s.kernel, s.noise)
+	}
+	if err := s.model.Fit(s.xs, s.ys); err != nil {
+		return fmt.Errorf("bo: conditioning surrogate: %w", err)
+	}
+	s.sinceFit++
+	if s.Len() >= 3 && s.sinceFit >= s.RefitEvery {
+		s.sinceFit = 0
+		if err := s.model.FitMLE(s.rng, gp.FitMLEOpts{Starts: 3, FitNoise: true, MaxIter: 80}); err != nil {
+			return fmt.Errorf("bo: refitting hyperparameters: %w", err)
+		}
+	}
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation of the
+// objective at deployment d.
+func (s *Surrogate) Predict(d cloud.Deployment) (mu, sigma float64) {
+	if s.model == nil || s.Len() == 0 {
+		panic("bo: Predict before any observation")
+	}
+	return s.model.Predict(cloud.Features(d))
+}
+
+// BestObserved returns the maximum objective value seen so far.
+func (s *Surrogate) BestObserved() float64 {
+	if len(s.ys) == 0 {
+		panic("bo: no observations")
+	}
+	best := s.ys[0]
+	for _, y := range s.ys[1:] {
+		if y > best {
+			best = y
+		}
+	}
+	return best
+}

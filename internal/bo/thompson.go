@@ -1,0 +1,89 @@
+package bo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+	"mlcd/internal/mat"
+)
+
+// SampleJoint draws one sample of the objective at all candidate
+// deployments from the GP's *joint* posterior — the ingredient of
+// Thompson-sampling acquisition. Unlike the pointwise acquisitions
+// (EI/UCB/POI), a joint sample respects the correlations between nearby
+// candidates, so one draw induces a coherent hypothetical response
+// surface.
+func (s *Surrogate) SampleJoint(cands []cloud.Deployment, rng *rand.Rand) ([]float64, error) {
+	if s.model == nil || s.Len() == 0 {
+		panic("bo: SampleJoint before any observation")
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	feats := make([][]float64, len(cands))
+	for i, d := range cands {
+		feats[i] = cloud.Features(d)
+	}
+	mean, cov, err := posteriorJoint(s.model, feats)
+	if err != nil {
+		return nil, err
+	}
+	// Sample x = μ + L·z with cov = L·Lᵀ.
+	mat.AddDiag(cov, 1e-8) // jitter for numerical PSD
+	chol, err := mat.NewCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("bo: posterior covariance not PSD: %w", err)
+	}
+	z := make([]float64, len(cands))
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	l := chol.L()
+	out := make([]float64, len(cands))
+	for i := range out {
+		v := mean[i]
+		row := l.Row(i)
+		for k := 0; k <= i; k++ {
+			v += row[k] * z[k]
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ThompsonPick draws a joint posterior sample and returns the index of
+// its argmax — a probability-matched exploration choice.
+func (s *Surrogate) ThompsonPick(cands []cloud.Deployment, rng *rand.Rand) (int, error) {
+	sample, err := s.SampleJoint(cands, rng)
+	if err != nil {
+		return 0, err
+	}
+	if len(sample) == 0 {
+		return -1, nil
+	}
+	best := 0
+	for i, v := range sample {
+		if v > sample[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// posteriorJoint computes the exact joint posterior mean vector and
+// covariance matrix of the GP at the given feature points, in original
+// target units.
+func posteriorJoint(g *gp.GP, feats [][]float64) ([]float64, *mat.Dense, error) {
+	mean := make([]float64, len(feats))
+	for i, f := range feats {
+		mu, _ := g.Predict(f)
+		mean[i] = mu
+	}
+	cov, err := g.PosteriorCov(feats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mean, cov, nil
+}

@@ -1,0 +1,203 @@
+// Package cloud models the MLaaS provider side of the paper: an EC2-like
+// instance catalog (scale-up options), deployments D(m, n) pairing an
+// instance type with a node count (scale-out), and a simulated cloud
+// control plane with cluster lifecycle and billing. Prices and hardware
+// attributes mirror 2019 us-east-1 on-demand EC2, the paper's testbed —
+// in particular the headline 42.5× hourly-cost spread between p2.8xlarge
+// and c5.xlarge (Fig. 1a).
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Accelerator identifies a GPU model attached to an instance type.
+type Accelerator string
+
+// GPU models present in the paper's instance families.
+const (
+	NoGPU      Accelerator = ""
+	NvidiaK80  Accelerator = "K80"
+	NvidiaV100 Accelerator = "V100"
+)
+
+// InstanceType describes one scale-up option.
+type InstanceType struct {
+	Name        string      // e.g. "c5.4xlarge"
+	Family      string      // e.g. "c5"
+	VCPUs       int         // virtual CPU count
+	MemGiB      float64     // instance memory
+	GPUs        int         // attached GPU count
+	GPUModel    Accelerator // which accelerator, if any
+	GPUMemGiB   float64     // memory per accelerator
+	NetworkGbps float64     // sustained network bandwidth in Gbit/s
+	PricePerHr  float64     // on-demand $/hour
+
+	// Effective (not peak) training compute, in GFLOP/s. CPU figure is
+	// for the whole instance; GPU figure is per accelerator. These feed
+	// the performance simulator, not the search algorithms — searchers
+	// only ever see prices and measured throughput.
+	CPUGFLOPS float64
+	GPUGFLOPS float64
+}
+
+// IsGPU reports whether the type carries accelerators.
+func (it InstanceType) IsGPU() bool { return it.GPUs > 0 }
+
+// String returns the instance name.
+func (it InstanceType) String() string { return it.Name }
+
+// defaultTypes mirrors the families the paper uses (§V-A): compute
+// optimized c5, network-enhanced c5n, previous-generation c4, and GPU
+// p2 (K80) / p3 (V100).
+var defaultTypes = []InstanceType{
+	// c4: previous-generation compute optimized.
+	{Name: "c4.large", Family: "c4", VCPUs: 2, MemGiB: 3.75, NetworkGbps: 0.62, PricePerHr: 0.100, CPUGFLOPS: 22},
+	{Name: "c4.xlarge", Family: "c4", VCPUs: 4, MemGiB: 7.5, NetworkGbps: 1.25, PricePerHr: 0.199, CPUGFLOPS: 44},
+	{Name: "c4.2xlarge", Family: "c4", VCPUs: 8, MemGiB: 15, NetworkGbps: 2.5, PricePerHr: 0.398, CPUGFLOPS: 88},
+	{Name: "c4.4xlarge", Family: "c4", VCPUs: 16, MemGiB: 30, NetworkGbps: 5, PricePerHr: 0.796, CPUGFLOPS: 176},
+	{Name: "c4.8xlarge", Family: "c4", VCPUs: 36, MemGiB: 60, NetworkGbps: 10, PricePerHr: 1.591, CPUGFLOPS: 396},
+
+	// c5: current compute optimized (AVX-512).
+	{Name: "c5.large", Family: "c5", VCPUs: 2, MemGiB: 4, NetworkGbps: 0.74, PricePerHr: 0.085, CPUGFLOPS: 34},
+	{Name: "c5.xlarge", Family: "c5", VCPUs: 4, MemGiB: 8, NetworkGbps: 1.25, PricePerHr: 0.170, CPUGFLOPS: 68},
+	{Name: "c5.2xlarge", Family: "c5", VCPUs: 8, MemGiB: 16, NetworkGbps: 2.5, PricePerHr: 0.340, CPUGFLOPS: 136},
+	{Name: "c5.4xlarge", Family: "c5", VCPUs: 16, MemGiB: 32, NetworkGbps: 5, PricePerHr: 0.680, CPUGFLOPS: 272},
+	{Name: "c5.9xlarge", Family: "c5", VCPUs: 36, MemGiB: 72, NetworkGbps: 10, PricePerHr: 1.530, CPUGFLOPS: 612},
+	{Name: "c5.18xlarge", Family: "c5", VCPUs: 72, MemGiB: 144, NetworkGbps: 25, PricePerHr: 3.060, CPUGFLOPS: 1224},
+
+	// c5n: network-enhanced compute optimized.
+	{Name: "c5n.large", Family: "c5n", VCPUs: 2, MemGiB: 5.25, NetworkGbps: 3, PricePerHr: 0.108, CPUGFLOPS: 34},
+	{Name: "c5n.xlarge", Family: "c5n", VCPUs: 4, MemGiB: 10.5, NetworkGbps: 5, PricePerHr: 0.216, CPUGFLOPS: 68},
+	{Name: "c5n.2xlarge", Family: "c5n", VCPUs: 8, MemGiB: 21, NetworkGbps: 10, PricePerHr: 0.432, CPUGFLOPS: 136},
+	{Name: "c5n.4xlarge", Family: "c5n", VCPUs: 16, MemGiB: 42, NetworkGbps: 15, PricePerHr: 0.864, CPUGFLOPS: 272},
+	{Name: "c5n.9xlarge", Family: "c5n", VCPUs: 36, MemGiB: 96, NetworkGbps: 50, PricePerHr: 1.944, CPUGFLOPS: 612},
+	{Name: "c5n.18xlarge", Family: "c5n", VCPUs: 72, MemGiB: 192, NetworkGbps: 100, PricePerHr: 3.888, CPUGFLOPS: 1224},
+
+	// p2: K80 GPU instances.
+	{Name: "p2.xlarge", Family: "p2", VCPUs: 4, MemGiB: 61, GPUs: 1, GPUModel: NvidiaK80, GPUMemGiB: 12, NetworkGbps: 1.25, PricePerHr: 0.900, CPUGFLOPS: 40, GPUGFLOPS: 2200},
+	{Name: "p2.8xlarge", Family: "p2", VCPUs: 32, MemGiB: 488, GPUs: 8, GPUModel: NvidiaK80, GPUMemGiB: 12, NetworkGbps: 10, PricePerHr: 7.200, CPUGFLOPS: 320, GPUGFLOPS: 2200},
+	{Name: "p2.16xlarge", Family: "p2", VCPUs: 64, MemGiB: 732, GPUs: 16, GPUModel: NvidiaK80, GPUMemGiB: 12, NetworkGbps: 25, PricePerHr: 14.400, CPUGFLOPS: 640, GPUGFLOPS: 2200},
+
+	// p3: V100 GPU instances.
+	{Name: "p3.2xlarge", Family: "p3", VCPUs: 8, MemGiB: 61, GPUs: 1, GPUModel: NvidiaV100, GPUMemGiB: 16, NetworkGbps: 2.5, PricePerHr: 3.060, CPUGFLOPS: 80, GPUGFLOPS: 11000},
+	{Name: "p3.8xlarge", Family: "p3", VCPUs: 32, MemGiB: 244, GPUs: 4, GPUModel: NvidiaV100, GPUMemGiB: 16, NetworkGbps: 10, PricePerHr: 12.240, CPUGFLOPS: 320, GPUGFLOPS: 11000},
+	{Name: "p3.16xlarge", Family: "p3", VCPUs: 64, MemGiB: 488, GPUs: 8, GPUModel: NvidiaV100, GPUMemGiB: 16, NetworkGbps: 25, PricePerHr: 24.480, CPUGFLOPS: 640, GPUGFLOPS: 11000},
+}
+
+// Catalog is an immutable set of instance types.
+type Catalog struct {
+	types  []InstanceType
+	byName map[string]int
+}
+
+// NewCatalog builds a catalog from the given types, rejecting duplicates.
+func NewCatalog(types []InstanceType) (*Catalog, error) {
+	c := &Catalog{
+		types:  append([]InstanceType(nil), types...),
+		byName: make(map[string]int, len(types)),
+	}
+	for i, it := range c.types {
+		if it.Name == "" {
+			return nil, fmt.Errorf("cloud: instance type %d has empty name", i)
+		}
+		if it.PricePerHr <= 0 {
+			return nil, fmt.Errorf("cloud: %s has non-positive price", it.Name)
+		}
+		if _, dup := c.byName[it.Name]; dup {
+			return nil, fmt.Errorf("cloud: duplicate instance type %s", it.Name)
+		}
+		c.byName[it.Name] = i
+	}
+	return c, nil
+}
+
+// DefaultCatalog returns the paper's EC2 instance families.
+func DefaultCatalog() *Catalog {
+	c, err := NewCatalog(defaultTypes)
+	if err != nil {
+		panic(err) // static data: must be valid
+	}
+	return c
+}
+
+// Types returns all instance types (copy; callers may mutate freely).
+func (c *Catalog) Types() []InstanceType {
+	return append([]InstanceType(nil), c.types...)
+}
+
+// Len returns the number of scale-up options.
+func (c *Catalog) Len() int { return len(c.types) }
+
+// Lookup finds an instance type by exact name.
+func (c *Catalog) Lookup(name string) (InstanceType, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return InstanceType{}, false
+	}
+	return c.types[i], true
+}
+
+// MustLookup is Lookup that panics on unknown names (for static configs).
+func (c *Catalog) MustLookup(name string) InstanceType {
+	it, ok := c.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("cloud: unknown instance type %q", name))
+	}
+	return it
+}
+
+// Families returns the distinct family names, sorted.
+func (c *Catalog) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, it := range c.types {
+		if !seen[it.Family] {
+			seen[it.Family] = true
+			out = append(out, it.Family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset returns a catalog restricted to the named types, in the given order.
+func (c *Catalog) Subset(names ...string) (*Catalog, error) {
+	var sel []InstanceType
+	for _, n := range names {
+		it, ok := c.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("cloud: unknown instance type %q", n)
+		}
+		sel = append(sel, it)
+	}
+	return NewCatalog(sel)
+}
+
+// NormalizedPrices returns each type's hourly price divided by the
+// cheapest type's price — the paper's Fig. 1(a) view of the catalog.
+func (c *Catalog) NormalizedPrices() map[string]float64 {
+	minP := c.types[0].PricePerHr
+	for _, it := range c.types[1:] {
+		if it.PricePerHr < minP {
+			minP = it.PricePerHr
+		}
+	}
+	out := make(map[string]float64, len(c.types))
+	for _, it := range c.types {
+		out[it.Name] = it.PricePerHr / minP
+	}
+	return out
+}
+
+// String lists the catalog compactly.
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for _, it := range c.types {
+		fmt.Fprintf(&b, "%-14s %2d vCPU %2d GPU %6.2f Gbps $%.3f/h\n",
+			it.Name, it.VCPUs, it.GPUs, it.NetworkGbps, it.PricePerHr)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package cloud
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultCatalogWellFormed(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Len() < 20 {
+		t.Fatalf("catalog has %d types, want ≥20", c.Len())
+	}
+	for _, it := range c.Types() {
+		if it.PricePerHr <= 0 {
+			t.Errorf("%s: non-positive price", it.Name)
+		}
+		if it.VCPUs <= 0 {
+			t.Errorf("%s: non-positive vCPUs", it.Name)
+		}
+		if it.NetworkGbps <= 0 {
+			t.Errorf("%s: non-positive network", it.Name)
+		}
+		if it.IsGPU() && (it.GPUGFLOPS <= 0 || it.GPUMemGiB <= 0 || it.GPUModel == NoGPU) {
+			t.Errorf("%s: incomplete GPU spec", it.Name)
+		}
+		if !it.IsGPU() && it.CPUGFLOPS <= 0 {
+			t.Errorf("%s: missing CPU GFLOPS", it.Name)
+		}
+		if !strings.HasPrefix(it.Name, it.Family) {
+			t.Errorf("%s: family %q is not a name prefix", it.Name, it.Family)
+		}
+	}
+}
+
+func TestFig1aPriceSpread(t *testing.T) {
+	// Paper Fig. 1(a): p2.8xlarge is ≈42.5× the cost of c5.xlarge.
+	c := DefaultCatalog()
+	norm := c.NormalizedPrices()
+	ratio := norm["p2.8xlarge"] / norm["c5.xlarge"]
+	if ratio < 40 || ratio > 45 {
+		t.Fatalf("p2.8xlarge / c5.xlarge = %.1f×, want ≈42.5×", ratio)
+	}
+	// c5.large is the cheapest type, so its normalized price is 1.
+	if norm["c5.large"] != 1 {
+		t.Fatalf("cheapest normalized price = %v, want 1", norm["c5.large"])
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := DefaultCatalog()
+	it, ok := c.Lookup("c5.4xlarge")
+	if !ok || it.VCPUs != 16 {
+		t.Fatalf("Lookup(c5.4xlarge) = %+v, %v", it, ok)
+	}
+	if _, ok := c.Lookup("m5.24xlarge"); ok {
+		t.Fatal("unknown type must not resolve")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultCatalog().MustLookup("nope")
+}
+
+func TestCatalogFamilies(t *testing.T) {
+	fams := DefaultCatalog().Families()
+	want := []string{"c4", "c5", "c5n", "p2", "p3"}
+	if len(fams) != len(want) {
+		t.Fatalf("families = %v", fams)
+	}
+	for i := range want {
+		if fams[i] != want[i] {
+			t.Fatalf("families = %v, want %v", fams, want)
+		}
+	}
+}
+
+func TestCatalogSubset(t *testing.T) {
+	c := DefaultCatalog()
+	sub, err := c.Subset("c5.xlarge", "p2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if _, err := c.Subset("bogus"); err == nil {
+		t.Fatal("bogus subset must error")
+	}
+}
+
+func TestNewCatalogRejectsBadInput(t *testing.T) {
+	if _, err := NewCatalog([]InstanceType{{Name: "", PricePerHr: 1}}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if _, err := NewCatalog([]InstanceType{{Name: "a", PricePerHr: 0}}); err == nil {
+		t.Fatal("zero price must be rejected")
+	}
+	dup := InstanceType{Name: "a", PricePerHr: 1}
+	if _, err := NewCatalog([]InstanceType{dup, dup}); err == nil {
+		t.Fatal("duplicates must be rejected")
+	}
+}
+
+func TestCatalogStringListsAll(t *testing.T) {
+	c := DefaultCatalog()
+	s := c.String()
+	if !strings.Contains(s, "p3.16xlarge") || !strings.Contains(s, "c4.large") {
+		t.Fatalf("String() missing entries:\n%s", s)
+	}
+}
+
+func TestNormalizedPricesPositive(t *testing.T) {
+	for name, v := range DefaultCatalog().NormalizedPrices() {
+		if v < 1 || math.IsNaN(v) {
+			t.Errorf("%s: normalized price %v < 1", name, v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Deployment is the paper's D(m, n): n nodes of instance type m.
+type Deployment struct {
+	Type  InstanceType
+	Nodes int
+}
+
+// NewDeployment pairs an instance type with a node count.
+func NewDeployment(t InstanceType, nodes int) Deployment {
+	if nodes < 1 {
+		panic(fmt.Sprintf("cloud: deployment needs ≥1 node, got %d", nodes))
+	}
+	return Deployment{Type: t, Nodes: nodes}
+}
+
+// HourlyCost returns the deployment's total $/hour, P(m)·n.
+func (d Deployment) HourlyCost() float64 {
+	return d.Type.PricePerHr * float64(d.Nodes)
+}
+
+// CostFor returns the dollars billed for running the deployment for dur.
+func (d Deployment) CostFor(dur time.Duration) float64 {
+	return d.HourlyCost() * dur.Hours()
+}
+
+// String renders "10×c5.4xlarge".
+func (d Deployment) String() string {
+	return fmt.Sprintf("%d×%s", d.Nodes, d.Type.Name)
+}
+
+// Key returns a stable map key for the deployment.
+func (d Deployment) Key() string { return d.String() }
+
+// Space is the discrete deployment search space handed to the optimizers.
+type Space struct {
+	deployments []Deployment
+}
+
+// SpaceLimits bounds the node counts explored per instance kind.
+type SpaceLimits struct {
+	MaxCPUNodes int // scale-out bound for CPU types (paper: up to 100)
+	MaxGPUNodes int // scale-out bound for GPU types (paper: up to 50)
+}
+
+// DefaultLimits is the paper's experiment setup (§V-A).
+var DefaultLimits = SpaceLimits{MaxCPUNodes: 100, MaxGPUNodes: 50}
+
+// NewSpace enumerates every (type, 1..max) deployment of the catalog.
+func NewSpace(c *Catalog, lim SpaceLimits) *Space {
+	if lim.MaxCPUNodes < 1 || lim.MaxGPUNodes < 1 {
+		panic("cloud: space limits must be ≥1")
+	}
+	var all []Deployment
+	for _, it := range c.Types() {
+		maxN := lim.MaxCPUNodes
+		if it.IsGPU() {
+			maxN = lim.MaxGPUNodes
+		}
+		for n := 1; n <= maxN; n++ {
+			all = append(all, Deployment{Type: it, Nodes: n})
+		}
+	}
+	return &Space{deployments: all}
+}
+
+// NewSpaceFrom wraps an explicit deployment list.
+func NewSpaceFrom(ds []Deployment) *Space {
+	return &Space{deployments: append([]Deployment(nil), ds...)}
+}
+
+// Len returns the number of candidate deployments.
+func (s *Space) Len() int { return len(s.deployments) }
+
+// At returns the i-th deployment.
+func (s *Space) At(i int) Deployment { return s.deployments[i] }
+
+// All returns a copy of the deployment list.
+func (s *Space) All() []Deployment {
+	return append([]Deployment(nil), s.deployments...)
+}
+
+// Filter returns the subspace where keep is true.
+func (s *Space) Filter(keep func(Deployment) bool) *Space {
+	var out []Deployment
+	for _, d := range s.deployments {
+		if keep(d) {
+			out = append(out, d)
+		}
+	}
+	return &Space{deployments: out}
+}
+
+// Types returns the distinct instance types present, in first-seen order.
+func (s *Space) Types() []InstanceType {
+	seen := make(map[string]bool)
+	var out []InstanceType
+	for _, d := range s.deployments {
+		if !seen[d.Type.Name] {
+			seen[d.Type.Name] = true
+			out = append(out, d.Type)
+		}
+	}
+	return out
+}
+
+// MaxNodes returns the largest node count present for the given type
+// (0 when the type is absent).
+func (s *Space) MaxNodes(typeName string) int {
+	max := 0
+	for _, d := range s.deployments {
+		if d.Type.Name == typeName && d.Nodes > max {
+			max = d.Nodes
+		}
+	}
+	return max
+}
+
+// Features encodes a deployment for the GP surrogate: log-scaled hardware
+// attributes so that distances are meaningful across a catalog whose
+// prices span 40×. The encoding is shared by every BO searcher so
+// comparisons are apples-to-apples.
+func Features(d Deployment) []float64 {
+	return []float64{
+		log2(float64(d.Type.VCPUs)),
+		float64(d.Type.GPUs),
+		log2(d.Type.MemGiB),
+		log2(d.Type.NetworkGbps + 1),
+		log2(float64(d.Nodes)),
+	}
+}
+
+// log2 keeps doublings equidistant, matching how instance families are
+// sized; non-positive inputs map to 0.
+func log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,177 @@
+package cloudapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+func newPair(t *testing.T, quota cloud.Quota) (*cloud.SimProvider, *Client, *httptest.Server) {
+	t.Helper()
+	prov := cloud.NewSimProvider(quota, time.Minute)
+	cat := cloud.DefaultCatalog()
+	srv := httptest.NewServer(NewServer(prov, cat))
+	t.Cleanup(srv.Close)
+	return prov, NewClient(srv.URL, cat), srv
+}
+
+func TestClientLifecycleOverHTTP(t *testing.T) {
+	prov, client, _ := newPair(t, cloud.DefaultQuota)
+	d := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("c5.xlarge"), 4)
+	cl, err := client.Launch(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.State != cloud.ClusterPending || cl.ID == "" {
+		t.Fatalf("launched cluster = %+v", cl)
+	}
+	if err := client.WaitReady(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Run(cl, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Terminate(cl); err != nil {
+		t.Fatal(err)
+	}
+	if cl.State != cloud.ClusterTerminated {
+		t.Fatalf("state = %v", cl.State)
+	}
+	// Client-side views of time and billing agree with the provider.
+	if got, want := client.Now(), prov.Now(); got != want {
+		t.Fatalf("Now = %v, provider says %v", got, want)
+	}
+	if got, want := client.TotalBilled(), prov.TotalBilled(); got != want {
+		t.Fatalf("TotalBilled = %v, provider says %v", got, want)
+	}
+	if client.TotalBilled() <= 0 {
+		t.Fatal("an hour of cluster time must be billed")
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	_, client, _ := newPair(t, cloud.Quota{MaxCPUNodes: 2, MaxGPUNodes: 1})
+	d := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("c5.large"), 2)
+	if _, err := client.Launch(d); err != nil {
+		t.Fatal(err)
+	}
+	// Quota exhausted → the sentinel error survives the HTTP hop.
+	if _, err := client.Launch(d); !errors.Is(err, cloud.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want quota exceeded", err)
+	}
+	// Operating on an unknown cluster → not-active.
+	ghost := &cloud.Cluster{ID: "cluster-9999", Deployment: d}
+	if err := client.WaitReady(ghost); !errors.Is(err, cloud.ErrClusterNotActive) {
+		t.Fatalf("err = %v, want not-active", err)
+	}
+}
+
+func TestClientTransientMapping(t *testing.T) {
+	prov, client, _ := newPair(t, cloud.DefaultQuota)
+	prov.InjectFailures(1.0, 1)
+	d := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("c5.large"), 1)
+	if _, err := client.Launch(d); !errors.Is(err, cloud.ErrTransient) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, _, srv := newPair(t, cloud.DefaultQuota)
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		return resp.StatusCode
+	}
+	if code := post("/v1/clusters", `{`); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON → %d", code)
+	}
+	if code := post("/v1/clusters", `{"type":"m9.huge","nodes":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown type → %d", code)
+	}
+	if code := post("/v1/clusters", `{"type":"c5.large","nodes":0}`); code != http.StatusBadRequest {
+		t.Fatalf("zero nodes → %d", code)
+	}
+	if code := post("/v1/clusters/cluster-0001/run", `{"seconds":-5}`); code != http.StatusBadRequest && code != http.StatusNotFound {
+		t.Fatalf("negative run → %d", code)
+	}
+}
+
+func TestCatalogEndpointRoundTrips(t *testing.T) {
+	_, client, _ := newPair(t, cloud.DefaultQuota)
+	types, err := client.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != cloud.DefaultCatalog().Len() {
+		t.Fatalf("catalog round-trip lost types: %d", len(types))
+	}
+	rebuilt, err := cloud.NewCatalog(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rebuilt.Lookup("p3.16xlarge"); !ok {
+		t.Fatal("rebuilt catalog incomplete")
+	}
+}
+
+func TestBillingEndpointJSONShape(t *testing.T) {
+	_, _, srv := newPair(t, cloud.DefaultQuota)
+	resp, err := http.Get(srv.URL + "/v1/billing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var out map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["total_usd"]; !ok {
+		t.Fatal("billing response missing total_usd")
+	}
+}
+
+func TestMLCDDeployOverHTTP(t *testing.T) {
+	// The whole MLCD pipeline — HeterBO probes, training run, billing —
+	// driven through the HTTP control plane.
+	prov := cloud.NewSimProvider(cloud.DefaultQuota, time.Minute)
+	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(prov, cloud.DefaultCatalog()))
+	defer srv.Close()
+	client := NewClient(srv.URL, cloud.DefaultCatalog())
+
+	sys := mlcdsys.New(mlcdsys.Config{
+		Catalog:  cat,
+		Limits:   cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
+		Provider: client,
+		Seed:     1,
+	})
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, mlcdsys.Requirements{Budget: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != search.FastestWithBudget || !rep.Satisfied {
+		t.Fatalf("report: %+v", rep)
+	}
+	if prov.TotalBilled() <= 0 {
+		t.Fatal("the backing provider saw no billing — the HTTP hop was bypassed")
+	}
+	cpu, gpu := prov.InUse()
+	if cpu != 0 || gpu != 0 {
+		t.Fatalf("clusters leaked through the HTTP path: %d CPU, %d GPU", cpu, gpu)
+	}
+}

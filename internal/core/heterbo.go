@@ -1,0 +1,715 @@
+// Package core implements HeterBO, the paper's contribution (§III): a
+// Bayesian-optimization deployment search that, unlike conventional BO,
+//
+//   - embeds each candidate's *heterogeneous profiling cost* (Eqs. 7–8)
+//     into the acquisition so expensive probes must justify themselves
+//     (expected improvement per unit exploration cost);
+//   - enforces user constraints during the search via the True Expected
+//     Improvement headroom of Eqs. 5–6 and a *protective reserve*: the
+//     time/money needed to finish training at the best deployment found
+//     so far is never gambled on further exploration;
+//   - filters candidates by the 95 % confidence interval of the expected
+//     improvement to avoid unlikely probes;
+//   - exploits the ML-specific *concave scale-out prior* (§II-D): once
+//     two neighbouring deployments of a type show declining speed, all
+//     larger scale-outs of that type are pruned;
+//   - initializes with one single-node probe per instance type — the
+//     cheapest possible curve anchors — instead of random points.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mlcd/internal/bo"
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// Options configures HeterBO. The zero value gives the paper's method;
+// the Disable* switches exist for the ablation benchmarks.
+type Options struct {
+	Kernel      gp.Kernel      // surrogate kernel (default Matérn 5/2)
+	Acquisition bo.Acquisition // base acquisition (default EI, as in §III-C)
+	Seed        int64          // rng seed for surrogate fitting / random init
+
+	MaxSteps    int     // exploration probes after init (default 12)
+	MinSteps    int     // exploration probes before convergence stop may fire (default 3)
+	EITolerance float64 // stop when max EI < tol·|best| (default 0.01)
+	ConfidenceZ float64 // CI filter width (default 1.96 ⇒ 95 %)
+
+	// WarmStart seeds the search with observations from a previous run
+	// of the *same job* (an interrupted search, or a re-run after the
+	// user raised the budget). They cost nothing, are eligible as final
+	// picks, and replace the initialization phase — the answer to the
+	// exhaustive-profiling critique that "any change re-performs the
+	// expensive search" (§II-C).
+	WarmStart []search.Observation
+
+	// Ablation switches.
+	DisableCostPenalty  bool // plain EI selection (no profiling-cost division)
+	DisableConcavePrior bool
+	DisableReserve      bool // no protective budget/deadline reserve
+	RandomInit          bool // random init instead of per-type single nodes
+	InitPoints          int  // number of random init probes (default 2)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Kernel == nil {
+		o.Kernel = gp.NewMatern52(5)
+	}
+	if o.Acquisition == nil {
+		o.Acquisition = bo.EI{}
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 12
+	}
+	if o.MinSteps <= 0 {
+		o.MinSteps = 3
+	}
+	if o.EITolerance <= 0 {
+		o.EITolerance = 0.01
+	}
+	if o.ConfidenceZ <= 0 {
+		o.ConfidenceZ = 1.96
+	}
+	if o.InitPoints <= 0 {
+		o.InitPoints = 2
+	}
+	return o
+}
+
+// HeterBO is the paper's search method.
+type HeterBO struct {
+	opts Options
+}
+
+// New returns a HeterBO searcher.
+func New(opts Options) *HeterBO {
+	return &HeterBO{opts: opts.withDefaults()}
+}
+
+// Name implements search.Searcher.
+func (h *HeterBO) Name() string { return "heterbo" }
+
+// state tracks one search run.
+type state struct {
+	job       workload.Job
+	scen      search.Scenario
+	cons      search.Constraints
+	space     *cloud.Space
+	prof      profiler.Profiler
+	opts      Options
+	rng       *rand.Rand
+	surr      *bo.Surrogate
+	obs       []search.Observation
+	steps     []search.Step
+	spentTime time.Duration
+	spentCost float64
+	profiled  map[string]bool
+	// priorBound[type] caps explorable node counts after the concave
+	// prior fires (0 = unbounded).
+	priorBound map[string]int
+	// Memory-feasibility bounds learned from OOM probes, in GiB of
+	// accelerator/host capacity. A replicated-state model that OOMs on a
+	// node with capacity c cannot fit any node with capacity ≤ c; a
+	// sharded (ZeRO) model that OOMs on total capacity c needs a cluster
+	// with more than c. One failed probe therefore prunes candidates
+	// across every instance type.
+	oomReplicatedCap float64
+	oomShardedCap    float64
+}
+
+// nodeCapacityGiB is the memory a single node offers the training job:
+// accelerator memory on GPU instances, host memory otherwise.
+func nodeCapacityGiB(it cloud.InstanceType) float64 {
+	if it.IsGPU() {
+		return float64(it.GPUs) * it.GPUMemGiB
+	}
+	return it.MemGiB
+}
+
+// Search implements search.Searcher.
+func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, prof profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if err := j.Validate(); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("core: empty deployment space")
+	}
+	st := &state{
+		job: j, scen: scen, cons: cons, space: space, prof: prof,
+		opts:       h.opts,
+		rng:        rand.New(rand.NewSource(h.opts.Seed)),
+		profiled:   make(map[string]bool),
+		priorBound: make(map[string]int),
+	}
+	st.surr = bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng)
+
+	stopped := st.run()
+
+	// The final pick and the in-search reserve both lean on *measured*
+	// throughput; a noise margin keeps the guarantee hard when reality
+	// comes in a few percent slower than the probes suggested.
+	bestObs, found := search.PickBest(j, scen, st.tightened(), st.spentTime, st.spentCost, st.obs)
+	return search.Outcome{
+		Searcher:       h.Name(),
+		Job:            j,
+		Scenario:       scen,
+		Constraints:    cons,
+		Best:           bestObs.Deployment,
+		BestThroughput: bestObs.Throughput,
+		Found:          found,
+		Steps:          st.steps,
+		ProfileTime:    st.spentTime,
+		ProfileCost:    st.spentCost,
+		Stopped:        stopped,
+	}, nil
+}
+
+// run executes init + BO loop, returning the stop reason.
+func (st *state) run() string {
+	if len(st.opts.WarmStart) > 0 {
+		st.absorbWarmStart()
+	} else {
+		for _, d := range st.initialDeployments() {
+			// Earlier init probes may already have taught a memory
+			// bound that rules this one out (pruned), and the reserve
+			// must admit it.
+			if st.pruned(d) || !st.admissible(d) {
+				continue
+			}
+			st.probe(d, 0, "init")
+		}
+	}
+	if len(st.obs) == 0 {
+		return "no admissible initial probe"
+	}
+
+	if st.surr.Len() == 0 {
+		// Every init probe OOMed: a large sharded model fits no single
+		// node. Anchor each type at its feasibility frontier instead.
+		if st.job.Model.ShardedStates {
+			st.anchorSharded()
+		} else {
+			// Replicated states that fit nowhere cannot be helped by
+			// more nodes; probe the largest-capacity node as a last try.
+			if cand, ok := st.cheapestCandidate(); ok {
+				st.probe(cand, 0, "feasibility-escalate")
+			}
+		}
+	}
+	if st.surr.Len() == 0 {
+		return "no feasible deployment found"
+	}
+
+	for explored := 0; explored < st.opts.MaxSteps; explored++ {
+		st.updatePrior()
+		cand, score, ok := st.nextCandidate()
+		if !ok {
+			return "no admissible candidate"
+		}
+		// Convergence: the surrogate works in log-objective, so EI is an
+		// expected log-ratio gain; stop when even the most promising
+		// candidate offers less than ~EITolerance×100 % improvement.
+		if explored >= st.opts.MinSteps && score.maxRawEI < st.opts.EITolerance {
+			return "expected improvement below tolerance"
+		}
+		st.probe(cand, score.score, score.note)
+	}
+	return "step cap reached"
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// absorbWarmStart folds previously measured observations in at zero
+// profiling cost, including what their OOM probes taught about memory.
+func (st *state) absorbWarmStart() {
+	for _, o := range st.opts.WarmStart {
+		key := o.Deployment.Key()
+		if st.profiled[key] || o.Deployment.Nodes < 1 {
+			continue
+		}
+		st.profiled[key] = true
+		st.obs = append(st.obs, o)
+		if o.Throughput <= 0 {
+			cap := nodeCapacityGiB(o.Deployment.Type)
+			if st.job.Model.ShardedStates {
+				if total := cap * float64(o.Deployment.Nodes); total > st.oomShardedCap {
+					st.oomShardedCap = total
+				}
+			} else if cap > st.oomReplicatedCap {
+				st.oomReplicatedCap = cap
+			}
+			continue
+		}
+		y := math.Log(search.Objective(st.scen, o.Deployment, o.Throughput))
+		if err := st.surr.Observe(o.Deployment, y); err != nil {
+			// Drop the offending observation; warm starts are advisory.
+			st.obs = st.obs[:len(st.obs)-1]
+		}
+	}
+}
+
+// anchorSharded is the sharded-model analogue of the single-node init:
+// every instance type gets one probe at the smallest node count that the
+// learned memory bound still allows, doubling per type on each failure.
+// One feasible observation per type gives the surrogate the same
+// type-coverage the single-node sweep gives models that fit one node.
+func (st *state) anchorSharded() {
+	types := st.space.Types()
+	feasible := make(map[string]bool, len(types))
+	lastN := make(map[string]int, len(types))
+	count := 0
+	for round := 0; round < 4; round++ {
+		// One pass anchors every type once; later passes only run while
+		// fewer than two columns have a real observation — after that,
+		// cost-aware BO is a better judge of where to spend probes than
+		// blanket re-anchoring.
+		if round > 0 && count >= 2 {
+			return
+		}
+		progressed := false
+		for _, t := range types {
+			if feasible[t.Name] {
+				continue
+			}
+			n, ok := st.anchorNodes(t, lastN[t.Name])
+			if !ok {
+				continue
+			}
+			lastN[t.Name] = n
+			d := cloud.Deployment{Type: t, Nodes: n}
+			st.probe(d, 0, "feasibility-anchor")
+			progressed = true
+			if st.obs[len(st.obs)-1].Throughput > 0 {
+				feasible[t.Name] = true
+				count++
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// anchorNodes picks the next node count to try for type t: beyond both
+// the learned capacity bound and a doubling of the last attempt.
+func (st *state) anchorNodes(t cloud.InstanceType, last int) (int, bool) {
+	minN := last*2 + 1
+	if cap := nodeCapacityGiB(t); cap > 0 {
+		if byBound := int(st.oomShardedCap/cap) + 1; byBound > minN {
+			minN = byBound
+		}
+	}
+	for n := minN; n <= st.space.MaxNodes(t.Name); n++ {
+		d := cloud.Deployment{Type: t, Nodes: n}
+		if st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
+			continue
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// cheapestCandidate returns the admissible, unpruned, unprofiled
+// deployment with the lowest profiling cost.
+func (st *state) cheapestCandidate() (cloud.Deployment, bool) {
+	var best cloud.Deployment
+	bestCost := 0.0
+	found := false
+	for i := 0; i < st.space.Len(); i++ {
+		d := st.space.At(i)
+		if st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
+			continue
+		}
+		c := profiler.Cost(d)
+		if !found || c < bestCost {
+			best, bestCost, found = d, c, true
+		}
+	}
+	return best, found
+}
+
+// initialDeployments returns the cheap anchors of §III-C: one single-node
+// probe per instance type. When the space holds a single type (the
+// paper's scale-out-only studies, Figs. 9–11), the extremes are bracketed
+// instead so the concave prior has both ends of the curve. The RandomInit
+// ablation reproduces conventional BO's random start.
+func (st *state) initialDeployments() []cloud.Deployment {
+	if st.opts.RandomInit {
+		var out []cloud.Deployment
+		for i := 0; i < st.opts.InitPoints && st.space.Len() > 0; i++ {
+			out = append(out, st.space.At(st.rng.Intn(st.space.Len())))
+		}
+		return out
+	}
+	types := st.space.Types()
+	if len(types) == 1 {
+		t := types[0]
+		lo, hi := st.space.MaxNodes(t.Name), 0
+		for i := 0; i < st.space.Len(); i++ {
+			n := st.space.At(i).Nodes
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		// Bracket at half the range: enough to anchor the concave
+		// prior's right flank without paying for the most expensive
+		// probe in the space.
+		loD := cloud.Deployment{Type: t, Nodes: lo}
+		hiD := cloud.Deployment{Type: t, Nodes: st.affordableBracket(t, (lo+hi+1)/2)}
+		if hiD.Nodes <= loD.Nodes {
+			return []cloud.Deployment{loD}
+		}
+		return []cloud.Deployment{loD, hiD}
+	}
+	out := make([]cloud.Deployment, 0, len(types))
+	for _, t := range types {
+		out = append(out, cloud.Deployment{Type: t, Nodes: 1})
+	}
+	return out
+}
+
+// affordableBracket shrinks the high-end bracket probe until its
+// profiling cost is a small share (≤10 %) of the remaining budget or
+// deadline, in the spirit of heterogeneous-cost awareness.
+func (st *state) affordableBracket(t cloud.InstanceType, hi int) int {
+	for n := hi; n > 1; n = n * 3 / 4 {
+		d := cloud.Deployment{Type: t, Nodes: n}
+		switch st.scen {
+		case search.CheapestWithDeadline:
+			if profiler.Duration(n) <= st.cons.Deadline/10 {
+				return n
+			}
+		case search.FastestWithBudget:
+			if profiler.Cost(d) <= st.cons.Budget/10 {
+				return n
+			}
+		default:
+			return n
+		}
+	}
+	return 1
+}
+
+// probe profiles d and folds the result into every piece of state.
+func (st *state) probe(d cloud.Deployment, acq float64, note string) {
+	r := st.prof.Profile(st.job, d)
+	st.spentTime += r.Duration
+	st.spentCost += r.Cost
+	st.profiled[d.Key()] = true
+	st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
+	st.steps = append(st.steps, search.Step{
+		Index:          len(st.steps) + 1,
+		Deployment:     d,
+		Throughput:     r.Throughput,
+		ProfileTime:    r.Duration,
+		ProfileCost:    r.Cost,
+		CumProfileTime: st.spentTime,
+		CumProfileCost: st.spentCost,
+		Acquisition:    acq,
+		Note:           note,
+	})
+	if r.Failed {
+		// Infrastructure failure: no signal about the deployment. The
+		// key stays marked so the search does not loop on a broken
+		// launch path (retries already happened below us).
+		st.steps[len(st.steps)-1].Note += " (probe failed)"
+		return
+	}
+	if r.Throughput <= 0 {
+		// OOM: learn the memory-feasibility boundary instead of
+		// modeling it with the GP.
+		cap := nodeCapacityGiB(d.Type)
+		if st.job.Model.ShardedStates {
+			if total := cap * float64(d.Nodes); total > st.oomShardedCap {
+				st.oomShardedCap = total
+			}
+		} else if cap > st.oomReplicatedCap {
+			st.oomReplicatedCap = cap
+		}
+		return
+	}
+	// The surrogate models log-objective: scale-out and scale-up act
+	// multiplicatively on throughput, so the log makes their effects
+	// additive and lets the GP extrapolate growth trends sanely.
+	y := math.Log(search.Objective(st.scen, d, r.Throughput))
+	if err := st.surr.Observe(d, y); err != nil {
+		// A duplicate-feature observation can make the GP ill-
+		// conditioned; the search can continue on prior observations.
+		st.steps[len(st.steps)-1].Note += " (surrogate: " + err.Error() + ")"
+	}
+}
+
+// updatePrior applies the concave scale-out prior: for each type, find
+// the smallest profiled n₂ whose throughput declined versus the next
+// profiled point below it, and prune everything above n₂.
+func (st *state) updatePrior() {
+	if st.opts.DisableConcavePrior {
+		return
+	}
+	byType := make(map[string][]search.Observation)
+	for _, o := range st.obs {
+		if o.Throughput > 0 {
+			byType[o.Deployment.Type.Name] = append(byType[o.Deployment.Type.Name], o)
+		}
+	}
+	const noiseMargin = 0.98 // tolerate ~2 % measurement noise
+	for name, list := range byType {
+		sort.Slice(list, func(i, j int) bool { return list[i].Deployment.Nodes < list[j].Deployment.Nodes })
+		for i := 1; i < len(list); i++ {
+			if list[i].Throughput < list[i-1].Throughput*noiseMargin {
+				bound := list[i].Deployment.Nodes
+				if cur, ok := st.priorBound[name]; !ok || bound < cur {
+					st.priorBound[name] = bound
+				}
+				break
+			}
+		}
+	}
+}
+
+// candidateScore carries the pieces of one candidate's evaluation.
+type candidateScore struct {
+	score    float64 // cost-penalized acquisition (what is maximized)
+	rawEI    float64 // unpenalized EI of the selected candidate
+	maxRawEI float64 // largest unpenalized EI over ALL candidates — the
+	// convergence test must look at this, or a promising-but-expensive
+	// candidate could never veto a premature "converged" verdict
+	note string
+}
+
+// nextCandidate scans the admissible space and returns the best-scoring
+// unprofiled deployment. The acquisition is *constrained* (§III-C,
+// Eqs. 5–6): improvement is measured against the best observation that
+// satisfies the user constraint, and a candidate only qualifies if even
+// its optimistic (95 % upper-bound) throughput would leave positive TEI
+// headroom — enough deadline/budget for the probe plus training there.
+func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
+	if st.surr.Len() == 0 {
+		return cloud.Deployment{}, candidateScore{}, false
+	}
+	bestObj, haveFeasible := st.feasibleIncumbentObjective()
+	if !haveFeasible {
+		// Nothing feasible yet: every candidate is an improvement, so
+		// anchor EI below everything observed.
+		bestObj = st.surr.BestObserved() - 3
+	}
+	var (
+		best      cloud.Deployment
+		bestScore candidateScore
+		found     bool
+	)
+	for i := 0; i < st.space.Len(); i++ {
+		d := st.space.At(i)
+		if st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
+			continue
+		}
+		mu, sigma := st.surr.Predict(d)
+		optimistic := mu + st.opts.ConfidenceZ*sigma
+		// 95 % CI filter (§III-C stop condition): skip candidates whose
+		// optimistic bound cannot beat the feasible incumbent.
+		if optimistic <= bestObj {
+			continue
+		}
+		// TEI headroom (Eqs. 5–6): even at its optimistic throughput,
+		// training at this candidate must fit what remains.
+		if !st.teiPositive(d, optimistic) {
+			continue
+		}
+		ei := st.opts.Acquisition.Score(mu, sigma, bestObj)
+		if ei <= 0 {
+			continue
+		}
+		if ei > bestScore.maxRawEI {
+			bestScore.maxRawEI = ei
+		}
+		score := ei
+		note := "explore"
+		if !st.opts.DisableCostPenalty {
+			score = ei / st.penalty(d)
+			note = "explore/cost-aware"
+		}
+		if !found || score > bestScore.score {
+			best = d
+			bestScore.score, bestScore.rawEI, bestScore.note = score, ei, note
+			found = true
+		}
+	}
+	return best, bestScore, found
+}
+
+// feasibleIncumbentObjective returns the largest log-objective among
+// observations that satisfy the scenario constraint; found is false when
+// none do (every feasible candidate is then an improvement).
+func (st *state) feasibleIncumbentObjective() (float64, bool) {
+	best, found := 0.0, false
+	// Feasibility here must match the final pick's (safety-margined)
+	// judgement: an observation the pick would reject must not act as
+	// the incumbent and suppress exploration.
+	tight := st.tightened()
+	for _, o := range st.obs {
+		if o.Throughput <= 0 {
+			continue
+		}
+		switch st.scen {
+		case search.CheapestWithDeadline:
+			if st.spentTime+search.EstTrainTime(st.job, o.Throughput) > tight.Deadline {
+				continue
+			}
+		case search.FastestWithBudget:
+			if st.spentCost+search.EstTrainCost(st.job, o.Deployment, o.Throughput) > tight.Budget {
+				continue
+			}
+		}
+		if v := math.Log(search.Objective(st.scen, o.Deployment, o.Throughput)); !found || v > best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// teiPositive evaluates the True Expected Improvement headroom of
+// Eqs. 5–6 at the candidate's optimistic log-objective value: profiling
+// d and then training there must fit the remaining deadline (Eq. 5) or
+// budget (Eq. 6).
+func (st *state) teiPositive(d cloud.Deployment, optimisticLogObj float64) bool {
+	optimistic := math.Exp(optimisticLogObj)
+	switch st.scen {
+	case search.CheapestWithDeadline:
+		thr := optimistic * d.HourlyCost() // objective is thr/$-rate
+		tt := search.EstTrainTime(st.job, thr)
+		return st.spentTime+profiler.Duration(d.Nodes)+tt <= st.cons.Deadline
+	case search.FastestWithBudget:
+		tc := search.EstTrainCost(st.job, d, optimistic)
+		return st.spentCost+profiler.Cost(d)+tc <= st.cons.Budget
+	default:
+		return true
+	}
+}
+
+// penalty is the heterogeneous exploration cost of probing d (Eqs. 7–8):
+// profiling time for the time-constrained scenarios, profiling dollars
+// when a monetary budget rules.
+func (st *state) penalty(d cloud.Deployment) float64 {
+	switch st.scen {
+	case search.FastestWithBudget:
+		return profiler.Cost(d)
+	default:
+		return profiler.Duration(d.Nodes).Hours()
+	}
+}
+
+// pruned applies the concave prior bound and the learned OOM boundary.
+func (st *state) pruned(d cloud.Deployment) bool {
+	cap := nodeCapacityGiB(d.Type)
+	if st.job.Model.ShardedStates {
+		if cap*float64(d.Nodes) <= st.oomShardedCap {
+			return true
+		}
+	} else if cap <= st.oomReplicatedCap {
+		return true
+	}
+	if bound, ok := st.priorBound[d.Type.Name]; ok && d.Nodes > bound {
+		return true
+	}
+	return false
+}
+
+// admissible is the protective reserve (§III-C): after paying to profile
+// d, there must still be enough deadline/budget left to *fall back* and
+// finish training at an already-observed deployment. This is the TEI
+// headroom of Eqs. 5–6 evaluated conservatively. The reserve only binds
+// once a constraint-satisfying fallback exists — before that, exploring
+// is the only route to feasibility and only the probe itself must fit.
+func (st *state) admissible(d cloud.Deployment) bool {
+	if st.opts.DisableReserve {
+		return true
+	}
+	tight := st.tightened()
+	switch st.scen {
+	case search.CheapestWithDeadline:
+		headroom := tight.Deadline - st.spentTime - profiler.Duration(d.Nodes)
+		if headroom <= 0 {
+			return false
+		}
+		if t, ok := st.reserveTrainTime(); ok && headroom < t {
+			return false
+		}
+		return true
+	case search.FastestWithBudget:
+		headroom := tight.Budget - st.spentCost - profiler.Cost(d)
+		if headroom <= 0 {
+			return false
+		}
+		if c, ok := st.reserveTrainCost(); ok && headroom < c {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// reservePick returns the deployment the search would commit to if it
+// stopped right now — the "current best" whose training resources the
+// paper's protective mechanism reserves (§III-C).
+func (st *state) reservePick() (search.Observation, bool) {
+	return search.PickBest(st.job, st.scen, st.tightened(), st.spentTime, st.spentCost, st.obs)
+}
+
+// reserveTrainTime returns the training time of the current best pick —
+// the slice of deadline that must stay untouched so stopping now still
+// meets the constraint. Probing anything that would erode it is
+// over-exploration.
+func (st *state) reserveTrainTime() (time.Duration, bool) {
+	o, ok := st.reservePick()
+	if !ok {
+		return 0, false
+	}
+	return search.EstTrainTime(st.job, o.Throughput), true
+}
+
+// reserveTrainCost returns the training cost of the current best pick —
+// the slice of budget reserved so stopping now still fits it.
+func (st *state) reserveTrainCost() (float64, bool) {
+	o, ok := st.reservePick()
+	if !ok {
+		return 0, false
+	}
+	return search.EstTrainCost(st.job, o.Deployment, o.Throughput), true
+}
+
+// safetyMargin is the headroom kept against measurement noise: probes
+// average three trials of ~3 % relative noise, so 5 % ≈ 3σ.
+const safetyMargin = 0.95
+
+// tightened returns the constraints shrunk by the safety margin.
+func (st *state) tightened() search.Constraints {
+	c := st.cons
+	if c.Deadline > 0 {
+		c.Deadline = time.Duration(float64(c.Deadline) * safetyMargin)
+	}
+	if c.Budget > 0 {
+		c.Budget *= safetyMargin
+	}
+	return c
+}

@@ -1,0 +1,92 @@
+// Package eventsim is a discrete-event simulator of synchronous
+// distributed training. Where internal/sim collapses a whole run into a
+// closed-form throughput (with a (1 + γ·ln n) straggler factor), eventsim
+// actually plays the run out on a virtual clock: every worker computes
+// its shard with per-iteration lognormal jitter, gradient exchange is
+// scheduled on the topology (parameter-server incast or ring steps), and
+// a barrier synchronizes each iteration. It exists to validate the
+// analytical model — the repository's stand-in for the paper's testbed —
+// against a mechanism-level simulation: same inputs, independent
+// machinery, comparable outputs (see eventsim_test.go).
+package eventsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int // tie-break so ordering is deterministic
+	fn  func()
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor on a virtual clock.
+type Engine struct {
+	now  time.Duration
+	seq  int
+	q    eventQueue
+	runs int
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.q)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// After schedules fn to run delay after the current virtual time.
+func (e *Engine) After(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic("eventsim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.q, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Processed returns how many events have executed.
+func (e *Engine) Processed() int { return e.runs }
+
+// Run executes events until the queue drains or the virtual clock passes
+// until (0 means no limit). It returns the number of events executed.
+func (e *Engine) Run(until time.Duration) int {
+	ran := 0
+	for e.q.Len() > 0 {
+		next := e.q[0]
+		if until > 0 && next.at > until {
+			break
+		}
+		heap.Pop(&e.q)
+		e.now = next.at
+		next.fn()
+		e.runs++
+		ran++
+	}
+	return ran
+}

@@ -1,0 +1,157 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// Config tunes the event-level run.
+type Config struct {
+	// Iterations measured after the warm-up window.
+	Iterations int
+	// Warmup iterations excluded from throughput.
+	Warmup int
+	// StragglerSigma is the σ of the lognormal per-worker, per-iteration
+	// compute jitter. The analytical model's (1 + γ·ln n) factor is the
+	// expected max of exactly this kind of jitter across n workers.
+	StragglerSigma float64
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// DefaultConfig returns measurement settings that reach steady state.
+func DefaultConfig(seed int64) Config {
+	return Config{Iterations: 60, Warmup: 5, StragglerSigma: 0.06, Seed: seed}
+}
+
+// Result is the measured outcome of an event-level run.
+type Result struct {
+	Throughput float64 // samples/second over the measured window
+	IterTimes  []time.Duration
+	Events     int // discrete events executed
+}
+
+// MeanIter returns the average measured iteration time.
+func (r Result) MeanIter() time.Duration {
+	if len(r.IterTimes) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, t := range r.IterTimes {
+		total += t
+	}
+	return total / time.Duration(len(r.IterTimes))
+}
+
+// Simulate plays out cfg.Warmup+cfg.Iterations synchronous training
+// iterations of job j on deployment d and returns the steady-state
+// throughput. The per-node compute and communication volumes come from
+// the same physical parameters as the analytical simulator s, but
+// synchronization (barriers, stragglers, ring steps, PS incast) is
+// played out event by event rather than approximated in closed form.
+func Simulate(s *sim.Simulator, j workload.Job, d cloud.Deployment, cfg Config) (Result, error) {
+	if err := j.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !sim.MemoryFeasible(j, d) {
+		return Result{}, fmt.Errorf("eventsim: %s does not fit %s", j.Model.Name, d)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 60
+	}
+	if cfg.StragglerSigma < 0 {
+		cfg.StragglerSigma = 0
+	}
+	total := cfg.Warmup + cfg.Iterations
+
+	eng := NewEngine()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	baseCompute := s.ComputeTime(j, d)
+	commBase, overlapped := s.CommTime(j, d)
+	overhead := s.Config().IterOverhead
+
+	n := d.Nodes
+	iterStart := make([]time.Duration, 0, total)
+	iterEnd := make([]time.Duration, 0, total)
+
+	var runIteration func(iter int)
+	runIteration = func(iter int) {
+		start := eng.Now()
+		iterStart = append(iterStart, start)
+		remaining := n
+		computeDone := make([]time.Duration, 0, n)
+
+		finishIteration := func(end time.Duration) {
+			delay := end - eng.Now()
+			if delay < 0 {
+				delay = 0
+			}
+			eng.After(delay+overhead, func() {
+				iterEnd = append(iterEnd, eng.Now())
+				if iter+1 < total {
+					runIteration(iter + 1)
+				}
+			})
+		}
+
+		// Each worker computes its shard with lognormal jitter; the
+		// barrier fires when the slowest finishes.
+		for w := 0; w < n; w++ {
+			jitter := math.Exp(cfg.StragglerSigma * rng.NormFloat64())
+			dur := time.Duration(float64(baseCompute) * jitter)
+			eng.After(dur, func() {
+				computeDone = append(computeDone, eng.Now())
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				// All workers computed; play out the gradient exchange.
+				switch {
+				case n == 1:
+					finishIteration(eng.Now())
+				case overlapped:
+					// Ring all-reduce overlaps with the backward pass:
+					// chunks start flowing once the earliest worker is
+					// ~70 % done, and the exchange ends no earlier than
+					// commBase after that.
+					sort.Slice(computeDone, func(a, b int) bool { return computeDone[a] < computeDone[b] })
+					overlapStart := start + time.Duration(0.7*float64(computeDone[0]-start))
+					commEnd := overlapStart + commBase
+					barrier := eng.Now() // slowest compute
+					if commEnd < barrier {
+						commEnd = barrier + commBase/10 // residual flush
+					}
+					finishIteration(commEnd)
+				default:
+					// Parameter server: push + pull serialized after the
+					// barrier; incast contention is inside commBase.
+					finishIteration(eng.Now() + commBase)
+				}
+			})
+		}
+	}
+
+	runIteration(0)
+	eng.Run(0)
+
+	if len(iterEnd) != total {
+		return Result{}, fmt.Errorf("eventsim: run incomplete: %d of %d iterations", len(iterEnd), total)
+	}
+	iterTimes := make([]time.Duration, 0, cfg.Iterations)
+	for i := cfg.Warmup; i < total; i++ {
+		iterTimes = append(iterTimes, iterEnd[i]-iterStart[i])
+	}
+	window := iterEnd[total-1] - iterStart[cfg.Warmup]
+	return Result{
+		Throughput: float64(cfg.Iterations) * float64(j.GlobalBatch) / window.Seconds(),
+		IterTimes:  iterTimes,
+		Events:     eng.Processed(),
+	}, nil
+}

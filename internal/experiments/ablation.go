@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// AblationRow is one HeterBO variant's outcome on the Fig. 11 setup.
+type AblationRow struct {
+	Variant      string
+	Row          trace.BreakdownRow
+	Probes       int
+	WithinBudget bool
+}
+
+// AblationResult is the design-choice study of DESIGN.md §5: each row
+// switches off one HeterBO mechanism and re-runs Scenario 3.
+type AblationResult struct {
+	Budget float64
+	Rows   []AblationRow
+}
+
+// Ablation runs the full HeterBO and five single-switch variants on
+// ResNet/CIFAR-10 scale-out under a $100 budget, averaged over three
+// seeds so single-seed luck doesn't mislabel a mechanism.
+func Ablation(cfg Config) (AblationResult, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	so := e.scaleOut("c5.4xlarge", 100)
+	cons := search.Constraints{Budget: 100}
+	variants := []struct {
+		name string
+		opts func(seed int64) core.Options
+	}{
+		{"full", func(s int64) core.Options { return core.Options{Seed: s} }},
+		{"no-cost-penalty", func(s int64) core.Options { return core.Options{Seed: s, DisableCostPenalty: true} }},
+		{"no-concave-prior", func(s int64) core.Options { return core.Options{Seed: s, DisableConcavePrior: true} }},
+		{"no-reserve", func(s int64) core.Options { return core.Options{Seed: s, DisableReserve: true} }},
+		{"random-init", func(s int64) core.Options { return core.Options{Seed: s, RandomInit: true} }},
+		// The reserve rarely binds while the cost penalty keeps probes
+		// small; removing both shows what it actually protects against.
+		{"no-reserve+penalty", func(s int64) core.Options {
+			return core.Options{Seed: s, DisableReserve: true, DisableCostPenalty: true, RandomInit: true}
+		}},
+	}
+	const seeds = 3
+	res := AblationResult{Budget: cons.Budget}
+	for _, v := range variants {
+		agg := trace.BreakdownRow{Name: v.name}
+		probes := 0
+		within := true
+		for s := int64(0); s < seeds; s++ {
+			out, row, err := e.runSearcher(core.New(v.opts(cfg.seed()+11*s)), j, so, search.FastestWithBudget, cons)
+			if err != nil {
+				return AblationResult{}, fmt.Errorf("%s: %w", v.name, err)
+			}
+			agg.ProfileTime += row.ProfileTime / seeds
+			agg.TrainTime += row.TrainTime / seeds
+			agg.ProfileCost += row.ProfileCost / seeds
+			agg.TrainCost += row.TrainCost / seeds
+			probes += len(out.Steps)
+			if row.TotalCost() > cons.Budget {
+				within = false
+			}
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:      v.name,
+			Row:          agg,
+			Probes:       probes / seeds,
+			WithinBudget: within,
+		})
+	}
+	return res, nil
+}
+
+// String renders the study.
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: HeterBO design choices on Scenario 3 (budget $%.0f, 3-seed means)\n", r.Budget)
+	fmt.Fprintf(&b, "%-18s %8s %12s %12s %14s %8s\n", "variant", "probes", "profile-$", "total-$", "total-hours", "budget?")
+	for _, row := range r.Rows {
+		ok := "kept"
+		if !row.WithinBudget {
+			ok = "BROKEN"
+		}
+		fmt.Fprintf(&b, "%-18s %8d %12.2f %12.2f %14.2f %8s\n",
+			row.Variant, row.Probes, row.Row.ProfileCost, row.Row.TotalCost(), row.Row.TotalTime().Hours(), ok)
+	}
+	return b.String()
+}
+
+// Dataset exports the study.
+func (r AblationResult) Dataset() Dataset {
+	d := Dataset{Name: "ablation", Columns: []string{"variant", "probes", "profile_usd", "total_usd", "total_hours", "within_budget"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{
+			row.Variant, strconv.Itoa(row.Probes), f(row.Row.ProfileCost),
+			f(row.Row.TotalCost()), f(row.Row.TotalTime().Hours()), strconv.FormatBool(row.WithinBudget),
+		})
+	}
+	return d
+}

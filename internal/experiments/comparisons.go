@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mlcd/internal/baselines"
+	"mlcd/internal/cloud"
+	"mlcd/internal/core"
+	"mlcd/internal/paleo"
+	"mlcd/internal/search"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// Fig13Result compares HeterBO with Paleo (and ConvBO) under a budget.
+type Fig13Result struct {
+	Rows       []trace.BreakdownRow // convbo, paleo, heterbo, opt
+	Constraint string
+	Budget     float64
+}
+
+// Fig13 reproduces Fig. 13: Inception-v3/ImageNet with a total budget of
+// $80. Paleo pays nothing for profiling but misses the optimum (its
+// analytical model ignores contention and model-specific utilization);
+// ConvBO blows the budget; HeterBO lands near the optimum under budget.
+func Fig13(cfg Config) (Fig13Result, error) {
+	e := newEnv(cfg)
+	j := workload.InceptionImageNet
+	cons := search.Constraints{Budget: 80}
+	scen := search.FastestWithBudget
+
+	_, cbRow, err := e.runSearcher(baselines.NewConvBO(e.seed), j, e.space, scen, cons)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	_, plRow, err := e.runSearcher(paleo.New(), j, e.space, scen, cons)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	_, hbRow, err := e.runSearcher(core.New(core.Options{Seed: e.seed}), j, e.space, scen, cons)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	return Fig13Result{
+		Rows:       []trace.BreakdownRow{cbRow, plRow, hbRow, e.optRow(j, e.space, scen, cons)},
+		Constraint: constraintString(scen, cons),
+		Budget:     cons.Budget,
+	}, nil
+}
+
+// String renders the comparison.
+func (r Fig13Result) String() string {
+	return "Fig 13: Inception-v3/ImageNet, total budget $80\n" +
+		trace.BreakdownTable(r.Rows, r.Constraint) +
+		trace.BreakdownBars(r.Rows, "cost")
+}
+
+// Fig14Result compares HeterBO with CherryPick under a deadline.
+type Fig14Result struct {
+	Rows       []trace.BreakdownRow // convbo, cherrypick, heterbo, opt
+	Constraint string
+	Deadline   time.Duration
+}
+
+// Fig14 reproduces Fig. 14: Char-RNN with a total time limit. The paper
+// used 20 hours; our simulated Char-RNN workload is smaller, so the limit
+// is scaled to 6.5 hours to play the same role — tight enough that ignoring
+// profiling time pushes the baselines over it (see EXPERIMENTS.md).
+// CherryPick is favoured as in the paper — its search space is trimmed to
+// the well-performing CPU families — yet still overruns, because it
+// neither weighs heterogeneous profiling cost nor respects constraints
+// when choosing probes.
+func Fig14(cfg Config) (Fig14Result, error) {
+	e := newEnv(cfg)
+	j := workload.CharRNNText
+	cons := search.Constraints{Deadline: 6*time.Hour + 30*time.Minute}
+	scen := search.CheapestWithDeadline
+
+	_, cbRow, err := e.runSearcher(baselines.NewConvBO(e.seed), j, e.space, scen, cons)
+	if err != nil {
+		return Fig14Result{}, err
+	}
+	// The experience-trimmed space that favours CherryPick (§V-C).
+	trimmed := e.subSpace(100, "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5n.xlarge", "c5n.2xlarge", "c5n.4xlarge")
+	_, cpRow, err := e.runSearcher(baselines.NewCherryPick(e.seed), j, trimmed, scen, cons)
+	if err != nil {
+		return Fig14Result{}, err
+	}
+	_, hbRow, err := e.runSearcher(core.New(core.Options{Seed: e.seed}), j, e.space, scen, cons)
+	if err != nil {
+		return Fig14Result{}, err
+	}
+	return Fig14Result{
+		Rows:       []trace.BreakdownRow{cbRow, cpRow, hbRow, e.optRow(j, e.space, scen, cons)},
+		Constraint: constraintString(scen, cons),
+		Deadline:   cons.Deadline,
+	}, nil
+}
+
+// String renders the comparison.
+func (r Fig14Result) String() string {
+	return "Fig 14: Char-RNN, total time limit 6.5 h (scaled from the paper's 20 h)\n" +
+		trace.BreakdownTable(r.Rows, r.Constraint) +
+		trace.BreakdownBars(r.Rows, "time")
+}
+
+// Fig18Result is the budget-sensitivity sweep.
+type Fig18Result struct {
+	Budgets   []float64
+	Methods   []string
+	TotalCost map[string][]float64 // $ per method per budget
+	TotalTime map[string][]float64 // hours per method per budget
+}
+
+// Fig18 reproduces Fig. 18: total cost and total time versus the budget
+// constraint (ResNet/CIFAR-10) for ConvBO, budget-aware BO_imprd,
+// CherryPick (ConvCP), budget-aware CP_imprd, HeterBO, and Opt. The
+// CherryPick variants search only the paper-favoured optimal instance
+// type; everything else searches the whole c5 family.
+func Fig18(cfg Config) (Fig18Result, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	scen := search.FastestWithBudget
+	budgets := []float64{100, 140, 180, 220}
+	broad := e.subSpace(100, "c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5.9xlarge", "c5.18xlarge")
+	favoured := e.scaleOut("c5.4xlarge", 100)
+
+	res := Fig18Result{
+		Budgets:   budgets,
+		Methods:   []string{"convbo", "bo_imprd", "convcp", "cp_imprd", "heterbo", "opt"},
+		TotalCost: map[string][]float64{},
+		TotalTime: map[string][]float64{},
+	}
+	for _, budget := range budgets {
+		cons := search.Constraints{Budget: budget}
+		runs := []struct {
+			name     string
+			searcher search.Searcher
+			space    *cloud.Space
+		}{
+			{"convbo", baselines.NewConvBO(e.seed), broad},
+			{"bo_imprd", baselines.NewImprovedBO(e.seed), broad},
+			{"convcp", baselines.NewCherryPick(e.seed), favoured},
+			{"cp_imprd", baselines.NewImprovedCherryPick(e.seed), favoured},
+			{"heterbo", core.New(core.Options{Seed: e.seed}), broad},
+		}
+		for _, run := range runs {
+			_, row, err := e.runSearcher(run.searcher, j, run.space, scen, cons)
+			if err != nil {
+				return Fig18Result{}, fmt.Errorf("budget %.0f: %w", budget, err)
+			}
+			res.TotalCost[run.name] = append(res.TotalCost[run.name], row.TotalCost())
+			res.TotalTime[run.name] = append(res.TotalTime[run.name], hours(row.TotalTime()))
+		}
+		opt := e.optRow(j, broad, scen, cons)
+		res.TotalCost["opt"] = append(res.TotalCost["opt"], opt.TotalCost())
+		res.TotalTime["opt"] = append(res.TotalTime["opt"], hours(opt.TotalTime()))
+	}
+	return res, nil
+}
+
+// String renders both sensitivity tables.
+func (r Fig18Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 18: sensitivity to the budget constraint (ResNet/CIFAR-10)\n")
+	b.WriteString("  total cost ($):\n")
+	writeSweep(&b, r.Budgets, r.Methods, r.TotalCost)
+	b.WriteString("  total time (h):\n")
+	writeSweep(&b, r.Budgets, r.Methods, r.TotalTime)
+	return b.String()
+}
+
+func writeSweep(b *strings.Builder, budgets []float64, methods []string, data map[string][]float64) {
+	fmt.Fprintf(b, "    %-10s", "budget")
+	for _, bd := range budgets {
+		fmt.Fprintf(b, " %9.0f", bd)
+	}
+	b.WriteString("\n")
+	for _, m := range methods {
+		fmt.Fprintf(b, "    %-10s", m)
+		for _, v := range data[m] {
+			fmt.Fprintf(b, " %9.2f", v)
+		}
+		b.WriteString("\n")
+	}
+}

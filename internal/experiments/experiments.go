@@ -1,0 +1,151 @@
+// Package experiments regenerates every figure of the paper's motivation
+// and evaluation sections against the simulated testbed. Each FigNN
+// function returns a typed result with a String() rendering;
+// cmd/experiments prints them and bench_test.go wraps each in a
+// testing.B benchmark. See DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured notes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// Config carries the only free parameter of the experiment suite.
+type Config struct {
+	Seed int64 // 0 means 1
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// env bundles what every experiment needs.
+type env struct {
+	cat   *cloud.Catalog
+	space *cloud.Space
+	sim   *sim.Simulator
+	seed  int64
+}
+
+func newEnv(cfg Config) *env {
+	cat := cloud.DefaultCatalog()
+	return &env{
+		cat:   cat,
+		space: cloud.NewSpace(cat, cloud.DefaultLimits),
+		sim:   sim.New(cfg.seed()),
+		seed:  cfg.seed(),
+	}
+}
+
+// scaleOut restricts the space to one instance type.
+func (e *env) scaleOut(typeName string, maxNodes int) *cloud.Space {
+	return e.space.Filter(func(d cloud.Deployment) bool {
+		return d.Type.Name == typeName && d.Nodes <= maxNodes
+	})
+}
+
+// subSpace keeps the named types up to maxNodes.
+func (e *env) subSpace(maxNodes int, names ...string) *cloud.Space {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	return e.space.Filter(func(d cloud.Deployment) bool {
+		return keep[d.Type.Name] && d.Nodes <= maxNodes
+	})
+}
+
+// prof returns a fresh metered profiler over the env's simulator.
+func (e *env) prof() profiler.Profiler { return profiler.NewSimProfiler(e.sim) }
+
+// runSearcher executes a search and completes the outcome with
+// ground-truth training time/cost.
+func (e *env) runSearcher(s search.Searcher, j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints) (search.Outcome, trace.BreakdownRow, error) {
+	out, err := s.Search(j, space, scen, cons, e.prof())
+	if err != nil {
+		return search.Outcome{}, trace.BreakdownRow{}, fmt.Errorf("%s: %w", s.Name(), err)
+	}
+	return out, e.breakdown(s.Name(), j, out), nil
+}
+
+// breakdown completes an outcome into a profile/train breakdown row.
+func (e *env) breakdown(name string, j workload.Job, out search.Outcome) trace.BreakdownRow {
+	row := trace.BreakdownRow{
+		Name:        name,
+		ProfileTime: out.ProfileTime,
+		ProfileCost: out.ProfileCost,
+	}
+	if out.Best.Nodes > 0 {
+		row.TrainTime = e.sim.TrainTime(j, out.Best)
+		row.TrainCost = e.sim.TrainCost(j, out.Best)
+	} else {
+		// The searcher found nothing runnable; training never happens.
+		row.TrainTime = sim.Never
+		row.TrainCost = math.Inf(1)
+	}
+	return row
+}
+
+// optRow is the "Opt" reference: the ground-truth best deployment for the
+// scenario, with zero profiling spend.
+func (e *env) optRow(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints) trace.BreakdownRow {
+	var best cloud.Deployment
+	bestVal := math.Inf(1)
+	for i := 0; i < space.Len(); i++ {
+		d := space.At(i)
+		tt := e.sim.TrainTime(j, d)
+		tc := e.sim.TrainCost(j, d)
+		var feasible bool
+		var val float64
+		switch scen {
+		case search.CheapestWithDeadline:
+			feasible = tt <= cons.Deadline
+			val = tc
+		case search.FastestWithBudget:
+			feasible = tc <= cons.Budget
+			val = tt.Seconds()
+		default:
+			feasible = true
+			val = tt.Seconds()
+		}
+		if feasible && val < bestVal {
+			bestVal = val
+			best = d
+		}
+	}
+	if best.Nodes == 0 {
+		return trace.BreakdownRow{Name: "opt", TrainTime: sim.Never, TrainCost: math.Inf(1)}
+	}
+	return trace.BreakdownRow{
+		Name:      "opt",
+		TrainTime: e.sim.TrainTime(j, best),
+		TrainCost: e.sim.TrainCost(j, best),
+	}
+}
+
+// constraintString renders a constraint for table footers.
+func constraintString(scen search.Scenario, cons search.Constraints) string {
+	switch scen {
+	case search.CheapestWithDeadline:
+		return fmt.Sprintf("deadline %s", cons.Deadline)
+	case search.FastestWithBudget:
+		return fmt.Sprintf("budget $%.0f", cons.Budget)
+	default:
+		return "unconstrained"
+	}
+}
+
+// hours is a readability helper.
+func hours(d time.Duration) float64 { return d.Hours() }

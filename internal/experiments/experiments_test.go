@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite is the reproduction's contract with the paper:
+// these tests assert the headline *shape* claims of each figure, not
+// absolute numbers (see EXPERIMENTS.md).
+
+var cfg = Config{Seed: 1}
+
+func TestFig1aSpread(t *testing.T) {
+	r := Fig1a(cfg)
+	if len(r.Rows) < 20 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row.Normalized
+	}
+	if ratio := byName["p2.8xlarge"] / byName["c5.xlarge"]; ratio < 40 || ratio > 45 {
+		t.Fatalf("p2.8xlarge/c5.xlarge = %.1f, want ≈42.5", ratio)
+	}
+	// Sorted ascending.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Normalized < r.Rows[i-1].Normalized {
+			t.Fatal("rows must be sorted by price")
+		}
+	}
+	if !strings.Contains(r.String(), "42.") && !strings.Contains(r.String(), "p2.8xlarge") {
+		t.Fatal("String must render the table")
+	}
+}
+
+func TestFig1bOrderingAndSpread(t *testing.T) {
+	r := Fig1b(cfg)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Paper: 10×c5.4xlarge fastest, then 40×c5.xlarge, then 9×p2.xlarge.
+	if !(r.Rows[1].TrainHours < r.Rows[0].TrainHours && r.Rows[0].TrainHours < r.Rows[2].TrainHours) {
+		t.Fatalf("ordering broken: %+v", r.Rows)
+	}
+	if ratio := r.Rows[2].TrainHours / r.Rows[1].TrainHours; ratio < 2 || ratio > 4.5 {
+		t.Fatalf("best-to-worst spread %.2f, want ≈3", ratio)
+	}
+	// Roughly equal hourly cost across the three (within 25 %).
+	for _, row := range r.Rows {
+		if row.HourlyCost < r.Rows[0].HourlyCost*0.75 || row.HourlyCost > r.Rows[0].HourlyCost*1.3 {
+			t.Fatalf("hourly costs not comparable: %+v", r.Rows)
+		}
+	}
+}
+
+func TestFig2ExhaustiveDwarfsBO(t *testing.T) {
+	r, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SweptCount < 150 || r.SweptCount > 220 {
+		t.Fatalf("swept %d points, want ≈180", r.SweptCount)
+	}
+	ex, cb := r.Rows[0], r.Rows[1]
+	if ex.ProfileCost < 5*cb.ProfileCost {
+		t.Fatalf("exhaustive profiling ($%.0f) must dwarf ConvBO ($%.0f)", ex.ProfileCost, cb.ProfileCost)
+	}
+	if ex.ProfileTime < 5*cb.ProfileTime {
+		t.Fatalf("exhaustive profiling time must dwarf ConvBO's")
+	}
+	// Fig 2's second point: even for ConvBO, profiling is a major share
+	// of the total — at least on the order of training itself.
+	if cb.ProfileTime < cb.TrainTime/3 {
+		t.Fatalf("ConvBO profiling (%v) should be at least comparable to training (%v)", cb.ProfileTime, cb.TrainTime)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	r := Fig3(cfg)
+	up, out := r.ScaleUp, r.ScaleOut
+	if len(up.X) != 6 || len(out.X) == 0 {
+		t.Fatal("series sizes wrong")
+	}
+	// Scale-up: increasing but sublinear.
+	for i := 1; i < len(up.Y); i++ {
+		if up.Y[i] <= up.Y[i-1] {
+			t.Fatal("scale-up speed must increase with instance size here")
+		}
+	}
+	gain := up.Y[len(up.Y)-1] / up.Y[0]
+	sizeGain := up.X[len(up.X)-1] / up.X[0]
+	if gain >= sizeGain {
+		t.Fatalf("scale-up must be sublinear: ×%.1f speed for ×%.1f size", gain, sizeGain)
+	}
+	// Scale-out: concave with an interior peak.
+	peak := 0
+	for i, y := range out.Y {
+		if y > out.Y[peak] {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == len(out.Y)-1 {
+		t.Fatalf("scale-out peak must be interior, got index %d", peak)
+	}
+}
+
+func TestFig5MostStepsDontHelp(t *testing.T) {
+	r, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("too few steps: %d", len(r.Rows))
+	}
+	useless := 0
+	for _, row := range r.Rows {
+		if row.CostSavingDelta <= 0 {
+			useless++
+		}
+	}
+	// Paper: "most profiling steps do not bring benefits".
+	if useless*2 < len(r.Rows) {
+		t.Fatalf("only %d/%d steps were cost-useless; the figure's claim needs a majority", useless, len(r.Rows))
+	}
+}
+
+func TestFig7HeterBOPicksCheaperProbe(t *testing.T) {
+	r, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeterCost >= r.ConvBOCost {
+		t.Fatalf("HeterBO's probe ($%.2f) must be cheaper than ConvBO's ($%.2f)", r.HeterCost, r.ConvBOCost)
+	}
+	if r.HeterNext.Nodes >= r.ConvBONext.Nodes {
+		t.Fatalf("HeterBO must pick a smaller-scale probe (%v vs %v)", r.HeterNext, r.ConvBONext)
+	}
+}
+
+func TestFig9HeterBOBeatsConvBO(t *testing.T) {
+	r, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProfilingShare >= 1 {
+		t.Fatalf("HeterBO profiling share %.2f must be < 1", r.ProfilingShare)
+	}
+	// rows: convbo, heterbo, opt.
+	cb, hb, opt := r.Rows[0], r.Rows[1], r.Rows[2]
+	if hb.TotalTime() >= cb.TotalTime() {
+		t.Fatalf("HeterBO total %v must beat ConvBO %v", hb.TotalTime(), cb.TotalTime())
+	}
+	if hb.TrainTime.Seconds() > opt.TrainTime.Seconds()*1.15 {
+		t.Fatalf("HeterBO pick must be near-optimal: %v vs %v", hb.TrainTime, opt.TrainTime)
+	}
+}
+
+func TestFig10DeadlineCompliance(t *testing.T) {
+	r, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeterViolated {
+		t.Fatal("HeterBO must meet the deadline")
+	}
+	if r.ProfilingShare >= 1 {
+		t.Fatalf("profiling share = %.2f", r.ProfilingShare)
+	}
+}
+
+func TestFig11BudgetCompliance(t *testing.T) {
+	r, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeterViolated {
+		t.Fatal("HeterBO must meet the $100 budget")
+	}
+	if !r.ConvViolated {
+		t.Fatal("ConvBO should blow the $100 budget here")
+	}
+	if r.ProfilingShare > 0.5 {
+		t.Fatalf("HeterBO profiling spend share = %.0f%%, want well under half of ConvBO's", 100*r.ProfilingShare)
+	}
+}
+
+func TestFig12RandomSearchVariance(t *testing.T) {
+	r, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Probes) != len(r.TotalHours) {
+		t.Fatal("ragged result")
+	}
+	// Small probe counts show large spread; HeterBO's mean beats the
+	// random-search median at every probe count.
+	first := r.TotalHours[0]
+	if first.Max-first.Min < 1 {
+		t.Fatalf("1-probe random search must vary widely, got %v", first)
+	}
+	for i, w := range r.TotalHours {
+		if r.HeterBOMean > w.Median {
+			t.Fatalf("HeterBO mean %.2f h must beat random median %.2f h at k=%d",
+				r.HeterBOMean, w.Median, r.Probes[i])
+		}
+	}
+	// More probes cost more profiling time, so the minimum total time
+	// eventually rises again (the paper's right-hand side).
+	last := r.TotalHours[len(r.TotalHours)-1]
+	if last.Min <= r.HeterBOMean {
+		t.Fatalf("36 random probes (min %.2f h) must not beat HeterBO (%.2f h)", last.Min, r.HeterBOMean)
+	}
+}
+
+func TestFig13PaleoAndBudget(t *testing.T) {
+	r, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, pl, hb, opt := r.Rows[0], r.Rows[1], r.Rows[2], r.Rows[3]
+	if pl.ProfileCost != 0 {
+		t.Fatal("Paleo must not pay for profiling")
+	}
+	if hb.TotalCost() > r.Budget {
+		t.Fatalf("HeterBO ($%.2f) must stay under the $%.0f budget", hb.TotalCost(), r.Budget)
+	}
+	if cb.TotalCost() <= r.Budget {
+		t.Fatalf("ConvBO ($%.2f) should violate the budget", cb.TotalCost())
+	}
+	// Paleo misses the optimum: its pick trains slower than HeterBO's
+	// or costs well over the optimum.
+	if pl.TrainTime < hb.TrainTime && pl.TrainCost < 1.5*opt.TrainCost {
+		t.Fatalf("Paleo should be visibly suboptimal (train %v $%.0f vs opt $%.0f)",
+			pl.TrainTime, pl.TrainCost, opt.TrainCost)
+	}
+}
+
+func TestFig14CherryPickOverruns(t *testing.T) {
+	r, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, cp, hb := r.Rows[0], r.Rows[1], r.Rows[2]
+	if hb.TotalTime() > r.Deadline {
+		t.Fatalf("HeterBO (%v) must meet the %v limit", hb.TotalTime(), r.Deadline)
+	}
+	// The baselines ignore profiling time when committing to a
+	// deployment, so at least one of them overruns the limit.
+	if cb.TotalTime() <= r.Deadline && cp.TotalTime() <= r.Deadline {
+		t.Fatalf("expected a baseline overrun: convbo %v, cherrypick %v, limit %v",
+			cb.TotalTime(), cp.TotalTime(), r.Deadline)
+	}
+}
+
+func TestFig15TraceShape(t *testing.T) {
+	r, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One single-node anchor per type, then exploitation of the winner.
+	inits := 0
+	for _, st := range r.Outcome.Steps {
+		if st.Note == "init" {
+			inits++
+			if st.Deployment.Nodes != 1 {
+				t.Fatalf("init probe %v is not single-node", st.Deployment)
+			}
+		}
+	}
+	if inits != 3 {
+		t.Fatalf("init probes = %d, want 3 (one per type)", inits)
+	}
+	if r.Outcome.Best.Type.Name != "c5.4xlarge" {
+		t.Fatalf("Char-RNN winner should be a c5.4xlarge config, got %v", r.Outcome.Best)
+	}
+	total := r.Outcome.ProfileCost + 0
+	if total > r.Budget {
+		t.Fatalf("profiling alone ($%.2f) must fit the budget", total)
+	}
+	if !strings.Contains(r.String(), "c5.4xlarge") {
+		t.Fatal("rendering must include the search columns")
+	}
+}
+
+func TestFig16And17PlatformContrast(t *testing.T) {
+	r16, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r17, err := Fig17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Outcome.BestThroughput <= r17.Outcome.BestThroughput {
+		t.Fatalf("TF BERT peak (%.1f) must exceed MXNet's (%.1f)",
+			r16.Outcome.BestThroughput, r17.Outcome.BestThroughput)
+	}
+	// Both respect their budgets with room for training.
+	if r16.Outcome.ProfileCost > r16.Budget || r17.Outcome.ProfileCost > r17.Budget {
+		t.Fatal("profiling must fit the budgets")
+	}
+}
+
+func TestFig18Sensitivity(t *testing.T) {
+	r, err := Fig18(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, budget := range r.Budgets {
+		if hb := r.TotalCost["heterbo"][i]; hb > budget {
+			t.Fatalf("HeterBO at budget $%.0f spent $%.2f", budget, hb)
+		}
+		// The improved baselines comply approximately — they reserve by
+		// noisy estimates, so allow a few percent of estimate error.
+		if bi := r.TotalCost["bo_imprd"][i]; bi > budget*1.03 {
+			t.Fatalf("BO_imprd at budget $%.0f spent $%.2f", budget, bi)
+		}
+		// HeterBO's total time beats every baseline at every budget.
+		for _, m := range []string{"convbo", "bo_imprd", "convcp", "cp_imprd"} {
+			if r.TotalTime["heterbo"][i] > r.TotalTime[m][i] {
+				t.Fatalf("at budget $%.0f: heterbo %.2f h slower than %s %.2f h",
+					budget, r.TotalTime["heterbo"][i], m, r.TotalTime[m][i])
+			}
+		}
+	}
+}
+
+func TestFig19ScalabilityTrend(t *testing.T) {
+	r, err := Fig19(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Speedup <= 1 {
+			t.Fatalf("%s: HeterBO must be faster overall (speedup %.2f)", row.Model, row.Speedup)
+		}
+		if row.CostSaving < 0.5 {
+			t.Fatalf("%s: cost saving %.0f%% too small", row.Model, 100*row.CostSaving)
+		}
+	}
+	// The advantage at the large end exceeds the small end (the paper's
+	// scalability claim), for both metrics.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.Speedup <= first.Speedup {
+		t.Fatalf("speedup must grow with model size: %.2f → %.2f", first.Speedup, last.Speedup)
+	}
+	if last.CostSaving <= first.CostSaving {
+		t.Fatalf("cost saving must grow with model size: %.2f → %.2f", first.CostSaving, last.CostSaving)
+	}
+}
+
+func TestFidelityModelsAgree(t *testing.T) {
+	r, err := Fidelity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 10 {
+		t.Fatalf("panel too small: %d", len(r.Rows))
+	}
+	if r.Worst > 1.5 {
+		t.Fatalf("models disagree by ×%.2f — the substrate validation failed", r.Worst)
+	}
+	for _, row := range r.Rows {
+		if row.Ratio <= 0 {
+			t.Fatalf("%s on %s: non-positive ratio", row.Job, row.Deployment)
+		}
+	}
+}
+
+func TestDatasetsExport(t *testing.T) {
+	// Every figure result must export a well-formed table.
+	var datasets []Dataset
+	datasets = append(datasets, Fig1a(cfg).Dataset(), Fig1b(cfg).Dataset(), Fig3(cfg).Dataset())
+	if r, err := Fig7(cfg); err == nil {
+		datasets = append(datasets, r.Dataset())
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Fig9(cfg); err == nil {
+		datasets = append(datasets, r.Dataset())
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Fig19(cfg); err == nil {
+		datasets = append(datasets, r.Dataset())
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Fidelity(cfg); err == nil {
+		datasets = append(datasets, r.Dataset())
+	} else {
+		t.Fatal(err)
+	}
+	for _, d := range datasets {
+		if d.Name == "" || len(d.Columns) == 0 || len(d.Rows) == 0 {
+			t.Fatalf("dataset %q malformed", d.Name)
+		}
+		for _, row := range d.Rows {
+			if len(row) != len(d.Columns) {
+				t.Fatalf("dataset %q: ragged row %v", d.Name, row)
+			}
+		}
+		csvOut := d.CSV()
+		if !strings.HasPrefix(csvOut, d.Columns[0]) {
+			t.Fatalf("dataset %q: CSV missing header:\n%s", d.Name, csvOut)
+		}
+		md := d.Markdown()
+		if !strings.Contains(md, "| --- |") {
+			t.Fatalf("dataset %q: markdown missing separator", d.Name)
+		}
+	}
+}
+
+func TestAblationStudy(t *testing.T) {
+	r, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	full, ok := byName["full"]
+	if !ok {
+		t.Fatal("missing reference variant")
+	}
+	if !full.WithinBudget {
+		t.Fatal("full HeterBO must keep the budget")
+	}
+	// The single-node init is what keeps initialization cheap.
+	if byName["random-init"].Row.ProfileCost <= full.Row.ProfileCost {
+		t.Fatal("random init should cost more to profile")
+	}
+	// Stripping both protections must spend more than the full method.
+	if byName["no-reserve+penalty"].Row.ProfileCost <= full.Row.ProfileCost {
+		t.Fatal("unprotected variant should out-spend the full method")
+	}
+	if d := r.Dataset(); len(d.Rows) != len(r.Rows) {
+		t.Fatal("dataset export incomplete")
+	}
+}
+
+func TestRobustnessSweepAllCompliant(t *testing.T) {
+	r, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want one per workload", len(r.Rows))
+	}
+	platforms, topologies := map[string]bool{}, map[string]bool{}
+	for _, row := range r.Rows {
+		if !row.Compliant {
+			t.Errorf("%s violated its budget ($%.2f of $%.2f)", row.Job, row.TotalCost, row.Budget)
+		}
+		if row.OptRatio < 1-1e-9 {
+			t.Errorf("%s beats the optimum (%.2fx) — the opt reference is broken", row.Job, row.OptRatio)
+		}
+		if row.OptRatio > 3 {
+			t.Errorf("%s is %.2fx off the optimum", row.Job, row.OptRatio)
+		}
+		platforms[row.Platform] = true
+		topologies[row.Topology] = true
+	}
+	// The sweep must actually span platforms and topologies (§V-D).
+	if len(platforms) < 2 || len(topologies) < 2 {
+		t.Fatalf("sweep not diverse: platforms=%v topologies=%v", platforms, topologies)
+	}
+	if d := r.Dataset(); len(d.Rows) != len(r.Rows) {
+		t.Fatal("dataset export incomplete")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcd/internal/trace"
+)
+
+// Dataset is a uniform tabular view of an experiment result, for export
+// to plotting tools (`cmd/experiments -format csv|markdown`).
+type Dataset struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// CSV renders the dataset as RFC-4180 CSV (header row first).
+func (d Dataset) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(d.Columns)
+	for _, r := range d.Rows {
+		_ = w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown renders the dataset as a GitHub-flavoured table.
+func (d Dataset) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**\n\n", d.Name)
+	b.WriteString("| " + strings.Join(d.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(d.Columns)) + "\n")
+	for _, r := range d.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// breakdownDataset converts breakdown rows to the uniform table shape.
+func breakdownDataset(name string, rows []trace.BreakdownRow) Dataset {
+	d := Dataset{
+		Name:    name,
+		Columns: []string{"method", "profile_hours", "train_hours", "total_hours", "profile_usd", "train_usd", "total_usd"},
+	}
+	for _, r := range rows {
+		d.Rows = append(d.Rows, []string{
+			r.Name,
+			f(r.ProfileTime.Hours()), f(r.TrainTime.Hours()), f(r.TotalTime().Hours()),
+			f(r.ProfileCost), f(r.TrainCost), f(r.TotalCost()),
+		})
+	}
+	return d
+}
+
+// Dataset exports Fig 1(a).
+func (r Fig1aResult) Dataset() Dataset {
+	d := Dataset{Name: "fig1a", Columns: []string{"instance", "normalized_price"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{row.Name, f(row.Normalized)})
+	}
+	return d
+}
+
+// Dataset exports Fig 1(b).
+func (r Fig1bResult) Dataset() Dataset {
+	d := Dataset{Name: "fig1b", Columns: []string{"deployment", "usd_per_hour", "train_hours"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{row.Deployment.String(), f(row.HourlyCost), f(row.TrainHours)})
+	}
+	return d
+}
+
+// Dataset exports Fig 2.
+func (r Fig2Result) Dataset() Dataset { return breakdownDataset("fig2", r.Rows) }
+
+// Dataset exports Fig 3 (both series stacked; the "curve" column keys them).
+func (r Fig3Result) Dataset() Dataset {
+	d := Dataset{Name: "fig3", Columns: []string{"curve", "x", "samples_per_sec"}}
+	for i := range r.ScaleUp.X {
+		d.Rows = append(d.Rows, []string{"scale-up", f(r.ScaleUp.X[i]), f(r.ScaleUp.Y[i])})
+	}
+	for i := range r.ScaleOut.X {
+		d.Rows = append(d.Rows, []string{"scale-out", f(r.ScaleOut.X[i]), f(r.ScaleOut.Y[i])})
+	}
+	return d
+}
+
+// Dataset exports Fig 5.
+func (r Fig5Result) Dataset() Dataset {
+	d := Dataset{Name: "fig5", Columns: []string{"step", "cost_saving_delta_usd", "speedup_delta_hours"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{strconv.Itoa(row.Step), f(row.CostSavingDelta), f(row.SpeedupDelta)})
+	}
+	return d
+}
+
+// Dataset exports Fig 7.
+func (r Fig7Result) Dataset() Dataset {
+	return Dataset{
+		Name:    "fig7",
+		Columns: []string{"method", "next_probe", "probe_cost_usd"},
+		Rows: [][]string{
+			{"convbo", r.ConvBONext.String(), f(r.ConvBOCost)},
+			{"heterbo", r.HeterNext.String(), f(r.HeterCost)},
+		},
+	}
+}
+
+// Dataset exports a scenario study (Figs 9–11).
+func (r ScenarioResult) Dataset() Dataset {
+	name := strings.ToLower(strings.Fields(r.Figure)[0] + strings.Fields(r.Figure)[1])
+	return breakdownDataset(name, r.Rows)
+}
+
+// Dataset exports Fig 12.
+func (r Fig12Result) Dataset() Dataset {
+	d := Dataset{Name: "fig12", Columns: []string{"probes", "min_h", "q1_h", "median_h", "q3_h", "max_h", "mean_h", "heterbo_mean_h"}}
+	for i, k := range r.Probes {
+		w := r.TotalHours[i]
+		d.Rows = append(d.Rows, []string{
+			strconv.Itoa(k), f(w.Min), f(w.Q1), f(w.Median), f(w.Q3), f(w.Max), f(w.Mean), f(r.HeterBOMean),
+		})
+	}
+	return d
+}
+
+// Dataset exports Fig 13.
+func (r Fig13Result) Dataset() Dataset { return breakdownDataset("fig13", r.Rows) }
+
+// Dataset exports Fig 14.
+func (r Fig14Result) Dataset() Dataset { return breakdownDataset("fig14", r.Rows) }
+
+// Dataset exports a search trace (Figs 15–17).
+func (r TraceResult) Dataset() Dataset {
+	d := Dataset{
+		Name:    strings.ToLower(strings.ReplaceAll(r.Figure, " ", "")),
+		Columns: []string{"step", "instance", "nodes", "samples_per_sec", "probe_cost_usd", "note"},
+	}
+	for _, s := range r.Outcome.Steps {
+		d.Rows = append(d.Rows, []string{
+			strconv.Itoa(s.Index), s.Deployment.Type.Name, strconv.Itoa(s.Deployment.Nodes),
+			f(s.Throughput), f(s.ProfileCost), s.Note,
+		})
+	}
+	return d
+}
+
+// Dataset exports Fig 18 (long form: one row per method×budget).
+func (r Fig18Result) Dataset() Dataset {
+	d := Dataset{Name: "fig18", Columns: []string{"method", "budget_usd", "total_usd", "total_hours"}}
+	for _, m := range r.Methods {
+		for i, budget := range r.Budgets {
+			d.Rows = append(d.Rows, []string{m, f(budget), f(r.TotalCost[m][i]), f(r.TotalTime[m][i])})
+		}
+	}
+	return d
+}
+
+// Dataset exports Fig 19.
+func (r Fig19Result) Dataset() Dataset {
+	d := Dataset{Name: "fig19", Columns: []string{"model", "params", "speedup_x", "cost_saving"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{row.Model, strconv.FormatInt(row.Params, 10), f(row.Speedup), f(row.CostSaving)})
+	}
+	return d
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/eventsim"
+	"mlcd/internal/workload"
+)
+
+// FidelityRow compares the analytical performance model with the
+// discrete-event simulator on one deployment.
+type FidelityRow struct {
+	Job        string
+	Deployment cloud.Deployment
+	Analytical float64 // samples/s, closed form
+	EventLevel float64 // samples/s, event-driven
+	Ratio      float64 // event / analytical
+}
+
+// FidelityResult is the substrate-validation study (not a paper figure;
+// it validates the testbed substitution documented in DESIGN.md §2).
+type FidelityResult struct {
+	Rows  []FidelityRow
+	Worst float64 // worst |log ratio| as a multiplicative factor ≥ 1
+}
+
+// Fidelity cross-checks the two performance models on a panel spanning
+// CPU/GPU types, PS and ring topologies, and small to large clusters.
+func Fidelity(cfg Config) (FidelityResult, error) {
+	e := newEnv(cfg)
+	panel := []struct {
+		job workload.Job
+		typ string
+		n   int
+	}{
+		{workload.CharRNNText, "c5.xlarge", 1},
+		{workload.CharRNNText, "c5.xlarge", 10},
+		{workload.CharRNNText, "c5.xlarge", 40},
+		{workload.CharRNNText, "c5.4xlarge", 10},
+		{workload.CharRNNText, "p2.xlarge", 9},
+		{workload.ResNetCIFAR10, "c5.4xlarge", 1},
+		{workload.ResNetCIFAR10, "c5.4xlarge", 30},
+		{workload.ResNetCIFAR10, "c5.4xlarge", 80},
+		{workload.BERTTF, "c5n.4xlarge", 20},
+		{workload.BERTTF, "p2.xlarge", 10},
+		{workload.InceptionImageNet, "p3.8xlarge", 4},
+		{workload.InceptionImageNet, "c5.18xlarge", 10},
+	}
+	res := FidelityResult{Worst: 1}
+	for _, p := range panel {
+		d := cloud.NewDeployment(e.cat.MustLookup(p.typ), p.n)
+		analytical := e.sim.Throughput(p.job, d)
+		r, err := eventsim.Simulate(e.sim, p.job, d, eventsim.DefaultConfig(e.seed))
+		if err != nil {
+			return FidelityResult{}, fmt.Errorf("fidelity %s on %s: %w", p.job.Name, d, err)
+		}
+		ratio := r.Throughput / analytical
+		res.Rows = append(res.Rows, FidelityRow{
+			Job: p.job.Name, Deployment: d,
+			Analytical: analytical, EventLevel: r.Throughput, Ratio: ratio,
+		})
+		if ratio > res.Worst {
+			res.Worst = ratio
+		}
+		if 1/ratio > res.Worst {
+			res.Worst = 1 / ratio
+		}
+	}
+	return res, nil
+}
+
+// String renders the validation table.
+func (r FidelityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fidelity: analytical vs event-driven performance model\n")
+	fmt.Fprintf(&b, "%-22s %-16s %12s %12s %8s\n", "job", "deployment", "analytical", "event", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %-16s %12.1f %12.1f %8.2f\n",
+			row.Job, row.Deployment.String(), row.Analytical, row.EventLevel, row.Ratio)
+	}
+	fmt.Fprintf(&b, "worst disagreement: ×%.2f\n", r.Worst)
+	return b.String()
+}
+
+// Dataset exports the validation table.
+func (r FidelityResult) Dataset() Dataset {
+	d := Dataset{Name: "fidelity", Columns: []string{"job", "deployment", "nodes", "analytical_sps", "event_sps", "ratio"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{
+			row.Job, row.Deployment.Type.Name, strconv.Itoa(row.Deployment.Nodes),
+			f(row.Analytical), f(row.EventLevel), f(row.Ratio),
+		})
+	}
+	return d
+}

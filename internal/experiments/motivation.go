@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mlcd/internal/baselines"
+	"mlcd/internal/bo"
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// Fig1aResult is the normalized hourly-cost view of the catalog.
+type Fig1aResult struct {
+	Rows []Fig1aRow
+}
+
+// Fig1aRow is one instance type's normalized price.
+type Fig1aRow struct {
+	Name       string
+	Normalized float64
+}
+
+// Fig1a reproduces Fig. 1(a): hourly cost of EC2 instances normalized to
+// the cheapest; the p2.8xlarge / c5.xlarge spread is the paper's 42.5×.
+func Fig1a(cfg Config) Fig1aResult {
+	e := newEnv(cfg)
+	norm := e.cat.NormalizedPrices()
+	var rows []Fig1aRow
+	for name, v := range norm {
+		rows = append(rows, Fig1aRow{Name: name, Normalized: v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Normalized < rows[j].Normalized })
+	return Fig1aResult{Rows: rows}
+}
+
+// String renders the table.
+func (r Fig1aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 1(a): normalized hourly instance cost (cheapest = 1)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %6.2f×\n", row.Name, row.Normalized)
+	}
+	return b.String()
+}
+
+// Fig1bRow is one equal-hourly-cost Char-RNN deployment.
+type Fig1bRow struct {
+	Deployment cloud.Deployment
+	HourlyCost float64
+	TrainHours float64
+}
+
+// Fig1bResult compares the three deployments of Fig. 1(b).
+type Fig1bResult struct {
+	Rows []Fig1bRow
+}
+
+// Fig1b reproduces Fig. 1(b): Char-RNN training time on 40×c5.xlarge,
+// 10×c5.4xlarge and 9×p2.xlarge at (roughly) equal hourly cost.
+func Fig1b(cfg Config) Fig1bResult {
+	e := newEnv(cfg)
+	j := workload.CharRNNText
+	var rows []Fig1bRow
+	for _, spec := range []struct {
+		name  string
+		nodes int
+	}{
+		{"c5.xlarge", 40}, {"c5.4xlarge", 10}, {"p2.xlarge", 9},
+	} {
+		d := cloud.NewDeployment(e.cat.MustLookup(spec.name), spec.nodes)
+		rows = append(rows, Fig1bRow{
+			Deployment: d,
+			HourlyCost: d.HourlyCost(),
+			TrainHours: hours(e.sim.TrainTime(j, d)),
+		})
+	}
+	return Fig1bResult{Rows: rows}
+}
+
+// String renders the comparison.
+func (r Fig1bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 1(b): Char-RNN training time at equal hourly cost\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s $%5.2f/h  %6.2f h\n", row.Deployment.String(), row.HourlyCost, row.TrainHours)
+	}
+	return b.String()
+}
+
+// Fig2Result compares exhaustive profiling against conventional BO.
+type Fig2Result struct {
+	Rows       []trace.BreakdownRow
+	SpaceSize  int
+	SweptCount int
+}
+
+// Fig2 reproduces Fig. 2: total time and monetary cost (profiling +
+// training) of an exhaustive sweep over ~180 of the deployment choices
+// versus conventional BO, for ResNet on CIFAR-10.
+func Fig2(cfg Config) (Fig2Result, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	// Stride chosen so the sweep visits ≈180 points, as in the paper.
+	stride := e.space.Len() / 180
+	if stride < 1 {
+		stride = 1
+	}
+	ex := baselines.NewExhaustive(stride)
+	exOut, exRow, err := e.runSearcher(ex, j, e.space, search.FastestUnlimited, search.Constraints{})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	_, cbRow, err := e.runSearcher(baselines.NewConvBO(e.seed), j, e.space, search.FastestUnlimited, search.Constraints{})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	return Fig2Result{
+		Rows:       []trace.BreakdownRow{exRow, cbRow},
+		SpaceSize:  e.space.Len(),
+		SweptCount: len(exOut.Steps),
+	}, nil
+}
+
+// String renders the breakdown.
+func (r Fig2Result) String() string {
+	return fmt.Sprintf("Fig 2: exhaustive (%d of %d points) vs ConvBO, ResNet/CIFAR-10\n%s",
+		r.SweptCount, r.SpaceSize, trace.BreakdownTable(r.Rows, ""))
+}
+
+// Fig3Result holds the scale-up and scale-out speed curves.
+type Fig3Result struct {
+	ScaleUp  trace.Series // x = vCPUs of the c5 instance (n=10 fixed)
+	ScaleOut trace.Series // x = node count of c5.xlarge
+}
+
+// Fig3 reproduces Fig. 3: Char-RNN training speed under scale-up (a) and
+// scale-out (b); both non-linear, the latter concave with a peak.
+func Fig3(cfg Config) Fig3Result {
+	e := newEnv(cfg)
+	j := workload.CharRNNText
+	var up trace.Series
+	up.Label = "scale-up (10 nodes, c5 family)"
+	for _, name := range []string{"c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5.9xlarge", "c5.18xlarge"} {
+		it := e.cat.MustLookup(name)
+		d := cloud.NewDeployment(it, 10)
+		up.X = append(up.X, float64(it.VCPUs))
+		up.Y = append(up.Y, e.sim.Throughput(j, d))
+	}
+	var out trace.Series
+	out.Label = "scale-out (c5.xlarge)"
+	for n := 1; n <= 100; n += 3 {
+		d := cloud.NewDeployment(e.cat.MustLookup("c5.xlarge"), n)
+		out.X = append(out.X, float64(n))
+		out.Y = append(out.Y, e.sim.Throughput(j, d))
+	}
+	return Fig3Result{ScaleUp: up, ScaleOut: out}
+}
+
+// String renders both curves.
+func (r Fig3Result) String() string {
+	return trace.RenderSeries("Fig 3: Char-RNN training speed", []trace.Series{r.ScaleUp, r.ScaleOut})
+}
+
+// Fig5Row is one ConvBO profiling step's marginal effect.
+type Fig5Row struct {
+	Step            int
+	CostSavingDelta float64 // dollars saved versus the previous step's pick (negative = worse)
+	SpeedupDelta    float64 // hours saved versus the previous step's pick (negative = worse)
+}
+
+// Fig5Result traces ConvBO's per-step gains.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 reproduces Fig. 5: how total cost and time would change after each
+// ConvBO profiling step for AlexNet/CIFAR-10 — most steps bring no gain,
+// evidence that cost-oblivious exploration wastes money.
+func Fig5(cfg Config) (Fig5Result, error) {
+	e := newEnv(cfg)
+	j := workload.AlexNetCIFAR10
+	so := e.scaleOut("c5.xlarge", 100)
+	out, _, err := e.runSearcher(baselines.NewConvBO(e.seed), j, so, search.FastestUnlimited, search.Constraints{})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	// After each step, the hypothetical "stop here" totals: profiling so
+	// far + training at the best pick so far.
+	var rows []Fig5Row
+	prevCost, prevTime := 0.0, 0.0
+	var obs []search.Observation
+	for i, st := range out.Steps {
+		obs = append(obs, search.Observation{Deployment: st.Deployment, Throughput: st.Throughput})
+		pick, _ := search.PickBest(j, search.FastestUnlimited, search.Constraints{}, 0, 0, obs)
+		totalCost := st.CumProfileCost + e.sim.TrainCost(j, pick.Deployment)
+		totalTime := hours(st.CumProfileTime) + hours(e.sim.TrainTime(j, pick.Deployment))
+		if i > 0 {
+			rows = append(rows, Fig5Row{
+				Step:            st.Index,
+				CostSavingDelta: prevCost - totalCost,
+				SpeedupDelta:    prevTime - totalTime,
+			})
+		}
+		prevCost, prevTime = totalCost, totalTime
+	}
+	return Fig5Result{Rows: rows}, nil
+}
+
+// String renders the per-step deltas.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: ConvBO per-step gains, AlexNet/CIFAR-10 (positive = improvement)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  step %2d: Δcost-saving %+8.2f $   Δspeedup %+7.2f h\n",
+			row.Step, row.CostSavingDelta, row.SpeedupDelta)
+	}
+	return b.String()
+}
+
+// Fig7Result contrasts next-point selection with and without
+// heterogeneous-cost awareness from an identical posterior.
+type Fig7Result struct {
+	InitProbes  []cloud.Deployment
+	ConvBONext  cloud.Deployment
+	HeterNext   cloud.Deployment
+	ConvBOCost  float64 // profiling cost of ConvBO's choice
+	HeterCost   float64 // profiling cost of HeterBO's choice
+	SharedSpace int
+}
+
+// Fig7 reproduces Fig. 7: starting from the same two profiled points,
+// conventional BO picks the acquisition maximum regardless of what the
+// probe costs; HeterBO picks a far cheaper point with near-equal value.
+func Fig7(cfg Config) (Fig7Result, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	so := e.scaleOut("c5.4xlarge", 100)
+
+	// Shared evidence: the two ends of the curve.
+	d1 := cloud.NewDeployment(e.cat.MustLookup("c5.4xlarge"), 1)
+	d2 := cloud.NewDeployment(e.cat.MustLookup("c5.4xlarge"), 90)
+	prof := profiler.NewSimProfiler(e.sim)
+	r1 := prof.Profile(j, d1)
+	r2 := prof.Profile(j, d2)
+
+	surr := bo.NewSurrogate(gp.NewMatern52(5), rand.New(rand.NewSource(e.seed)))
+	if err := surr.Observe(d1, r1.Throughput); err != nil {
+		return Fig7Result{}, err
+	}
+	if err := surr.Observe(d2, r2.Throughput); err != nil {
+		return Fig7Result{}, err
+	}
+	best := surr.BestObserved()
+	acq := bo.EI{}
+	var convNext, heterNext cloud.Deployment
+	convScore, heterScore := -1.0, -1.0
+	for i := 0; i < so.Len(); i++ {
+		d := so.At(i)
+		if d == d1 || d == d2 {
+			continue
+		}
+		mu, sigma := surr.Predict(d)
+		ei := acq.Score(mu, sigma, best)
+		if ei > convScore {
+			convScore, convNext = ei, d
+		}
+		if s := ei / profiler.Duration(d.Nodes).Hours(); s > heterScore {
+			heterScore, heterNext = s, d
+		}
+	}
+	return Fig7Result{
+		InitProbes:  []cloud.Deployment{d1, d2},
+		ConvBONext:  convNext,
+		HeterNext:   heterNext,
+		ConvBOCost:  profiler.Cost(convNext),
+		HeterCost:   profiler.Cost(heterNext),
+		SharedSpace: so.Len(),
+	}, nil
+}
+
+// String renders the contrast.
+func (r Fig7Result) String() string {
+	return fmt.Sprintf(
+		"Fig 7: next-point selection from identical evidence (%v profiled)\n"+
+			"  ConvBO picks  %-16s (probe costs $%.2f)\n"+
+			"  HeterBO picks %-16s (probe costs $%.2f)\n",
+		r.InitProbes, r.ConvBONext.String(), r.ConvBOCost, r.HeterNext.String(), r.HeterCost)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// RobustnessRow is one workload's outcome under HeterBO.
+type RobustnessRow struct {
+	Job        string
+	Platform   string
+	Topology   string
+	Budget     float64
+	Best       string
+	Probes     int
+	TotalCost  float64
+	TotalHours float64
+	Compliant  bool
+	OptRatio   float64 // chosen training time / true optimum (≥ 1)
+}
+
+// RobustnessResult is the §V-D robustness sweep generalized to every
+// predefined workload: one HeterBO budget-constrained search per job,
+// across CNN/RNN/transformer architectures, TensorFlow and MXNet, and
+// both communication topologies.
+type RobustnessResult struct {
+	Rows []RobustnessRow
+}
+
+// Robustness runs HeterBO on each workload with a budget of 4× its own
+// cheapest feasible training cost and reports compliance and optimality.
+func Robustness(cfg Config) (RobustnessResult, error) {
+	e := newEnv(cfg)
+	// A representative 6-type menu keeps each search quick while still
+	// spanning CPU/GPU and the network-enhanced family.
+	space := e.subSpace(50, "c5.xlarge", "c5.4xlarge", "c5n.4xlarge",
+		"p2.8xlarge", "p3.8xlarge", "p3.16xlarge")
+	var res RobustnessResult
+	for _, j := range workload.All() {
+		_, optCost := e.sim.CheapestDeployment(j, space)
+		budget := 4 * optCost
+		if budget < optCost+50 {
+			budget = optCost + 50
+		}
+		cons := search.Constraints{Budget: budget}
+		out, row, err := e.runSearcher(core.New(core.Options{Seed: e.seed}), j, space,
+			search.FastestWithBudget, cons)
+		if err != nil {
+			return RobustnessResult{}, fmt.Errorf("%s: %w", j.Name, err)
+		}
+		// Optimality against the budget-feasible ground truth.
+		opt := e.optRow(j, space, search.FastestWithBudget, cons)
+		ratio := row.TrainTime.Seconds() / opt.TrainTime.Seconds()
+		res.Rows = append(res.Rows, RobustnessRow{
+			Job:        j.Name,
+			Platform:   j.Platform.String(),
+			Topology:   j.Topology.String(),
+			Budget:     budget,
+			Best:       out.Best.String(),
+			Probes:     len(out.Steps),
+			TotalCost:  row.TotalCost(),
+			TotalHours: row.TotalTime().Hours(),
+			Compliant:  row.TotalCost() <= budget,
+			OptRatio:   ratio,
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r RobustnessResult) String() string {
+	var b strings.Builder
+	b.WriteString("Robustness: HeterBO across every workload (budget = 4× cheapest feasible training)\n")
+	fmt.Fprintf(&b, "%-20s %-11s %-14s %8s %-18s %7s %9s %8s %9s %9s\n",
+		"job", "platform", "topology", "budget", "chosen", "probes", "total-$", "hours", "compliant", "vs-opt")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %-11s %-14s %8.0f %-18s %7d %9.2f %8.2f %9v %8.2fx\n",
+			row.Job, row.Platform, row.Topology, row.Budget, row.Best, row.Probes,
+			row.TotalCost, row.TotalHours, row.Compliant, row.OptRatio)
+	}
+	return b.String()
+}
+
+// Dataset exports the sweep.
+func (r RobustnessResult) Dataset() Dataset {
+	d := Dataset{Name: "robustness", Columns: []string{
+		"job", "platform", "topology", "budget_usd", "chosen", "probes",
+		"total_usd", "total_hours", "compliant", "vs_opt_ratio"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{
+			row.Job, row.Platform, row.Topology, f(row.Budget), row.Best,
+			strconv.Itoa(row.Probes), f(row.TotalCost), f(row.TotalHours),
+			strconv.FormatBool(row.Compliant), f(row.OptRatio),
+		})
+	}
+	return d
+}

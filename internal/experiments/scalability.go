@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mlcd/internal/baselines"
+	"mlcd/internal/cloud"
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// Fig19Row is one model-size point of the scalability study.
+type Fig19Row struct {
+	Model      string
+	Params     int64
+	Speedup    float64 // ConvBO total time / HeterBO total time
+	CostSaving float64 // 1 − HeterBO total cost / ConvBO total cost
+}
+
+// Fig19Result is the scalability sweep over model sizes.
+type Fig19Result struct {
+	Rows []Fig19Row
+}
+
+// Fig19 reproduces Fig. 19: HeterBO's speedup and cost saving over ConvBO
+// as the model grows from 6.4M (AlexNet) to 20B (ZeRO) parameters. The
+// paper reports speedups rising 1.3×→6.5× and savings 69 %→92 %: bigger
+// models make blind exploration pricier (huge gradients, huge clusters,
+// infeasible configurations), so cost-aware search pays off more.
+func Fig19(cfg Config) (Fig19Result, error) {
+	e := newEnv(cfg)
+	jobs := []workload.Job{
+		workload.AlexNetCIFAR10,
+		workload.ResNetCIFAR10,
+		workload.BERTTF,
+		workload.ZeRO8BJob,
+		workload.ZeRO20BJob,
+	}
+	// The deployment space grows with model scale, as the paper notes in
+	// §V-E ("larger model size results in larger deployment search
+	// space"): bigger models admit — and require — more instance types
+	// and larger clusters.
+	spaces := []*cloud.Space{
+		e.subSpace(25, "c5.xlarge", "c5.4xlarge", "p2.8xlarge"),
+		e.subSpace(30, "c5.xlarge", "c5.4xlarge", "p2.8xlarge", "p3.8xlarge"),
+		e.subSpace(40, "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.8xlarge", "p3.8xlarge"),
+		e.subSpace(50, "c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.8xlarge", "p3.8xlarge", "p3.16xlarge"),
+		e.subSpace(100, "c5.xlarge", "c5.4xlarge", "c5.18xlarge", "c5n.4xlarge", "c5n.18xlarge",
+			"p2.8xlarge", "p2.16xlarge", "p3.8xlarge", "p3.16xlarge"),
+	}
+	const seedsPerModel = 3
+	var rows []Fig19Row
+	for ji, j := range jobs {
+		space := spaces[ji]
+		// Each model gets a budget proportional to its own cheapest
+		// feasible training cost — "a reasonable budget" at every scale,
+		// so the comparison is about search efficiency, not headroom.
+		_, optCost := e.sim.CheapestDeployment(j, space)
+		budget := 4 * optCost
+		if budget < optCost+50 {
+			budget = optCost + 50
+		}
+		scen := search.FastestWithBudget
+		cons := search.Constraints{Budget: budget}
+		var hTime, cTime, hCost, cCost float64
+		for s := int64(0); s < seedsPerModel; s++ {
+			seed := e.seed + 31*s
+			_, hRow, err := e.runSearcher(core.New(core.Options{Seed: seed}), j, space, scen, cons)
+			if err != nil {
+				return Fig19Result{}, fmt.Errorf("%s: %w", j.Name, err)
+			}
+			_, cRow, err := e.runSearcher(baselines.NewConvBO(seed), j, space, scen, cons)
+			if err != nil {
+				return Fig19Result{}, fmt.Errorf("%s: %w", j.Name, err)
+			}
+			hTime += hours(hRow.TotalTime())
+			cTime += hours(cRow.TotalTime())
+			hCost += hRow.TotalCost()
+			cCost += cRow.TotalCost()
+		}
+		rows = append(rows, Fig19Row{
+			Model:      j.Model.Name,
+			Params:     j.Model.Params,
+			Speedup:    cTime / hTime,
+			CostSaving: 1 - hCost/cCost,
+		})
+	}
+	return Fig19Result{Rows: rows}, nil
+}
+
+// String renders the sweep.
+func (r Fig19Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 19: HeterBO vs ConvBO as model size grows\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %12d params  speedup %5.2f×  cost saving %5.1f%%\n",
+			row.Model, row.Params, row.Speedup, 100*row.CostSaving)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mlcd/internal/baselines"
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/stats"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// ScenarioResult is the shared shape of Figs. 9–11: HeterBO's search
+// process plus a HeterBO-vs-ConvBO breakdown under one scenario.
+type ScenarioResult struct {
+	Figure     string
+	Scenario   search.Scenario
+	Constraint string
+	Heter      search.Outcome
+	Conv       search.Outcome
+	Rows       []trace.BreakdownRow
+	// ProfilingShare is HeterBO's profiling spend as a fraction of
+	// ConvBO's (the paper reports 16 %, 20 %, 21 % for the three
+	// scenarios; time for scenarios 1–2, dollars for scenario 3).
+	ProfilingShare float64
+	// Violated reports whether each method's total exceeded the
+	// user constraint.
+	HeterViolated, ConvViolated bool
+}
+
+// runScenario executes the common Figs. 9–11 recipe: ResNet/CIFAR-10
+// scale-out over c5.4xlarge (the paper fixes the optimal scale-up first).
+func runScenario(cfg Config, figure string, scen search.Scenario, cons search.Constraints) (ScenarioResult, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	so := e.scaleOut("c5.4xlarge", 100)
+
+	hOut, hRow, err := e.runSearcher(core.New(core.Options{Seed: e.seed * 41}), j, so, scen, cons)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	cOut, cRow, err := e.runSearcher(baselines.NewConvBO(e.seed*41), j, so, scen, cons)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	res := ScenarioResult{
+		Figure:     figure,
+		Scenario:   scen,
+		Constraint: constraintString(scen, cons),
+		Heter:      hOut,
+		Conv:       cOut,
+		Rows:       []trace.BreakdownRow{cRow, hRow, e.optRow(j, so, scen, cons)},
+	}
+	switch scen {
+	case search.FastestWithBudget:
+		res.ProfilingShare = hOut.ProfileCost / cOut.ProfileCost
+		res.HeterViolated = hRow.TotalCost() > cons.Budget
+		res.ConvViolated = cRow.TotalCost() > cons.Budget
+	case search.CheapestWithDeadline:
+		res.ProfilingShare = hOut.ProfileTime.Hours() / cOut.ProfileTime.Hours()
+		res.HeterViolated = hRow.TotalTime() > cons.Deadline
+		res.ConvViolated = cRow.TotalTime() > cons.Deadline
+	default:
+		res.ProfilingShare = hOut.ProfileTime.Hours() / cOut.ProfileTime.Hours()
+	}
+	return res, nil
+}
+
+// String renders the search process and the breakdown.
+func (r ScenarioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, %s)\n", r.Figure, r.Scenario, r.Constraint)
+	b.WriteString("HeterBO search process:\n")
+	b.WriteString(trace.StepTable(r.Heter))
+	b.WriteString(trace.BreakdownTable(r.Rows, r.Constraint))
+	b.WriteString(trace.BreakdownBars(r.Rows, "time"))
+	b.WriteString(trace.BreakdownBars(r.Rows, "cost"))
+	fmt.Fprintf(&b, "HeterBO profiling share of ConvBO's: %.0f%%\n", 100*r.ProfilingShare)
+	fmt.Fprintf(&b, "violations: heterbo=%v convbo=%v\n", r.HeterViolated, r.ConvViolated)
+	return b.String()
+}
+
+// Fig9 reproduces Fig. 9 — Scenario 1: fastest training, unlimited budget.
+func Fig9(cfg Config) (ScenarioResult, error) {
+	return runScenario(cfg, "Fig 9 (Scenario 1)", search.FastestUnlimited, search.Constraints{})
+}
+
+// Fig10 reproduces Fig. 10 — Scenario 2: cheapest training under a total
+// deadline. The paper used 6 hours; with our simulator's ResNet workload
+// the cost-efficient configurations train in ≈5.7 h, so the limit is
+// scaled to 8 hours to leave the same kind of profiling slack the
+// paper's testbed had (see EXPERIMENTS.md).
+func Fig10(cfg Config) (ScenarioResult, error) {
+	return runScenario(cfg, "Fig 10 (Scenario 2)", search.CheapestWithDeadline,
+		search.Constraints{Deadline: 8 * time.Hour})
+}
+
+// Fig11 reproduces Fig. 11 — Scenario 3: fastest training under a $100
+// total budget.
+func Fig11(cfg Config) (ScenarioResult, error) {
+	return runScenario(cfg, "Fig 11 (Scenario 3)", search.FastestWithBudget,
+		search.Constraints{Budget: 100})
+}
+
+// Fig12Result is the random-search distribution study.
+type Fig12Result struct {
+	Probes        []int           // number of random profiling probes
+	TotalHours    []stats.Whisker // distribution of total (profile+train) hours
+	HeterBOMean   float64         // HeterBO's mean total hours across seeds
+	HeterBORuns   int
+	SeedsPerPoint int
+}
+
+// Fig12 reproduces Fig. 12: total time of random search across probe
+// budgets (whisker distributions over seeds) versus HeterBO's mean.
+func Fig12(cfg Config) (Fig12Result, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	// The broad c5-family space: a single random probe rarely lands in
+	// the narrow efficient region, which is what gives the paper's
+	// left-hand side its huge variance.
+	so := e.subSpace(100, "c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c5.9xlarge", "c5.18xlarge")
+	probes := []int{1, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 27, 36}
+	const seedsPerPoint = 20
+
+	res := Fig12Result{Probes: probes, SeedsPerPoint: seedsPerPoint}
+	for _, k := range probes {
+		var totals []float64
+		for s := 0; s < seedsPerPoint; s++ {
+			r := baselines.NewRandom(k, e.seed*1000+int64(s)*17+int64(k))
+			out, row, err := e.runSearcher(r, j, so, search.FastestUnlimited, search.Constraints{})
+			if err != nil {
+				return Fig12Result{}, err
+			}
+			_ = out
+			totals = append(totals, hours(row.TotalTime()))
+		}
+		res.TotalHours = append(res.TotalHours, stats.Summarize(totals))
+	}
+
+	const heterRuns = 5
+	var hTotals []float64
+	for s := 0; s < heterRuns; s++ {
+		h := core.New(core.Options{Seed: e.seed*100 + int64(s)})
+		_, row, err := e.runSearcher(h, j, so, search.FastestUnlimited, search.Constraints{})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		hTotals = append(hTotals, hours(row.TotalTime()))
+	}
+	res.HeterBOMean = stats.Mean(hTotals)
+	res.HeterBORuns = heterRuns
+	return res, nil
+}
+
+// String renders the distribution table.
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12: random search total hours (%d seeds per point) vs HeterBO mean %.2f h (%d runs)\n",
+		r.SeedsPerPoint, r.HeterBOMean, r.HeterBORuns)
+	for i, k := range r.Probes {
+		fmt.Fprintf(&b, "  probes=%-3d %s\n", k, r.TotalHours[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// TraceResult is one of the search-process figures (15–17): HeterBO's
+// full probe sequence over a small multi-type space.
+type TraceResult struct {
+	Figure   string
+	Job      workload.Job
+	Budget   float64
+	Outcome  search.Outcome
+	Rendered string
+}
+
+// runTrace executes HeterBO over the named types and renders the probes.
+func runTrace(cfg Config, figure string, j workload.Job, budget float64, maxNodes int, types ...string) (TraceResult, error) {
+	e := newEnv(cfg)
+	space := e.subSpace(maxNodes, types...)
+	out, _, err := e.runSearcher(core.New(core.Options{Seed: e.seed}), j, space,
+		search.FastestWithBudget, search.Constraints{Budget: budget})
+	if err != nil {
+		return TraceResult{}, err
+	}
+	return TraceResult{
+		Figure:   figure,
+		Job:      j,
+		Budget:   budget,
+		Outcome:  out,
+		Rendered: trace.SearchProcess(out),
+	}, nil
+}
+
+// String renders the trace.
+func (r TraceResult) String() string {
+	return fmt.Sprintf("%s: HeterBO search of %s, budget $%.0f\n%s%s",
+		r.Figure, r.Job.String(), r.Budget, trace.StepTable(r.Outcome), r.Rendered)
+}
+
+// Fig15 reproduces Fig. 15: Char-RNN over {c5.xlarge, c5.4xlarge,
+// p2.xlarge} × 1..50 with a $120 budget — HeterBO anchors each type with
+// one cheap node, then exploits the best column.
+func Fig15(cfg Config) (TraceResult, error) {
+	return runTrace(cfg, "Fig 15", workload.CharRNNText, 120, 50,
+		"c5.xlarge", "c5.4xlarge", "p2.xlarge")
+}
+
+// Fig16 reproduces Fig. 16: BERT on TensorFlow (ring all-reduce) over
+// {c5n.xlarge, c5n.4xlarge, p2.xlarge} × 1..20, budget $100.
+func Fig16(cfg Config) (TraceResult, error) {
+	return runTrace(cfg, "Fig 16", workload.BERTTF, 100, 20,
+		"c5n.xlarge", "c5n.4xlarge", "p2.xlarge")
+}
+
+// Fig17 reproduces Fig. 17: the same BERT search on MXNet, budget $120.
+func Fig17(cfg Config) (TraceResult, error) {
+	return runTrace(cfg, "Fig 17", workload.BERTMXNet, 120, 20,
+		"c5n.xlarge", "c5n.4xlarge", "p2.xlarge")
+}

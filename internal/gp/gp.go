@@ -1,0 +1,231 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlcd/internal/mat"
+	"mlcd/internal/optim"
+)
+
+// ErrNoData is returned when prediction or likelihood evaluation is
+// attempted before Fit has seen any observations.
+var ErrNoData = errors.New("gp: no observations fitted")
+
+// GP is an exact Gaussian-process regressor with fixed Gaussian
+// observation noise. Targets are internally standardized (zero mean,
+// unit variance) so kernel hyperparameter boxes stay scale-free.
+type GP struct {
+	kernel   Kernel
+	logNoise float64 // log of the noise *variance* in standardized units
+
+	x      [][]float64
+	y      []float64 // raw targets
+	yStd   []float64 // standardized targets
+	yMean  float64
+	yScale float64
+
+	chol  *mat.Cholesky
+	alpha []float64 // K⁻¹ y (standardized)
+}
+
+// New returns a GP using kernel k and observation-noise variance noise
+// (in standardized target units; 1e-6…1e-2 is typical).
+func New(k Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &GP{kernel: k, logNoise: math.Log(noise)}
+}
+
+// Kernel returns the GP's kernel (shared, not a copy).
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// Noise returns the observation-noise variance in standardized units.
+func (g *GP) Noise() float64 { return math.Exp(g.logNoise) }
+
+// N returns the number of fitted observations.
+func (g *GP) N() int { return len(g.y) }
+
+// Fit conditions the GP on the observations (X, y). It copies neither X
+// nor y; callers must not mutate them afterwards. Fit recomputes the
+// Cholesky factorization; it returns an error if the covariance matrix
+// is numerically singular even after jitter escalation.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("gp: |X|=%d but |y|=%d", len(x), len(y)))
+	}
+	if len(y) == 0 {
+		panic("gp: Fit with zero observations")
+	}
+	g.x, g.y = x, y
+	g.standardize()
+	return g.refactor()
+}
+
+// standardize computes yStd = (y − mean) / scale.
+func (g *GP) standardize() {
+	var s float64
+	for _, v := range g.y {
+		s += v
+	}
+	g.yMean = s / float64(len(g.y))
+	var ss float64
+	for _, v := range g.y {
+		d := v - g.yMean
+		ss += d * d
+	}
+	g.yScale = math.Sqrt(ss / float64(len(g.y)))
+	if g.yScale < 1e-12 {
+		g.yScale = 1 // constant targets: predict the mean with prior variance
+	}
+	g.yStd = make([]float64, len(g.y))
+	for i, v := range g.y {
+		g.yStd[i] = (v - g.yMean) / g.yScale
+	}
+}
+
+// refactor rebuilds the Cholesky factorization of K + noise·I, escalating
+// jitter a few times if the kernel matrix is borderline.
+func (g *GP) refactor() error {
+	n := len(g.x)
+	k := mat.SymmetricFrom(n, func(i, j int) float64 {
+		return g.kernel.Eval(g.x[i], g.x[j])
+	})
+	jitter := g.Noise()
+	for attempt := 0; attempt < 6; attempt++ {
+		kj := k.Clone()
+		mat.AddDiag(kj, jitter)
+		chol, err := mat.NewCholesky(kj)
+		if err == nil {
+			g.chol = chol
+			g.alpha = chol.SolveVec(g.yStd)
+			return nil
+		}
+		jitter *= 10
+	}
+	return fmt.Errorf("gp: covariance not positive-definite after jitter escalation: %w", mat.ErrNotSPD)
+}
+
+// Predict returns the posterior mean and standard deviation at x,
+// in the original target units.
+func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	if g.chol == nil {
+		panic(ErrNoData)
+	}
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range g.x {
+		ks[i] = g.kernel.Eval(g.x[i], x)
+	}
+	muStd := mat.Dot(ks, g.alpha)
+	// var = k(x,x) − ksᵀ (K+σ²I)⁻¹ ks, computed via the forward solve.
+	v := g.chol.ForwardSolve(ks)
+	variance := g.kernel.Eval(x, x) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	mu = muStd*g.yScale + g.yMean
+	sigma = math.Sqrt(variance) * g.yScale
+	return mu, sigma
+}
+
+// PosteriorCov returns the joint posterior covariance matrix of the
+// latent function at the query points, in original target units:
+// Σ*ᵢⱼ = k(xᵢ, xⱼ) − k(xᵢ, X)·(K+σ²I)⁻¹·k(X, xⱼ), scaled by yScale².
+func (g *GP) PosteriorCov(xs [][]float64) (*mat.Dense, error) {
+	if g.chol == nil {
+		panic(ErrNoData)
+	}
+	m := len(xs)
+	if m == 0 {
+		return nil, errors.New("gp: PosteriorCov of zero points")
+	}
+	n := len(g.x)
+	// V = L⁻¹ · K(X, X*): column j is ForwardSolve of k(X, x*_j).
+	v := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		ks := make([]float64, n)
+		for i := range g.x {
+			ks[i] = g.kernel.Eval(g.x[i], xs[j])
+		}
+		v[j] = g.chol.ForwardSolve(ks)
+	}
+	scale2 := g.yScale * g.yScale
+	cov := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			c := g.kernel.Eval(xs[i], xs[j]) - mat.Dot(v[i], v[j])
+			if i == j && c < 0 {
+				c = 0
+			}
+			cov.Set(i, j, c*scale2)
+			cov.Set(j, i, c*scale2)
+		}
+	}
+	return cov, nil
+}
+
+// LogMarginalLikelihood returns log p(y | X, θ) of the standardized
+// targets under the current hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		panic(ErrNoData)
+	}
+	n := float64(len(g.yStd))
+	return -0.5*mat.Dot(g.yStd, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+}
+
+// FitMLEOpts configures hyperparameter fitting.
+type FitMLEOpts struct {
+	Starts   int // multi-start count (default 4)
+	FitNoise bool
+	MaxIter  int // per-start Nelder–Mead iterations (default 120)
+}
+
+// FitMLE fits the kernel hyperparameters (and optionally the noise) by
+// maximizing the log marginal likelihood with multi-start Nelder–Mead.
+// The GP must already have been Fit with data. rng must not be nil.
+func (g *GP) FitMLE(rng *rand.Rand, opts FitMLEOpts) error {
+	if g.chol == nil {
+		panic(ErrNoData)
+	}
+	if opts.Starts <= 0 {
+		opts.Starts = 4
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 120
+	}
+	kb := g.kernel.ParamBounds()
+	x0 := g.kernel.Params()
+	lo := append([]float64(nil), kb.Lo...)
+	hi := append([]float64(nil), kb.Hi...)
+	if opts.FitNoise {
+		x0 = append(x0, g.logNoise)
+		lo = append(lo, math.Log(1e-8))
+		hi = append(hi, math.Log(1e-1))
+	}
+	bounds := optim.Bounds{Lo: lo, Hi: hi}
+	nk := len(g.kernel.Params())
+
+	obj := func(p []float64) float64 {
+		g.kernel.SetParams(p[:nk])
+		if opts.FitNoise {
+			g.logNoise = p[nk]
+		}
+		if err := g.refactor(); err != nil {
+			return math.Inf(1)
+		}
+		return -g.LogMarginalLikelihood()
+	}
+
+	res := optim.MultiStart(obj, x0, bounds, opts.Starts, rng, optim.NelderMeadOpts{MaxIter: opts.MaxIter})
+	// Install the winner and leave the GP conditioned on it.
+	g.kernel.SetParams(res.X[:nk])
+	if opts.FitNoise {
+		g.logNoise = res.X[nk]
+	}
+	return g.refactor()
+}

@@ -1,0 +1,242 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// Gaussian-process surrogate: column-major-free dense matrices, Cholesky
+// factorization of symmetric positive-definite systems, and triangular
+// solves. It is deliberately minimal — GP regression on a few dozen
+// profiled points needs nothing more — and has no dependencies beyond the
+// standard library.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot, i.e. the input matrix is not (numerically)
+// symmetric positive-definite.
+var ErrNotSPD = errors.New("mat: matrix is not positive-definite")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) in a Dense without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d×%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (mutating the slice mutates the matrix).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// Mul computes the product a·b into a new matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes the matrix-vector product a·x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: dimension mismatch %d×%d · %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l *Dense // lower triangular, including diagonal
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d", a.rows, a.cols))
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		diag := math.Sqrt(d)
+		lrowj[j] = diag
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / diag
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the order of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns the lower-triangular factor (shared storage; do not mutate).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// SolveVec solves A·x = b given the factorization A = L·Lᵀ.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveVec length %d != order %d", len(b), c.n))
+	}
+	y := c.ForwardSolve(b)
+	return c.backSolve(y)
+}
+
+// ForwardSolve solves L·y = b (in a fresh slice).
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		row := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// backSolve solves Lᵀ·x = y.
+func (c *Cholesky) backSolve(y []float64) []float64 {
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2·Σ log L[i,i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveMat solves A·X = B column by column.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.rows != c.n {
+		panic(fmt.Sprintf("mat: SolveMat rows %d != order %d", b.rows, c.n))
+	}
+	out := NewDense(b.rows, b.cols)
+	col := make([]float64, b.rows)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < b.rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < b.rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// SymmetricFrom builds a symmetric matrix from a kernel function
+// k(i, j) evaluated for i ≤ j.
+func SymmetricFrom(n int, k func(i, j int) float64) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k(i, j)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// AddDiag adds v to every diagonal element of the square matrix m in place.
+func AddDiag(m *Dense, v float64) {
+	if m.rows != m.cols {
+		panic("mat: AddDiag of non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] += v
+	}
+}

@@ -1,0 +1,271 @@
+// Package mlcdapi turns the MLCD pipeline into a service — the "as a
+// Service" in MLaaS. Clients submit a training job with their deadline
+// or budget, poll its status while the deployment engine searches and
+// the training run executes, and collect the final report:
+//
+//	POST /v1/jobs     {"job","budget_usd"|"deadline_hours"} → {"id","status"}
+//	GET  /v1/jobs     → all submissions
+//	GET  /v1/jobs/{id} → status + report when done
+//
+// Submissions run asynchronously, one at a time per server (the backing
+// virtual cloud serializes time anyway); status transitions are
+// pending → running → done | failed.
+package mlcdapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/workload"
+)
+
+// Status of a submission.
+type Status string
+
+// Submission lifecycle.
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Job           string  `json:"job"`
+	BudgetUSD     float64 `json:"budget_usd,omitempty"`
+	DeadlineHours float64 `json:"deadline_hours,omitempty"`
+}
+
+// reportJSON is the wire form of a finished deployment.
+type reportJSON struct {
+	Scenario     string  `json:"scenario"`
+	Best         string  `json:"best_deployment"`
+	Satisfied    bool    `json:"requirement_satisfied"`
+	ProfileHours float64 `json:"profile_hours"`
+	ProfileUSD   float64 `json:"profile_cost_usd"`
+	TrainHours   float64 `json:"train_hours"`
+	TrainUSD     float64 `json:"train_cost_usd"`
+	TotalHours   float64 `json:"total_hours"`
+	TotalUSD     float64 `json:"total_cost_usd"`
+	Probes       int     `json:"probes"`
+}
+
+// submissionJSON is the wire form of one submission.
+type submissionJSON struct {
+	ID     string      `json:"id"`
+	Job    string      `json:"job"`
+	Status Status      `json:"status"`
+	Error  string      `json:"error,omitempty"`
+	Report *reportJSON `json:"report,omitempty"`
+}
+
+// errorJSON is the error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// submission is the server-side record.
+type submission struct {
+	id     string
+	job    workload.Job
+	req    mlcdsys.Requirements
+	status Status
+	err    string
+	report *mlcdsys.Report
+}
+
+// Server exposes an MLCD system as an HTTP service.
+type Server struct {
+	sys  *mlcdsys.System
+	jobs map[string]workload.Job
+	mux  *http.ServeMux
+
+	mu          sync.Mutex
+	nextID      int
+	submissions map[string]*submission
+	queue       chan *submission
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// NewServer wraps an MLCD system. jobs is the submission menu (nil →
+// every predefined workload, keyed by job name).
+func NewServer(sys *mlcdsys.System, jobs map[string]workload.Job) *Server {
+	if jobs == nil {
+		jobs = make(map[string]workload.Job)
+		for _, j := range workload.All() {
+			key := j.Name
+			if _, dup := jobs[key]; dup {
+				key = fmt.Sprintf("%s-%s", j.Name, j.Platform)
+			}
+			jobs[key] = j
+		}
+	}
+	s := &Server{
+		sys:         sys,
+		jobs:        jobs,
+		mux:         http.NewServeMux(),
+		submissions: make(map[string]*submission),
+		queue:       make(chan *submission, 64),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.wg.Add(1)
+	go s.worker()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the worker; pending submissions still run.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker runs submissions sequentially: the virtual cloud's clock is a
+// shared resource, so deployments are naturally serialized.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for sub := range s.queue {
+		s.mu.Lock()
+		sub.status = StatusRunning
+		job, req := sub.job, sub.req
+		s.mu.Unlock()
+
+		rep, err := s.sys.Deploy(job, req)
+
+		s.mu.Lock()
+		if err != nil {
+			sub.status = StatusFailed
+			sub.err = err.Error()
+		} else {
+			sub.status = StatusDone
+			sub.report = &rep
+		}
+		s.mu.Unlock()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "malformed body: " + err.Error()})
+		return
+	}
+	job, ok := s.jobs[req.Job]
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown job %q", req.Job)})
+		return
+	}
+	if req.BudgetUSD < 0 || req.DeadlineHours < 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "requirements must be non-negative"})
+		return
+	}
+	requirements := mlcdsys.Requirements{
+		Budget:   req.BudgetUSD,
+		Deadline: time.Duration(req.DeadlineHours * float64(time.Hour)),
+	}
+	if _, _, err := mlcdsys.AnalyzeScenario(requirements); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server is shutting down"})
+		return
+	}
+	s.nextID++
+	sub := &submission{
+		id:     fmt.Sprintf("job-%04d", s.nextID),
+		job:    job,
+		req:    requirements,
+		status: StatusPending,
+	}
+	s.submissions[sub.id] = sub
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- sub:
+	default:
+		s.mu.Lock()
+		sub.status = StatusFailed
+		sub.err = "submission queue full"
+		s.mu.Unlock()
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "submission queue full"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.toJSON(sub))
+}
+
+// toJSON snapshots a submission; callers must hold s.mu or accept a
+// momentary race-free copy via the lock here.
+func (s *Server) toJSON(sub *submission) submissionJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := submissionJSON{ID: sub.id, Job: sub.job.Name, Status: sub.status, Error: sub.err}
+	if sub.report != nil {
+		rep := sub.report
+		out.Report = &reportJSON{
+			Scenario:     rep.Scenario.String(),
+			Best:         rep.Outcome.Best.String(),
+			Satisfied:    rep.Satisfied,
+			ProfileHours: rep.Outcome.ProfileTime.Hours(),
+			ProfileUSD:   rep.Outcome.ProfileCost,
+			TrainHours:   rep.TrainTime.Hours(),
+			TrainUSD:     rep.TrainCost,
+			TotalHours:   rep.TotalTime.Hours(),
+			TotalUSD:     rep.TotalCost,
+			Probes:       len(rep.Outcome.Steps),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	subs := make([]*submission, 0, len(s.submissions))
+	for _, sub := range s.submissions {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	out := make([]submissionJSON, 0, len(subs))
+	for _, sub := range subs {
+		out = append(out, s.toJSON(sub))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sub, ok := s.submissions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("unknown submission %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toJSON(sub))
+}

@@ -1,0 +1,178 @@
+package mlcdapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+)
+
+func newService(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mlcdsys.New(mlcdsys.Config{
+		Catalog: cat,
+		Limits:  cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
+		Seed:    1,
+	})
+	srv := NewServer(sys, nil)
+	hts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hts.Close()
+		srv.Close()
+	})
+	return srv, hts
+}
+
+func submit(t *testing.T, base, body string) submissionJSON {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		var e errorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit → %d (%s)", resp.StatusCode, e.Error)
+	}
+	var sub submissionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func await(t *testing.T, base, id string) submissionJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub submissionJSON
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Status == StatusDone || sub.Status == StatusFailed {
+			return sub
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("submission %s never finished", id)
+	return submissionJSON{}
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	_, hts := newService(t)
+	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	if sub.ID == "" || (sub.Status != StatusPending && sub.Status != StatusRunning) {
+		t.Fatalf("submission = %+v", sub)
+	}
+	done := await(t, hts.URL, sub.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", done.Status, done.Error)
+	}
+	rep := done.Report
+	if rep == nil {
+		t.Fatal("finished submission must carry a report")
+	}
+	if !rep.Satisfied || rep.TotalUSD > 100 {
+		t.Fatalf("budget not honoured: %+v", rep)
+	}
+	if rep.Scenario != "scenario3-fastest-budget" || rep.Probes < 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSubmitDeadlineScenario(t *testing.T) {
+	_, hts := newService(t)
+	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","deadline_hours":9}`)
+	done := await(t, hts.URL, sub.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", done.Status, done.Error)
+	}
+	if done.Report.Scenario != "scenario2-cheapest-deadline" || done.Report.TotalHours > 9 {
+		t.Fatalf("report = %+v", done.Report)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, hts := newService(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"job":"nope","budget_usd":10}`, http.StatusBadRequest},
+		{`{"job":"resnet-cifar10","budget_usd":-1}`, http.StatusBadRequest},
+		{`{"job":"resnet-cifar10","budget_usd":10,"deadline_hours":1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s → %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestListAndGet(t *testing.T) {
+	_, hts := newService(t)
+	a := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	b := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":120}`)
+	await(t, hts.URL, a.ID)
+	await(t, hts.URL, b.ID)
+
+	resp, err := http.Get(hts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var all []submissionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].ID >= all[1].ID {
+		t.Fatalf("list = %+v", all)
+	}
+
+	resp404, err := http.Get(hts.URL + "/v1/jobs/job-9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id → %d", resp404.StatusCode)
+	}
+}
+
+func TestSequentialSubmissionsShareTheCloud(t *testing.T) {
+	// Two budget jobs submitted back-to-back: both must finish and both
+	// must satisfy their own budgets despite sharing one control plane.
+	_, hts := newService(t)
+	a := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	b := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	da := await(t, hts.URL, a.ID)
+	db := await(t, hts.URL, b.ID)
+	if da.Status != StatusDone || db.Status != StatusDone {
+		t.Fatalf("statuses: %s / %s", da.Status, db.Status)
+	}
+	if !da.Report.Satisfied || !db.Report.Satisfied {
+		t.Fatal("both submissions must satisfy their budgets")
+	}
+}

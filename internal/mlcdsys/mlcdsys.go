@@ -1,0 +1,297 @@
+// Package mlcdsys is the MLCD system of §IV: the fully automated MLaaS
+// training Cloud Deployment pipeline built on HeterBO. It wires together
+// the paper's five components:
+//
+//   - Scenario Analyzer — turns user requirements (deadline / budget)
+//     into a search scenario and constraints;
+//   - HeterBO Deployment Engine — any search.Searcher, HeterBO by default;
+//   - Profiler — probes candidate deployments by actually driving the
+//     cloud control plane (launch → warm up → measure → terminate);
+//   - Cloud Interface — a cloud.Provider (the simulated EC2 control plane
+//     here; the same interface would front a real provider);
+//   - ML Platform Interface — per-platform launch plumbing.
+//
+// Deploy runs the whole pipeline end to end: analyze, search, then
+// execute the training run on the chosen deployment, with every
+// cluster-hour metered through the provider.
+package mlcdsys
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/core"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/stats"
+	"mlcd/internal/workload"
+)
+
+// Requirements is what an MLCD user states about a training job.
+// Zero values mean "unconstrained".
+type Requirements struct {
+	Deadline time.Duration // finish (profiling + training) within
+	Budget   float64       // spend (profiling + training) at most
+}
+
+// ErrConflictingRequirements is returned when both a deadline and a
+// budget are set; the paper's scenarios are single-constraint.
+var ErrConflictingRequirements = errors.New("mlcdsys: set a deadline or a budget, not both")
+
+// AnalyzeScenario is the Scenario Analyzer: it maps requirements onto the
+// paper's three scenarios (§III-A).
+func AnalyzeScenario(r Requirements) (search.Scenario, search.Constraints, error) {
+	switch {
+	case r.Deadline > 0 && r.Budget > 0:
+		return 0, search.Constraints{}, ErrConflictingRequirements
+	case r.Deadline > 0:
+		return search.CheapestWithDeadline, search.Constraints{Deadline: r.Deadline}, nil
+	case r.Budget > 0:
+		return search.FastestWithBudget, search.Constraints{Budget: r.Budget}, nil
+	default:
+		return search.FastestUnlimited, search.Constraints{}, nil
+	}
+}
+
+// PlatformAdapter is the ML Platform Interface: everything MLCD needs to
+// know to drive one training framework.
+type PlatformAdapter interface {
+	Platform() workload.Platform
+	// WarmupTime is the extra setup latency this platform adds when a
+	// cluster is handed over for training or profiling.
+	WarmupTime(d cloud.Deployment) time.Duration
+}
+
+// basicAdapter covers the platforms the paper evaluates.
+type basicAdapter struct {
+	platform workload.Platform
+	warmup   time.Duration
+}
+
+func (a basicAdapter) Platform() workload.Platform { return a.platform }
+
+func (a basicAdapter) WarmupTime(d cloud.Deployment) time.Duration {
+	// Larger clusters take longer to rendezvous.
+	return a.warmup + time.Duration(d.Nodes/4)*15*time.Second
+}
+
+// DefaultAdapters returns adapters for TensorFlow, MXNet, and PyTorch.
+func DefaultAdapters() []PlatformAdapter {
+	return []PlatformAdapter{
+		basicAdapter{workload.TensorFlow, 60 * time.Second},
+		basicAdapter{workload.MXNet, 45 * time.Second},
+		basicAdapter{workload.PyTorch, 45 * time.Second},
+	}
+}
+
+// Config assembles a System.
+type Config struct {
+	Catalog  *cloud.Catalog    // nil → DefaultCatalog
+	Limits   cloud.SpaceLimits // zero → DefaultLimits
+	Searcher search.Searcher   // nil → HeterBO with Seed
+	Provider cloud.Provider    // nil → SimProvider with default quota
+	Sim      *sim.Simulator    // nil → sim.New(Seed); the testbed physics
+	Adapters []PlatformAdapter // nil → DefaultAdapters
+	Seed     int64
+}
+
+// System is a configured MLCD instance.
+type System struct {
+	catalog  *cloud.Catalog
+	limits   cloud.SpaceLimits
+	searcher search.Searcher
+	provider cloud.Provider
+	sim      *sim.Simulator
+	adapters map[workload.Platform]PlatformAdapter
+}
+
+// New builds the system, filling defaults for any nil component.
+func New(cfg Config) *System {
+	if cfg.Catalog == nil {
+		cfg.Catalog = cloud.DefaultCatalog()
+	}
+	if cfg.Limits == (cloud.SpaceLimits{}) {
+		cfg.Limits = cloud.DefaultLimits
+	}
+	if cfg.Sim == nil {
+		cfg.Sim = sim.New(cfg.Seed)
+	}
+	if cfg.Provider == nil {
+		cfg.Provider = cloud.NewSimProvider(cloud.DefaultQuota, 2*time.Minute)
+	}
+	if cfg.Searcher == nil {
+		cfg.Searcher = core.New(core.Options{Seed: cfg.Seed})
+	}
+	if cfg.Adapters == nil {
+		cfg.Adapters = DefaultAdapters()
+	}
+	s := &System{
+		catalog:  cfg.Catalog,
+		limits:   cfg.Limits,
+		searcher: cfg.Searcher,
+		provider: cfg.Provider,
+		sim:      cfg.Sim,
+		adapters: make(map[workload.Platform]PlatformAdapter, len(cfg.Adapters)),
+	}
+	for _, a := range cfg.Adapters {
+		s.adapters[a.Platform()] = a
+	}
+	return s
+}
+
+// Searcher exposes the deployment engine in use.
+func (s *System) Searcher() search.Searcher { return s.searcher }
+
+// Space returns the deployment space MLCD searches.
+func (s *System) Space() *cloud.Space { return cloud.NewSpace(s.catalog, s.limits) }
+
+// clusterProfiler implements profiler.Profiler by exercising the full
+// cluster lifecycle through the Cloud Interface for every probe.
+type clusterProfiler struct {
+	sys    *System
+	trials map[string]int
+}
+
+// launchRetries is how many transient control-plane failures a probe or
+// training launch shrugs off before giving up.
+const launchRetries = 3
+
+// launchWithRetry retries Launch across transient failures; quota and
+// other hard errors return immediately.
+func (s *System) launchWithRetry(d cloud.Deployment) (*cloud.Cluster, error) {
+	var lastErr error
+	for attempt := 0; attempt <= launchRetries; attempt++ {
+		cl, err := s.provider.Launch(d)
+		if err == nil {
+			return cl, nil
+		}
+		lastErr = err
+		if !errors.Is(err, cloud.ErrTransient) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("mlcdsys: giving up after %d transient failures: %w", launchRetries+1, lastErr)
+}
+
+// Profile launches, warms up, measures, and tears down a probe cluster.
+func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
+	dur := profiler.Duration(d.Nodes)
+	cl, err := p.sys.launchWithRetry(d)
+	if err != nil {
+		// Quota refusal or persistent failure: the probe never ran and
+		// says nothing about the deployment itself.
+		return profiler.Result{Deployment: d, Failed: true}
+	}
+	defer func() { _ = p.sys.provider.Terminate(cl) }()
+	if err := p.sys.provider.WaitReady(cl); err != nil {
+		return profiler.Result{Deployment: d, Failed: true}
+	}
+	if err := p.sys.provider.Run(cl, dur); err != nil {
+		return profiler.Result{Deployment: d, Failed: true, Duration: dur, Cost: d.CostFor(dur)}
+	}
+	key := j.String() + "|" + d.Key()
+	meas := make([]float64, 0, 3)
+	for i := 0; i < 3; i++ {
+		meas = append(meas, p.sys.sim.MeasureThroughput(j, d, p.trials[key]))
+		p.trials[key]++
+	}
+	return profiler.Result{
+		Deployment: d,
+		Throughput: stats.Mean(meas),
+		Duration:   dur,
+		Cost:       d.CostFor(dur),
+		Trials:     len(meas),
+	}
+}
+
+// Report is Deploy's full account of a job's life.
+type Report struct {
+	Scenario    search.Scenario
+	Constraints search.Constraints
+	Outcome     search.Outcome
+
+	TrainTime time.Duration // actual training wall-clock (incl. warm-up)
+	TrainCost float64       // actual training bill
+	TotalTime time.Duration // profiling + training
+	TotalCost float64       // profiling + training
+	Satisfied bool          // did the run meet the user requirement?
+}
+
+// Deploy runs the full MLCD pipeline for a job: analyze requirements,
+// search for the deployment, then execute training on it.
+func (s *System) Deploy(j workload.Job, req Requirements) (Report, error) {
+	scen, cons, err := AnalyzeScenario(req)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := j.Validate(); err != nil {
+		return Report{}, err
+	}
+	adapter, ok := s.adapters[j.Platform]
+	if !ok {
+		return Report{}, fmt.Errorf("mlcdsys: no adapter for platform %v", j.Platform)
+	}
+
+	// The search engine plans with measured (noisy) throughput and knows
+	// nothing about platform warm-up or cluster boot, so the Scenario
+	// Analyzer hands it a slightly tightened constraint: 3 % noise slack
+	// plus a worst-case warm-up allowance. Satisfaction is still judged
+	// against the user's original requirement.
+	searchCons := cons
+	if cons.Deadline > 0 {
+		margin := time.Duration(float64(cons.Deadline)*0.03) + 10*time.Minute
+		searchCons.Deadline = cons.Deadline - margin
+		if searchCons.Deadline <= 0 {
+			return Report{}, fmt.Errorf("mlcdsys: deadline %v too short to deploy anything", cons.Deadline)
+		}
+	}
+	if cons.Budget > 0 {
+		searchCons.Budget = cons.Budget * 0.95
+	}
+
+	prof := &clusterProfiler{sys: s, trials: make(map[string]int)}
+	out, err := s.searcher.Search(j, s.Space(), scen, searchCons, prof)
+	if err != nil {
+		return Report{}, fmt.Errorf("mlcdsys: search failed: %w", err)
+	}
+	if out.Best.Nodes == 0 {
+		return Report{}, fmt.Errorf("mlcdsys: search found no runnable deployment")
+	}
+
+	// Execute training on the chosen deployment.
+	trainDur := s.sim.TrainTime(j, out.Best) + adapter.WarmupTime(out.Best)
+	cl, err := s.launchWithRetry(out.Best)
+	if err != nil {
+		return Report{}, fmt.Errorf("mlcdsys: launching training cluster: %w", err)
+	}
+	defer func() { _ = s.provider.Terminate(cl) }()
+	if err := s.provider.WaitReady(cl); err != nil {
+		return Report{}, fmt.Errorf("mlcdsys: training cluster never became ready: %w", err)
+	}
+	if err := s.provider.Run(cl, trainDur); err != nil {
+		return Report{}, fmt.Errorf("mlcdsys: training run failed: %w", err)
+	}
+	trainCost := out.Best.CostFor(trainDur)
+
+	rep := Report{
+		Scenario:    scen,
+		Constraints: cons,
+		Outcome:     out,
+		TrainTime:   trainDur,
+		TrainCost:   trainCost,
+		TotalTime:   out.ProfileTime + trainDur,
+		TotalCost:   out.ProfileCost + trainCost,
+	}
+	switch scen {
+	case search.CheapestWithDeadline:
+		rep.Satisfied = rep.TotalTime <= cons.Deadline
+	case search.FastestWithBudget:
+		rep.Satisfied = rep.TotalCost <= cons.Budget
+	default:
+		rep.Satisfied = true
+	}
+	return rep, nil
+}

@@ -1,0 +1,220 @@
+package mlcdsys
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+func TestAnalyzeScenario(t *testing.T) {
+	s, c, err := AnalyzeScenario(Requirements{})
+	if err != nil || s != search.FastestUnlimited || c != (search.Constraints{}) {
+		t.Fatalf("unconstrained: %v %v %v", s, c, err)
+	}
+	s, c, err = AnalyzeScenario(Requirements{Deadline: 6 * time.Hour})
+	if err != nil || s != search.CheapestWithDeadline || c.Deadline != 6*time.Hour {
+		t.Fatalf("deadline: %v %v %v", s, c, err)
+	}
+	s, c, err = AnalyzeScenario(Requirements{Budget: 100})
+	if err != nil || s != search.FastestWithBudget || c.Budget != 100 {
+		t.Fatalf("budget: %v %v %v", s, c, err)
+	}
+	if _, _, err = AnalyzeScenario(Requirements{Deadline: time.Hour, Budget: 1}); !errors.Is(err, ErrConflictingRequirements) {
+		t.Fatalf("conflicting requirements: err = %v", err)
+	}
+}
+
+func TestPlatformAdapters(t *testing.T) {
+	as := DefaultAdapters()
+	if len(as) != 3 {
+		t.Fatalf("adapters = %d", len(as))
+	}
+	d1 := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("c5.xlarge"), 1)
+	d40 := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("c5.xlarge"), 40)
+	for _, a := range as {
+		if a.WarmupTime(d40) <= a.WarmupTime(d1) {
+			t.Errorf("%v: warm-up must grow with cluster size", a.Platform())
+		}
+	}
+}
+
+// smallSystem builds a fast MLCD instance over a single-type space.
+func smallSystem(t *testing.T, seed int64) *System {
+	t.Helper()
+	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{
+		Catalog: cat,
+		Limits:  cloud.SpaceLimits{MaxCPUNodes: 50, MaxGPUNodes: 1},
+		Seed:    seed,
+	})
+}
+
+func TestDeployEndToEndBudget(t *testing.T) {
+	sys := smallSystem(t, 1)
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != search.FastestWithBudget {
+		t.Fatalf("scenario = %v", rep.Scenario)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("HeterBO-driven MLCD must satisfy the budget; total $%.2f", rep.TotalCost)
+	}
+	if rep.TotalCost != rep.Outcome.ProfileCost+rep.TrainCost {
+		t.Fatal("total cost must be profiling + training")
+	}
+	if rep.TrainTime <= 0 || rep.TotalTime < rep.TrainTime {
+		t.Fatal("time accounting broken")
+	}
+	if len(rep.Outcome.Steps) < 2 {
+		t.Fatal("the deployment engine must actually search")
+	}
+}
+
+func TestDeployEndToEndDeadline(t *testing.T) {
+	sys := smallSystem(t, 1)
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{Deadline: 8 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("deadline must be met; total %v", rep.TotalTime)
+	}
+}
+
+func TestDeployUnconstrained(t *testing.T) {
+	sys := smallSystem(t, 1)
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied || rep.Scenario != search.FastestUnlimited {
+		t.Fatalf("unconstrained deploy: %+v", rep)
+	}
+}
+
+func TestDeployBillsThroughProvider(t *testing.T) {
+	prov := cloud.NewSimProvider(cloud.DefaultQuota, time.Minute)
+	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Config{
+		Catalog:  cat,
+		Limits:   cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
+		Provider: prov,
+		Seed:     1,
+	})
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{Budget: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	billed := prov.TotalBilled()
+	if billed <= 0 {
+		t.Fatal("provider must have billed cluster time")
+	}
+	// The provider's meter includes boot time for every probe cluster,
+	// so it is at least the report's accounting minus rounding.
+	if billed < rep.TotalCost*0.9 {
+		t.Fatalf("provider billed $%.2f, report claims $%.2f", billed, rep.TotalCost)
+	}
+	// Every cluster must have been terminated (no leaked quota).
+	cpu, gpu := prov.InUse()
+	if cpu != 0 || gpu != 0 {
+		t.Fatalf("leaked clusters: %d CPU, %d GPU nodes still in use", cpu, gpu)
+	}
+}
+
+func TestDeployRejectsConflictingRequirements(t *testing.T) {
+	sys := smallSystem(t, 1)
+	if _, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{Budget: 1, Deadline: time.Hour}); err == nil {
+		t.Fatal("conflicting requirements must be rejected")
+	}
+}
+
+func TestDeployRejectsInvalidJob(t *testing.T) {
+	sys := smallSystem(t, 1)
+	if _, err := sys.Deploy(workload.Job{}, Requirements{}); err == nil {
+		t.Fatal("invalid job must be rejected")
+	}
+}
+
+func TestDeployRejectsUnknownPlatform(t *testing.T) {
+	sys := New(Config{
+		Catalog:  mustSubset(t, "c5.4xlarge"),
+		Limits:   cloud.SpaceLimits{MaxCPUNodes: 10, MaxGPUNodes: 1},
+		Adapters: []PlatformAdapter{},
+		Seed:     1,
+	})
+	// Explicit empty adapter list → no platform support at all. New
+	// treats nil as "use defaults", so pass a non-nil empty slice.
+	if _, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{}); err == nil {
+		t.Fatal("missing platform adapter must be rejected")
+	}
+}
+
+func mustSubset(t *testing.T, names ...string) *cloud.Catalog {
+	t.Helper()
+	c, err := cloud.DefaultCatalog().Subset(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys := New(Config{Seed: 3})
+	if sys.Searcher().Name() != "heterbo" {
+		t.Fatalf("default engine = %q, want heterbo", sys.Searcher().Name())
+	}
+	if sys.Space().Len() == 0 {
+		t.Fatal("default space empty")
+	}
+}
+
+func TestDeploySurvivesTransientFailures(t *testing.T) {
+	prov := cloud.NewSimProvider(cloud.DefaultQuota, time.Minute)
+	prov.InjectFailures(0.35, 2)
+	sys := New(Config{
+		Catalog:  mustSubset(t, "c5.4xlarge"),
+		Limits:   cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
+		Provider: prov,
+		Seed:     1,
+	})
+	rep, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{Budget: 120})
+	if err != nil {
+		t.Fatalf("a 35%% transient failure rate must be survivable: %v", err)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("budget not satisfied: $%.2f", rep.TotalCost)
+	}
+	if prov.Failures() == 0 {
+		t.Fatal("the failure injector never fired; the test exercised nothing")
+	}
+	cpu, gpu := prov.InUse()
+	if cpu != 0 || gpu != 0 {
+		t.Fatal("clusters leaked across retries")
+	}
+}
+
+func TestDeployGivesUpUnderPersistentFailures(t *testing.T) {
+	prov := cloud.NewSimProvider(cloud.DefaultQuota, time.Minute)
+	prov.InjectFailures(1.0, 99) // every launch fails
+	sys := New(Config{
+		Catalog:  mustSubset(t, "c5.4xlarge"),
+		Limits:   cloud.SpaceLimits{MaxCPUNodes: 10, MaxGPUNodes: 1},
+		Provider: prov,
+		Seed:     1,
+	})
+	if _, err := sys.Deploy(workload.ResNetCIFAR10, Requirements{}); err == nil {
+		t.Fatal("a fully broken control plane must surface an error")
+	}
+}

@@ -1,0 +1,187 @@
+// Package models is the ML model zoo used throughout the paper's
+// evaluation (§V-A): AlexNet, ResNet, Inception-V3, Char-RNN, BERT, and
+// the simulated ZeRO-scale models of Fig. 19. Each entry carries the
+// coarse workload descriptors the performance simulator needs — parameter
+// count (gradient volume), training FLOPs per sample, and an architecture
+// class that determines how well the model utilizes accelerators.
+package models
+
+import "fmt"
+
+// Arch classifies model architectures; accelerator utilization and
+// communication patterns differ by class.
+type Arch int
+
+// Architecture classes present in the paper's workloads.
+const (
+	CNN Arch = iota
+	RNN
+	Transformer
+)
+
+// String names the architecture class.
+func (a Arch) String() string {
+	switch a {
+	case CNN:
+		return "cnn"
+	case RNN:
+		return "rnn"
+	case Transformer:
+		return "transformer"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Model describes one trainable network.
+type Model struct {
+	Name   string
+	Arch   Arch
+	Params int64 // trainable parameter count
+
+	// TrainFLOPsPerSample is forward+backward compute per training
+	// sample, in FLOPs.
+	TrainFLOPsPerSample float64
+
+	// GPUEfficiency in (0, 1] scales the accelerator's effective FLOP/s
+	// for this model on a modern (V100-class) accelerator. Small-image
+	// CNNs and RNNs utilize GPUs poorly (input-bound pipelines,
+	// sequential cell updates, small matmuls); large transformers
+	// utilize them best. Older accelerators apply a further
+	// architecture-dependent discount in the simulator.
+	GPUEfficiency float64
+
+	// CPUEfficiency in (0, 1] likewise scales CPU throughput.
+	CPUEfficiency float64
+
+	// ShardedStates marks ZeRO-style training where model/optimizer
+	// states are partitioned across nodes (memory need divides by n).
+	ShardedStates bool
+}
+
+// MemoryGiB returns the training-state footprint in GiB: FP32 weights,
+// gradients, and Adam moments (16 bytes/parameter) plus 20 % activation
+// headroom.
+func (m Model) MemoryGiB() float64 {
+	return 16 * float64(m.Params) * 1.2 / (1 << 30)
+}
+
+// GradientBytes returns the bytes all-reduced (or pushed+pulled) per
+// iteration: FP32 gradients, one float per parameter.
+func (m Model) GradientBytes() float64 { return 4 * float64(m.Params) }
+
+// String renders "resnet(60.3M params)".
+func (m Model) String() string {
+	return fmt.Sprintf("%s(%s params)", m.Name, humanCount(m.Params))
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Dataset describes the training corpus.
+type Dataset struct {
+	Name    string
+	Samples int64 // examples per epoch
+}
+
+// The model zoo. Parameter counts follow the paper's Fig. 19 labels
+// (AlexNet 6.4M — the CIFAR variant, ResNet 60.3M, BERT 340M) and public
+// architecture specs for the rest. FLOP figures are forward+backward
+// estimates at the batch shapes the paper trains.
+var (
+	// AlexNet (CIFAR variant, 6.4M parameters). Small 32×32 inputs keep
+	// accelerators input-bound, hence the low GPU utilization.
+	AlexNet = Model{
+		Name: "alexnet", Arch: CNN, Params: 6_400_000,
+		TrainFLOPsPerSample: 0.9e9, GPUEfficiency: 0.08, CPUEfficiency: 0.85,
+	}
+	// ResNet (the paper's 60.3M-parameter configuration on CIFAR-scale
+	// images; the paper found c5.4xlarge to be its optimal scale-up).
+	ResNet = Model{
+		Name: "resnet", Arch: CNN, Params: 60_300_000,
+		TrainFLOPsPerSample: 12e9, GPUEfficiency: 0.06, CPUEfficiency: 0.80,
+	}
+	// Inception-V3 on full ImageNet images: better accelerator
+	// utilization than the CIFAR-scale CNNs.
+	InceptionV3 = Model{
+		Name: "inception-v3", Arch: CNN, Params: 23_900_000,
+		TrainFLOPsPerSample: 17e9, GPUEfficiency: 0.20, CPUEfficiency: 0.80,
+	}
+	// CharRNN: the char-level language model of Fig. 1(b)/3/14/15.
+	// Sequential cell updates leave accelerators badly under-utilized,
+	// which is why CPU fleets can beat GPUs at equal $/h (Fig. 1b).
+	CharRNN = Model{
+		Name: "char-rnn", Arch: RNN, Params: 3_300_000,
+		TrainFLOPsPerSample: 1.4e9, GPUEfficiency: 0.12, CPUEfficiency: 0.90,
+	}
+	// BERT-Large (340M parameters, ring all-reduce in the paper).
+	// Dense GEMMs also vectorize well on AVX-512 CPUs.
+	BERT = Model{
+		Name: "bert", Arch: Transformer, Params: 340_000_000,
+		TrainFLOPsPerSample: 250e9, GPUEfficiency: 0.90, CPUEfficiency: 0.85,
+	}
+	// ZeRO8B and ZeRO20B are the simulated large models of Fig. 19.
+	// Their optimizer states are sharded across the cluster (ZeRO).
+	ZeRO8B = Model{
+		Name: "zero-8b", Arch: Transformer, Params: 8_000_000_000,
+		TrainFLOPsPerSample: 5.8e12, GPUEfficiency: 0.92, CPUEfficiency: 0.60,
+		ShardedStates: true,
+	}
+	ZeRO20B = Model{
+		Name: "zero-20b", Arch: Transformer, Params: 20_000_000_000,
+		TrainFLOPsPerSample: 14.5e12, GPUEfficiency: 0.93, CPUEfficiency: 0.55,
+		ShardedStates: true,
+	}
+)
+
+// Datasets used in the evaluation.
+var (
+	CIFAR10  = Dataset{Name: "cifar-10", Samples: 50_000}
+	ImageNet = Dataset{Name: "imagenet", Samples: 1_281_167}
+	// Text corpora sized so Char-RNN/BERT training times land in the
+	// paper's hours-scale regime.
+	TextCorpus = Dataset{Name: "text-corpus", Samples: 4_000_000}
+	WikiBooks  = Dataset{Name: "wiki-books", Samples: 2_500_000}
+)
+
+// All returns the zoo in ascending parameter order (Fig. 19's x-axis).
+func All() []Model {
+	return []Model{CharRNN, AlexNet, InceptionV3, ResNet, BERT, ZeRO8B, ZeRO20B}
+}
+
+// ByName finds a zoo model by name.
+func ByName(name string) (Model, bool) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Validate checks a model's descriptors are physically sensible.
+func (m Model) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("models: empty name")
+	case m.Params <= 0:
+		return fmt.Errorf("models: %s has non-positive parameter count", m.Name)
+	case m.TrainFLOPsPerSample <= 0:
+		return fmt.Errorf("models: %s has non-positive FLOPs", m.Name)
+	case m.GPUEfficiency <= 0 || m.GPUEfficiency > 1:
+		return fmt.Errorf("models: %s GPU efficiency %v outside (0,1]", m.Name, m.GPUEfficiency)
+	case m.CPUEfficiency <= 0 || m.CPUEfficiency > 1:
+		return fmt.Errorf("models: %s CPU efficiency %v outside (0,1]", m.Name, m.CPUEfficiency)
+	}
+	return nil
+}

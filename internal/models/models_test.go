@@ -1,0 +1,132 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestZooOrderedBySize(t *testing.T) {
+	// Fig. 19's x-axis is ascending model size.
+	zoo := All()
+	for i := 1; i < len(zoo); i++ {
+		if zoo[i].Params <= zoo[i-1].Params {
+			t.Fatalf("zoo not ascending: %s (%d) after %s (%d)",
+				zoo[i].Name, zoo[i].Params, zoo[i-1].Name, zoo[i-1].Params)
+		}
+	}
+}
+
+func TestPaperParameterCounts(t *testing.T) {
+	// Fig. 19 labels: 6.4M (AlexNet), 60.3M (ResNet), 340M (BERT), 8B, 20B.
+	cases := []struct {
+		m    Model
+		want int64
+	}{
+		{AlexNet, 6_400_000},
+		{ResNet, 60_300_000},
+		{BERT, 340_000_000},
+		{ZeRO8B, 8_000_000_000},
+		{ZeRO20B, 20_000_000_000},
+	}
+	for _, c := range cases {
+		if c.m.Params != c.want {
+			t.Errorf("%s params = %d, want %d", c.m.Name, c.m.Params, c.want)
+		}
+	}
+}
+
+func TestGradientBytes(t *testing.T) {
+	if got := CharRNN.GradientBytes(); got != 4*3_300_000 {
+		t.Fatalf("GradientBytes = %v", got)
+	}
+}
+
+func TestMemoryGiB(t *testing.T) {
+	// BERT: 340M × 16 B × 1.2 ≈ 6.08 GiB.
+	got := BERT.MemoryGiB()
+	if got < 5.5 || got > 6.5 {
+		t.Fatalf("BERT MemoryGiB = %v, want ≈6.1", got)
+	}
+	if !ZeRO8B.ShardedStates || !ZeRO20B.ShardedStates {
+		t.Fatal("ZeRO models must be sharded")
+	}
+	if ResNet.ShardedStates {
+		t.Fatal("ResNet must not be sharded")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName("bert")
+	if !ok || m.Params != BERT.Params {
+		t.Fatalf("ByName(bert) = %+v, %v", m, ok)
+	}
+	if _, ok := ByName("gpt-5"); ok {
+		t.Fatal("unknown model must not resolve")
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	bad := []Model{
+		{},
+		{Name: "x", Params: 0, TrainFLOPsPerSample: 1, GPUEfficiency: 0.5, CPUEfficiency: 0.5},
+		{Name: "x", Params: 1, TrainFLOPsPerSample: 0, GPUEfficiency: 0.5, CPUEfficiency: 0.5},
+		{Name: "x", Params: 1, TrainFLOPsPerSample: 1, GPUEfficiency: 1.5, CPUEfficiency: 0.5},
+		{Name: "x", Params: 1, TrainFLOPsPerSample: 1, GPUEfficiency: 0.5, CPUEfficiency: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := ResNet.String(); !strings.Contains(s, "60.3M") {
+		t.Fatalf("ResNet.String() = %q", s)
+	}
+	if s := ZeRO20B.String(); !strings.Contains(s, "20.0B") {
+		t.Fatalf("ZeRO20B.String() = %q", s)
+	}
+	if humanCount(999) != "999" || humanCount(1500) != "1.5K" {
+		t.Fatal("humanCount wrong for small values")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if CNN.String() != "cnn" || RNN.String() != "rnn" || Transformer.String() != "transformer" {
+		t.Fatal("arch names wrong")
+	}
+	if Arch(42).String() == "" {
+		t.Fatal("unknown arch must render")
+	}
+}
+
+func TestRNNUtilizesGPUsPoorly(t *testing.T) {
+	// The premise behind Fig. 1(b): Char-RNN's accelerator utilization
+	// is far below the CNNs' and transformers'.
+	if CharRNN.GPUEfficiency >= BERT.GPUEfficiency {
+		t.Fatal("RNN GPU efficiency must be below transformer's")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, d := range []Dataset{CIFAR10, ImageNet, TextCorpus, WikiBooks} {
+		if d.Samples <= 0 || d.Name == "" {
+			t.Errorf("dataset %+v malformed", d)
+		}
+	}
+	if CIFAR10.Samples != 50_000 {
+		t.Fatalf("CIFAR-10 has %d samples", CIFAR10.Samples)
+	}
+	if ImageNet.Samples != 1_281_167 {
+		t.Fatalf("ImageNet has %d samples", ImageNet.Samples)
+	}
+}

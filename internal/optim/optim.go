@@ -1,0 +1,245 @@
+// Package optim provides the derivative-free optimizers used to fit
+// Gaussian-process hyperparameters by maximizing the log marginal
+// likelihood: a bounded Nelder–Mead simplex with multi-start, and a
+// golden-section line search for one-dimensional problems.
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective is a function to be minimized.
+type Objective func(x []float64) float64
+
+// Bounds is a per-dimension box constraint.
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// Clamp projects x onto the box in place and returns it.
+func (b Bounds) Clamp(x []float64) []float64 {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+	return x
+}
+
+// valid reports whether the bounds are well formed for dimension n.
+func (b Bounds) valid(n int) bool {
+	if len(b.Lo) != n || len(b.Hi) != n {
+		return false
+	}
+	for i := range b.Lo {
+		if !(b.Lo[i] <= b.Hi[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	X     []float64
+	F     float64
+	Evals int
+}
+
+// NelderMeadOpts configures the simplex search.
+type NelderMeadOpts struct {
+	MaxIter int     // maximum iterations (default 200·dim)
+	TolF    float64 // f-spread part of the stop test (default 1e-8)
+	TolX    float64 // x-spread part of the stop test (default 1e-7)
+	Scale   float64 // initial simplex edge as a fraction of box width (default 0.1)
+}
+
+func (o NelderMeadOpts) withDefaults(dim int) NelderMeadOpts {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200 * dim
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-8
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-7
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	return o
+}
+
+// NelderMead minimizes f within bounds starting from x0.
+// Points proposed outside the box are clamped to it, which keeps the
+// method valid for the log-space hyperparameter boxes used by the GP.
+func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) Result {
+	dim := len(x0)
+	if dim == 0 {
+		panic("optim: empty start point")
+	}
+	if !bounds.valid(dim) {
+		panic("optim: malformed bounds")
+	}
+	opts = opts.withDefaults(dim)
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	start := bounds.Clamp(append([]float64(nil), x0...))
+	simplex[0] = vertex{x: start, f: eval(start)}
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), start...)
+		step := opts.Scale * (bounds.Hi[i] - bounds.Lo[i])
+		if step == 0 {
+			step = opts.Scale
+		}
+		x[i] += step
+		if x[i] > bounds.Hi[i] {
+			x[i] = start[i] - step
+		}
+		bounds.Clamp(x)
+		simplex[i+1] = vertex{x: x, f: eval(x)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if simplex[dim].f-simplex[0].f < opts.TolF {
+			// A flat simplex can straddle a minimum (notably in 1-D), so
+			// require the vertices to have collapsed in x as well.
+			var spread float64
+			for _, v := range simplex[1:] {
+				for j, xv := range v.x {
+					if d := math.Abs(xv - simplex[0].x[j]); d > spread {
+						spread = d
+					}
+				}
+			}
+			if spread < opts.TolX {
+				break
+			}
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, dim)
+		for _, v := range simplex[:dim] {
+			for j, xv := range v.x {
+				centroid[j] += xv
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(dim)
+		}
+		worst := simplex[dim]
+
+		mix := func(coef float64) []float64 {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
+			}
+			return bounds.Clamp(x)
+		}
+
+		refl := mix(alpha)
+		fr := eval(refl)
+		switch {
+		case fr < simplex[0].f:
+			exp := mix(gamma)
+			fe := eval(exp)
+			if fe < fr {
+				simplex[dim] = vertex{exp, fe}
+			} else {
+				simplex[dim] = vertex{refl, fr}
+			}
+		case fr < simplex[dim-1].f:
+			simplex[dim] = vertex{refl, fr}
+		default:
+			contr := mix(-rho)
+			fc := eval(contr)
+			if fc < worst.f {
+				simplex[dim] = vertex{contr, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					x := make([]float64, dim)
+					for j := range x {
+						x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					bounds.Clamp(x)
+					simplex[i] = vertex{x, eval(x)}
+				}
+			}
+		}
+	}
+
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals}
+}
+
+// MultiStart runs NelderMead from x0 plus (starts-1) uniform random points
+// inside the box, returning the best result. rng must not be nil.
+func MultiStart(f Objective, x0 []float64, bounds Bounds, starts int, rng *rand.Rand, opts NelderMeadOpts) Result {
+	if starts < 1 {
+		starts = 1
+	}
+	best := NelderMead(f, x0, bounds, opts)
+	for s := 1; s < starts; s++ {
+		x := make([]float64, len(x0))
+		for i := range x {
+			x[i] = bounds.Lo[i] + rng.Float64()*(bounds.Hi[i]-bounds.Lo[i])
+		}
+		r := NelderMead(f, x, bounds, opts)
+		best.Evals += r.Evals
+		if r.F < best.F {
+			best.X, best.F = r.X, r.F
+		}
+	}
+	return best
+}
+
+// GoldenSection minimizes a unimodal 1-D function on [lo, hi] to within tol.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}

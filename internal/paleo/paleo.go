@@ -1,0 +1,143 @@
+// Package paleo reimplements the behaviour of Paleo (Qi et al., ICLR'17),
+// the analytical-modeling baseline of the paper's Fig. 13: it estimates
+// training time for every deployment from first principles — FLOP counts
+// over device peak throughput with a generic utilization factor, plus an
+// idealized bandwidth-only communication term — and picks a deployment
+// with zero profiling cost.
+//
+// Its failure mode, which the paper highlights, is baked in faithfully:
+// the analytical model knows nothing about model-specific accelerator
+// utilization, incast contention, stragglers, or framework overheads
+// ("nuances like communication topology"), so its estimates diverge from
+// reality exactly where clusters get big or models utilize hardware
+// unusually.
+package paleo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// Utilization factors Paleo assumes uniformly, regardless of model
+// architecture — the crux of its inaccuracy.
+const (
+	cpuUtil = 0.75
+	gpuUtil = 0.40
+)
+
+// Estimator is Paleo's analytical performance model.
+type Estimator struct{}
+
+// Throughput estimates samples/second for job j on deployment d.
+func (Estimator) Throughput(j workload.Job, d cloud.Deployment) float64 {
+	n := float64(d.Nodes)
+	var gflops float64
+	if d.Type.IsGPU() {
+		gflops = d.Type.GPUGFLOPS * float64(d.Type.GPUs) * gpuUtil
+	} else {
+		gflops = d.Type.CPUGFLOPS * cpuUtil
+	}
+	perNodeBatch := float64(j.GlobalBatch) / n
+	tComp := perNodeBatch * j.Model.TrainFLOPsPerSample / (gflops * 1e9)
+
+	// Idealized communication: pure bandwidth, no contention, no
+	// latency, no stragglers, no overlap modeling.
+	var tComm float64
+	if d.Nodes > 1 {
+		g := j.Model.GradientBytes()
+		bw := d.Type.NetworkGbps * 1e9 / 8
+		switch j.Topology {
+		case workload.RingAllReduce:
+			tComm = 2 * g * (n - 1) / (n * bw)
+		default:
+			tComm = 2 * g / bw
+		}
+	}
+	return float64(j.GlobalBatch) / (tComp + tComm)
+}
+
+// TrainTime estimates end-to-end training time on d.
+func (e Estimator) TrainTime(j workload.Job, d cloud.Deployment) time.Duration {
+	return time.Duration(j.TotalSamples() / e.Throughput(j, d) * float64(time.Second))
+}
+
+// TrainCost estimates end-to-end training cost on d.
+func (e Estimator) TrainCost(j workload.Job, d cloud.Deployment) float64 {
+	return d.CostFor(e.TrainTime(j, d))
+}
+
+// Searcher picks deployments purely from the analytical model.
+type Searcher struct {
+	est Estimator
+}
+
+// New returns the Paleo baseline searcher.
+func New() *Searcher { return &Searcher{} }
+
+// Name implements search.Searcher.
+func (s *Searcher) Name() string { return "paleo" }
+
+// Search implements search.Searcher. It never profiles (prof is unused),
+// so ProfileTime and ProfileCost are zero — analytical modeling's one
+// genuine advantage, which the paper's Fig. 13 preserves.
+func (s *Searcher) Search(j workload.Job, space *cloud.Space, scen search.Scenario, cons search.Constraints, _ profiler.Profiler) (search.Outcome, error) {
+	if err := cons.Validate(scen); err != nil {
+		return search.Outcome{}, err
+	}
+	if err := j.Validate(); err != nil {
+		return search.Outcome{}, err
+	}
+	if space.Len() == 0 {
+		return search.Outcome{}, fmt.Errorf("paleo: empty deployment space")
+	}
+	bestVal := math.Inf(1)
+	var best cloud.Deployment
+	found := false
+	for i := 0; i < space.Len(); i++ {
+		d := space.At(i)
+		estT := s.est.TrainTime(j, d)
+		estC := s.est.TrainCost(j, d)
+		var feasible bool
+		var val float64
+		switch scen {
+		case search.CheapestWithDeadline:
+			feasible = estT <= cons.Deadline
+			val = estC
+		case search.FastestWithBudget:
+			feasible = estC <= cons.Budget
+			val = estT.Seconds()
+		default:
+			feasible = true
+			val = estT.Seconds()
+		}
+		if feasible && val < bestVal {
+			bestVal = val
+			best = d
+			found = true
+		}
+	}
+	if !found {
+		// Fall back to the unconstrained optimum so callers always get
+		// a deployment to evaluate.
+		for i := 0; i < space.Len(); i++ {
+			d := space.At(i)
+			if v := s.est.TrainTime(j, d).Seconds(); v < bestVal {
+				bestVal = v
+				best = d
+			}
+		}
+	}
+	return search.Outcome{
+		Searcher: s.Name(), Job: j, Scenario: scen, Constraints: cons,
+		Best:           best,
+		BestThroughput: s.est.Throughput(j, best), // estimated, not measured
+		Found:          found,
+		Stopped:        "analytical model evaluated",
+	}, nil
+}

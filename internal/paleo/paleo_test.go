@@ -1,0 +1,136 @@
+package paleo
+
+import (
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+var (
+	cat       = cloud.DefaultCatalog()
+	fullSpace = cloud.NewSpace(cat, cloud.DefaultLimits)
+)
+
+func TestEstimatorBasicShape(t *testing.T) {
+	var e Estimator
+	j := workload.ResNetCIFAR10
+	one := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 1)
+	ten := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 10)
+	if e.Throughput(j, ten) <= e.Throughput(j, one) {
+		t.Fatal("analytical model must predict scale-out speedup")
+	}
+	if e.TrainTime(j, ten) >= e.TrainTime(j, one) {
+		t.Fatal("faster deployment must train sooner")
+	}
+	if e.TrainCost(j, one) <= 0 {
+		t.Fatal("cost must be positive")
+	}
+}
+
+func TestEstimatorIsOptimisticAtScale(t *testing.T) {
+	// The designed-in failure mode (Fig. 13): without contention and
+	// stragglers, Paleo's estimate increasingly exceeds reality as the
+	// cluster grows.
+	var e Estimator
+	s := sim.New(1)
+	j := workload.ResNetCIFAR10
+	small := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 2)
+	big := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 80)
+	ratioSmall := e.Throughput(j, small) / s.Throughput(j, small)
+	ratioBig := e.Throughput(j, big) / s.Throughput(j, big)
+	if ratioBig <= ratioSmall {
+		t.Fatalf("optimism must grow with scale: %v vs %v", ratioBig, ratioSmall)
+	}
+	if ratioBig < 1.2 {
+		t.Fatalf("Paleo at n=80 should be clearly optimistic, ratio %v", ratioBig)
+	}
+}
+
+func TestEstimatorMissesModelSpecificUtilization(t *testing.T) {
+	// Paleo assumes generic GPU utilization; for the CIFAR ResNet the
+	// true utilization is far lower, so Paleo overrates GPUs.
+	var e Estimator
+	s := sim.New(1)
+	j := workload.ResNetCIFAR10
+	gpu := cloud.NewDeployment(cat.MustLookup("p3.2xlarge"), 1)
+	if e.Throughput(j, gpu) < 3*s.Throughput(j, gpu) {
+		t.Fatalf("Paleo should overrate GPUs for CIFAR CNNs: est %v vs true %v",
+			e.Throughput(j, gpu), s.Throughput(j, gpu))
+	}
+}
+
+func TestSearcherHasZeroProfilingCost(t *testing.T) {
+	out, err := New().Search(workload.InceptionImageNet, fullSpace, search.FastestWithBudget, search.Constraints{Budget: 80}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ProfileCost != 0 || out.ProfileTime != 0 || len(out.Steps) != 0 {
+		t.Fatal("Paleo must not profile")
+	}
+	if out.Best.Nodes == 0 {
+		t.Fatal("Paleo must pick a deployment")
+	}
+}
+
+func TestSearcherRespectsEstimatedConstraints(t *testing.T) {
+	var e Estimator
+	j := workload.InceptionImageNet
+	cons := search.Constraints{Budget: 80}
+	out, err := New().Search(j, fullSpace, search.FastestWithBudget, cons, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := e.TrainCost(j, out.Best); est > cons.Budget {
+		t.Fatalf("Paleo's own estimate ($%.2f) must fit its budget", est)
+	}
+}
+
+func TestSearcherMissesTrueOptimumAtScale(t *testing.T) {
+	// The punchline of Fig. 13: the deployment Paleo picks is measurably
+	// slower or pricier than the true optimum once nuances matter.
+	s := sim.New(1)
+	j := workload.InceptionImageNet
+	out, err := New().Search(j, fullSpace, search.FastestUnlimited, search.Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt := s.FastestDeployment(j, fullSpace)
+	if got := s.TrainTime(j, out.Best); got.Seconds() <= opt.Seconds()*1.01 {
+		t.Fatalf("Paleo landed on the true optimum (%v) — its failure mode is gone", out.Best)
+	}
+}
+
+func TestSearcherScenarios(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	if _, err := New().Search(j, fullSpace, search.CheapestWithDeadline, search.Constraints{Deadline: 10 * time.Hour}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().Search(j, fullSpace, search.FastestWithBudget, search.Constraints{}, nil); err == nil {
+		t.Fatal("missing budget must error")
+	}
+	if _, err := New().Search(workload.Job{}, fullSpace, search.FastestUnlimited, search.Constraints{}, nil); err == nil {
+		t.Fatal("invalid job must error")
+	}
+	if _, err := New().Search(j, cloud.NewSpaceFrom(nil), search.FastestUnlimited, search.Constraints{}, nil); err == nil {
+		t.Fatal("empty space must error")
+	}
+}
+
+func TestSearcherFallsBackWhenNothingFits(t *testing.T) {
+	// A $0.01 budget admits nothing; Paleo must still return its
+	// unconstrained pick with Found=false.
+	out, err := New().Search(workload.ResNetCIFAR10, fullSpace, search.FastestWithBudget, search.Constraints{Budget: 0.01}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Found {
+		t.Fatal("nothing fits $0.01")
+	}
+	if out.Best.Nodes == 0 {
+		t.Fatal("fallback pick missing")
+	}
+}

@@ -1,0 +1,159 @@
+// Package profiler implements MLCD's Profiler component: it runs a short
+// training probe on a candidate deployment and reports measured
+// throughput together with what the probe itself cost. The time model is
+// the paper's (§V-A): 10 minutes per profiling run — covering cluster
+// setup and warm-up — plus one extra minute for every 3 extra nodes. The
+// monetary cost follows Eq. 8: C_profile = P(m) · n · T_profile.
+//
+// The Profiler also reproduces the paper's stability mechanism (§IV):
+// it monitors throughput across measurement iterations and extends the
+// probe when the discrepancy is large.
+package profiler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/sim"
+	"mlcd/internal/stats"
+	"mlcd/internal/workload"
+)
+
+// BaseDuration is the single-node profiling time (setup + warm-up + run).
+const BaseDuration = 10 * time.Minute
+
+// ExtraPerNodes adds one minute for every 3 extra nodes.
+const ExtraPerNodes = 3
+
+// Duration returns T_profile for an n-node probe (Eq. 7's t(m,n); the
+// paper's cost model depends on n only).
+func Duration(nodes int) time.Duration {
+	if nodes < 1 {
+		panic(fmt.Sprintf("profiler: invalid node count %d", nodes))
+	}
+	extra := time.Duration((nodes-1)/ExtraPerNodes) * time.Minute
+	return BaseDuration + extra
+}
+
+// Cost returns C_profile = P(m) · n · T_profile for deployment d (Eq. 8).
+func Cost(d cloud.Deployment) float64 {
+	return d.CostFor(Duration(d.Nodes))
+}
+
+// Result is one profiling observation.
+type Result struct {
+	Deployment cloud.Deployment
+	Throughput float64       // measured samples/second
+	Duration   time.Duration // wall-clock spent profiling (incl. extension)
+	Cost       float64       // dollars spent profiling
+	Trials     int           // measurement iterations folded into Throughput
+	Extended   bool          // whether the stability mechanism kicked in
+	// Failed marks an infrastructure failure (launch refused, cluster
+	// never ready): the probe carries no signal about the deployment
+	// itself, unlike an OOM crash (Throughput 0 with Failed false).
+	Failed bool
+}
+
+// Profiler measures candidate deployments.
+type Profiler interface {
+	Profile(j workload.Job, d cloud.Deployment) Result
+}
+
+// SimProfiler profiles against the performance simulator. It is safe for
+// concurrent use, so searchers may run independent probes in parallel.
+type SimProfiler struct {
+	sim *sim.Simulator
+	// StabilityCV is the coefficient-of-variation threshold above which
+	// the probe is extended (default 0.08).
+	StabilityCV float64
+	// Extension is the extra probe time on instability (default 5 min).
+	Extension time.Duration
+	// trial counters make repeated probes of the same deployment see
+	// fresh noise.
+	mu     sync.Mutex
+	trials map[string]int
+}
+
+// NewSimProfiler wraps a simulator.
+func NewSimProfiler(s *sim.Simulator) *SimProfiler {
+	return &SimProfiler{
+		sim:         s,
+		StabilityCV: 0.08,
+		Extension:   5 * time.Minute,
+		trials:      make(map[string]int),
+	}
+}
+
+// OOMFailDuration is how long a probe runs before an out-of-memory crash
+// is evident: the job dies during model build, well before the full
+// warm-up completes.
+const OOMFailDuration = 2 * time.Minute
+
+// Profile implements Profiler: it takes three measurement iterations,
+// extends once with three more if they disagree beyond StabilityCV, and
+// returns the mean. A deployment the model cannot fit on crashes early
+// and is billed only for OOMFailDuration.
+func (p *SimProfiler) Profile(j workload.Job, d cloud.Deployment) Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := j.String() + "|" + d.Key()
+	if first := p.sim.MeasureThroughput(j, d, p.trials[key]); first <= 0 {
+		p.trials[key]++
+		return Result{
+			Deployment: d,
+			Throughput: 0,
+			Duration:   OOMFailDuration,
+			Cost:       d.CostFor(OOMFailDuration),
+			Trials:     1,
+		}
+	}
+	const iters = 3
+	meas := make([]float64, 0, 2*iters)
+	for i := 0; i < iters; i++ {
+		meas = append(meas, p.sim.MeasureThroughput(j, d, p.trials[key]))
+		p.trials[key]++
+	}
+	dur := Duration(d.Nodes)
+	extended := false
+	if cv := stats.Std(meas) / stats.Mean(meas); cv > p.StabilityCV {
+		extended = true
+		dur += p.Extension
+		for i := 0; i < iters; i++ {
+			meas = append(meas, p.sim.MeasureThroughput(j, d, p.trials[key]))
+			p.trials[key]++
+		}
+	}
+	return Result{
+		Deployment: d,
+		Throughput: stats.Mean(meas),
+		Duration:   dur,
+		Cost:       d.CostFor(dur),
+		Trials:     len(meas),
+		Extended:   extended,
+	}
+}
+
+// Meter wraps a Profiler and accumulates total profiling time and spend;
+// the search methods consult it to enforce deadlines and budgets.
+type Meter struct {
+	inner   Profiler
+	Time    time.Duration
+	Spend   float64
+	Probes  int
+	History []Result
+}
+
+// NewMeter wraps p.
+func NewMeter(p Profiler) *Meter { return &Meter{inner: p} }
+
+// Profile implements Profiler, accumulating the totals.
+func (m *Meter) Profile(j workload.Job, d cloud.Deployment) Result {
+	r := m.inner.Profile(j, d)
+	m.Time += r.Duration
+	m.Spend += r.Cost
+	m.Probes++
+	m.History = append(m.History, r)
+	return r
+}

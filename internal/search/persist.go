@@ -1,0 +1,88 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mlcd/internal/cloud"
+)
+
+// savedObservation is the stable on-disk form of one probe result: the
+// deployment is stored by type name so a reload re-resolves it against
+// the live catalog (prices and specs come from the catalog, not the file).
+type savedObservation struct {
+	Type       string  `json:"type"`
+	Nodes      int     `json:"nodes"`
+	Throughput float64 `json:"throughput_samples_per_sec"`
+}
+
+// savedFile is the persisted document.
+type savedFile struct {
+	Version      int                `json:"version"`
+	Job          string             `json:"job"`
+	Observations []savedObservation `json:"observations"`
+}
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// SaveObservations writes a search's measured observations as JSON, for
+// warm-starting a later run of the same job (core.Options.WarmStart).
+func SaveObservations(w io.Writer, jobName string, obs []Observation) error {
+	doc := savedFile{Version: persistVersion, Job: jobName}
+	for _, o := range obs {
+		if o.Deployment.Nodes < 1 {
+			continue
+		}
+		doc.Observations = append(doc.Observations, savedObservation{
+			Type:       o.Deployment.Type.Name,
+			Nodes:      o.Deployment.Nodes,
+			Throughput: o.Throughput,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("search: saving observations: %w", err)
+	}
+	return nil
+}
+
+// LoadObservations reads observations saved by SaveObservations,
+// re-resolving instance types against cat. It returns the job name the
+// observations were measured for — callers must verify it matches before
+// warm-starting, since throughput numbers do not transfer across jobs.
+func LoadObservations(r io.Reader, cat *cloud.Catalog) (jobName string, obs []Observation, err error) {
+	var doc savedFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return "", nil, fmt.Errorf("search: loading observations: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return "", nil, fmt.Errorf("search: unsupported observations version %d", doc.Version)
+	}
+	for _, s := range doc.Observations {
+		it, ok := cat.Lookup(s.Type)
+		if !ok {
+			return "", nil, fmt.Errorf("search: saved observation references unknown type %q", s.Type)
+		}
+		if s.Nodes < 1 {
+			return "", nil, fmt.Errorf("search: saved observation has invalid node count %d", s.Nodes)
+		}
+		obs = append(obs, Observation{
+			Deployment: cloud.Deployment{Type: it, Nodes: s.Nodes},
+			Throughput: s.Throughput,
+		})
+	}
+	return doc.Job, obs, nil
+}
+
+// ObservationsFromOutcome extracts the persistable observations from a
+// finished search.
+func ObservationsFromOutcome(o Outcome) []Observation {
+	out := make([]Observation, 0, len(o.Steps))
+	for _, s := range o.Steps {
+		out = append(out, Observation{Deployment: s.Deployment, Throughput: s.Throughput})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package search defines the shared vocabulary of every deployment
+// searcher in the repository: the paper's three user scenarios (§III-A),
+// constraint sets, per-step traces, and the Outcome a searcher returns.
+// HeterBO (internal/core), the baselines (internal/baselines), and Paleo
+// (internal/paleo) all implement the Searcher interface, so experiments
+// compare them uniformly.
+package search
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+// Scenario is one of the paper's three deployment goals.
+type Scenario int
+
+// The three scenarios of §III-A.
+const (
+	// FastestUnlimited: finish as fast as possible, unlimited budget.
+	FastestUnlimited Scenario = iota
+	// CheapestWithDeadline: finish before a deadline at the lowest cost.
+	CheapestWithDeadline
+	// FastestWithBudget: finish as fast as possible within a budget.
+	FastestWithBudget
+)
+
+// String names the scenario as in the paper.
+func (s Scenario) String() string {
+	switch s {
+	case FastestUnlimited:
+		return "scenario1-fastest-unlimited"
+	case CheapestWithDeadline:
+		return "scenario2-cheapest-deadline"
+	case FastestWithBudget:
+		return "scenario3-fastest-budget"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Constraints carries the user-specified limits. The deadline and budget
+// cover profiling PLUS training, as in the paper's evaluation (§V-B).
+type Constraints struct {
+	Deadline time.Duration // for CheapestWithDeadline; 0 = none
+	Budget   float64       // for FastestWithBudget; 0 = none
+}
+
+// Validate checks the constraints fit the scenario.
+func (c Constraints) Validate(s Scenario) error {
+	switch s {
+	case FastestUnlimited:
+		return nil
+	case CheapestWithDeadline:
+		if c.Deadline <= 0 {
+			return fmt.Errorf("search: %v needs a positive deadline", s)
+		}
+	case FastestWithBudget:
+		if c.Budget <= 0 {
+			return fmt.Errorf("search: %v needs a positive budget", s)
+		}
+	}
+	return nil
+}
+
+// Step records one profiling decision.
+type Step struct {
+	Index          int
+	Deployment     cloud.Deployment
+	Throughput     float64 // measured samples/s (0 = OOM probe)
+	ProfileTime    time.Duration
+	ProfileCost    float64
+	CumProfileTime time.Duration
+	CumProfileCost float64
+	Acquisition    float64 // score that selected this point (0 for init)
+	Note           string  // "init", "explore", "exploit", "prior-pruned" ...
+}
+
+// Outcome is what a searcher hands back: the chosen deployment and a full
+// account of what the search itself consumed.
+type Outcome struct {
+	Searcher    string
+	Job         workload.Job
+	Scenario    Scenario
+	Constraints Constraints
+
+	Best           cloud.Deployment
+	BestThroughput float64 // measured at the chosen deployment
+	Found          bool    // false when nothing feasible was observed
+
+	Steps       []Step
+	ProfileTime time.Duration
+	ProfileCost float64
+	Stopped     string // why the search stopped
+}
+
+// EstTrainTime estimates training time at a measured throughput.
+func EstTrainTime(j workload.Job, throughput float64) time.Duration {
+	if throughput <= 0 {
+		return math.MaxInt64 / 4
+	}
+	return time.Duration(j.TotalSamples() / throughput * float64(time.Second))
+}
+
+// EstTrainCost estimates training cost for d at a measured throughput.
+func EstTrainCost(j workload.Job, d cloud.Deployment, throughput float64) float64 {
+	if throughput <= 0 {
+		return math.Inf(1)
+	}
+	return d.CostFor(EstTrainTime(j, throughput))
+}
+
+// Searcher is a deployment-search strategy.
+type Searcher interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Search explores the space with prof and returns its choice.
+	Search(j workload.Job, space *cloud.Space, scen Scenario, cons Constraints, prof profiler.Profiler) (Outcome, error)
+}
+
+// Observation pairs a deployment with its measured throughput.
+type Observation struct {
+	Deployment cloud.Deployment
+	Throughput float64
+}
+
+// Objective maps an observation to the scalar each scenario maximizes:
+// training speed for the time-focused scenarios, cost efficiency
+// (throughput per $/h) when the goal is the cheapest deployment.
+func Objective(scen Scenario, d cloud.Deployment, throughput float64) float64 {
+	switch scen {
+	case CheapestWithDeadline:
+		return throughput / d.HourlyCost()
+	default:
+		return throughput
+	}
+}
+
+// PickBest selects, among the observations, the best deployment that the
+// remaining deadline/budget can still accommodate:
+//   - CheapestWithDeadline: cheapest est. training cost whose est.
+//     training time fits in (deadline − profiling time spent);
+//   - FastestWithBudget: fastest whose est. training cost fits in
+//     (budget − profiling spend);
+//   - FastestUnlimited: fastest, full stop.
+//
+// The boolean reports whether any observation satisfied the constraint;
+// when none does, the least-bad observation is returned (best effort).
+func PickBest(j workload.Job, scen Scenario, cons Constraints, spentTime time.Duration, spentCost float64, obs []Observation) (Observation, bool) {
+	if len(obs) == 0 {
+		return Observation{}, false
+	}
+	type scored struct {
+		o        Observation
+		feasible bool
+		score    float64 // smaller is better
+	}
+	best := scored{score: math.Inf(1)}
+	bestInfeasible := scored{score: math.Inf(1)}
+	for _, o := range obs {
+		if o.Throughput <= 0 {
+			continue // OOM probes can never be chosen
+		}
+		tt := EstTrainTime(j, o.Throughput)
+		tc := EstTrainCost(j, o.Deployment, o.Throughput)
+		var feasible bool
+		var score float64
+		switch scen {
+		case CheapestWithDeadline:
+			feasible = spentTime+tt <= cons.Deadline
+			score = tc
+		case FastestWithBudget:
+			feasible = spentCost+tc <= cons.Budget
+			score = tt.Seconds()
+		default:
+			feasible = true
+			score = tt.Seconds()
+		}
+		if feasible && score < best.score {
+			best = scored{o, true, score}
+		}
+		if score < bestInfeasible.score {
+			bestInfeasible = scored{o, false, score}
+		}
+	}
+	if best.feasible {
+		return best.o, true
+	}
+	if math.IsInf(bestInfeasible.score, 1) {
+		return Observation{}, false
+	}
+	return bestInfeasible.o, false
+}

@@ -1,0 +1,283 @@
+package search
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/workload"
+)
+
+var cat = cloud.DefaultCatalog()
+
+func dep(t *testing.T, name string, n int) cloud.Deployment {
+	t.Helper()
+	return cloud.NewDeployment(cat.MustLookup(name), n)
+}
+
+func TestScenarioStrings(t *testing.T) {
+	if FastestUnlimited.String() != "scenario1-fastest-unlimited" ||
+		CheapestWithDeadline.String() != "scenario2-cheapest-deadline" ||
+		FastestWithBudget.String() != "scenario3-fastest-budget" {
+		t.Fatal("scenario names wrong")
+	}
+	if Scenario(9).String() == "" {
+		t.Fatal("unknown scenario must render")
+	}
+}
+
+func TestConstraintsValidate(t *testing.T) {
+	if err := (Constraints{}).Validate(FastestUnlimited); err != nil {
+		t.Fatalf("scenario 1 needs no constraints: %v", err)
+	}
+	if err := (Constraints{}).Validate(CheapestWithDeadline); err == nil {
+		t.Fatal("scenario 2 without deadline must fail")
+	}
+	if err := (Constraints{Deadline: time.Hour}).Validate(CheapestWithDeadline); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Constraints{}).Validate(FastestWithBudget); err == nil {
+		t.Fatal("scenario 3 without budget must fail")
+	}
+	if err := (Constraints{Budget: 50}).Validate(FastestWithBudget); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstTrainTimeAndCost(t *testing.T) {
+	j := workload.ResNetCIFAR10 // 2M samples
+	d := dep(t, "c5.4xlarge", 10)
+	tt := EstTrainTime(j, 100) // 2e6/100 = 20 000 s
+	if math.Abs(tt.Seconds()-20000) > 1 {
+		t.Fatalf("EstTrainTime = %v", tt)
+	}
+	// 20 000 s at $6.80/h.
+	want := 6.8 * 20000 / 3600
+	if got := EstTrainCost(j, d, 100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EstTrainCost = %v, want %v", got, want)
+	}
+	if !math.IsInf(EstTrainCost(j, d, 0), 1) {
+		t.Fatal("zero throughput must cost +Inf")
+	}
+	if EstTrainTime(j, 0) < time.Duration(math.MaxInt64/8) {
+		t.Fatal("zero throughput must take effectively forever")
+	}
+}
+
+func TestObjectiveTransform(t *testing.T) {
+	d := dep(t, "c5.4xlarge", 10) // $6.80/h
+	if got := Objective(FastestUnlimited, d, 140); got != 140 {
+		t.Fatalf("scenario1 objective = %v", got)
+	}
+	if got := Objective(FastestWithBudget, d, 140); got != 140 {
+		t.Fatalf("scenario3 objective = %v", got)
+	}
+	if got := Objective(CheapestWithDeadline, d, 140); math.Abs(got-140/6.8) > 1e-12 {
+		t.Fatalf("scenario2 objective = %v, want throughput per $/h", got)
+	}
+}
+
+func TestPickBestScenario1TakesFastest(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 1), 16},
+		{dep(t, "c5.4xlarge", 30), 160},
+		{dep(t, "c5.4xlarge", 50), 140},
+	}
+	got, ok := PickBest(j, FastestUnlimited, Constraints{}, 0, 0, obs)
+	if !ok || got.Deployment.Nodes != 30 {
+		t.Fatalf("PickBest = %v, %v", got.Deployment, ok)
+	}
+}
+
+func TestPickBestScenario2CheapestWithinDeadline(t *testing.T) {
+	j := workload.ResNetCIFAR10 // 2M samples
+	// 1 node: thr 16 → 34.7 h (too slow for 6 h); 30 nodes: 160 → 3.47 h.
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 1), 16},
+		{dep(t, "c5.4xlarge", 30), 160},
+		{dep(t, "c5.4xlarge", 60), 170},
+	}
+	got, ok := PickBest(j, CheapestWithDeadline, Constraints{Deadline: 6 * time.Hour}, time.Hour, 0, obs)
+	if !ok {
+		t.Fatal("a feasible pick exists")
+	}
+	// 30 nodes is cheaper than 60 at similar speed; 1 node is infeasible.
+	if got.Deployment.Nodes != 30 {
+		t.Fatalf("picked %v", got.Deployment)
+	}
+}
+
+func TestPickBestScenario2AccountsForSpentTime(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	obs := []Observation{{dep(t, "c5.4xlarge", 30), 160}} // 3.47 h train
+	// With 3 h already burned on profiling, a 6 h deadline fails.
+	if _, ok := PickBest(j, CheapestWithDeadline, Constraints{Deadline: 6 * time.Hour}, 3*time.Hour, 0, obs); ok {
+		t.Fatal("spent profiling time must count against the deadline")
+	}
+	if _, ok := PickBest(j, CheapestWithDeadline, Constraints{Deadline: 8 * time.Hour}, 3*time.Hour, 0, obs); !ok {
+		t.Fatal("8 h deadline leaves room")
+	}
+}
+
+func TestPickBestScenario3FastestWithinBudget(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 1), 16},   // ≈$23.6 train
+		{dep(t, "c5.4xlarge", 30), 160}, // ≈$70.8 train
+	}
+	got, ok := PickBest(j, FastestWithBudget, Constraints{Budget: 100}, 0, 10, obs)
+	if !ok || got.Deployment.Nodes != 30 {
+		t.Fatalf("pick = %v, %v", got.Deployment, ok)
+	}
+	// With $70 already spent, only the single node fits.
+	got, ok = PickBest(j, FastestWithBudget, Constraints{Budget: 100}, 0, 70, obs)
+	if !ok || got.Deployment.Nodes != 1 {
+		t.Fatalf("pick under tight budget = %v, %v", got.Deployment, ok)
+	}
+}
+
+func TestPickBestInfeasibleFallsBackBestEffort(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 1), 16},
+		{dep(t, "c5.4xlarge", 30), 160},
+	}
+	got, ok := PickBest(j, FastestWithBudget, Constraints{Budget: 1}, 0, 0, obs)
+	if ok {
+		t.Fatal("nothing fits a $1 budget")
+	}
+	if got.Deployment.Nodes != 30 {
+		t.Fatalf("best effort must still return the fastest, got %v", got.Deployment)
+	}
+}
+
+func TestPickBestSkipsOOMObservations(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 10), 0}, // OOM
+		{dep(t, "c5.4xlarge", 5), 70},
+	}
+	got, ok := PickBest(j, FastestUnlimited, Constraints{}, 0, 0, obs)
+	if !ok || got.Deployment.Nodes != 5 {
+		t.Fatalf("pick = %v, %v", got.Deployment, ok)
+	}
+	if _, ok := PickBest(j, FastestUnlimited, Constraints{}, 0, 0, obs[:1]); ok {
+		t.Fatal("all-OOM observations must yield no pick")
+	}
+}
+
+func TestPickBestEmpty(t *testing.T) {
+	if _, ok := PickBest(workload.ResNetCIFAR10, FastestUnlimited, Constraints{}, 0, 0, nil); ok {
+		t.Fatal("empty observations must yield no pick")
+	}
+}
+
+func TestObservationPersistenceRoundTrip(t *testing.T) {
+	obs := []Observation{
+		{dep(t, "c5.4xlarge", 10), 113.2},
+		{dep(t, "p2.xlarge", 3), 0}, // OOM probes persist too
+	}
+	var buf bytes.Buffer
+	if err := SaveObservations(&buf, "resnet-cifar10", obs); err != nil {
+		t.Fatal(err)
+	}
+	job, got, err := LoadObservations(&buf, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job != "resnet-cifar10" {
+		t.Fatalf("job = %q", job)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d observations", len(got))
+	}
+	if got[0].Deployment != obs[0].Deployment || got[0].Throughput != obs[0].Throughput {
+		t.Fatalf("round trip mangled %+v", got[0])
+	}
+	// The reloaded deployment carries live catalog pricing.
+	if got[0].Deployment.Type.PricePerHr != 0.68 {
+		t.Fatalf("price not re-resolved: %v", got[0].Deployment.Type.PricePerHr)
+	}
+}
+
+func TestLoadObservationsRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadObservations(strings.NewReader("{"), cat); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if _, _, err := LoadObservations(strings.NewReader(`{"version":99}`), cat); err == nil {
+		t.Fatal("unknown version must error")
+	}
+	bad := `{"version":1,"job":"x","observations":[{"type":"m9.huge","nodes":1,"throughput_samples_per_sec":5}]}`
+	if _, _, err := LoadObservations(strings.NewReader(bad), cat); err == nil {
+		t.Fatal("unknown type must error")
+	}
+	bad2 := `{"version":1,"job":"x","observations":[{"type":"c5.large","nodes":0,"throughput_samples_per_sec":5}]}`
+	if _, _, err := LoadObservations(strings.NewReader(bad2), cat); err == nil {
+		t.Fatal("invalid node count must error")
+	}
+}
+
+func TestObservationsFromOutcome(t *testing.T) {
+	o := Outcome{Steps: []Step{
+		{Deployment: dep(t, "c5.large", 1), Throughput: 3},
+		{Deployment: dep(t, "c5.large", 2), Throughput: 6},
+	}}
+	obs := ObservationsFromOutcome(o)
+	if len(obs) != 2 || obs[1].Throughput != 6 {
+		t.Fatalf("obs = %+v", obs)
+	}
+}
+
+// Property: when PickBest reports ok, the pick satisfies the constraint;
+// when it reports !ok, no observation does.
+func TestQuickPickBestSoundAndComplete(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	types := cat.Types()
+	f := func(seed int64, nObs uint8, budgetRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nObs%8) + 1
+		obs := make([]Observation, n)
+		for i := range obs {
+			it := types[rng.Intn(len(types))]
+			obs[i] = Observation{
+				Deployment: cloud.Deployment{Type: it, Nodes: rng.Intn(50) + 1},
+				Throughput: rng.Float64() * 500,
+			}
+		}
+		budget := float64(budgetRaw%500) + 1
+		cons := Constraints{Budget: budget}
+		pick, ok := PickBest(j, FastestWithBudget, cons, 0, 0, obs)
+		if ok {
+			// Soundness: the pick fits, and nothing feasible is faster.
+			if EstTrainCost(j, pick.Deployment, pick.Throughput) > budget {
+				return false
+			}
+			for _, o := range obs {
+				if o.Throughput <= 0 {
+					continue
+				}
+				if EstTrainCost(j, o.Deployment, o.Throughput) <= budget &&
+					EstTrainTime(j, o.Throughput) < EstTrainTime(j, pick.Throughput) {
+					return false
+				}
+			}
+			return true
+		}
+		// Completeness: nothing fits.
+		for _, o := range obs {
+			if o.Throughput > 0 && EstTrainCost(j, o.Deployment, o.Throughput) <= budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

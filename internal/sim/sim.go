@@ -1,0 +1,324 @@
+// Package sim is the distributed-training performance simulator that
+// stands in for the paper's AWS testbed. For any deployment D(m, n) of a
+// training job it produces a ground-truth throughput (samples/second) and
+// noisy measurements of it, from a compute + communication model:
+//
+//   - Per-iteration compute: the fixed global batch is sharded across n
+//     nodes (strong scaling, as in the paper §V-A), each node processing
+//     its shard at the instance's effective FLOP/s for the model.
+//   - Per-iteration communication: gradients are exchanged under either a
+//     parameter-server topology (bandwidth-bound with incast contention
+//     that grows with n) or ring all-reduce (bandwidth term ~2G(n−1)/n·bw
+//     plus per-step latency, partially overlapped with compute).
+//   - Synchronization stragglers inflate each iteration by (1 + γ·ln n).
+//
+// These three ingredients reproduce the phenomena the paper's search
+// method exploits: concave scale-out speedup with an interior optimum
+// (Fig. 3b), non-linear scale-up (Fig. 3a), and model-dependent CPU/GPU
+// crossovers (Fig. 1b). The constants below were calibrated against the
+// figure shapes, not against absolute testbed numbers — see DESIGN.md.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/models"
+	"mlcd/internal/workload"
+)
+
+// Config tunes the performance model.
+type Config struct {
+	// PSContention is the per-extra-node incast penalty on parameter-
+	// server communication time: t_comm ∝ (1 + PSContention·(n−1)).
+	PSContention float64
+	// RingStepLatency is the per-ring-step latency.
+	RingStepLatency time.Duration
+	// StragglerGamma inflates iterations by (1 + γ·ln n).
+	StragglerGamma float64
+	// IterOverhead is fixed per-iteration framework overhead.
+	IterOverhead time.Duration
+	// NoiseSigma is the relative std-dev of measurement noise.
+	NoiseSigma float64
+	// ScaleUpDecay makes big instances slightly less efficient per vCPU
+	// (memory-bandwidth saturation): eff ∝ (vCPUs/2)^(−ScaleUpDecay).
+	ScaleUpDecay float64
+	// MultiGPUExponent: k GPUs deliver k^MultiGPUExponent of one GPU.
+	MultiGPUExponent float64
+}
+
+// DefaultConfig returns the calibrated constants.
+func DefaultConfig() Config {
+	return Config{
+		PSContention:     0.05,
+		RingStepLatency:  3 * time.Millisecond,
+		StragglerGamma:   0.025,
+		IterOverhead:     25 * time.Millisecond,
+		NoiseSigma:       0.03,
+		ScaleUpDecay:     0.05,
+		MultiGPUExponent: 0.92,
+	}
+}
+
+// Simulator produces throughput for (job, deployment) pairs.
+type Simulator struct {
+	cfg  Config
+	seed int64
+}
+
+// New returns a simulator with default calibration and the given noise seed.
+func New(seed int64) *Simulator {
+	return &Simulator{cfg: DefaultConfig(), seed: seed}
+}
+
+// NewWithConfig returns a simulator with explicit constants.
+func NewWithConfig(cfg Config, seed int64) *Simulator {
+	return &Simulator{cfg: cfg, seed: seed}
+}
+
+// Config returns the simulator's constants.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// platformFactors returns (compute, communication) efficiency multipliers.
+func platformFactors(p workload.Platform) (comp, comm float64) {
+	switch p {
+	case workload.TensorFlow:
+		return 1.0, 1.0
+	case workload.MXNet:
+		// The paper's BERT/MXNet runs (Fig. 17) peak visibly below the
+		// TensorFlow ones (Fig. 16).
+		return 0.75, 0.95
+	case workload.PyTorch:
+		return 0.95, 1.0
+	default:
+		return 1.0, 1.0
+	}
+}
+
+// accelFactor discounts a model architecture on older accelerators:
+// Model.GPUEfficiency is calibrated for V100-class hardware; the K80
+// (no tensor cores, 24 GB/s-class memory bandwidth, ancient cuDNN paths)
+// does markedly worse on RNNs and transformers.
+func accelFactor(a models.Arch, acc cloud.Accelerator) float64 {
+	switch acc {
+	case cloud.NvidiaK80:
+		switch a {
+		case models.CNN:
+			return 0.90
+		case models.RNN:
+			return 0.40
+		case models.Transformer:
+			return 0.30
+		}
+	case cloud.NvidiaV100:
+		switch a {
+		case models.CNN:
+			return 1.0
+		case models.RNN:
+			return 0.80
+		case models.Transformer:
+			return 1.0
+		}
+	}
+	return 1.0
+}
+
+// nodeGFLOPS returns the effective per-node compute for the model, in
+// GFLOP/s, including model-architecture utilization and instance-size
+// efficiency decay.
+func (s *Simulator) nodeGFLOPS(m models.Model, it cloud.InstanceType) float64 {
+	sizeEff := math.Pow(float64(it.VCPUs)/2, -s.cfg.ScaleUpDecay)
+	if it.IsGPU() {
+		gpus := math.Pow(float64(it.GPUs), s.cfg.MultiGPUExponent)
+		return it.GPUGFLOPS * gpus * m.GPUEfficiency * accelFactor(m.Arch, it.GPUModel) * sizeEff
+	}
+	return it.CPUGFLOPS * m.CPUEfficiency * sizeEff
+}
+
+// MemoryFeasible reports whether deployment d can hold the model's
+// training state. Data-parallel training replicates the full state on
+// every node; ZeRO-style sharded training divides it across the cluster.
+func MemoryFeasible(j workload.Job, d cloud.Deployment) bool {
+	need := j.Model.MemoryGiB()
+	nodeMem := d.Type.MemGiB
+	if d.Type.IsGPU() {
+		nodeMem = float64(d.Type.GPUs) * d.Type.GPUMemGiB
+	}
+	if j.Model.ShardedStates {
+		return nodeMem*float64(d.Nodes) >= need
+	}
+	return nodeMem >= need
+}
+
+// IterationTime returns the simulated wall-clock time of one training
+// iteration (one global batch) for job j on deployment d.
+func (s *Simulator) IterationTime(j workload.Job, d cloud.Deployment) time.Duration {
+	if err := j.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid job: %v", err))
+	}
+	if d.Nodes < 1 {
+		panic("sim: deployment with zero nodes")
+	}
+	comp, comm := platformFactors(j.Platform)
+
+	n := float64(d.Nodes)
+	perNodeBatch := float64(j.GlobalBatch) / n
+	gflops := s.nodeGFLOPS(j.Model, d.Type) * comp
+	tComp := perNodeBatch * j.Model.TrainFLOPsPerSample / (gflops * 1e9)
+
+	tComm, overlapped := s.commTime(j, d, comm)
+
+	var tIter float64
+	if overlapped {
+		// Ring all-reduce overlaps gradient exchange with the backward
+		// pass; the slower of the two dominates.
+		tIter = math.Max(tComp, tComm) + 0.3*math.Min(tComp, tComm)
+	} else {
+		tIter = tComp + tComm
+	}
+	straggler := 1 + s.cfg.StragglerGamma*math.Log(n)
+	tIter = tIter*straggler + s.cfg.IterOverhead.Seconds()
+	return time.Duration(tIter * float64(time.Second))
+}
+
+// ComputeTime returns the per-iteration pure compute time of one node
+// (its shard of the global batch at the instance's effective FLOP/s),
+// before synchronization effects. Exposed for the event-driven simulator.
+func (s *Simulator) ComputeTime(j workload.Job, d cloud.Deployment) time.Duration {
+	comp, _ := platformFactors(j.Platform)
+	perNodeBatch := float64(j.GlobalBatch) / float64(d.Nodes)
+	gflops := s.nodeGFLOPS(j.Model, d.Type) * comp
+	return time.Duration(perNodeBatch * j.Model.TrainFLOPsPerSample / (gflops * 1e9) * float64(time.Second))
+}
+
+// CommTime returns the per-iteration gradient-exchange time and whether
+// the topology overlaps it with compute. Exposed for the event-driven
+// simulator.
+func (s *Simulator) CommTime(j workload.Job, d cloud.Deployment) (time.Duration, bool) {
+	_, comm := platformFactors(j.Platform)
+	sec, overlapped := s.commTime(j, d, comm)
+	return time.Duration(sec * float64(time.Second)), overlapped
+}
+
+// commTime returns the per-iteration gradient-exchange time in seconds
+// and whether it overlaps with compute.
+func (s *Simulator) commTime(j workload.Job, d cloud.Deployment, commEff float64) (sec float64, overlapped bool) {
+	if d.Nodes == 1 {
+		return 0, false
+	}
+	n := float64(d.Nodes)
+	gBytes := j.Model.GradientBytes()
+	bwBytesPerSec := d.Type.NetworkGbps * 1e9 / 8 * commEff
+	switch j.Topology {
+	case workload.ParameterServer:
+		// Sharded PS co-located with workers: each worker pushes and
+		// pulls the full gradient volume per iteration, with incast
+		// contention growing with cluster size.
+		base := 2 * gBytes / bwBytesPerSec
+		contention := 1 + s.cfg.PSContention*(n-1)
+		return base * contention, false
+	case workload.RingAllReduce:
+		// Classic ring: 2(n−1)/n of the gradient volume on the wire,
+		// plus 2(n−1) latency-bound ring steps.
+		bwTerm := 2 * gBytes * (n - 1) / (n * bwBytesPerSec)
+		latTerm := 2 * (n - 1) * s.cfg.RingStepLatency.Seconds()
+		return bwTerm + latTerm, true
+	default:
+		panic(fmt.Sprintf("sim: unknown topology %v", j.Topology))
+	}
+}
+
+// Throughput returns the ground-truth training speed in samples/second.
+// Memory-infeasible deployments (the job OOMs) report zero throughput —
+// probing one still costs real profiling time and money, which is part
+// of what makes blind exploration expensive.
+func (s *Simulator) Throughput(j workload.Job, d cloud.Deployment) float64 {
+	if !MemoryFeasible(j, d) {
+		return 0
+	}
+	it := s.IterationTime(j, d).Seconds()
+	return float64(j.GlobalBatch) / it
+}
+
+// MeasureThroughput returns a noisy throughput observation. The noise is
+// deterministic in (job, deployment, trial) so experiments are replayable.
+func (s *Simulator) MeasureThroughput(j workload.Job, d cloud.Deployment, trial int) float64 {
+	true_ := s.Throughput(j, d)
+	if s.cfg.NoiseSigma <= 0 || true_ == 0 {
+		return true_
+	}
+	rng := rand.New(rand.NewSource(s.trialSeed(j, d, trial)))
+	noisy := true_ * (1 + s.cfg.NoiseSigma*rng.NormFloat64())
+	if noisy <= 0 {
+		noisy = true_ * 0.01
+	}
+	return noisy
+}
+
+// trialSeed hashes the measurement identity with the simulator seed.
+func (s *Simulator) trialSeed(j workload.Job, d cloud.Deployment, trial int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d", j.String(), j.Model.Name, d.Key(), trial, s.seed, j.GlobalBatch)
+	return int64(h.Sum64())
+}
+
+// Never is the "cannot finish" sentinel duration for infeasible
+// deployments (about 29 000 years; finite so durations stay arithmetic-safe).
+const Never = time.Duration(1) << 58
+
+// TrainTime returns the wall-clock time to process the job's total
+// samples on deployment d, at ground-truth speed. Infeasible deployments
+// return Never.
+func (s *Simulator) TrainTime(j workload.Job, d cloud.Deployment) time.Duration {
+	thr := s.Throughput(j, d)
+	if thr <= 0 {
+		return Never
+	}
+	secs := j.TotalSamples() / thr
+	return time.Duration(secs * float64(time.Second))
+}
+
+// TrainCost returns the dollars to finish training on d
+// (+Inf for infeasible deployments).
+func (s *Simulator) TrainCost(j workload.Job, d cloud.Deployment) float64 {
+	t := s.TrainTime(j, d)
+	if t >= Never {
+		return math.Inf(1)
+	}
+	return d.CostFor(t)
+}
+
+// Best scans the whole space for the deployment optimizing the given
+// objective (smaller is better) at ground truth. It is the "Opt"
+// reference line in the paper's figures.
+func (s *Simulator) Best(j workload.Job, space *cloud.Space, objective func(trainTime time.Duration, trainCost float64) float64) (cloud.Deployment, float64) {
+	if space.Len() == 0 {
+		panic("sim: empty space")
+	}
+	bestIdx := 0
+	bestVal := math.Inf(1)
+	for i := 0; i < space.Len(); i++ {
+		d := space.At(i)
+		v := objective(s.TrainTime(j, d), s.TrainCost(j, d))
+		if v < bestVal {
+			bestVal = v
+			bestIdx = i
+		}
+	}
+	return space.At(bestIdx), bestVal
+}
+
+// FastestDeployment returns the time-optimal deployment and its training time.
+func (s *Simulator) FastestDeployment(j workload.Job, space *cloud.Space) (cloud.Deployment, time.Duration) {
+	d, v := s.Best(j, space, func(t time.Duration, _ float64) float64 { return t.Seconds() })
+	return d, time.Duration(v * float64(time.Second))
+}
+
+// CheapestDeployment returns the cost-optimal deployment and its training cost.
+func (s *Simulator) CheapestDeployment(j workload.Job, space *cloud.Space) (cloud.Deployment, float64) {
+	return s.Best(j, space, func(_ time.Duration, c float64) float64 { return c })
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/workload"
+)
+
+var (
+	cat   = cloud.DefaultCatalog()
+	simtf = New(1)
+)
+
+func dep(t *testing.T, name string, n int) cloud.Deployment {
+	t.Helper()
+	return cloud.NewDeployment(cat.MustLookup(name), n)
+}
+
+func TestFig1bOrdering(t *testing.T) {
+	// Paper Fig. 1(b): at (roughly) equal hourly cost, Char-RNN trains
+	// fastest on 10×c5.4xlarge, slower on 40×c5.xlarge, and slowest on
+	// 9×p2.xlarge — the GPU fleet loses despite "GPUs are faster" folklore.
+	j := workload.CharRNNText
+	t4x := simtf.TrainTime(j, dep(t, "c5.4xlarge", 10))
+	tXl := simtf.TrainTime(j, dep(t, "c5.xlarge", 40))
+	tP2 := simtf.TrainTime(j, dep(t, "p2.xlarge", 9))
+	if !(t4x < tXl && tXl < tP2) {
+		t.Fatalf("ordering broken: c5.4xlarge=%v c5.xlarge=%v p2=%v", t4x, tXl, tP2)
+	}
+	// The paper reports the right deployment is ≈3× faster than the worst.
+	ratio := tP2.Hours() / t4x.Hours()
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("best-to-worst ratio = %.2f, want ≈3×", ratio)
+	}
+}
+
+func TestFig3bScaleOutConcaveWithInteriorMax(t *testing.T) {
+	// Paper Fig. 3(b) and §II-D: scale-out speedup follows a concave
+	// curve — rising while compute-bound, then declining once
+	// communication dominates.
+	j := workload.CharRNNText
+	thr := func(n int) float64 { return simtf.Throughput(j, dep(t, "c5.xlarge", n)) }
+	if !(thr(10) > thr(1) && thr(30) > thr(10)) {
+		t.Fatal("scale-out must speed up at small n")
+	}
+	if !(thr(100) < thr(40)) {
+		t.Fatal("scale-out must decline at large n (communication bound)")
+	}
+	// Single interior maximum: once the curve turns down it stays down.
+	peakSeen := false
+	prev := thr(1)
+	for n := 2; n <= 100; n++ {
+		cur := thr(n)
+		if cur < prev*0.999 {
+			peakSeen = true
+		} else if peakSeen && cur > prev*1.01 {
+			t.Fatalf("second rise at n=%d: curve is not unimodal", n)
+		}
+		prev = cur
+	}
+	if !peakSeen {
+		t.Fatal("no interior peak found in 1..100")
+	}
+}
+
+func TestFig3aScaleUpNonLinear(t *testing.T) {
+	// Paper Fig. 3(a): scale-up speed is non-linear in instance size.
+	j := workload.CharRNNText
+	small := simtf.Throughput(j, dep(t, "c5.xlarge", 10))
+	big := simtf.Throughput(j, dep(t, "c5.18xlarge", 10))
+	// 18× the vCPUs must yield clearly less than 18× the speed.
+	if big/small >= 18 {
+		t.Fatalf("scale-up is implausibly linear: %v / %v", big, small)
+	}
+	if big <= small {
+		t.Fatal("bigger instances must still be faster here")
+	}
+}
+
+func TestSingleNodeHasNoCommunication(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	d1 := dep(t, "c5.4xlarge", 1)
+	sec, _ := simtf.commTime(j, d1, 1.0)
+	if sec != 0 {
+		t.Fatalf("single node comm = %v, want 0", sec)
+	}
+}
+
+func TestRingAllReduceScalesBetterThanPS(t *testing.T) {
+	// Ring all-reduce's per-node traffic is bounded; PS suffers incast.
+	j := workload.BERTTF
+	ps := j
+	ps.Topology = workload.ParameterServer
+	d := dep(t, "c5n.4xlarge", 30)
+	if simtf.Throughput(j, d) <= simtf.Throughput(ps, d) {
+		t.Fatal("ring all-reduce must beat PS for a 340M-parameter model at n=30")
+	}
+}
+
+func TestMXNetSlowerThanTensorFlowForBERT(t *testing.T) {
+	// Fig. 17's peak throughput is visibly below Fig. 16's.
+	d := dep(t, "c5n.4xlarge", 10)
+	if simtf.Throughput(workload.BERTMXNet, d) >= simtf.Throughput(workload.BERTTF, d) {
+		t.Fatal("MXNet BERT must be slower than TensorFlow BERT")
+	}
+}
+
+func TestBERTCrossoverC5nVsP2(t *testing.T) {
+	// Figs. 16–17: p2.xlarge plateaus early (1.25 Gbps network strangles
+	// ring all-reduce of 1.4 GB gradients); c5n.4xlarge overtakes it
+	// within the explored window.
+	j := workload.BERTTF
+	p2Peak := 0.0
+	for n := 1; n <= 20; n++ {
+		if v := simtf.Throughput(j, dep(t, "p2.xlarge", n)); v > p2Peak {
+			p2Peak = v
+		}
+	}
+	c5nAt20 := simtf.Throughput(j, dep(t, "c5n.4xlarge", 20))
+	if c5nAt20 <= p2Peak {
+		t.Fatalf("c5n.4xlarge@20 (%v) must beat p2.xlarge peak (%v)", c5nAt20, p2Peak)
+	}
+}
+
+func TestMemoryFeasibility(t *testing.T) {
+	// BERT state (~6.1 GiB) does not fit c5.large (4 GiB), fits c5.xlarge.
+	if MemoryFeasible(workload.BERTTF, dep(t, "c5.large", 10)) {
+		t.Fatal("BERT must not fit c5.large (replicated states)")
+	}
+	if !MemoryFeasible(workload.BERTTF, dep(t, "c5.xlarge", 1)) {
+		t.Fatal("BERT must fit c5.xlarge")
+	}
+	// ZeRO-20B shards: 320×1.2 GiB total → 3 p3.16xlarge (128 GiB GPU each) fit.
+	if MemoryFeasible(workload.ZeRO20BJob, dep(t, "p3.16xlarge", 2)) {
+		t.Fatal("ZeRO-20B must not fit 2×p3.16xlarge")
+	}
+	if !MemoryFeasible(workload.ZeRO20BJob, dep(t, "p3.16xlarge", 4)) {
+		t.Fatal("ZeRO-20B must fit 4×p3.16xlarge")
+	}
+}
+
+func TestInfeasibleDeploymentSemantics(t *testing.T) {
+	d := dep(t, "c5.large", 2)
+	j := workload.BERTTF
+	if simtf.Throughput(j, d) != 0 {
+		t.Fatal("infeasible throughput must be 0")
+	}
+	if simtf.MeasureThroughput(j, d, 0) != 0 {
+		t.Fatal("infeasible measurement must be 0")
+	}
+	if simtf.TrainTime(j, d) != Never {
+		t.Fatal("infeasible train time must be Never")
+	}
+	if !math.IsInf(simtf.TrainCost(j, d), 1) {
+		t.Fatal("infeasible train cost must be +Inf")
+	}
+}
+
+func TestMeasurementNoiseDeterministicAndBounded(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	d := dep(t, "c5.4xlarge", 10)
+	a := simtf.MeasureThroughput(j, d, 3)
+	b := simtf.MeasureThroughput(j, d, 3)
+	if a != b {
+		t.Fatal("same trial must reproduce the same measurement")
+	}
+	c := simtf.MeasureThroughput(j, d, 4)
+	if a == c {
+		t.Fatal("different trials must differ")
+	}
+	true_ := simtf.Throughput(j, d)
+	if math.Abs(a-true_)/true_ > 0.25 {
+		t.Fatalf("noise too large: %v vs %v", a, true_)
+	}
+}
+
+func TestNoiselessConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	s := NewWithConfig(cfg, 1)
+	j := workload.ResNetCIFAR10
+	d := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 5)
+	if s.MeasureThroughput(j, d, 0) != s.Throughput(j, d) {
+		t.Fatal("zero noise must return ground truth")
+	}
+}
+
+func TestTrainTimeAndCostConsistent(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	d := dep(t, "c5.4xlarge", 20)
+	tt := simtf.TrainTime(j, d)
+	want := d.HourlyCost() * tt.Hours()
+	if got := simtf.TrainCost(j, d); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TrainCost = %v, want %v", got, want)
+	}
+	// Throughput × time = total samples.
+	samples := simtf.Throughput(j, d) * tt.Seconds()
+	if math.Abs(samples-j.TotalSamples())/j.TotalSamples() > 1e-9 {
+		t.Fatalf("samples = %v, want %v", samples, j.TotalSamples())
+	}
+}
+
+func TestBestScansFullSpace(t *testing.T) {
+	space := cloud.NewSpace(cat, cloud.SpaceLimits{MaxCPUNodes: 30, MaxGPUNodes: 15})
+	j := workload.ResNetCIFAR10
+	dFast, tFast := simtf.FastestDeployment(j, space)
+	dCheap, cCheap := simtf.CheapestDeployment(j, space)
+	// The fastest must be at least as fast as every probe we try.
+	for _, d := range []cloud.Deployment{dep(t, "c5.4xlarge", 10), dep(t, "p3.2xlarge", 5)} {
+		if simtf.TrainTime(j, d) < tFast {
+			t.Fatalf("%s beats claimed fastest %s", d, dFast)
+		}
+		if simtf.TrainCost(j, d) < cCheap {
+			t.Fatalf("%s beats claimed cheapest %s", d, dCheap)
+		}
+	}
+}
+
+func TestBestPanicsOnEmptySpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	simtf.Best(workload.ResNetCIFAR10, cloud.NewSpaceFrom(nil),
+		func(tt time.Duration, c float64) float64 { return c })
+}
+
+func TestIterationTimePanicsOnInvalidJob(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	simtf.IterationTime(workload.Job{}, dep(t, "c5.large", 1))
+}
+
+func TestCIFARScaleCNNsPreferCPUPerDollar(t *testing.T) {
+	// The premise behind the paper's choice of c5.4xlarge as ResNet's
+	// optimal scale-up: CIFAR-scale CNNs utilize GPUs so poorly that
+	// CPU instances win per dollar.
+	j := workload.ResNetCIFAR10
+	cpu := dep(t, "c5.4xlarge", 1)
+	gpu := dep(t, "p3.2xlarge", 1)
+	cpuPerDollar := simtf.Throughput(j, cpu) / cpu.HourlyCost()
+	gpuPerDollar := simtf.Throughput(j, gpu) / gpu.HourlyCost()
+	if cpuPerDollar <= gpuPerDollar {
+		t.Fatalf("CPU %.1f samples/$ must beat GPU %.1f for CIFAR ResNet", cpuPerDollar, gpuPerDollar)
+	}
+	// …while large transformers prefer modern GPUs per dollar.
+	b := workload.BERTTF
+	cpuB := simtf.Throughput(b, cpu) / cpu.HourlyCost()
+	gpuB := simtf.Throughput(b, gpu) / gpu.HourlyCost()
+	if gpuB <= cpuB {
+		t.Fatalf("V100 %.3f samples/$ must beat CPU %.3f for BERT", gpuB, cpuB)
+	}
+}
+
+// Property: throughput is positive and finite for every feasible
+// deployment in the default space.
+func TestQuickThroughputPositive(t *testing.T) {
+	space := cloud.NewSpace(cat, cloud.DefaultLimits)
+	jobs := workload.All()
+	f := func(jIdx, dIdx uint16) bool {
+		j := jobs[int(jIdx)%len(jobs)]
+		d := space.At(int(dIdx) % space.Len())
+		thr := simtf.Throughput(j, d)
+		if !MemoryFeasible(j, d) {
+			return thr == 0
+		}
+		return thr > 0 && !math.IsInf(thr, 0) && !math.IsNaN(thr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: train cost at n nodes ≥ cost of the work itself — doubling
+// nodes never cuts total cost by more than the straggler bound allows
+// (sanity: cost monotonicity is not required, but positivity is).
+func TestQuickTrainCostPositive(t *testing.T) {
+	space := cloud.NewSpace(cat, cloud.SpaceLimits{MaxCPUNodes: 50, MaxGPUNodes: 25})
+	f := func(dIdx uint16) bool {
+		d := space.At(int(dIdx) % space.Len())
+		c := simtf.TrainCost(workload.CharRNNText, d)
+		return c > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAndCommTimeExports(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	d := dep(t, "c5.4xlarge", 10)
+	comp := simtf.ComputeTime(j, d)
+	comm, overlapped := simtf.CommTime(j, d)
+	if comp <= 0 || comm <= 0 {
+		t.Fatalf("component times must be positive: %v, %v", comp, comm)
+	}
+	if overlapped {
+		t.Fatal("PS communication must not be overlapped")
+	}
+	// Components roughly reassemble the iteration (before stragglers
+	// and fixed overhead, both of which only add time).
+	iter := simtf.IterationTime(j, d)
+	if comp+comm > iter {
+		t.Fatalf("components (%v) exceed the full iteration (%v)", comp+comm, iter)
+	}
+	// Ring topology reports overlap.
+	_, ringOverlap := simtf.CommTime(workload.BERTTF, dep(t, "c5n.4xlarge", 10))
+	if !ringOverlap {
+		t.Fatal("ring all-reduce must report overlap")
+	}
+	// Strong scaling: per-node compute shrinks with n.
+	if simtf.ComputeTime(j, dep(t, "c5.4xlarge", 20)) >= comp {
+		t.Fatal("per-node compute must shrink as nodes are added")
+	}
+}
+
+func TestConfigAccessorAndPlatforms(t *testing.T) {
+	if simtf.Config() != DefaultConfig() {
+		t.Fatal("Config must return the constants in use")
+	}
+	// PyTorch sits between TensorFlow and MXNet on compute efficiency.
+	d := dep(t, "c5n.4xlarge", 10)
+	tf, mx, pt := workload.BERTTF, workload.BERTMXNet, workload.BERTTF
+	pt.Platform = workload.PyTorch
+	thrTF := simtf.Throughput(tf, d)
+	thrMX := simtf.Throughput(mx, d)
+	thrPT := simtf.Throughput(pt, d)
+	if !(thrMX < thrPT && thrPT <= thrTF) {
+		t.Fatalf("platform ordering broken: tf=%v pt=%v mx=%v", thrTF, thrPT, thrMX)
+	}
+	// Unknown platforms fall back to neutral factors.
+	weird := tf
+	weird.Platform = workload.Platform(99)
+	if simtf.Throughput(weird, d) != thrTF {
+		t.Fatal("unknown platform must behave like the neutral baseline")
+	}
+}

@@ -1,0 +1,168 @@
+// Package trace renders search outcomes for humans: step-by-step probe
+// tables (the search processes of Figs. 9a/10a/11a/15–17), per-type
+// scale-out charts in ASCII, and the profile/train breakdown bars of the
+// comparison figures (9b/10b/11b/13/14).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mlcd/internal/search"
+)
+
+// StepTable renders one row per probe.
+func StepTable(o search.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%s)\n", o.Searcher, o.Job.String(), o.Scenario)
+	fmt.Fprintf(&b, "%4s  %-18s %12s %10s %10s %12s  %s\n",
+		"step", "deployment", "samples/s", "probe", "cum-time", "cum-cost", "note")
+	for _, s := range o.Steps {
+		fmt.Fprintf(&b, "%4d  %-18s %12.1f %10s %10s %12s  %s\n",
+			s.Index, s.Deployment.String(), s.Throughput,
+			shortDur(s.ProfileTime), shortDur(s.CumProfileTime),
+			fmt.Sprintf("$%.2f", s.CumProfileCost), s.Note)
+	}
+	fmt.Fprintf(&b, "chosen: %s (%.1f samples/s), stop: %s\n", o.Best.String(), o.BestThroughput, o.Stopped)
+	return b.String()
+}
+
+// SearchProcess renders the Figs. 15–17 view: for each instance type, a
+// node-count axis with the step numbers that probed it.
+func SearchProcess(o search.Outcome) string {
+	byType := map[string][]search.Step{}
+	var order []string
+	for _, s := range o.Steps {
+		name := s.Deployment.Type.Name
+		if _, seen := byType[name]; !seen {
+			order = append(order, name)
+		}
+		byType[name] = append(byType[name], s)
+	}
+	var b strings.Builder
+	for _, name := range order {
+		steps := byType[name]
+		sort.Slice(steps, func(i, j int) bool { return steps[i].Deployment.Nodes < steps[j].Deployment.Nodes })
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, s := range steps {
+			marker := " "
+			if s.Deployment == o.Best {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "  n=%-4d step %-2d thr=%10.1f %s\n", s.Deployment.Nodes, s.Index, s.Throughput, marker)
+		}
+	}
+	return b.String()
+}
+
+// BreakdownRow is one bar of a profile+train comparison figure.
+type BreakdownRow struct {
+	Name        string
+	ProfileTime time.Duration
+	TrainTime   time.Duration
+	ProfileCost float64
+	TrainCost   float64
+}
+
+// TotalTime returns profiling + training time.
+func (r BreakdownRow) TotalTime() time.Duration { return r.ProfileTime + r.TrainTime }
+
+// TotalCost returns profiling + training dollars.
+func (r BreakdownRow) TotalCost() float64 { return r.ProfileCost + r.TrainCost }
+
+// BreakdownTable renders rows with both time and cost breakdowns, plus an
+// optional constraint line ("budget $100" / "deadline 20h").
+func BreakdownTable(rows []BreakdownRow, constraint string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %12s %12s %12s\n",
+		"method", "prof-time", "train-time", "total-time", "prof-cost", "train-cost", "total-cost")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10s %10s %10s %12s %12s %12s\n",
+			r.Name, shortDur(r.ProfileTime), shortDur(r.TrainTime), shortDur(r.TotalTime()),
+			fmt.Sprintf("$%.2f", r.ProfileCost), fmt.Sprintf("$%.2f", r.TrainCost),
+			fmt.Sprintf("$%.2f", r.TotalCost()))
+	}
+	if constraint != "" {
+		fmt.Fprintf(&b, "constraint: %s\n", constraint)
+	}
+	return b.String()
+}
+
+// BreakdownBars renders the paper's stacked-bar view of a comparison:
+// one bar per method, profile segment (█) then train segment (░), scaled
+// to the longest total. metric selects "time" or "cost".
+func BreakdownBars(rows []BreakdownRow, metric string) string {
+	const width = 44
+	var max float64
+	vals := make([][2]float64, len(rows))
+	for i, r := range rows {
+		var p, t float64
+		if metric == "cost" {
+			p, t = r.ProfileCost, r.TrainCost
+		} else {
+			p, t = r.ProfileTime.Hours(), r.TrainTime.Hours()
+		}
+		vals[i] = [2]float64{p, t}
+		if p+t > max {
+			max = p + t
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	unit := "h"
+	if metric == "cost" {
+		unit = "$"
+	}
+	fmt.Fprintf(&b, "%s (█ profile, ░ train):\n", metric)
+	for i, r := range rows {
+		p := int(vals[i][0] / max * width)
+		t := int(vals[i][1] / max * width)
+		if vals[i][0] > 0 && p == 0 {
+			p = 1
+		}
+		if vals[i][1] > 0 && t == 0 {
+			t = 1
+		}
+		fmt.Fprintf(&b, "  %-12s %s%s %.2f%s\n",
+			r.Name, strings.Repeat("█", p), strings.Repeat("░", t), vals[i][0]+vals[i][1], unit)
+	}
+	return b.String()
+}
+
+// Series is a labelled (x, y) sequence used by curve figures (3, 18, 19).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// RenderSeries prints one aligned column block per series.
+func RenderSeries(title string, ss []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range ss {
+		fmt.Fprintf(&b, "  %s:\n", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(&b, "    x=%-10.4g y=%.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// shortDur renders durations compactly ("1h32m", "12m", "45s").
+func shortDur(d time.Duration) string {
+	if d == 0 {
+		return "0"
+	}
+	if d >= time.Hour {
+		return fmt.Sprintf("%.2fh", d.Hours())
+	}
+	if d >= time.Minute {
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	}
+	return fmt.Sprintf("%.0fs", d.Seconds())
+}

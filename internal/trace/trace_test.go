@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+func sampleOutcome() search.Outcome {
+	cat := cloud.DefaultCatalog()
+	d1 := cloud.NewDeployment(cat.MustLookup("c5.xlarge"), 1)
+	d2 := cloud.NewDeployment(cat.MustLookup("c5.4xlarge"), 10)
+	return search.Outcome{
+		Searcher: "heterbo",
+		Job:      workload.CharRNNText,
+		Scenario: search.FastestWithBudget,
+		Best:     d2, BestThroughput: 1200, Found: true,
+		Steps: []search.Step{
+			{Index: 1, Deployment: d1, Throughput: 42, ProfileTime: 10 * time.Minute, ProfileCost: 0.03,
+				CumProfileTime: 10 * time.Minute, CumProfileCost: 0.03, Note: "init"},
+			{Index: 2, Deployment: d2, Throughput: 1200, ProfileTime: 13 * time.Minute, ProfileCost: 1.47,
+				CumProfileTime: 23 * time.Minute, CumProfileCost: 1.50, Note: "explore/cost-aware", Acquisition: 3.2},
+		},
+		ProfileTime: 23 * time.Minute,
+		ProfileCost: 1.50,
+		Stopped:     "expected improvement below tolerance",
+	}
+}
+
+func TestStepTableContainsEverything(t *testing.T) {
+	s := StepTable(sampleOutcome())
+	for _, want := range []string{"heterbo", "charrnn-text", "1×c5.xlarge", "10×c5.4xlarge",
+		"init", "explore/cost-aware", "chosen: 10×c5.4xlarge", "expected improvement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("StepTable missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSearchProcessGroupsByType(t *testing.T) {
+	s := SearchProcess(sampleOutcome())
+	if !strings.Contains(s, "c5.xlarge:") || !strings.Contains(s, "c5.4xlarge:") {
+		t.Fatalf("SearchProcess missing type sections:\n%s", s)
+	}
+	// The chosen deployment is starred.
+	if !strings.Contains(s, "*") {
+		t.Fatalf("chosen deployment must be marked:\n%s", s)
+	}
+}
+
+func TestBreakdownRowTotals(t *testing.T) {
+	r := BreakdownRow{Name: "x", ProfileTime: time.Hour, TrainTime: 2 * time.Hour,
+		ProfileCost: 10, TrainCost: 30}
+	if r.TotalTime() != 3*time.Hour || r.TotalCost() != 40 {
+		t.Fatal("totals wrong")
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	rows := []BreakdownRow{
+		{Name: "convbo", ProfileTime: 2 * time.Hour, TrainTime: 3 * time.Hour, ProfileCost: 92, TrainCost: 57},
+		{Name: "heterbo", ProfileTime: 30 * time.Minute, TrainTime: 3 * time.Hour, ProfileCost: 21, TrainCost: 51},
+	}
+	s := BreakdownTable(rows, "budget $100")
+	for _, want := range []string{"convbo", "heterbo", "$92.00", "budget $100", "total-cost"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("BreakdownTable missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(BreakdownTable(rows, ""), "constraint") {
+		t.Error("empty constraint must not render a constraint line")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := RenderSeries("fig3", []Series{{Label: "scale-out", X: []float64{1, 2}, Y: []float64{10, 19}}})
+	for _, want := range []string{"fig3", "scale-out", "x=1", "y=19"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RenderSeries missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestShortDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                "0",
+		45 * time.Second: "45s",
+		90 * time.Second: "1.5m",
+		90 * time.Minute: "1.50h",
+	}
+	for d, want := range cases {
+		if got := shortDur(d); got != want {
+			t.Errorf("shortDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestBreakdownBars(t *testing.T) {
+	rows := []BreakdownRow{
+		{Name: "convbo", ProfileTime: 2 * time.Hour, TrainTime: 4 * time.Hour, ProfileCost: 90, TrainCost: 60},
+		{Name: "heterbo", ProfileTime: 30 * time.Minute, TrainTime: 3 * time.Hour, ProfileCost: 20, TrainCost: 50},
+	}
+	timeBars := BreakdownBars(rows, "time")
+	if !strings.Contains(timeBars, "convbo") || !strings.Contains(timeBars, "█") || !strings.Contains(timeBars, "░") {
+		t.Fatalf("time bars malformed:\n%s", timeBars)
+	}
+	if !strings.Contains(timeBars, "6.00h") {
+		t.Fatalf("time bars missing totals:\n%s", timeBars)
+	}
+	costBars := BreakdownBars(rows, "cost")
+	if !strings.Contains(costBars, "150.00$") || !strings.Contains(costBars, "70.00$") {
+		t.Fatalf("cost bars missing totals:\n%s", costBars)
+	}
+	// The longer bar is convbo's: count glyphs.
+	lines := strings.Split(strings.TrimSpace(timeBars), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	glyphs := func(s string) int { return strings.Count(s, "█") + strings.Count(s, "░") }
+	if glyphs(lines[1]) <= glyphs(lines[2]) {
+		t.Fatal("convbo's bar must be longer than heterbo's")
+	}
+	// Zero rows do not panic.
+	if BreakdownBars(nil, "time") == "" {
+		t.Fatal("empty render must still produce a header")
+	}
+	// Tiny-but-nonzero segments still show at least one glyph.
+	tiny := []BreakdownRow{
+		{Name: "a", ProfileTime: time.Second, TrainTime: 100 * time.Hour},
+	}
+	if got := BreakdownBars(tiny, "time"); !strings.Contains(got, "█") {
+		t.Fatalf("tiny profile segment must still render:\n%s", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package workload defines training jobs: a model + dataset pair with the
+// training configuration the paper holds fixed during deployment search
+// (global batch size under strong scaling, epochs, ML platform, and
+// distribution topology). HeterBO searches deployments only — it never
+// touches these knobs, because changing them could change final model
+// accuracy (§III-A).
+package workload
+
+import (
+	"fmt"
+
+	"mlcd/internal/models"
+)
+
+// Platform is the ML training framework.
+type Platform int
+
+// Platforms the paper evaluates (§V-A).
+const (
+	TensorFlow Platform = iota
+	MXNet
+	PyTorch
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	switch p {
+	case TensorFlow:
+		return "tensorflow"
+	case MXNet:
+		return "mxnet"
+	case PyTorch:
+		return "pytorch"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Topology is the gradient-distribution scheme.
+type Topology int
+
+// Distribution topologies the paper evaluates (§V-A).
+const (
+	ParameterServer Topology = iota
+	RingAllReduce
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case ParameterServer:
+		return "ps"
+	case RingAllReduce:
+		return "ring-allreduce"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Job is a training task to be deployed.
+type Job struct {
+	Name        string
+	Model       models.Model
+	Dataset     models.Dataset
+	Epochs      float64 // passes over the dataset
+	GlobalBatch int     // fixed global batch (strong scaling, §V-A)
+	Platform    Platform
+	Topology    Topology
+}
+
+// TotalSamples returns S, the total training samples to process (Eqs. 5–6).
+func (j Job) TotalSamples() float64 {
+	return j.Epochs * float64(j.Dataset.Samples)
+}
+
+// Validate checks the job is well-formed.
+func (j Job) Validate() error {
+	if err := j.Model.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case j.Name == "":
+		return fmt.Errorf("workload: empty job name")
+	case j.Dataset.Samples <= 0:
+		return fmt.Errorf("workload: %s dataset has no samples", j.Name)
+	case j.Epochs <= 0:
+		return fmt.Errorf("workload: %s has non-positive epochs", j.Name)
+	case j.GlobalBatch <= 0:
+		return fmt.Errorf("workload: %s has non-positive batch", j.Name)
+	}
+	return nil
+}
+
+// String renders "resnet-cifar10[tensorflow/ps]".
+func (j Job) String() string {
+	return fmt.Sprintf("%s[%s/%s]", j.Name, j.Platform, j.Topology)
+}
+
+// The evaluation workloads. Epoch counts are sized so optimal training
+// lands in the paper's hours-and-tens-of-dollars regime.
+var (
+	// ResNetCIFAR10 drives the scenario studies (Figs. 9–12, 18).
+	ResNetCIFAR10 = Job{
+		Name: "resnet-cifar10", Model: models.ResNet, Dataset: models.CIFAR10,
+		Epochs: 40, GlobalBatch: 512, Platform: TensorFlow, Topology: ParameterServer,
+	}
+	// AlexNetCIFAR10 drives the ConvBO step study (Fig. 5) and Fig. 19.
+	AlexNetCIFAR10 = Job{
+		Name: "alexnet-cifar10", Model: models.AlexNet, Dataset: models.CIFAR10,
+		Epochs: 90, GlobalBatch: 512, Platform: TensorFlow, Topology: ParameterServer,
+	}
+	// InceptionImageNet drives the Paleo comparison (Fig. 13).
+	InceptionImageNet = Job{
+		Name: "inception-imagenet", Model: models.InceptionV3, Dataset: models.ImageNet,
+		Epochs: 2, GlobalBatch: 256, Platform: TensorFlow, Topology: ParameterServer,
+	}
+	// CharRNNText drives Figs. 1(b), 3, 14, 15.
+	CharRNNText = Job{
+		Name: "charrnn-text", Model: models.CharRNN, Dataset: models.TextCorpus,
+		Epochs: 4, GlobalBatch: 512, Platform: TensorFlow, Topology: ParameterServer,
+	}
+	// BERTTF / BERTMXNet drive Figs. 16–17 (ring all-reduce).
+	BERTTF = Job{
+		Name: "bert-wiki", Model: models.BERT, Dataset: models.WikiBooks,
+		Epochs: 0.05, GlobalBatch: 256, Platform: TensorFlow, Topology: RingAllReduce,
+	}
+	BERTMXNet = Job{
+		Name: "bert-wiki", Model: models.BERT, Dataset: models.WikiBooks,
+		Epochs: 0.05, GlobalBatch: 256, Platform: MXNet, Topology: RingAllReduce,
+	}
+	// ZeRO-scale jobs for Fig. 19 (simulated, as in the paper §V-E).
+	ZeRO8BJob = Job{
+		Name: "zero-8b", Model: models.ZeRO8B, Dataset: models.WikiBooks,
+		Epochs: 0.01, GlobalBatch: 512, Platform: TensorFlow, Topology: RingAllReduce,
+	}
+	ZeRO20BJob = Job{
+		Name: "zero-20b", Model: models.ZeRO20B, Dataset: models.WikiBooks,
+		Epochs: 0.008, GlobalBatch: 512, Platform: TensorFlow, Topology: RingAllReduce,
+	}
+)
+
+// All returns every predefined workload.
+func All() []Job {
+	return []Job{
+		ResNetCIFAR10, AlexNetCIFAR10, InceptionImageNet, CharRNNText,
+		BERTTF, BERTMXNet, ZeRO8BJob, ZeRO20BJob,
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mlcd/internal/models"
+)
+
+func TestPredefinedJobsValidate(t *testing.T) {
+	for _, j := range All() {
+		if err := j.Validate(); err != nil {
+			t.Errorf("%s: %v", j.Name, err)
+		}
+	}
+}
+
+func TestTotalSamples(t *testing.T) {
+	j := ResNetCIFAR10
+	want := 40.0 * 50_000
+	if got := j.TotalSamples(); got != want {
+		t.Fatalf("TotalSamples = %v, want %v", got, want)
+	}
+}
+
+func TestValidateRejectsBadJobs(t *testing.T) {
+	base := ResNetCIFAR10
+	cases := []Job{
+		{}, // empty everything
+		func() Job { j := base; j.Name = ""; return j }(),
+		func() Job { j := base; j.Epochs = 0; return j }(),
+		func() Job { j := base; j.GlobalBatch = 0; return j }(),
+		func() Job { j := base; j.Dataset = models.Dataset{Name: "x"}; return j }(),
+	}
+	for i, j := range cases {
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if TensorFlow.String() != "tensorflow" || MXNet.String() != "mxnet" || PyTorch.String() != "pytorch" {
+		t.Fatal("platform names wrong")
+	}
+	if Platform(9).String() == "" || Topology(9).String() == "" {
+		t.Fatal("unknown enums must render")
+	}
+	if ParameterServer.String() != "ps" || RingAllReduce.String() != "ring-allreduce" {
+		t.Fatal("topology names wrong")
+	}
+}
+
+func TestJobString(t *testing.T) {
+	s := BERTMXNet.String()
+	if !strings.Contains(s, "mxnet") || !strings.Contains(s, "ring-allreduce") {
+		t.Fatalf("Job.String() = %q", s)
+	}
+}
+
+func TestBERTJobsUseRingAllReduce(t *testing.T) {
+	// §V-A: BERT is trained with ring all-reduce, not PS.
+	if BERTTF.Topology != RingAllReduce || BERTMXNet.Topology != RingAllReduce {
+		t.Fatal("BERT jobs must use ring all-reduce")
+	}
+	if BERTTF.Platform == BERTMXNet.Platform {
+		t.Fatal("the two BERT jobs must differ in platform")
+	}
+}
+
+func TestStrongScalingBatchesFixed(t *testing.T) {
+	// Strong scaling: the global batch is a job property and must not
+	// depend on deployment size (it is what keeps accuracy unaffected).
+	for _, j := range All() {
+		if j.GlobalBatch < 64 {
+			t.Errorf("%s: implausibly small global batch %d", j.Name, j.GlobalBatch)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package mlcd_test
+
+import (
+	"testing"
+	"time"
+
+	"mlcd"
+)
+
+// These tests exercise the public facade the way a downstream user would
+// — everything below imports only the mlcd package.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sys := mlcd.NewSystem(mlcd.SystemConfig{
+		Catalog: mustSubset(t, "c5.4xlarge"),
+		Limits:  mlcd.SpaceLimits{MaxCPUNodes: 50, MaxGPUNodes: 1},
+		Seed:    1,
+	})
+	rep, err := sys.Deploy(mlcd.ResNetCIFAR10, mlcd.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied {
+		t.Fatalf("budget not satisfied: $%.2f", rep.TotalCost)
+	}
+	if rep.Outcome.Best.Nodes < 1 {
+		t.Fatal("no deployment chosen")
+	}
+	if s := mlcd.RenderSteps(rep.Outcome); s == "" {
+		t.Fatal("rendering empty")
+	}
+}
+
+func mustSubset(t *testing.T, names ...string) *mlcd.Catalog {
+	t.Helper()
+	c, err := mlcd.DefaultCatalog().Subset(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPublicSearcherConstructors(t *testing.T) {
+	names := map[string]mlcd.Searcher{
+		"heterbo":    mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 1}),
+		"convbo":     mlcd.NewConvBO(1),
+		"bo_imprd":   mlcd.NewImprovedBO(1),
+		"cherrypick": mlcd.NewCherryPick(1),
+		"cp_imprd":   mlcd.NewImprovedCherryPick(1),
+		"paleo":      mlcd.NewPaleo(),
+		"random-5":   mlcd.NewRandomSearch(5, 1),
+		"exhaustive": mlcd.NewExhaustive(10),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestPublicRawSearchFlow(t *testing.T) {
+	simulator := mlcd.NewSimulator(1)
+	space := mlcd.NewSpace(mustSubset(t, "c5.xlarge", "c5.4xlarge"), mlcd.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1})
+	out, err := mlcd.NewHeterBO(mlcd.HeterBOOptions{Seed: 2}).Search(
+		mlcd.CharRNNText, space, mlcd.CheapestWithDeadline,
+		mlcd.Constraints{Deadline: 12 * time.Hour}, mlcd.NewSimProfiler(simulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found {
+		t.Fatal("search found nothing")
+	}
+	total := out.ProfileTime + simulator.TrainTime(mlcd.CharRNNText, out.Best)
+	if total > 12*time.Hour {
+		t.Fatalf("deadline violated: %v", total)
+	}
+}
+
+func TestPublicProbeCostModel(t *testing.T) {
+	if mlcd.ProbeDuration(1) != 10*time.Minute {
+		t.Fatal("probe duration model wrong")
+	}
+	d := mlcd.NewDeployment(mlcd.DefaultCatalog().MustLookup("c5.xlarge"), 4)
+	if mlcd.ProbeCost(d) <= 0 {
+		t.Fatal("probe cost must be positive")
+	}
+}
+
+func TestPublicZooAndWorkloads(t *testing.T) {
+	if mlcd.ResNet.Params != 60_300_000 || mlcd.BERT.Params != 340_000_000 {
+		t.Fatal("zoo parameter counts wrong")
+	}
+	for _, j := range []mlcd.Job{mlcd.ResNetCIFAR10, mlcd.BERTTF, mlcd.ZeRO20BJob} {
+		if err := j.Validate(); err != nil {
+			t.Errorf("%s: %v", j.Name, err)
+		}
+	}
+}
+
+func TestPublicKernels(t *testing.T) {
+	for _, k := range []mlcd.Kernel{mlcd.NewMatern52Kernel(5), mlcd.NewSEKernel(5)} {
+		x := []float64{1, 2, 3, 4, 5}
+		if k.Eval(x, x) <= 0 {
+			t.Fatal("kernel self-covariance must be positive")
+		}
+	}
+}
