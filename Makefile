@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all vet build test race ci clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

@@ -1,15 +1,31 @@
 // Command mlcdd serves MLCD as an HTTP service — the MLaaS front door:
 //
-//	mlcdd -addr :9090 &
+//	mlcdd -addr :9090 -workers 4 -journal mlcdd.journal &
 //	curl -XPOST localhost:9090/v1/jobs -d '{"job":"resnet-cifar10","budget_usd":100}'
 //	curl localhost:9090/v1/jobs/job-0001
+//	curl -XDELETE localhost:9090/v1/jobs/job-0001
+//	curl localhost:9090/v1/stats
+//
+// Submissions flow through a bounded queue into -workers concurrent
+// deployment searches sharing one profiling cache. With -journal set,
+// every submission and probe is persisted and a restarted daemon
+// resumes unfinished jobs without re-profiling. On SIGINT/SIGTERM the
+// daemon drains in-flight HTTP requests, gives running searches
+// -drain-timeout to finish, then cancels them (journaled jobs are
+// recovered on the next start).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mlcd/internal/mlcdapi"
 	"mlcd/internal/mlcdsys"
@@ -17,14 +33,53 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":9090", "listen address")
-		seed = flag.Int64("seed", 1, "simulation seed")
+		addr         = flag.String("addr", ":9090", "listen address")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		workers      = flag.Int("workers", 2, "concurrent deployment searches")
+		queueSize    = flag.Int("queue", 64, "max queued submissions before 429")
+		journal      = flag.String("journal", "", "crash-safe journal path (empty = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running searches on shutdown")
 	)
 	flag.Parse()
 
 	sys := mlcdsys.New(mlcdsys.Config{Seed: *seed})
-	server := mlcdapi.NewServer(sys, nil)
-	defer server.Close()
-	fmt.Printf("mlcdd: MLaaS deployment service on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server))
+	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
+		Workers:     *workers,
+		QueueSize:   *queueSize,
+		JournalPath: *journal,
+	})
+	if err != nil {
+		log.Fatalf("mlcdd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: server}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("mlcdd: MLaaS deployment service on %s (%d workers)\n", *addr, *workers)
+	if *journal != "" {
+		fmt.Printf("mlcdd: journaling to %s\n", *journal)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("mlcdd: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("mlcdd: %v — shutting down\n", sig)
+	}
+
+	// Stop accepting connections and drain in-flight requests first, so
+	// no submission sneaks in after the scheduler stops.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		log.Printf("mlcdd: http shutdown: %v", err)
+	}
+	schedCtx, cancelSched := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelSched()
+	if err := server.Scheduler().Shutdown(schedCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mlcdd: scheduler shutdown: %v", err)
+	}
+	fmt.Println("mlcdd: bye")
 }

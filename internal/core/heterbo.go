@@ -98,6 +98,16 @@ func New(opts Options) *HeterBO {
 // Name implements search.Searcher.
 func (h *HeterBO) Name() string { return "heterbo" }
 
+// WithWarmStart implements search.WarmStarter: it returns a new HeterBO
+// with the same options but seeded with obs (replacing any previous warm
+// start). The receiver is unchanged, so a shared searcher instance can
+// hand out per-job warm-started copies concurrently.
+func (h *HeterBO) WithWarmStart(obs []search.Observation) search.Searcher {
+	opts := h.opts
+	opts.WarmStart = obs
+	return New(opts)
+}
+
 // state tracks one search run.
 type state struct {
 	job       workload.Job

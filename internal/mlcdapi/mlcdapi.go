@@ -3,41 +3,48 @@
 // or budget, poll its status while the deployment engine searches and
 // the training run executes, and collect the final report:
 //
-//	POST /v1/jobs     {"job","budget_usd"|"deadline_hours"} → {"id","status"}
-//	GET  /v1/jobs     → all submissions
-//	GET  /v1/jobs/{id} → status + report when done
+//	POST   /v1/jobs          {"job","budget_usd"|"deadline_hours"[,"tenant"]} → {"id","status"}
+//	GET    /v1/jobs[?status=] → submissions (optionally filtered by status)
+//	GET    /v1/jobs/{id}      → status + report when done
+//	DELETE /v1/jobs/{id}      → cancel a queued or running submission
+//	GET    /v1/stats          → queue depth, workers, jobs by status, cache savings
 //
-// Submissions run asynchronously, one at a time per server (the backing
-// virtual cloud serializes time anyway); status transitions are
-// pending → running → done | failed.
+// Lifecycle and execution live in the scheduler subsystem
+// (internal/sched): submissions flow through a bounded queue (full →
+// 429) into a worker pool of concurrent searches that share one
+// profiling cache, with an optional crash-safe journal. Status
+// transitions are queued → running → done | failed | cancelled.
 package mlcdapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
 	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/sched"
 	"mlcd/internal/workload"
 )
 
-// Status of a submission.
-type Status string
+// Status of a submission (the scheduler's).
+type Status = sched.Status
 
-// Submission lifecycle.
+// Submission lifecycle, re-exported for API callers.
 const (
-	StatusPending Status = "pending"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued    = sched.StatusQueued
+	StatusRunning   = sched.StatusRunning
+	StatusDone      = sched.StatusDone
+	StatusFailed    = sched.StatusFailed
+	StatusCancelled = sched.StatusCancelled
 )
 
 // submitRequest is the POST /v1/jobs body.
 type submitRequest struct {
 	Job           string  `json:"job"`
+	Tenant        string  `json:"tenant,omitempty"`
 	BudgetUSD     float64 `json:"budget_usd,omitempty"`
 	DeadlineHours float64 `json:"deadline_hours,omitempty"`
 }
@@ -58,11 +65,14 @@ type reportJSON struct {
 
 // submissionJSON is the wire form of one submission.
 type submissionJSON struct {
-	ID     string      `json:"id"`
-	Job    string      `json:"job"`
-	Status Status      `json:"status"`
-	Error  string      `json:"error,omitempty"`
-	Report *reportJSON `json:"report,omitempty"`
+	ID            string      `json:"id"`
+	Job           string      `json:"job"`
+	Tenant        string      `json:"tenant,omitempty"`
+	Status        Status      `json:"status"`
+	Error         string      `json:"error,omitempty"`
+	CacheHits     int         `json:"cache_hits,omitempty"`
+	CacheSavedUSD float64     `json:"cache_saved_usd,omitempty"`
+	Report        *reportJSON `json:"report,omitempty"`
 }
 
 // errorJSON is the error envelope.
@@ -70,95 +80,71 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
-// submission is the server-side record.
-type submission struct {
-	id     string
-	job    workload.Job
-	req    mlcdsys.Requirements
-	status Status
-	err    string
-	report *mlcdsys.Report
+// ServerConfig tunes the service around its scheduler.
+type ServerConfig struct {
+	// Jobs is the submission menu (nil → every predefined workload).
+	Jobs map[string]workload.Job
+	// Workers is the number of concurrent searches (default 1).
+	Workers int
+	// QueueSize bounds waiting submissions; beyond it POST returns 429
+	// (default 64).
+	QueueSize int
+	// JournalPath enables the crash-safe journal ("" → none).
+	JournalPath string
+	// ProfilerMiddleware wraps the measuring profiler inside the shared
+	// cache (instrumentation; see sched.Config.ProfilerMiddleware).
+	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
 }
 
 // Server exposes an MLCD system as an HTTP service.
 type Server struct {
-	sys  *mlcdsys.System
-	jobs map[string]workload.Job
-	mux  *http.ServeMux
-
-	mu          sync.Mutex
-	nextID      int
-	submissions map[string]*submission
-	queue       chan *submission
-	wg          sync.WaitGroup
-	closed      bool
+	sched *sched.Scheduler
+	mux   *http.ServeMux
 }
 
-// NewServer wraps an MLCD system. jobs is the submission menu (nil →
-// every predefined workload, keyed by job name).
+// NewServer wraps an MLCD system with a single-worker scheduler. jobs is
+// the submission menu (nil → every predefined workload, keyed by job
+// name).
 func NewServer(sys *mlcdsys.System, jobs map[string]workload.Job) *Server {
-	if jobs == nil {
-		jobs = make(map[string]workload.Job)
-		for _, j := range workload.All() {
-			key := j.Name
-			if _, dup := jobs[key]; dup {
-				key = fmt.Sprintf("%s-%s", j.Name, j.Platform)
-			}
-			jobs[key] = j
-		}
+	s, err := NewServerWithConfig(sys, ServerConfig{Jobs: jobs})
+	if err != nil {
+		// Without a journal the scheduler cannot fail to construct.
+		panic(err)
 	}
-	s := &Server{
-		sys:         sys,
-		jobs:        jobs,
-		mux:         http.NewServeMux(),
-		submissions: make(map[string]*submission),
-		queue:       make(chan *submission, 64),
+	return s
+}
+
+// NewServerWithConfig wraps an MLCD system with a configured scheduler,
+// replaying cfg.JournalPath first when set (which is the only way
+// construction can fail).
+func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error) {
+	sc, err := sched.New(sys, sched.Config{
+		Workers:            cfg.Workers,
+		QueueSize:          cfg.QueueSize,
+		Jobs:               cfg.Jobs,
+		JournalPath:        cfg.JournalPath,
+		ProfilerMiddleware: cfg.ProfilerMiddleware,
+	})
+	if err != nil {
+		return nil, err
 	}
+	s := &Server{sched: sc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.wg.Add(1)
-	go s.worker()
-	return s
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
 }
+
+// Scheduler exposes the underlying scheduler (stats, direct control).
+func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the worker; pending submissions still run.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-}
-
-// worker runs submissions sequentially: the virtual cloud's clock is a
-// shared resource, so deployments are naturally serialized.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for sub := range s.queue {
-		s.mu.Lock()
-		sub.status = StatusRunning
-		job, req := sub.job, sub.req
-		s.mu.Unlock()
-
-		rep, err := s.sys.Deploy(job, req)
-
-		s.mu.Lock()
-		if err != nil {
-			sub.status = StatusFailed
-			sub.err = err.Error()
-		} else {
-			sub.status = StatusDone
-			sub.report = &rep
-		}
-		s.mu.Unlock()
-	}
-}
+// Close drains the scheduler; queued submissions still run.
+func (s *Server) Close() { s.sched.Close() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -166,67 +152,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "malformed body: " + err.Error()})
-		return
+func toJSON(j sched.Job) submissionJSON {
+	out := submissionJSON{
+		ID:            j.ID,
+		Job:           j.Name,
+		Tenant:        j.Tenant,
+		Status:        j.Status,
+		Error:         j.Err,
+		CacheHits:     j.CacheHits,
+		CacheSavedUSD: j.SavedUSD,
 	}
-	job, ok := s.jobs[req.Job]
-	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown job %q", req.Job)})
-		return
-	}
-	if req.BudgetUSD < 0 || req.DeadlineHours < 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "requirements must be non-negative"})
-		return
-	}
-	requirements := mlcdsys.Requirements{
-		Budget:   req.BudgetUSD,
-		Deadline: time.Duration(req.DeadlineHours * float64(time.Hour)),
-	}
-	if _, _, err := mlcdsys.AnalyzeScenario(requirements); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
-		return
-	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server is shutting down"})
-		return
-	}
-	s.nextID++
-	sub := &submission{
-		id:     fmt.Sprintf("job-%04d", s.nextID),
-		job:    job,
-		req:    requirements,
-		status: StatusPending,
-	}
-	s.submissions[sub.id] = sub
-	s.mu.Unlock()
-
-	select {
-	case s.queue <- sub:
-	default:
-		s.mu.Lock()
-		sub.status = StatusFailed
-		sub.err = "submission queue full"
-		s.mu.Unlock()
-		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: "submission queue full"})
-		return
-	}
-	writeJSON(w, http.StatusAccepted, s.toJSON(sub))
-}
-
-// toJSON snapshots a submission; callers must hold s.mu or accept a
-// momentary race-free copy via the lock here.
-func (s *Server) toJSON(sub *submission) submissionJSON {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := submissionJSON{ID: sub.id, Job: sub.job.Name, Status: sub.status, Error: sub.err}
-	if sub.report != nil {
-		rep := sub.report
+	if j.Report != nil {
+		rep := j.Report
 		out.Report = &reportJSON{
 			Scenario:     rep.Scenario.String(),
 			Best:         rep.Outcome.Best.String(),
@@ -243,29 +180,73 @@ func (s *Server) toJSON(sub *submission) submissionJSON {
 	return out
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	subs := make([]*submission, 0, len(s.submissions))
-	for _, sub := range s.submissions {
-		subs = append(subs, sub)
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "malformed body: " + err.Error()})
+		return
 	}
-	s.mu.Unlock()
-	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
-	out := make([]submissionJSON, 0, len(subs))
-	for _, sub := range subs {
-		out = append(out, s.toJSON(sub))
+	if req.BudgetUSD < 0 || req.DeadlineHours < 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "requirements must be non-negative"})
+		return
+	}
+	requirements := mlcdsys.Requirements{
+		Budget:   req.BudgetUSD,
+		Deadline: time.Duration(req.DeadlineHours * float64(time.Hour)),
+	}
+	job, err := s.sched.Submit(req.Job, req.Tenant, requirements)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, toJSON(job))
+	case errors.Is(err, sched.ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error()})
+	case errors.Is(err, sched.ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+	default:
+		// Unknown job or invalid requirements.
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := Status(r.URL.Query().Get("status"))
+	if filter != "" && !filter.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown status %q", filter)})
+		return
+	}
+	jobs := s.sched.List(filter)
+	out := make([]submissionJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, toJSON(j))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sub, ok := s.submissions[id]
-	s.mu.Unlock()
+	job, ok := s.sched.Get(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("unknown submission %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.toJSON(sub))
+	writeJSON(w, http.StatusOK, toJSON(job))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.sched.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, toJSON(job))
+	case errors.Is(err, sched.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("unknown submission %q", id)})
+	case errors.Is(err, sched.ErrFinished):
+		writeJSON(w, http.StatusConflict, errorJSON{Error: fmt.Sprintf("submission %q already %s", id, job.Status)})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
 }

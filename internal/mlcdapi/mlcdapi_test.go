@@ -5,25 +5,36 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/sched"
+	"mlcd/internal/workload"
 )
 
-func newService(t *testing.T) (*Server, *httptest.Server) {
+func newSystem(t *testing.T) *mlcdsys.System {
 	t.Helper()
 	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys := mlcdsys.New(mlcdsys.Config{
+	return mlcdsys.New(mlcdsys.Config{
 		Catalog: cat,
 		Limits:  cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
 		Seed:    1,
 	})
-	srv := NewServer(sys, nil)
+}
+
+func newService(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServerWithConfig(newSystem(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		hts.Close()
@@ -53,7 +64,7 @@ func submit(t *testing.T, base, body string) submissionJSON {
 
 func await(t *testing.T, base, id string) submissionJSON {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(base + "/v1/jobs/" + id)
 		if err != nil {
@@ -65,7 +76,7 @@ func await(t *testing.T, base, id string) submissionJSON {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if sub.Status == StatusDone || sub.Status == StatusFailed {
+		if sub.Status.Terminal() {
 			return sub
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -75,9 +86,9 @@ func await(t *testing.T, base, id string) submissionJSON {
 }
 
 func TestSubmitAndComplete(t *testing.T) {
-	_, hts := newService(t)
+	_, hts := newService(t, ServerConfig{})
 	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
-	if sub.ID == "" || (sub.Status != StatusPending && sub.Status != StatusRunning) {
+	if sub.ID == "" || (sub.Status != StatusQueued && sub.Status != StatusRunning) {
 		t.Fatalf("submission = %+v", sub)
 	}
 	done := await(t, hts.URL, sub.ID)
@@ -97,7 +108,7 @@ func TestSubmitAndComplete(t *testing.T) {
 }
 
 func TestSubmitDeadlineScenario(t *testing.T) {
-	_, hts := newService(t)
+	_, hts := newService(t, ServerConfig{})
 	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","deadline_hours":9}`)
 	done := await(t, hts.URL, sub.ID)
 	if done.Status != StatusDone {
@@ -109,7 +120,7 @@ func TestSubmitDeadlineScenario(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	_, hts := newService(t)
+	_, hts := newService(t, ServerConfig{})
 	cases := []struct {
 		body string
 		want int
@@ -132,7 +143,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestListAndGet(t *testing.T) {
-	_, hts := newService(t)
+	_, hts := newService(t, ServerConfig{})
 	a := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
 	b := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":120}`)
 	await(t, hts.URL, a.ID)
@@ -161,18 +172,285 @@ func TestListAndGet(t *testing.T) {
 	}
 }
 
-func TestSequentialSubmissionsShareTheCloud(t *testing.T) {
-	// Two budget jobs submitted back-to-back: both must finish and both
-	// must satisfy their own budgets despite sharing one control plane.
-	_, hts := newService(t)
+func TestStatusFilter(t *testing.T) {
+	_, hts := newService(t, ServerConfig{})
 	a := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
-	b := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
-	da := await(t, hts.URL, a.ID)
-	db := await(t, hts.URL, b.ID)
-	if da.Status != StatusDone || db.Status != StatusDone {
-		t.Fatalf("statuses: %s / %s", da.Status, db.Status)
+	await(t, hts.URL, a.ID)
+
+	for filter, want := range map[string]int{"done": 1, "failed": 0, "cancelled": 0} {
+		resp, err := http.Get(hts.URL + "/v1/jobs?status=" + filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []submissionJSON
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Errorf("?status=%s → %d submissions, want %d", filter, len(got), want)
+		}
 	}
-	if !da.Report.Satisfied || !db.Report.Satisfied {
-		t.Fatal("both submissions must satisfy their budgets")
+
+	resp, err := http.Get(hts.URL + "/v1/jobs?status=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus status filter → %d", resp.StatusCode)
+	}
+}
+
+func httpDelete(t *testing.T, url string) (*http.Response, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, func() { _ = resp.Body.Close() }
+}
+
+func TestCancel(t *testing.T) {
+	// One worker wedged on a gate: the first submission occupies it, the
+	// second stays queued and can be cancelled deterministically.
+	gate := make(chan struct{})
+	var once sync.Once
+	_, hts := newService(t, ServerConfig{
+		Workers: 1,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				<-gate
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	defer once.Do(func() { close(gate) })
+
+	running := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	queued := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+
+	resp, done := httpDelete(t, hts.URL+"/v1/jobs/"+queued.ID)
+	var got submissionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	done()
+	if resp.StatusCode != http.StatusOK || got.Status != StatusCancelled {
+		t.Fatalf("cancel queued → %d %+v", resp.StatusCode, got)
+	}
+
+	// Cancelling a terminal job conflicts.
+	resp2, done2 := httpDelete(t, hts.URL+"/v1/jobs/"+queued.ID)
+	done2()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel cancelled → %d", resp2.StatusCode)
+	}
+
+	// Cancel the running job, then release the gate so its in-flight
+	// probe returns and the search notices the dead context.
+	resp3, done3 := httpDelete(t, hts.URL+"/v1/jobs/"+running.ID)
+	done3()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running → %d", resp3.StatusCode)
+	}
+	once.Do(func() { close(gate) })
+	if final := await(t, hts.URL, running.ID); final.Status != StatusCancelled {
+		t.Fatalf("running job after cancel = %+v", final)
+	}
+
+	resp4, done4 := httpDelete(t, hts.URL+"/v1/jobs/job-9999")
+	done4()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown → %d", resp4.StatusCode)
+	}
+}
+
+// profilerFunc adapts a function to profiler.Profiler.
+type profilerFunc func(workload.Job, cloud.Deployment) profiler.Result
+
+func (f profilerFunc) Profile(j workload.Job, d cloud.Deployment) profiler.Result { return f(j, d) }
+
+// TestConcurrentSubmissionsDedupe is the end-to-end multi-tenant story:
+// goroutines submit identical and distinct jobs, every job terminates,
+// and identical profiles are measured exactly once — the shared cache's
+// singleflight collapses concurrent duplicates across workers, and the
+// warm-start path spares later identical submissions entirely. A gate
+// holds the first measurement until both identical jobs are mid-search,
+// so the concurrent-duplicate window is exercised deterministically.
+func TestConcurrentSubmissionsDedupe(t *testing.T) {
+	var mu sync.Mutex
+	measured := make(map[string]int)
+	release := make(chan struct{})
+	srv, hts := newService(t, ServerConfig{
+		Workers: 2,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				<-release
+				mu.Lock()
+				measured[j.String()+"|"+d.Key()]++
+				mu.Unlock()
+				return inner.Profile(j, d)
+			})
+		},
+	})
+
+	// Two identical jobs from different tenants, submitted concurrently.
+	first := []string{
+		`{"job":"resnet-cifar10","budget_usd":100,"tenant":"acme"}`,
+		`{"job":"resnet-cifar10","budget_usd":100,"tenant":"globex"}`,
+	}
+	ids := make([]string, len(first))
+	var wg sync.WaitGroup
+	for i, body := range first {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[i] = submit(t, hts.URL, body).ID
+		}()
+	}
+	wg.Wait()
+
+	// Both searches are now in flight (one leads the first probe, the
+	// other waits on the same measurement); open the gate.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Scheduler().Stats().JobsByStatus[StatusRunning] < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("both jobs never ran concurrently")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+
+	// A third identical job (warm-started from the cache) and a distinct
+	// workload ride behind them.
+	ids = append(ids,
+		submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100,"tenant":"initech"}`).ID,
+		submit(t, hts.URL, `{"job":"alexnet-cifar10","budget_usd":100,"tenant":"acme"}`).ID,
+	)
+
+	var totalHits int
+	for _, id := range ids {
+		sub := await(t, hts.URL, id)
+		if sub.Status != StatusDone {
+			t.Fatalf("%s: status = %s (%s)", id, sub.Status, sub.Error)
+		}
+		if sub.Report == nil || !sub.Report.Satisfied {
+			t.Fatalf("%s: report = %+v", id, sub.Report)
+		}
+		totalHits += sub.CacheHits
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for key, n := range measured {
+		if n != 1 {
+			t.Errorf("profile %s measured %d times, want exactly 1", key, n)
+		}
+	}
+	if totalHits == 0 {
+		t.Error("identical concurrent submissions produced zero cache hits")
+	}
+
+	// The stats endpoint must agree that deduplication happened.
+	resp, err := http.Get(hts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var stats sched.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits == 0 || stats.Cache.SavedUSD <= 0 {
+		t.Fatalf("stats cache = %+v", stats.Cache)
+	}
+	if stats.JobsByStatus[StatusDone] != len(ids) {
+		t.Fatalf("jobs by status = %+v", stats.JobsByStatus)
+	}
+	if stats.Workers != 2 {
+		t.Fatalf("workers = %d", stats.Workers)
+	}
+}
+
+func TestStatsEndpointShape(t *testing.T) {
+	_, hts := newService(t, ServerConfig{Workers: 3})
+	resp, err := http.Get(hts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"workers", "active_workers", "queue_depth", "jobs_by_status", "profile_cache"} {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("stats missing %q: %v", field, raw)
+		}
+	}
+	if w, _ := raw["workers"].(float64); int(w) != 3 {
+		t.Errorf("workers = %v", raw["workers"])
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	srv, hts := newService(t, ServerConfig{
+		Workers:   1,
+		QueueSize: 1,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				<-gate
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	defer close(gate)
+
+	running := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`)
+	// Wait until the worker has dequeued the first job so the queue
+	// capacity check below is deterministic.
+	waitStatus(t, srv, running.ID, StatusRunning)
+	_ = submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100}`) // fills the queue
+
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json",
+		bytes.NewBufferString(`{"job":"resnet-cifar10","budget_usd":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit → %d, want 429", resp.StatusCode)
+	}
+}
+
+func waitStatus(t *testing.T, srv *Server, id string, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := srv.Scheduler().Get(id); ok && j.Status == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := srv.Scheduler().Get(id)
+	t.Fatalf("job %s never reached %s (now %s)", id, want, j.Status)
+}
+
+func TestTenantRoundTrips(t *testing.T) {
+	_, hts := newService(t, ServerConfig{})
+	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100,"tenant":"acme"}`)
+	if sub.Tenant != "acme" {
+		t.Fatalf("tenant = %q", sub.Tenant)
+	}
+	done := await(t, hts.URL, sub.ID)
+	if done.Tenant != "acme" {
+		t.Fatalf("tenant after completion = %q", done.Tenant)
 	}
 }

@@ -17,6 +17,7 @@
 package mlcdsys
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -148,6 +149,10 @@ func (s *System) Searcher() search.Searcher { return s.searcher }
 // Space returns the deployment space MLCD searches.
 func (s *System) Space() *cloud.Space { return cloud.NewSpace(s.catalog, s.limits) }
 
+// Catalog returns the instance catalog backing the deployment space —
+// needed to re-resolve persisted observations (journal recovery).
+func (s *System) Catalog() *cloud.Catalog { return s.catalog }
+
 // clusterProfiler implements profiler.Profiler by exercising the full
 // cluster lifecycle through the Cloud Interface for every probe.
 type clusterProfiler struct {
@@ -220,9 +225,46 @@ type Report struct {
 	Satisfied bool          // did the run meet the user requirement?
 }
 
+// DeployOptions customizes one Deploy run without touching the shared
+// System configuration. The zero value reproduces plain Deploy.
+type DeployOptions struct {
+	// WarmStart seeds the search with previously measured observations
+	// of the same job (at zero profiling cost) when the configured
+	// searcher implements search.WarmStarter; other searchers ignore it.
+	WarmStart []search.Observation
+	// WrapProfiler, when non-nil, wraps the per-run cluster profiler —
+	// the scheduler's shared profiling cache hooks in here. The wrapper
+	// sits inside the cancellation guard, so a cancelled job never
+	// reaches it.
+	WrapProfiler func(profiler.Profiler) profiler.Profiler
+}
+
+// ctxProfiler aborts a search cooperatively: once ctx is cancelled every
+// probe fails instantly without measuring, so the search drains within a
+// bounded number of (free) steps and Deploy can bail out.
+type ctxProfiler struct {
+	ctx   context.Context
+	inner profiler.Profiler
+}
+
+func (p ctxProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
+	if p.ctx.Err() != nil {
+		return profiler.Result{Deployment: d, Failed: true}
+	}
+	return p.inner.Profile(j, d)
+}
+
 // Deploy runs the full MLCD pipeline for a job: analyze requirements,
 // search for the deployment, then execute training on it.
 func (s *System) Deploy(j workload.Job, req Requirements) (Report, error) {
+	return s.DeployCtx(context.Background(), j, req, DeployOptions{})
+}
+
+// DeployCtx is Deploy with cancellation and per-run options: analyze
+// requirements, search for the deployment (warm-started and profiled
+// through opts), then execute training on it. When ctx is cancelled the
+// run stops at the next probe or phase boundary and returns ctx's error.
+func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements, opts DeployOptions) (Report, error) {
 	scen, cons, err := AnalyzeScenario(req)
 	if err != nil {
 		return Report{}, err
@@ -252,10 +294,23 @@ func (s *System) Deploy(j workload.Job, req Requirements) (Report, error) {
 		searchCons.Budget = cons.Budget * 0.95
 	}
 
-	prof := &clusterProfiler{sys: s, trials: make(map[string]int)}
-	out, err := s.searcher.Search(j, s.Space(), scen, searchCons, prof)
+	searcher := s.searcher
+	if len(opts.WarmStart) > 0 {
+		if ws, ok := searcher.(search.WarmStarter); ok {
+			searcher = ws.WithWarmStart(opts.WarmStart)
+		}
+	}
+	var prof profiler.Profiler = &clusterProfiler{sys: s, trials: make(map[string]int)}
+	if opts.WrapProfiler != nil {
+		prof = opts.WrapProfiler(prof)
+	}
+	prof = ctxProfiler{ctx: ctx, inner: prof}
+	out, err := searcher.Search(j, s.Space(), scen, searchCons, prof)
 	if err != nil {
 		return Report{}, fmt.Errorf("mlcdsys: search failed: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
 	}
 	if out.Best.Nodes == 0 {
 		return Report{}, fmt.Errorf("mlcdsys: search found no runnable deployment")
@@ -270,6 +325,9 @@ func (s *System) Deploy(j workload.Job, req Requirements) (Report, error) {
 	defer func() { _ = s.provider.Terminate(cl) }()
 	if err := s.provider.WaitReady(cl); err != nil {
 		return Report{}, fmt.Errorf("mlcdsys: training cluster never became ready: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
 	}
 	if err := s.provider.Run(cl, trainDur); err != nil {
 		return Report{}, fmt.Errorf("mlcdsys: training run failed: %w", err)

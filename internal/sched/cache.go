@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// ProfileCache is the shared profiling store at the heart of the
+// scheduler: every measured probe of (job, instance type, node count) is
+// kept, so concurrent or later submissions of the same workload reuse
+// the measurement instead of re-paying the profiling bill — the paper's
+// scarce resource. Concurrent requests for the same key are deduplicated
+// singleflight-style: one caller measures, the rest wait and share.
+//
+// The cache also keeps the savings ledger: profiling dollars and hours
+// that cache hits spared, in total and per tenant.
+type ProfileCache struct {
+	mu       sync.Mutex
+	entries  map[string]profiler.Result
+	inflight map[string]*flight
+
+	hits      int
+	misses    int
+	savedUSD  float64
+	savedTime time.Duration
+	byTenant  map[string]float64
+}
+
+// flight is one in-progress measurement that followers wait on.
+type flight struct {
+	done chan struct{}
+	res  profiler.Result
+}
+
+// NewProfileCache returns an empty cache.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{
+		entries:  make(map[string]profiler.Result),
+		inflight: make(map[string]*flight),
+		byTenant: make(map[string]float64),
+	}
+}
+
+// cacheKey identifies one profiling measurement. Throughput depends on
+// the full job identity (model, dataset, platform, topology), not just
+// its display name, so the workload's String form is part of the key.
+func cacheKey(j workload.Job, d cloud.Deployment) string {
+	return j.String() + "|" + d.Key()
+}
+
+// Do returns the measurement for (j, d), measuring at most once: a
+// cached result is returned immediately; if another goroutine is
+// measuring the same key, Do waits and shares its result; otherwise Do
+// measures via measure and publishes the result. hit reports whether the
+// caller was spared the measurement; on a hit the savings are credited
+// to tenant. Failed probes (infrastructure errors, no signal) are handed
+// to waiting followers but never cached.
+func (c *ProfileCache) Do(j workload.Job, d cloud.Deployment, tenant string, measure func() profiler.Result) (res profiler.Result, hit bool) {
+	key := cacheKey(j, d)
+	c.mu.Lock()
+	if res, ok := c.entries[key]; ok {
+		c.creditLocked(res, tenant)
+		c.mu.Unlock()
+		return res, true
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		c.mu.Lock()
+		c.creditLocked(f.res, tenant)
+		c.mu.Unlock()
+		return f.res, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.res = measure()
+
+	c.mu.Lock()
+	if !f.res.Failed {
+		c.entries[key] = f.res
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false
+}
+
+// creditLocked books one cache hit's savings. Callers hold c.mu.
+func (c *ProfileCache) creditLocked(res profiler.Result, tenant string) {
+	c.hits++
+	c.savedUSD += res.Cost
+	c.savedTime += res.Duration
+	c.byTenant[tenant] += res.Cost
+}
+
+// Prime inserts a previously persisted measurement (journal recovery)
+// without counting it as a hit or a miss. Existing entries win: a live
+// measurement is never overwritten by a replayed one.
+func (c *ProfileCache) Prime(j workload.Job, res profiler.Result) {
+	key := cacheKey(j, res.Deployment)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok && !res.Failed {
+		c.entries[key] = res
+	}
+}
+
+// Observations returns every cached measurement of job j as warm-start
+// observations, in deterministic (type, nodes) order. OOM probes
+// (throughput 0) are included — they teach the searcher its memory
+// bounds for free.
+func (c *ProfileCache) Observations(j workload.Job) []search.Observation {
+	prefix := j.String() + "|"
+	c.mu.Lock()
+	var obs []search.Observation
+	for key, res := range c.entries {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			obs = append(obs, search.Observation{Deployment: res.Deployment, Throughput: res.Throughput})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(obs, func(a, b int) bool {
+		if obs[a].Deployment.Type.Name != obs[b].Deployment.Type.Name {
+			return obs[a].Deployment.Type.Name < obs[b].Deployment.Type.Name
+		}
+		return obs[a].Deployment.Nodes < obs[b].Deployment.Nodes
+	})
+	return obs
+}
+
+// CacheStats is a point-in-time snapshot of the cache's effectiveness.
+type CacheStats struct {
+	Entries           int                `json:"entries"`
+	Hits              int                `json:"hits"`
+	Misses            int                `json:"misses"`
+	HitRate           float64            `json:"hit_rate"`
+	SavedUSD          float64            `json:"saved_profile_usd"`
+	SavedProfileHours float64            `json:"saved_profile_hours"`
+	SavedByTenant     map[string]float64 `json:"saved_usd_by_tenant,omitempty"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ProfileCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Entries:           len(c.entries),
+		Hits:              c.hits,
+		Misses:            c.misses,
+		SavedUSD:          c.savedUSD,
+		SavedProfileHours: c.savedTime.Hours(),
+	}
+	if total := c.hits + c.misses; total > 0 {
+		st.HitRate = float64(c.hits) / float64(total)
+	}
+	if len(c.byTenant) > 0 {
+		st.SavedByTenant = make(map[string]float64, len(c.byTenant))
+		for t, v := range c.byTenant {
+			st.SavedByTenant[t] = v
+		}
+	}
+	return st
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+func testDeployment(t *testing.T, nodes int) cloud.Deployment {
+	t.Helper()
+	it, ok := cloud.DefaultCatalog().Lookup("c5.4xlarge")
+	if !ok {
+		t.Fatal("catalog lost c5.4xlarge")
+	}
+	return cloud.Deployment{Type: it, Nodes: nodes}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewProfileCache()
+	j := workload.ResNetCIFAR10
+	d := testDeployment(t, 4)
+
+	const goroutines = 8
+	var measures int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	results := make([]profiler.Result, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _ := c.Do(j, d, "acme", func() profiler.Result {
+				mu.Lock()
+				measures++
+				mu.Unlock()
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return profiler.Result{Deployment: d, Throughput: 123, Duration: 10 * time.Minute, Cost: 5}
+			})
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+
+	if measures != 1 {
+		t.Fatalf("measured %d times, want 1", measures)
+	}
+	for i, r := range results {
+		if r.Throughput != 123 {
+			t.Fatalf("goroutine %d got %+v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := 5.0 * float64(goroutines-1); st.SavedUSD != want {
+		t.Fatalf("saved %.2f, want %.2f", st.SavedUSD, want)
+	}
+	if st.SavedByTenant["acme"] != st.SavedUSD {
+		t.Fatalf("tenant ledger = %+v", st.SavedByTenant)
+	}
+}
+
+func TestCacheFailedProbesNotCached(t *testing.T) {
+	c := NewProfileCache()
+	j := workload.ResNetCIFAR10
+	d := testDeployment(t, 2)
+
+	res, hit := c.Do(j, d, "t", func() profiler.Result {
+		return profiler.Result{Deployment: d, Failed: true}
+	})
+	if hit || !res.Failed {
+		t.Fatalf("failed probe: hit=%v res=%+v", hit, res)
+	}
+	// A retry must measure again, not serve the failure.
+	res2, hit2 := c.Do(j, d, "t", func() profiler.Result {
+		return profiler.Result{Deployment: d, Throughput: 50}
+	})
+	if hit2 || res2.Throughput != 50 {
+		t.Fatalf("retry after failure: hit=%v res=%+v", hit2, res2)
+	}
+	// Now it is cached.
+	if _, hit3 := c.Do(j, d, "t", func() profiler.Result { panic("must not measure") }); !hit3 {
+		t.Fatal("third probe missed a cached entry")
+	}
+}
+
+func TestCacheObservationsAndPrime(t *testing.T) {
+	c := NewProfileCache()
+	j := workload.ResNetCIFAR10
+	other := workload.AlexNetCIFAR10
+
+	c.Prime(j, profiler.Result{Deployment: testDeployment(t, 8), Throughput: 80})
+	c.Prime(j, profiler.Result{Deployment: testDeployment(t, 2), Throughput: 20})
+	c.Prime(j, profiler.Result{Deployment: testDeployment(t, 2), Throughput: 999}) // dup: first wins
+	c.Prime(other, profiler.Result{Deployment: testDeployment(t, 1), Throughput: 10})
+	c.Prime(j, profiler.Result{Deployment: testDeployment(t, 3), Failed: true}) // no signal
+
+	obs := c.Observations(j)
+	if len(obs) != 2 {
+		t.Fatalf("observations = %+v", obs)
+	}
+	if obs[0].Deployment.Nodes != 2 || obs[0].Throughput != 20 {
+		t.Fatalf("obs[0] = %+v (dup should not overwrite)", obs[0])
+	}
+	if obs[1].Deployment.Nodes != 8 || obs[1].Throughput != 80 {
+		t.Fatalf("obs[1] = %+v", obs[1])
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("prime must not move hit counters: %+v", st)
+	}
+}

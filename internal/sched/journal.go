@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mlcd/internal/search"
+)
+
+// The journal is the scheduler's crash-safety story: an append-only
+// JSONL file recording every submission, every completed profiling
+// probe (in search.SavedObservation's stable wire form), and every
+// terminal status. A restarted scheduler replays it to re-enqueue jobs
+// that never reached a terminal state and to prime the shared profiling
+// cache, so recovered searches warm-start instead of re-profiling.
+//
+// Record kinds:
+//
+//	{"type":"submit","id":"job-0001","job":"resnet-cifar10","tenant":"acme","budget_usd":100}
+//	{"type":"probe","job":"resnet-cifar10","observation":{...},"duration_sec":600,"cost_usd":2.18}
+//	{"type":"done","id":"job-0001","status":"done"}
+//
+// Each record is fsynced before the triggering operation is considered
+// durable. A torn final line (crash mid-write) is tolerated on replay.
+type journalRecord struct {
+	Type string `json:"type"` // "submit" | "probe" | "done"
+
+	// submit / done
+	ID string `json:"id,omitempty"`
+
+	// submit (Job is also set on probe records: the menu name whose
+	// workload the observation belongs to)
+	Job           string  `json:"job,omitempty"`
+	Tenant        string  `json:"tenant,omitempty"`
+	BudgetUSD     float64 `json:"budget_usd,omitempty"`
+	DeadlineHours float64 `json:"deadline_hours,omitempty"`
+
+	// probe
+	Observation *search.SavedObservation `json:"observation,omitempty"`
+	DurationSec float64                  `json:"duration_sec,omitempty"`
+	CostUSD     float64                  `json:"cost_usd,omitempty"`
+
+	// done
+	Status Status `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Journal is an open, append-only scheduler journal.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: opening journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append writes one record and fsyncs it.
+func (jl *Journal) append(rec journalRecord) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return errors.New("sched: journal is closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sched: encoding journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := jl.w.Write(b); err != nil {
+		return fmt.Errorf("sched: appending journal record: %w", err)
+	}
+	if err := jl.w.Flush(); err != nil {
+		return fmt.Errorf("sched: flushing journal: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("sched: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. Idempotent.
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return nil
+	}
+	jl.closed = true
+	if err := jl.w.Flush(); err != nil {
+		_ = jl.f.Close()
+		return err
+	}
+	return jl.f.Close()
+}
+
+// RecoveredSub is one journaled submission with the last status the
+// journal proves: "" means it never reached a terminal state and must be
+// re-enqueued on recovery.
+type RecoveredSub struct {
+	ID            string
+	Job           string // menu name
+	Tenant        string
+	BudgetUSD     float64
+	DeadlineHours float64
+	Status        Status // terminal status, or "" if still owed work
+	Error         string
+}
+
+// RecoveredProbe is one journaled measurement, keyed by menu name.
+type RecoveredProbe struct {
+	Job         string
+	Observation search.SavedObservation
+	DurationSec float64
+	CostUSD     float64
+}
+
+// JournalState is what a replay yields.
+type JournalState struct {
+	Subs   []RecoveredSub // submission order
+	Probes []RecoveredProbe
+	MaxID  int // highest numeric job-NNNN suffix seen
+}
+
+// ReplayJournal reads the journal at path. A missing file is an empty
+// journal. A torn final line — the tail of a crashed append — is
+// ignored; corruption anywhere earlier is an error, since records after
+// it would silently vanish.
+func ReplayJournal(path string) (JournalState, error) {
+	var st JournalState
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("sched: opening journal for replay: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	index := make(map[string]int) // id → position in st.Subs
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var torn bool
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if torn {
+			return st, fmt.Errorf("sched: journal corrupt: undecodable record followed by %q", string(line))
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			torn = true // only tolerable if nothing follows
+			continue
+		}
+		switch rec.Type {
+		case "submit":
+			index[rec.ID] = len(st.Subs)
+			st.Subs = append(st.Subs, RecoveredSub{
+				ID:            rec.ID,
+				Job:           rec.Job,
+				Tenant:        rec.Tenant,
+				BudgetUSD:     rec.BudgetUSD,
+				DeadlineHours: rec.DeadlineHours,
+			})
+			var n int
+			if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > st.MaxID {
+				st.MaxID = n
+			}
+		case "probe":
+			if rec.Observation != nil {
+				st.Probes = append(st.Probes, RecoveredProbe{
+					Job:         rec.Job,
+					Observation: *rec.Observation,
+					DurationSec: rec.DurationSec,
+					CostUSD:     rec.CostUSD,
+				})
+			}
+		case "done":
+			if i, ok := index[rec.ID]; ok {
+				st.Subs[i].Status = rec.Status
+				st.Subs[i].Error = rec.Error
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return st, fmt.Errorf("sched: replaying journal: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlcd/internal/search"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []journalRecord{
+		{Type: "submit", ID: "job-0001", Job: "resnet-cifar10", Tenant: "acme", BudgetUSD: 100},
+		{Type: "submit", ID: "job-0002", Job: "resnet-cifar10", Tenant: "globex", DeadlineHours: 9},
+		{Type: "probe", Job: "resnet-cifar10", Observation: &search.SavedObservation{Type: "c5.4xlarge", Nodes: 3, Throughput: 42}, DurationSec: 600, CostUSD: 2.5},
+		{Type: "done", ID: "job-0001", Status: StatusDone},
+	}
+	for _, rec := range records {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	st, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Subs) != 2 || st.MaxID != 2 {
+		t.Fatalf("state = %+v", st)
+	}
+	if st.Subs[0].Status != StatusDone || st.Subs[1].Status != "" {
+		t.Fatalf("statuses = %q / %q", st.Subs[0].Status, st.Subs[1].Status)
+	}
+	if st.Subs[1].Tenant != "globex" || st.Subs[1].DeadlineHours != 9 {
+		t.Fatalf("sub[1] = %+v", st.Subs[1])
+	}
+	if len(st.Probes) != 1 || st.Probes[0].Observation.Nodes != 3 || st.Probes[0].CostUSD != 2.5 {
+		t.Fatalf("probes = %+v", st.Probes)
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	st, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || len(st.Subs) != 0 || len(st.Probes) != 0 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	content := `{"type":"submit","id":"job-0001","job":"resnet-cifar10","budget_usd":100}
+{"type":"probe","job":"resnet-cifar10","obser` // crashed mid-append
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(st.Subs) != 1 || st.Subs[0].ID != "job-0001" || st.Subs[0].Status != "" {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestJournalMidFileCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	content := `{"type":"submit","id":"job-0001","job":"resnet-cifar10"}
+NOT JSON AT ALL
+{"type":"done","id":"job-0001","status":"done"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayJournal(path); err == nil {
+		t.Fatal("mid-file corruption must be an error, not silent data loss")
+	}
+}

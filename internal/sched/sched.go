@@ -1,0 +1,592 @@
+// Package sched is MLCD's multi-tenant job scheduler: the subsystem that
+// turns the single-job deployment pipeline (internal/mlcdsys) into a
+// service that survives heavy traffic and restarts. It contributes four
+// pieces:
+//
+//   - a bounded FIFO queue with admission control — submissions beyond
+//     the queue's capacity are rejected immediately (the API layer maps
+//     that to 429) instead of piling up unbounded;
+//   - a worker pool running up to Workers HeterBO searches concurrently,
+//     each under a cancellable context so a job can be aborted while
+//     queued or mid-search;
+//   - a shared ProfileCache keyed by (job, instance type, nodes) with
+//     singleflight deduplication: the paper's insight is that profiling
+//     cost is the scarce resource, so identical probes from different
+//     tenants are paid for exactly once and later submissions of the
+//     same workload warm-start from prior measurements;
+//   - a crash-safe Journal: every submission, completed probe, and
+//     terminal status is fsynced to an append-only log, and a restarted
+//     scheduler re-enqueues unfinished jobs with their observations
+//     already in the cache — recovered searches do not re-profile.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// Status of a submission in the scheduler.
+type Status string
+
+// Submission lifecycle: queued → running → done | failed | cancelled.
+// A job cancelled while queued skips running entirely.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Valid reports whether s is a known status value (for API filtering).
+func (s Status) Valid() bool {
+	switch s {
+	case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}
+
+// Scheduler errors.
+var (
+	ErrQueueFull    = errors.New("sched: submission queue full")
+	ErrShuttingDown = errors.New("sched: scheduler is shutting down")
+	ErrUnknownJob   = errors.New("sched: unknown job")
+	ErrNotFound     = errors.New("sched: no such submission")
+	ErrFinished     = errors.New("sched: submission already finished")
+)
+
+// Config assembles a Scheduler.
+type Config struct {
+	// Workers is the number of concurrent deployment searches (default 1).
+	Workers int
+	// QueueSize bounds how many submissions may wait (default 64).
+	// Submissions beyond it are rejected with ErrQueueFull.
+	QueueSize int
+	// Jobs is the submission menu (nil → every predefined workload, as
+	// DefaultMenu).
+	Jobs map[string]workload.Job
+	// JournalPath enables the crash-safe journal ("" → none). If the
+	// file exists it is replayed first: unfinished submissions are
+	// re-enqueued and journaled probes prime the cache.
+	JournalPath string
+	// Cache is the shared profiling cache (nil → a fresh one). Passing
+	// one in lets several schedulers — or tests — share measurements.
+	Cache *ProfileCache
+	// ProfilerMiddleware, when non-nil, wraps the measuring profiler
+	// *inside* the cache: it sees only real measurements, never cache
+	// hits. Used for instrumentation and tests.
+	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
+}
+
+// Job is a caller-visible snapshot of one submission.
+type Job struct {
+	ID           string
+	Name         string // menu key the job was submitted under
+	Tenant       string
+	Workload     workload.Job
+	Requirements mlcdsys.Requirements
+	Status       Status
+	Err          string
+	Report       *mlcdsys.Report // non-nil once done
+	CacheHits    int             // probes answered from the shared cache
+	SavedUSD     float64         // profiling dollars those hits spared
+}
+
+// job is the internal, mutable record. All fields are guarded by
+// Scheduler.mu except the immutable identity fields.
+type job struct {
+	id       string
+	name     string
+	tenant   string
+	workload workload.Job
+	req      mlcdsys.Requirements
+
+	status        Status
+	err           string
+	report        *mlcdsys.Report
+	cacheHits     int
+	savedUSD      float64
+	cancel        context.CancelFunc // non-nil while running
+	userCancelled bool               // Cancel() was called (vs shutdown abort)
+}
+
+// Scheduler runs submissions through a worker pool over one MLCD system.
+type Scheduler struct {
+	sys     *mlcdsys.System
+	menu    map[string]workload.Job
+	cache   *ProfileCache
+	journal *Journal
+	workers int
+	mw      func(profiler.Profiler) profiler.Profiler
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	active   int  // workers currently running a search
+	closed   bool // no more submissions; queue channel closed
+	stopping bool // workers must not start queued jobs (hard shutdown)
+}
+
+// DefaultMenu returns the standard submission menu: every predefined
+// workload keyed by name (platform-suffixed on collision).
+func DefaultMenu() map[string]workload.Job {
+	jobs := make(map[string]workload.Job)
+	for _, j := range workload.All() {
+		key := j.Name
+		if _, dup := jobs[key]; dup {
+			key = fmt.Sprintf("%s-%s", j.Name, j.Platform)
+		}
+		jobs[key] = j
+	}
+	return jobs
+}
+
+// New builds a scheduler over sys, replays the journal if configured,
+// and starts the worker pool. Jobs recovered from the journal are
+// enqueued before any new submission.
+func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Jobs == nil {
+		cfg.Jobs = DefaultMenu()
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewProfileCache()
+	}
+	s := &Scheduler{
+		sys:     sys,
+		menu:    cfg.Jobs,
+		cache:   cfg.Cache,
+		workers: cfg.Workers,
+		mw:      cfg.ProfilerMiddleware,
+		jobs:    make(map[string]*job),
+	}
+
+	var recovered []*job
+	if cfg.JournalPath != "" {
+		state, err := ReplayJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		recovered = s.absorb(state)
+		if s.journal, err = OpenJournal(cfg.JournalPath); err != nil {
+			return nil, err
+		}
+	}
+
+	size := cfg.QueueSize
+	if len(recovered) > size {
+		size = len(recovered)
+	}
+	s.queue = make(chan *job, size)
+	for _, rec := range recovered {
+		s.queue <- rec
+	}
+
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// absorb folds a replayed journal into the scheduler state, returning
+// the jobs that must be re-enqueued. Probes prime the shared cache so
+// those deployments are never re-measured.
+func (s *Scheduler) absorb(state JournalState) []*job {
+	for _, p := range state.Probes {
+		w, ok := s.menu[p.Job]
+		if !ok {
+			continue // menu changed across restarts; drop the orphan
+		}
+		obs, err := search.DecodeObservation(p.Observation, s.sys.Catalog())
+		if err != nil {
+			continue // catalog changed; the measurement no longer resolves
+		}
+		s.cache.Prime(w, profiler.Result{
+			Deployment: obs.Deployment,
+			Throughput: obs.Throughput,
+			Duration:   time.Duration(p.DurationSec * float64(time.Second)),
+			Cost:       p.CostUSD,
+		})
+	}
+	s.nextID = state.MaxID
+	var pending []*job
+	for _, sub := range state.Subs {
+		rec := &job{
+			id:     sub.ID,
+			name:   sub.Job,
+			tenant: sub.Tenant,
+			req: mlcdsys.Requirements{
+				Budget:   sub.BudgetUSD,
+				Deadline: time.Duration(sub.DeadlineHours * float64(time.Hour)),
+			},
+			status: sub.Status,
+			err:    sub.Error,
+		}
+		w, known := s.menu[sub.Job]
+		rec.workload = w
+		switch {
+		case sub.Status.Terminal():
+			// Finished before the restart: keep it visible. The report
+			// itself is not journaled, only the outcome status.
+		case !known:
+			rec.status = StatusFailed
+			rec.err = fmt.Sprintf("job %q no longer in the menu after restart", sub.Job)
+			s.journalDone(rec)
+		default:
+			rec.status = StatusQueued
+			pending = append(pending, rec)
+		}
+		s.jobs[rec.id] = rec
+		s.order = append(s.order, rec.id)
+	}
+	return pending
+}
+
+// Menu returns the submission menu. Callers must not mutate it.
+func (s *Scheduler) Menu() map[string]workload.Job { return s.menu }
+
+// Cache returns the shared profiling cache.
+func (s *Scheduler) Cache() *ProfileCache { return s.cache }
+
+// Submit validates, admits, journals, and enqueues one submission.
+// It returns ErrUnknownJob, ErrShuttingDown, or ErrQueueFull without
+// enqueuing anything.
+func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, error) {
+	w, ok := s.menu[name]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if _, _, err := mlcdsys.AnalyzeScenario(req); err != nil {
+		return Job{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrShuttingDown
+	}
+	// Admission control: all senders serialize on s.mu and workers only
+	// drain, so this capacity check cannot race into a blocking send.
+	if len(s.queue) == cap(s.queue) {
+		return Job{}, ErrQueueFull
+	}
+	s.nextID++
+	rec := &job{
+		id:       fmt.Sprintf("job-%04d", s.nextID),
+		name:     name,
+		tenant:   tenant,
+		workload: w,
+		req:      req,
+		status:   StatusQueued,
+	}
+	if s.journal != nil {
+		err := s.journal.append(journalRecord{
+			Type:          "submit",
+			ID:            rec.id,
+			Job:           name,
+			Tenant:        tenant,
+			BudgetUSD:     req.Budget,
+			DeadlineHours: req.Deadline.Hours(),
+		})
+		if err != nil {
+			// Durability is the journal's contract; an unjournaled job
+			// would silently vanish on restart, so refuse it.
+			s.nextID--
+			return Job{}, err
+		}
+	}
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+	s.queue <- rec
+	return rec.snapshotLocked(), nil
+}
+
+// Cancel aborts a submission: a queued job goes straight to cancelled; a
+// running one has its context cancelled and reaches cancelled when the
+// search notices. Terminal jobs return ErrFinished.
+func (s *Scheduler) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch rec.status {
+	case StatusQueued:
+		rec.status = StatusCancelled
+		rec.userCancelled = true
+		s.journalDone(rec)
+	case StatusRunning:
+		rec.userCancelled = true
+		if rec.cancel != nil {
+			rec.cancel()
+		}
+	default:
+		return rec.snapshotLocked(), ErrFinished
+	}
+	return rec.snapshotLocked(), nil
+}
+
+// Get returns a snapshot of one submission.
+func (s *Scheduler) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.snapshotLocked(), true
+}
+
+// List returns submissions in submission order, optionally filtered by
+// status ("" → all).
+func (s *Scheduler) List(filter Status) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		rec := s.jobs[id]
+		if filter != "" && rec.status != filter {
+			continue
+		}
+		out = append(out, rec.snapshotLocked())
+	}
+	return out
+}
+
+// Stats describes the scheduler's current load and the cache's savings.
+type Stats struct {
+	Workers       int            `json:"workers"`
+	ActiveWorkers int            `json:"active_workers"`
+	QueueDepth    int            `json:"queue_depth"`
+	JobsByStatus  map[Status]int `json:"jobs_by_status"`
+	Cache         CacheStats     `json:"profile_cache"`
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Workers:       s.workers,
+		ActiveWorkers: s.active,
+		QueueDepth:    len(s.queue),
+		JobsByStatus:  make(map[Status]int),
+	}
+	for _, rec := range s.jobs {
+		st.JobsByStatus[rec.status]++
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	return st
+}
+
+// Close stops accepting submissions and blocks until every queued and
+// running job has finished — the graceful drain.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+}
+
+// Shutdown stops accepting submissions and stops starting queued jobs;
+// running searches get until ctx is done to finish, then their contexts
+// are cancelled and Shutdown returns without waiting further — a search
+// wedged on a hung probe must not hold the process hostage past its
+// grace period. Jobs still queued (and runs aborted by the deadline)
+// keep no terminal journal record, so a scheduler restarted from the
+// same journal resumes them. Returns ctx.Err() if the deadline forced
+// cancellation.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.stopping = true
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for _, rec := range s.jobs {
+			if rec.status == StatusRunning && rec.cancel != nil {
+				rec.cancel()
+			}
+		}
+		s.mu.Unlock()
+	}
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+	return err
+}
+
+// worker drains the queue until it closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for rec := range s.queue {
+		s.runJob(rec)
+	}
+}
+
+// runJob executes one submission end to end.
+func (s *Scheduler) runJob(rec *job) {
+	s.mu.Lock()
+	if s.stopping || rec.status != StatusQueued {
+		// Hard shutdown, or cancelled while queued: leave the record as
+		// is. Under shutdown the job keeps its journal claim and is
+		// recovered on restart.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rec.status = StatusRunning
+	rec.cancel = cancel
+	s.active++
+	warm := s.cache.Observations(rec.workload)
+	s.mu.Unlock()
+	defer cancel()
+
+	rep, err := s.sys.DeployCtx(ctx, rec.workload, rec.req, mlcdsys.DeployOptions{
+		WarmStart: warm,
+		WrapProfiler: func(inner profiler.Profiler) profiler.Profiler {
+			if s.mw != nil {
+				inner = s.mw(inner)
+			}
+			return &cachingProfiler{sched: s, inner: inner, rec: rec}
+		},
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	rec.cancel = nil
+	switch {
+	case err == nil:
+		rec.status = StatusDone
+		rec.report = &rep
+		s.journalDone(rec)
+	case errors.Is(err, context.Canceled):
+		if rec.userCancelled {
+			rec.status = StatusCancelled
+			s.journalDone(rec)
+		} else {
+			// Shutdown abort: no terminal record, so a restart resumes
+			// the job — warm-started from its already-journaled probes.
+			rec.status = StatusQueued
+		}
+	default:
+		rec.status = StatusFailed
+		rec.err = err.Error()
+		s.journalDone(rec)
+	}
+}
+
+// journalDone records a terminal status. Callers hold s.mu.
+func (s *Scheduler) journalDone(rec *job) {
+	if s.journal == nil {
+		return
+	}
+	_ = s.journal.append(journalRecord{
+		Type:   "done",
+		ID:     rec.id,
+		Status: rec.status,
+		Error:  rec.err,
+	})
+}
+
+// snapshotLocked copies the record for callers. Callers hold s.mu.
+func (rec *job) snapshotLocked() Job {
+	return Job{
+		ID:           rec.id,
+		Name:         rec.name,
+		Tenant:       rec.tenant,
+		Workload:     rec.workload,
+		Requirements: rec.req,
+		Status:       rec.status,
+		Err:          rec.err,
+		Report:       rec.report,
+		CacheHits:    rec.cacheHits,
+		SavedUSD:     rec.savedUSD,
+	}
+}
+
+// cachingProfiler routes every probe of one running job through the
+// shared cache: hits come back free (the search is charged nothing and
+// the savings are booked to the tenant), misses are measured exactly
+// once — even across concurrent jobs, via the cache's singleflight — and
+// journaled so a restart never re-pays for them.
+type cachingProfiler struct {
+	sched *Scheduler
+	inner profiler.Profiler
+	rec   *job
+}
+
+// Profile implements profiler.Profiler.
+func (p *cachingProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
+	res, hit := p.sched.cache.Do(j, d, p.rec.tenant, func() profiler.Result {
+		return p.inner.Profile(j, d)
+	})
+	if hit {
+		p.sched.mu.Lock()
+		p.rec.cacheHits++
+		p.rec.savedUSD += res.Cost
+		p.sched.mu.Unlock()
+		// The measurement is reused: the job pays neither time nor money.
+		res.Duration = 0
+		res.Cost = 0
+		return res
+	}
+	if !res.Failed && p.sched.journal != nil {
+		if obs, ok := search.EncodeObservation(search.Observation{Deployment: res.Deployment, Throughput: res.Throughput}); ok {
+			_ = p.sched.journal.append(journalRecord{
+				Type:        "probe",
+				Job:         p.rec.name,
+				Observation: &obs,
+				DurationSec: res.Duration.Seconds(),
+				CostUSD:     res.Cost,
+			})
+		}
+	}
+	return res
+}

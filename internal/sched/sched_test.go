@@ -1,0 +1,354 @@
+package sched
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+func newTestSystem(t *testing.T) *mlcdsys.System {
+	t.Helper()
+	cat, err := cloud.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mlcdsys.New(mlcdsys.Config{
+		Catalog: cat,
+		Limits:  cloud.SpaceLimits{MaxCPUNodes: 40, MaxGPUNodes: 1},
+		Seed:    1,
+	})
+}
+
+// profilerFunc adapts a function to profiler.Profiler.
+type profilerFunc func(workload.Job, cloud.Deployment) profiler.Result
+
+func (f profilerFunc) Profile(j workload.Job, d cloud.Deployment) profiler.Result { return f(j, d) }
+
+func awaitStatus(t *testing.T, s *Scheduler, id string, want Status) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := s.Get(id); ok && j.Status == want {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := s.Get(id)
+	t.Fatalf("job %s never reached %s (now %s, err %q)", id, want, j.Status, j.Err)
+	return Job{}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(newTestSystem(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Submit("no-such-job", "t", mlcdsys.Requirements{Budget: 10}); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	conflicting := mlcdsys.Requirements{Budget: 10, Deadline: time.Hour}
+	if _, err := s.Submit("resnet-cifar10", "t", conflicting); err == nil {
+		t.Fatal("conflicting requirements accepted")
+	}
+	job, err := s.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Status != StatusQueued || job.Tenant != "acme" {
+		t.Fatalf("submission = %+v", job)
+	}
+	done := awaitStatus(t, s, job.ID, StatusDone)
+	if done.Report == nil || !done.Report.Satisfied {
+		t.Fatalf("report = %+v", done.Report)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	s, err := New(newTestSystem(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit("resnet-cifar10", "t", mlcdsys.Requirements{Budget: 100}); err != ErrShuttingDown {
+		t.Fatalf("submit after close = %v", err)
+	}
+}
+
+// TestJournalRecovery is the crash story end to end: a scheduler is
+// killed mid-search with one job running and one queued, then a fresh
+// scheduler replays the journal — both jobs finish, and no deployment
+// journaled before the crash is ever measured again.
+func TestJournalRecovery(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "sched.journal")
+
+	// Phase A: let exactly 3 probes measure, then block the 4th forever —
+	// the scheduler is abandoned mid-probe, like a process kill.
+	requests := make(chan struct{}, 128)
+	tokens := make(chan struct{}, 128)
+	for i := 0; i < 3; i++ {
+		tokens <- struct{}{}
+	}
+	a, err := New(newTestSystem(t), Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				requests <- struct{}{}
+				<-tokens
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := a.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := a.Submit("resnet-cifar10", "globex", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-requests:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("probe %d never requested", i+1)
+		}
+	}
+	// Scheduler a is now wedged on its 4th probe and never released: its
+	// worker goroutine leaks for the test's lifetime, exactly like a
+	// crashed process whose journal survives.
+
+	preCrash, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preCrash.Subs) != 2 || preCrash.Subs[0].Status != "" || preCrash.Subs[1].Status != "" {
+		t.Fatalf("pre-crash journal subs = %+v", preCrash.Subs)
+	}
+	if len(preCrash.Probes) != 3 {
+		t.Fatalf("pre-crash journal probes = %+v", preCrash.Probes)
+	}
+	crashKeys := make(map[string]bool)
+	for _, p := range preCrash.Probes {
+		crashKeys[p.Observation.Type+"|"+string(rune('0'+p.Observation.Nodes))] = true
+	}
+
+	// Phase B: a fresh scheduler over the same journal. Both jobs must
+	// resume and finish, and none of the journaled deployments may be
+	// re-measured — they arrive via the primed cache as warm starts.
+	var mu sync.Mutex
+	measuredB := make(map[string]int)
+	b, err := New(newTestSystem(t), Config{
+		Workers:     2,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				mu.Lock()
+				measuredB[d.Type.Name+"|"+string(rune('0'+d.Nodes))]++
+				mu.Unlock()
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for _, id := range []string{j1.ID, j2.ID} {
+		got, ok := b.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		if got.Status != StatusQueued && got.Status != StatusRunning && got.Status != StatusDone {
+			t.Fatalf("recovered job %s in state %s", id, got.Status)
+		}
+	}
+	d1 := awaitStatus(t, b, j1.ID, StatusDone)
+	d2 := awaitStatus(t, b, j2.ID, StatusDone)
+	if d1.Report == nil || d2.Report == nil || !d1.Report.Satisfied || !d2.Report.Satisfied {
+		t.Fatalf("recovered reports: %+v / %+v", d1.Report, d2.Report)
+	}
+	if d1.Tenant != "acme" || d2.Tenant != "globex" {
+		t.Fatalf("tenants lost: %q / %q", d1.Tenant, d2.Tenant)
+	}
+
+	mu.Lock()
+	for key := range measuredB {
+		if crashKeys[key] {
+			t.Errorf("deployment %s re-profiled after recovery", key)
+		}
+	}
+	mu.Unlock()
+
+	// ID allocation continues past the journal's high-water mark.
+	j3, err := b.Submit("resnet-cifar10", "initech", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != "job-0003" {
+		t.Fatalf("post-recovery ID = %s, want job-0003", j3.ID)
+	}
+	awaitStatus(t, b, j3.ID, StatusDone)
+
+	// The whole journal must never record the same deployment probe twice
+	// — that is the "profiling dollars are paid once" invariant on disk.
+	final, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range final.Probes {
+		key := p.Job + "|" + p.Observation.Type + "|" + string(rune('0'+p.Observation.Nodes))
+		if seen[key] {
+			t.Errorf("probe %s journaled twice", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestShutdownCancelsRunningWithoutTerminalRecord(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "sched.journal")
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+
+	started := make(chan struct{}, 16)
+	s, err := New(newTestSystem(t), Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				started <- struct{}{}
+				<-release
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit("resnet-cifar10", "t", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the search is mid-probe, wedged until we release it
+
+	// Expired grace period: Shutdown must cancel the running search and
+	// return its context error without waiting for the wedged probe.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(ctx); err != context.Canceled {
+		t.Fatalf("shutdown = %v", err)
+	}
+
+	// No terminal record: the job is still owed on restart. The probe is
+	// still blocked, so nothing could have raced the journal read.
+	st, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Subs) != 1 || st.Subs[0].ID != job.ID || st.Subs[0].Status != "" {
+		t.Fatalf("journal after shutdown = %+v", st.Subs)
+	}
+}
+
+func TestUserCancelIsTerminalInJournal(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "sched.journal")
+	gate := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(gate) })
+
+	s, err := New(newTestSystem(t), Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				<-gate
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := s.Submit("resnet-cifar10", "t", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit("resnet-cifar10", "t", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := s.Cancel(queued.ID); err != nil || got.Status != StatusCancelled {
+		t.Fatalf("cancel queued = %+v, %v", got, err)
+	}
+	if _, err := s.Cancel(queued.ID); err != ErrFinished {
+		t.Fatalf("double cancel = %v", err)
+	}
+	if _, err := s.Cancel("job-9999"); err != ErrNotFound {
+		t.Fatalf("cancel unknown = %v", err)
+	}
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	once.Do(func() { close(gate) })
+	awaitStatus(t, s, running.ID, StatusCancelled)
+	s.Close()
+
+	// Both cancellations are terminal on disk: a restart resumes nothing.
+	st, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range st.Subs {
+		if sub.Status != StatusCancelled {
+			t.Errorf("journaled sub %s status %q, want cancelled", sub.ID, sub.Status)
+		}
+	}
+	restarted, err := New(newTestSystem(t), Config{Workers: 1, JournalPath: journalPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got, _ := restarted.Get(running.ID); got.Status != StatusCancelled {
+		t.Fatalf("restarted status = %s", got.Status)
+	}
+	if st := restarted.Stats(); st.JobsByStatus[StatusCancelled] != 2 || st.QueueDepth != 0 {
+		t.Fatalf("restarted stats = %+v", st)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s, err := New(newTestSystem(t), Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	job, err := s.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, s, job.ID, StatusDone)
+	st := s.Stats()
+	if st.Workers != 3 || st.JobsByStatus[StatusDone] != 1 || st.Cache.Misses == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.HasPrefix(job.ID, "job-") {
+		t.Fatalf("job id = %q", job.ID)
+	}
+}

@@ -8,10 +8,13 @@ import (
 	"mlcd/internal/cloud"
 )
 
-// savedObservation is the stable on-disk form of one probe result: the
+// SavedObservation is the stable on-disk form of one probe result: the
 // deployment is stored by type name so a reload re-resolves it against
-// the live catalog (prices and specs come from the catalog, not the file).
-type savedObservation struct {
+// the live catalog (prices and specs come from the catalog, not the
+// file). SaveObservations documents and the scheduler's crash journal
+// (internal/sched) share this record so observations persisted by either
+// can warm-start later searches.
+type SavedObservation struct {
 	Type       string  `json:"type"`
 	Nodes      int     `json:"nodes"`
 	Throughput float64 `json:"throughput_samples_per_sec"`
@@ -21,7 +24,35 @@ type savedObservation struct {
 type savedFile struct {
 	Version      int                `json:"version"`
 	Job          string             `json:"job"`
-	Observations []savedObservation `json:"observations"`
+	Observations []SavedObservation `json:"observations"`
+}
+
+// EncodeObservation converts an observation to its wire form; ok is
+// false for observations that cannot be persisted (no deployment).
+func EncodeObservation(o Observation) (SavedObservation, bool) {
+	if o.Deployment.Nodes < 1 {
+		return SavedObservation{}, false
+	}
+	return SavedObservation{
+		Type:       o.Deployment.Type.Name,
+		Nodes:      o.Deployment.Nodes,
+		Throughput: o.Throughput,
+	}, true
+}
+
+// DecodeObservation re-resolves a wire-form observation against cat.
+func DecodeObservation(s SavedObservation, cat *cloud.Catalog) (Observation, error) {
+	it, ok := cat.Lookup(s.Type)
+	if !ok {
+		return Observation{}, fmt.Errorf("search: saved observation references unknown type %q", s.Type)
+	}
+	if s.Nodes < 1 {
+		return Observation{}, fmt.Errorf("search: saved observation has invalid node count %d", s.Nodes)
+	}
+	return Observation{
+		Deployment: cloud.Deployment{Type: it, Nodes: s.Nodes},
+		Throughput: s.Throughput,
+	}, nil
 }
 
 // persistVersion guards the on-disk format.
@@ -32,14 +63,9 @@ const persistVersion = 1
 func SaveObservations(w io.Writer, jobName string, obs []Observation) error {
 	doc := savedFile{Version: persistVersion, Job: jobName}
 	for _, o := range obs {
-		if o.Deployment.Nodes < 1 {
-			continue
+		if s, ok := EncodeObservation(o); ok {
+			doc.Observations = append(doc.Observations, s)
 		}
-		doc.Observations = append(doc.Observations, savedObservation{
-			Type:       o.Deployment.Type.Name,
-			Nodes:      o.Deployment.Nodes,
-			Throughput: o.Throughput,
-		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -62,17 +88,11 @@ func LoadObservations(r io.Reader, cat *cloud.Catalog) (jobName string, obs []Ob
 		return "", nil, fmt.Errorf("search: unsupported observations version %d", doc.Version)
 	}
 	for _, s := range doc.Observations {
-		it, ok := cat.Lookup(s.Type)
-		if !ok {
-			return "", nil, fmt.Errorf("search: saved observation references unknown type %q", s.Type)
+		o, err := DecodeObservation(s, cat)
+		if err != nil {
+			return "", nil, err
 		}
-		if s.Nodes < 1 {
-			return "", nil, fmt.Errorf("search: saved observation has invalid node count %d", s.Nodes)
-		}
-		obs = append(obs, Observation{
-			Deployment: cloud.Deployment{Type: it, Nodes: s.Nodes},
-			Throughput: s.Throughput,
-		})
+		obs = append(obs, o)
 	}
 	return doc.Job, obs, nil
 }

@@ -122,6 +122,18 @@ type Searcher interface {
 	Search(j workload.Job, space *cloud.Space, scen Scenario, cons Constraints, prof profiler.Profiler) (Outcome, error)
 }
 
+// WarmStarter is implemented by searchers that can fold previously
+// measured observations of the same job into a new search at zero
+// profiling cost (HeterBO via core.Options.WarmStart). The scheduler's
+// shared profiling cache uses it to spare repeat submissions the
+// profiling bill.
+type WarmStarter interface {
+	Searcher
+	// WithWarmStart returns a searcher seeded with obs; the receiver is
+	// not modified.
+	WithWarmStart(obs []Observation) Searcher
+}
+
 // Observation pairs a deployment with its measured throughput.
 type Observation struct {
 	Deployment cloud.Deployment

@@ -243,12 +243,24 @@ func NewSystem(cfg SystemConfig) *System { return mlcdsys.New(cfg) }
 // handler (see cmd/cloudd).
 func NewCloudServer(p Provider, cat *Catalog) http.Handler { return cloudapi.NewServer(p, cat) }
 
+// MLCDServerConfig tunes the MLaaS service's scheduler: worker-pool
+// size, queue bound, submission menu, and crash-safe journal path.
+type MLCDServerConfig = mlcdapi.ServerConfig
+
 // NewMLCDServer exposes an MLCD system as the MLaaS job-submission HTTP
-// service (see cmd/mlcdd). jobs is the submission menu (nil = all
-// predefined workloads). Call Close on the returned server to drain its
-// worker.
+// service (see cmd/mlcdd) with a single-worker scheduler. jobs is the
+// submission menu (nil = all predefined workloads). Call Close on the
+// returned server to drain its workers.
 func NewMLCDServer(sys *System, jobs map[string]Job) *mlcdapi.Server {
 	return mlcdapi.NewServer(sys, jobs)
+}
+
+// NewMLCDServerWithConfig is NewMLCDServer with explicit scheduler
+// configuration: concurrent search workers, bounded admission queue,
+// and an optional crash-safe journal that lets a restarted service
+// resume unfinished jobs without re-profiling.
+func NewMLCDServerWithConfig(sys *System, cfg MLCDServerConfig) (*mlcdapi.Server, error) {
+	return mlcdapi.NewServerWithConfig(sys, cfg)
 }
 
 // NewCloudClient returns a Provider that drives a remote cloudapi control
