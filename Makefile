@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci clean
+.PHONY: all vet build test race cover cover-update ci clean
 
 all: ci
 
@@ -16,7 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+# cover gates total statement coverage against the ratcheting floor in
+# .coverage-baseline; cover-update raises the floor after coverage gains.
+cover:
+	sh scripts/cover.sh
+
+cover-update:
+	sh scripts/cover.sh --update
+
+ci: vet build race cover
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

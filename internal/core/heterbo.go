@@ -27,6 +27,7 @@ import (
 	"mlcd/internal/bo"
 	"mlcd/internal/cloud"
 	"mlcd/internal/gp"
+	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/search"
 	"mlcd/internal/workload"
@@ -51,6 +52,13 @@ type Options struct {
 	// exhaustive-profiling critique that "any change re-performs the
 	// expensive search" (§II-C).
 	WarmStart []search.Observation
+
+	// Tracer, when non-nil, receives one observability event per probe
+	// (with its heterogeneous cost and acquisition value), per concave-
+	// prior pruning, the stop decision, and the final pick — the search
+	// timeline served by the daemon's trace endpoint. Events carry no
+	// wall-clock data, so a seeded search traces identically every run.
+	Tracer obs.EventSink
 
 	// Ablation switches.
 	DisableCostPenalty  bool // plain EI selection (no profiling-cost division)
@@ -105,6 +113,15 @@ func (h *HeterBO) Name() string { return "heterbo" }
 func (h *HeterBO) WithWarmStart(obs []search.Observation) search.Searcher {
 	opts := h.opts
 	opts.WarmStart = obs
+	return New(opts)
+}
+
+// WithTracer implements search.Traceable: it returns a new HeterBO whose
+// searches narrate themselves to sink. The receiver is unchanged, so the
+// scheduler can attach a distinct per-job timeline to each search run.
+func (h *HeterBO) WithTracer(sink obs.EventSink) search.Searcher {
+	opts := h.opts
+	opts.Tracer = sink
 	return New(opts)
 }
 
@@ -164,13 +181,37 @@ func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenari
 		priorBound: make(map[string]int),
 	}
 	st.surr = bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng)
+	st.emit(obs.Event{
+		Kind: "search_started",
+		Note: fmt.Sprintf("%s %s, warm_start=%d", h.Name(), scen, len(h.opts.WarmStart)),
+	})
 
 	stopped := st.run()
+	st.emit(obs.Event{
+		Kind:            "stop",
+		Note:            stopped,
+		CumProfileHours: st.spentTime.Hours(),
+		CumProfileUSD:   st.spentCost,
+	})
 
 	// The final pick and the in-search reserve both lean on *measured*
 	// throughput; a noise margin keeps the guarantee hard when reality
 	// comes in a few percent slower than the probes suggested.
 	bestObs, found := search.PickBest(j, scen, st.tightened(), st.spentTime, st.spentCost, st.obs)
+	if bestObs.Deployment.Nodes > 0 {
+		note := "constraint satisfied"
+		if !found {
+			note = "best effort: no observation satisfies the constraint"
+		}
+		e := obs.Event{
+			Kind:       "picked",
+			Deployment: bestObs.Deployment.String(),
+			Throughput: bestObs.Throughput,
+			Note:       note,
+		}
+		st.headroom(&e)
+		st.emit(e)
+	}
 	return search.Outcome{
 		Searcher:       h.Name(),
 		Job:            j,
@@ -244,6 +285,26 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// emit forwards one event to the configured tracer, if any.
+func (st *state) emit(e obs.Event) {
+	if st.opts.Tracer != nil {
+		st.opts.Tracer.Emit(e)
+	}
+}
+
+// headroom annotates e with the remaining constraint slack (Eqs. 5–6):
+// hours to the user's deadline, or dollars to the budget, after the
+// profiling spend so far. The unlimited scenario has no binding
+// constraint and leaves e untouched.
+func (st *state) headroom(e *obs.Event) {
+	switch st.scen {
+	case search.CheapestWithDeadline:
+		e.HeadroomHours = (st.cons.Deadline - st.spentTime).Hours()
+	case search.FastestWithBudget:
+		e.HeadroomUSD = st.cons.Budget - st.spentCost
+	}
 }
 
 // absorbWarmStart folds previously measured observations in at zero
@@ -438,6 +499,24 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) {
 		Acquisition:    acq,
 		Note:           note,
 	})
+	defer func() {
+		// Emit after the failure/OOM notes are final, so the trace event
+		// carries exactly what the Outcome's step table will say.
+		e := obs.Event{
+			Kind:            "probe",
+			Step:            len(st.steps),
+			Deployment:      d.String(),
+			Throughput:      r.Throughput,
+			ProfileHours:    r.Duration.Hours(),
+			ProfileUSD:      r.Cost,
+			CumProfileHours: st.spentTime.Hours(),
+			CumProfileUSD:   st.spentCost,
+			Acquisition:     acq,
+			Note:            st.steps[len(st.steps)-1].Note,
+		}
+		st.headroom(&e)
+		st.emit(e)
+	}()
 	if r.Failed {
 		// Infrastructure failure: no signal about the deployment. The
 		// key stays marked so the search does not loop on a broken
@@ -483,13 +562,25 @@ func (st *state) updatePrior() {
 		}
 	}
 	const noiseMargin = 0.98 // tolerate ~2 % measurement noise
-	for name, list := range byType {
+	// Type names are visited in sorted order so that trace events fire
+	// deterministically when several types tighten in one update.
+	names := make([]string, 0, len(byType))
+	for name := range byType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		list := byType[name]
 		sort.Slice(list, func(i, j int) bool { return list[i].Deployment.Nodes < list[j].Deployment.Nodes })
 		for i := 1; i < len(list); i++ {
 			if list[i].Throughput < list[i-1].Throughput*noiseMargin {
 				bound := list[i].Deployment.Nodes
 				if cur, ok := st.priorBound[name]; !ok || bound < cur {
 					st.priorBound[name] = bound
+					st.emit(obs.Event{
+						Kind: "prior-pruned",
+						Note: fmt.Sprintf("concave prior caps %s at %d nodes", name, bound),
+					})
 				}
 				break
 			}

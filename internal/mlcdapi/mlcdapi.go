@@ -7,7 +7,9 @@
 //	GET    /v1/jobs[?status=] → submissions (optionally filtered by status)
 //	GET    /v1/jobs/{id}      → status + report when done
 //	DELETE /v1/jobs/{id}      → cancel a queued or running submission
+//	GET    /v1/jobs/{id}/trace → the job's deterministic search timeline (JSON)
 //	GET    /v1/stats          → queue depth, workers, jobs by status, cache savings
+//	GET    /metrics           → Prometheus text exposition of every subsystem metric
 //
 // Lifecycle and execution live in the scheduler subsystem
 // (internal/sched): submissions flow through a bounded queue (full →
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/sched"
 	"mlcd/internal/workload"
@@ -98,8 +101,10 @@ type ServerConfig struct {
 
 // Server exposes an MLCD system as an HTTP service.
 type Server struct {
-	sched *sched.Scheduler
-	mux   *http.ServeMux
+	sched   *sched.Scheduler
+	metrics *obs.Registry
+	traces  *obs.Recorder
+	mux     *http.ServeMux
 }
 
 // NewServer wraps an MLCD system with a single-worker scheduler. jobs is
@@ -128,12 +133,14 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sched: sc, mux: http.NewServeMux()}
+	s := &Server{sched: sc, metrics: sys.Metrics(), traces: sc.Traces(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -249,4 +256,25 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("no trace for submission %q", id)})
+		return
+	}
+	b, err := obs.MarshalTrace(t)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }

@@ -24,6 +24,7 @@ import (
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/core"
+	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/search"
 	"mlcd/internal/sim"
@@ -96,6 +97,7 @@ type Config struct {
 	Provider cloud.Provider    // nil → SimProvider with default quota
 	Sim      *sim.Simulator    // nil → sim.New(Seed); the testbed physics
 	Adapters []PlatformAdapter // nil → DefaultAdapters
+	Metrics  *obs.Registry     // nil → a fresh registry
 	Seed     int64
 }
 
@@ -107,6 +109,74 @@ type System struct {
 	provider cloud.Provider
 	sim      *sim.Simulator
 	adapters map[workload.Platform]PlatformAdapter
+	metrics  *obs.Registry
+	m        sysMetrics
+}
+
+// sysMetrics holds the pipeline's metric handles, resolved once at New.
+type sysMetrics struct {
+	launchesOK        *obs.Counter
+	launchesTransient *obs.Counter
+	launchesRefused   *obs.Counter
+	launchRetries     *obs.Counter
+
+	probesOK     *obs.Counter
+	probesOOM    *obs.Counter
+	probesFailed *obs.Counter
+	profileHours *obs.Counter
+	profileUSD   *obs.Counter
+	probeSeconds *obs.Histogram
+
+	searchRuns  *obs.Counter
+	searchSteps *obs.Counter
+
+	trainRuns          *obs.Counter
+	trainHours         *obs.Counter
+	trainUSD           *obs.Counter
+	trainWarmupSeconds *obs.Counter
+}
+
+// registerMetrics resolves every pipeline metric against r.
+func registerMetrics(r *obs.Registry) sysMetrics {
+	launches := func(result string) *obs.Counter {
+		return r.Counter("mlcd_cluster_launches_total",
+			"Cluster launch attempts by result.", obs.L{Key: "result", Value: result})
+	}
+	probes := func(result string) *obs.Counter {
+		return r.Counter("mlcd_profile_probes_total",
+			"Profiling probes by result (ok, oom, failed).", obs.L{Key: "result", Value: result})
+	}
+	// Probe durations are virtual (simulated) seconds: base 10 min plus
+	// scale-out and stability extensions, or the short OOM abort.
+	probeBuckets := []float64{120, 600, 660, 720, 900, 1200, 1800, 3600}
+	return sysMetrics{
+		launchesOK:        launches("ok"),
+		launchesTransient: launches("transient"),
+		launchesRefused:   launches("refused"),
+		launchRetries: r.Counter("mlcd_cluster_launch_retries_total",
+			"Launch retries after transient control-plane failures."),
+		probesOK:     probes("ok"),
+		probesOOM:    probes("oom"),
+		probesFailed: probes("failed"),
+		profileHours: r.Counter("mlcd_profile_hours_total",
+			"Virtual hours spent measuring probes (cache hits excluded)."),
+		profileUSD: r.Counter("mlcd_profile_usd_total",
+			"Dollars spent measuring probes (cache hits excluded)."),
+		probeSeconds: r.Histogram("mlcd_profile_probe_seconds",
+			"Per-probe measurement duration in virtual seconds.", probeBuckets),
+		searchRuns: r.Counter("mlcd_search_runs_total",
+			"Deployment searches completed."),
+		searchSteps: r.Counter("mlcd_search_steps_total",
+			"Profiling decisions taken across all searches."),
+		trainRuns: r.Counter("mlcd_train_runs_total",
+			"Training runs executed on chosen deployments."),
+		trainHours: r.Counter("mlcd_train_hours_total",
+			"Virtual hours of training executed."),
+		trainUSD: r.Counter("mlcd_train_usd_total",
+			"Dollars billed for training runs."),
+		trainWarmupSeconds: r.Counter("mlcd_train_warmup_seconds_total",
+			"Virtual seconds of platform warm-up before training."),
+	}
 }
 
 // New builds the system, filling defaults for any nil component.
@@ -129,6 +199,9 @@ func New(cfg Config) *System {
 	if cfg.Adapters == nil {
 		cfg.Adapters = DefaultAdapters()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &System{
 		catalog:  cfg.Catalog,
 		limits:   cfg.Limits,
@@ -136,6 +209,8 @@ func New(cfg Config) *System {
 		provider: cfg.Provider,
 		sim:      cfg.Sim,
 		adapters: make(map[workload.Platform]PlatformAdapter, len(cfg.Adapters)),
+		metrics:  cfg.Metrics,
+		m:        registerMetrics(cfg.Metrics),
 	}
 	for _, a := range cfg.Adapters {
 		s.adapters[a.Platform()] = a
@@ -146,6 +221,11 @@ func New(cfg Config) *System {
 // Searcher exposes the deployment engine in use.
 func (s *System) Searcher() search.Searcher { return s.searcher }
 
+// Metrics returns the system's observability registry — the single
+// registry every layer above (scheduler, API) shares, so GET /metrics
+// shows the whole stack.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
 // Space returns the deployment space MLCD searches.
 func (s *System) Space() *cloud.Space { return cloud.NewSpace(s.catalog, s.limits) }
 
@@ -154,10 +234,14 @@ func (s *System) Space() *cloud.Space { return cloud.NewSpace(s.catalog, s.limit
 func (s *System) Catalog() *cloud.Catalog { return s.catalog }
 
 // clusterProfiler implements profiler.Profiler by exercising the full
-// cluster lifecycle through the Cloud Interface for every probe.
+// cluster lifecycle through the Cloud Interface for every probe. Every
+// real measurement is charged to the metrics registry here — cache hits
+// in the scheduler layer never reach this profiler, so the registry's
+// profiling totals are exactly the dollars and hours actually paid.
 type clusterProfiler struct {
 	sys    *System
 	trials map[string]int
+	tracer obs.EventSink // nil-safe per-job timeline
 }
 
 // launchRetries is how many transient control-plane failures a probe or
@@ -165,17 +249,32 @@ type clusterProfiler struct {
 const launchRetries = 3
 
 // launchWithRetry retries Launch across transient failures; quota and
-// other hard errors return immediately.
-func (s *System) launchWithRetry(d cloud.Deployment) (*cloud.Cluster, error) {
+// other hard errors return immediately. Retries are counted in the
+// metrics registry and, when tracer is non-nil, narrated to the job's
+// timeline.
+func (s *System) launchWithRetry(d cloud.Deployment, tracer obs.EventSink) (*cloud.Cluster, error) {
 	var lastErr error
 	for attempt := 0; attempt <= launchRetries; attempt++ {
 		cl, err := s.provider.Launch(d)
 		if err == nil {
+			s.m.launchesOK.Inc()
 			return cl, nil
 		}
 		lastErr = err
 		if !errors.Is(err, cloud.ErrTransient) {
+			s.m.launchesRefused.Inc()
 			return nil, err
+		}
+		s.m.launchesTransient.Inc()
+		if attempt < launchRetries {
+			s.m.launchRetries.Inc()
+			if tracer != nil {
+				tracer.Emit(obs.Event{
+					Kind:       "launch_retry",
+					Deployment: d.String(),
+					Note:       fmt.Sprintf("attempt %d: %v", attempt+1, err),
+				})
+			}
 		}
 	}
 	return nil, fmt.Errorf("mlcdsys: giving up after %d transient failures: %w", launchRetries+1, lastErr)
@@ -183,18 +282,26 @@ func (s *System) launchWithRetry(d cloud.Deployment) (*cloud.Cluster, error) {
 
 // Profile launches, warms up, measures, and tears down a probe cluster.
 func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
+	m := &p.sys.m
 	dur := profiler.Duration(d.Nodes)
-	cl, err := p.sys.launchWithRetry(d)
+	cl, err := p.sys.launchWithRetry(d, p.tracer)
 	if err != nil {
 		// Quota refusal or persistent failure: the probe never ran and
 		// says nothing about the deployment itself.
+		m.probesFailed.Inc()
 		return profiler.Result{Deployment: d, Failed: true}
 	}
 	defer func() { _ = p.sys.provider.Terminate(cl) }()
 	if err := p.sys.provider.WaitReady(cl); err != nil {
+		m.probesFailed.Inc()
 		return profiler.Result{Deployment: d, Failed: true}
 	}
 	if err := p.sys.provider.Run(cl, dur); err != nil {
+		// The cluster ran (and billed) before failing, so the charge
+		// still lands on the job and in the profiling ledger.
+		m.probesFailed.Inc()
+		m.profileHours.Add(dur.Hours())
+		m.profileUSD.Add(d.CostFor(dur))
 		return profiler.Result{Deployment: d, Failed: true, Duration: dur, Cost: d.CostFor(dur)}
 	}
 	key := j.String() + "|" + d.Key()
@@ -203,13 +310,22 @@ func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.R
 		meas = append(meas, p.sys.sim.MeasureThroughput(j, d, p.trials[key]))
 		p.trials[key]++
 	}
-	return profiler.Result{
+	res := profiler.Result{
 		Deployment: d,
 		Throughput: stats.Mean(meas),
 		Duration:   dur,
 		Cost:       d.CostFor(dur),
 		Trials:     len(meas),
 	}
+	if res.Throughput > 0 {
+		m.probesOK.Inc()
+	} else {
+		m.probesOOM.Inc()
+	}
+	m.profileHours.Add(res.Duration.Hours())
+	m.profileUSD.Add(res.Cost)
+	m.probeSeconds.Observe(res.Duration.Seconds())
+	return res
 }
 
 // Report is Deploy's full account of a job's life.
@@ -237,6 +353,11 @@ type DeployOptions struct {
 	// sits inside the cancellation guard, so a cancelled job never
 	// reaches it.
 	WrapProfiler func(profiler.Profiler) profiler.Profiler
+	// Tracer, when non-nil, receives this run's observability timeline:
+	// the search's per-probe ledger (via search.Traceable), launch
+	// retries, and the training phase. The scheduler passes each job's
+	// recorder sink here.
+	Tracer obs.EventSink
 }
 
 // ctxProfiler aborts a search cooperatively: once ctx is cancelled every
@@ -300,7 +421,12 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 			searcher = ws.WithWarmStart(opts.WarmStart)
 		}
 	}
-	var prof profiler.Profiler = &clusterProfiler{sys: s, trials: make(map[string]int)}
+	if opts.Tracer != nil {
+		if tr, ok := searcher.(search.Traceable); ok {
+			searcher = tr.WithTracer(opts.Tracer)
+		}
+	}
+	var prof profiler.Profiler = &clusterProfiler{sys: s, trials: make(map[string]int), tracer: opts.Tracer}
 	if opts.WrapProfiler != nil {
 		prof = opts.WrapProfiler(prof)
 	}
@@ -309,6 +435,10 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 	if err != nil {
 		return Report{}, fmt.Errorf("mlcdsys: search failed: %w", err)
 	}
+	s.m.searchRuns.Inc()
+	s.m.searchSteps.Add(float64(len(out.Steps)))
+	s.metrics.Counter("mlcd_search_stops_total",
+		"Search stop decisions by reason.", obs.L{Key: "reason", Value: out.Stopped}).Inc()
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
@@ -317,8 +447,16 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 	}
 
 	// Execute training on the chosen deployment.
-	trainDur := s.sim.TrainTime(j, out.Best) + adapter.WarmupTime(out.Best)
-	cl, err := s.launchWithRetry(out.Best)
+	warmup := adapter.WarmupTime(out.Best)
+	trainDur := s.sim.TrainTime(j, out.Best) + warmup
+	if opts.Tracer != nil {
+		opts.Tracer.Emit(obs.Event{
+			Kind:       "train_started",
+			Deployment: out.Best.String(),
+			Note:       fmt.Sprintf("platform warm-up %s", warmup),
+		})
+	}
+	cl, err := s.launchWithRetry(out.Best, opts.Tracer)
 	if err != nil {
 		return Report{}, fmt.Errorf("mlcdsys: launching training cluster: %w", err)
 	}
@@ -333,6 +471,18 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 		return Report{}, fmt.Errorf("mlcdsys: training run failed: %w", err)
 	}
 	trainCost := out.Best.CostFor(trainDur)
+	s.m.trainRuns.Inc()
+	s.m.trainHours.Add(trainDur.Hours())
+	s.m.trainUSD.Add(trainCost)
+	s.m.trainWarmupSeconds.Add(warmup.Seconds())
+	if opts.Tracer != nil {
+		opts.Tracer.Emit(obs.Event{
+			Kind:       "train_done",
+			Deployment: out.Best.String(),
+			TrainHours: trainDur.Hours(),
+			TrainUSD:   trainCost,
+		})
+	}
 
 	rep := Report{
 		Scenario:    scen,

@@ -1,0 +1,385 @@
+// Package obs is MLCD's observability layer: a dependency-free metrics
+// registry with Prometheus text exposition, and a structured per-search
+// trace recorder. The paper's whole argument is an accounting one —
+// every probe of D(m, n) has a heterogeneous cost that must be charged
+// against the deadline or budget (Eqs. 5–8) — and obs makes that ledger
+// visible while a search runs: counters and gauges answer "what is the
+// service doing right now", the trace answers "where did this job's
+// profiling time and dollars go, probe by probe".
+//
+// Because the stack underneath is deterministic (virtual clock, seeded
+// noise), a job's trace is a testable artifact: the same seed yields the
+// same timeline byte for byte, which the end-to-end tests assert.
+//
+// The package deliberately imports nothing outside the standard library
+// so every other package may depend on it without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// L is one metric label pair.
+type L struct {
+	Key   string
+	Value string
+}
+
+// metricKind discriminates the families a registry can hold.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]any // rendered label set → *Counter | *Gauge | *Histogram
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; the
+// get-or-create constructors return the same instance for the same
+// (name, labels), so hot paths may either cache the handle or re-resolve
+// it per call.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey renders labels deterministically (sorted by key).
+func labelKey(labels []L) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]L(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, escapeLabel(l.Value))
+	}
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format escaping for label values:
+// backslash, double-quote, and newline (the only escapes the text
+// format defines).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// lookup returns (creating if needed) the series for (name, labels),
+// verifying kind and label-name validity. It panics on programmer
+// errors — invalid names or a name reused with a different kind — the
+// same contract as prometheus/client_golang's MustRegister.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []L, mk func() any) any {
+	if !nameRe.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !nameRe.MatchString(l.Key) {
+			panic("obs: invalid label name " + l.Key + " on metric " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %v, requested as %v", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the monotonically increasing counter for (name,
+// labels), creating it at zero on first use.
+func (r *Registry) Counter(name, help string, labels ...L) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it at zero on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...L) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// upper bucket bounds (ascending; +Inf is implicit), creating it on
+// first use. Later calls may pass nil buckets to reuse the existing
+// series; passing different bounds for an existing series panics.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...L) *Histogram {
+	h := r.lookup(name, help, kindHistogram, labels, func() any { return newHistogram(buckets) }).(*Histogram)
+	if buckets != nil && len(h.bounds) != len(buckets) {
+		panic("obs: histogram " + name + " re-registered with different buckets")
+	}
+	return h
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d; negative deltas panic (use a Gauge).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter decrease")
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, matching
+// the Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // per-bound (non-cumulative) counts
+	inf    uint64
+	sum    float64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]uint64, len(buckets)),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.inf
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp applies the exposition-format escaping for HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WritePrometheus renders every family in text exposition format
+// (version 0.0.4). Output is deterministic: families sorted by name,
+// series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		type row struct {
+			key string
+			m   any
+		}
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{k, f.series[k]})
+		}
+		r.mu.Unlock()
+		for _, s := range rows {
+			switch m := s.m.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, braced(s.key), formatValue(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, braced(s.key), formatValue(m.Value()))
+			case *Histogram:
+				writeHistogram(&b, f.name, s.key, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// braced wraps a rendered label set in {} (empty set → nothing).
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// joinLabels appends extra to an already-rendered label set.
+func joinLabels(key, extra string) string {
+	if key == "" {
+		return extra
+	}
+	return key + "," + extra
+}
+
+func writeHistogram(b *strings.Builder, name, key string, h *Histogram) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	inf := h.inf
+	sum := h.sum
+	h.mu.Unlock()
+
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		le := joinLabels(key, fmt.Sprintf("le=%q", formatValue(bound)))
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, le, cum)
+	}
+	cum += inf
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(key, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, braced(key), formatValue(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(key), cum)
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"unicode/utf8"
+
+	"mlcd/internal/search"
+)
+
+// FuzzReplayJournal feeds arbitrary bytes to the journal replayer: it
+// must never panic, whatever garbage a crashed or truncated file left
+// behind, and whatever it recovers must be internally consistent.
+func FuzzReplayJournal(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"type":"submit","id":"job-0001","job":"resnet-cifar10","tenant":"acme","budget_usd":100}` + "\n"))
+	f.Add([]byte(`{"type":"probe","job":"resnet-cifar10","observation":{"type":"c5.4xlarge","nodes":4,"throughput_samples_per_sec":250},"duration_sec":600,"cost_usd":2.18}` + "\n"))
+	f.Add([]byte(`{"type":"submit","id":"job-0002"}` + "\n" + `{"type":"done","id":"job-0002","status":"done"}` + "\n"))
+	f.Add([]byte("{\"type\":\"submit\",\"id\":\"job-0003\"}\n{\"type\":\"sub")) // torn tail
+	f.Add([]byte("\x00\xff garbage\n"))
+	f.Add([]byte(`{"type":"done","id":"job-9999","status":"failed","error":"boom"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := ReplayJournal(path)
+		if err != nil {
+			return // rejecting corrupt journals is fine; panicking is not
+		}
+		if st.MaxID < 0 {
+			t.Fatalf("replay yielded negative MaxID %d", st.MaxID)
+		}
+	})
+}
+
+// FuzzJournalRoundTrip appends fuzzer-chosen records through the real
+// journal (marshal + fsync) and replays them: valid records must survive
+// the trip with every field intact.
+func FuzzJournalRoundTrip(f *testing.F) {
+	f.Add("job-0007", "resnet-cifar10", "acme", 100.0, 9.0, "c5.4xlarge", 4, 250.0, 600.0, 2.18, "done", "")
+	f.Add("job-0001", "alexnet-cifar10", "", 0.0, 0.0, "", 0, -1.0, 0.0, 0.0, "failed", "quota exhausted")
+	f.Add("", "", "", -1.0, -1.0, "weird\ntype", -5, 0.0, -2.0, -3.0, "bogus", "multi\nline")
+
+	f.Fuzz(func(t *testing.T, id, jobName, tenant string, budget, deadline float64,
+		typ string, nodes int, tput, dur, cost float64, status, errMsg string) {
+		if !utf8.ValidString(id) || !utf8.ValidString(jobName) || !utf8.ValidString(tenant) ||
+			!utf8.ValidString(typ) || !utf8.ValidString(status) || !utf8.ValidString(errMsg) {
+			// encoding/json replaces invalid UTF-8 on marshal, so byte
+			// fidelity is out of scope for those inputs.
+			return
+		}
+		for _, v := range []float64{budget, deadline, tput, dur, cost} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return // JSON cannot represent non-finite numbers
+			}
+		}
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		jl, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := []journalRecord{
+			{Type: "submit", ID: id, Job: jobName, Tenant: tenant, BudgetUSD: budget, DeadlineHours: deadline},
+			{Type: "probe", Job: jobName, Observation: &search.SavedObservation{Type: typ, Nodes: nodes, Throughput: tput}, DurationSec: dur, CostUSD: cost},
+			{Type: "done", ID: id, Status: Status(status), Error: errMsg},
+		}
+		for _, rec := range records {
+			if err := jl.append(rec); err != nil {
+				t.Fatalf("append %+v: %v", rec, err)
+			}
+		}
+		if err := jl.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		st, err := ReplayJournal(path)
+		if err != nil {
+			t.Fatalf("replaying journal the scheduler itself wrote: %v", err)
+		}
+		if len(st.Subs) != 1 || len(st.Probes) != 1 {
+			t.Fatalf("replay = %+v", st)
+		}
+		sub := st.Subs[0]
+		if sub.ID != id || sub.Job != jobName || sub.Tenant != tenant ||
+			sub.BudgetUSD != budget || sub.DeadlineHours != deadline {
+			t.Fatalf("submit round trip: wrote %+v, read %+v", records[0], sub)
+		}
+		if sub.Status != Status(status) || sub.Error != errMsg {
+			t.Fatalf("done round trip: wrote status=%q err=%q, read %+v", status, errMsg, sub)
+		}
+		probe := st.Probes[0]
+		if probe.Job != jobName || probe.Observation.Type != typ ||
+			probe.Observation.Nodes != nodes || probe.Observation.Throughput != tput ||
+			probe.DurationSec != dur || probe.CostUSD != cost {
+			t.Fatalf("probe round trip: wrote %+v, read %+v", records[1], probe)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+// goroutineCount reports the current goroutine count after giving the
+// runtime a moment to retire goroutines that have already returned.
+func goroutineCount() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// awaitGoroutines polls until the goroutine count drops back to at most
+// want, failing with a full stack dump if it never does: the dump names
+// the leaked goroutine outright.
+func awaitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if goroutineCount() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines never returned to %d (now %d); stacks:\n%s",
+		want, goroutineCount(), buf[:n])
+}
+
+// TestShutdownNoGoroutineLeak wedges a probe so hard the drain deadline
+// expires, forcing Shutdown down its abort path — then verifies that
+// once the wedged probe finally returns, every scheduler goroutine
+// (workers, the drain watcher) exits. A scheduler that leaves goroutines
+// behind after Shutdown would leak one worker per restart cycle in a
+// long-lived daemon.
+func TestShutdownNoGoroutineLeak(t *testing.T) {
+	baseline := goroutineCount()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s, err := New(newTestSystem(t), Config{
+		Workers: 2,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				started <- struct{}{}
+				<-gate
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now wedged mid-probe
+
+	// The grace period expires while the probe is still stuck: Shutdown
+	// must cancel the run and return without waiting for the worker.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Un-wedge the probe. The cancelled context drains the search in a
+	// handful of free steps and the worker must exit — along with every
+	// goroutine the scheduler started.
+	close(gate)
+	for {
+		select {
+		case <-started: // later probes of the same drain, if any
+			continue
+		default:
+		}
+		break
+	}
+	awaitGoroutines(t, baseline)
+}
+
+// TestCloseNoGoroutineLeak is the graceful twin: a plain drain must also
+// leave no scheduler goroutines behind.
+func TestCloseNoGoroutineLeak(t *testing.T) {
+	baseline := goroutineCount()
+	s, err := New(newTestSystem(t), Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	awaitGoroutines(t, baseline)
+}

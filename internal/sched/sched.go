@@ -29,6 +29,7 @@ import (
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/search"
 	"mlcd/internal/workload"
@@ -91,6 +92,10 @@ type Config struct {
 	// *inside* the cache: it sees only real measurements, never cache
 	// hits. Used for instrumentation and tests.
 	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
+	// Traces is the per-job timeline recorder (nil → a fresh one with
+	// the default retention). The API layer serves its timelines at
+	// /v1/jobs/{id}/trace.
+	Traces *obs.Recorder
 }
 
 // Job is a caller-visible snapshot of one submission.
@@ -123,6 +128,7 @@ type job struct {
 	savedUSD      float64
 	cancel        context.CancelFunc // non-nil while running
 	userCancelled bool               // Cancel() was called (vs shutdown abort)
+	trace         *obs.JobTrace      // nil-safe per-job timeline sink
 }
 
 // Scheduler runs submissions through a worker pool over one MLCD system.
@@ -133,6 +139,8 @@ type Scheduler struct {
 	journal *Journal
 	workers int
 	mw      func(profiler.Profiler) profiler.Profiler
+	traces  *obs.Recorder
+	m       schedMetrics
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -144,6 +152,58 @@ type Scheduler struct {
 	active   int  // workers currently running a search
 	closed   bool // no more submissions; queue channel closed
 	stopping bool // workers must not start queued jobs (hard shutdown)
+}
+
+// schedMetrics holds the scheduler's metric handles, resolved once
+// against the system's shared registry.
+type schedMetrics struct {
+	reg *obs.Registry // for label-parameterized families
+
+	submissions    *obs.Counter
+	queueDepth     *obs.Gauge
+	workers        *obs.Gauge
+	activeWorkers  *obs.Gauge
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheSavedUSD  *obs.Counter
+	journalAppends *obs.Counter
+	journalSeconds *obs.Histogram
+}
+
+func registerSchedMetrics(reg *obs.Registry) schedMetrics {
+	return schedMetrics{
+		reg: reg,
+		submissions: reg.Counter("mlcd_sched_submissions_total",
+			"Submissions admitted to the queue."),
+		queueDepth: reg.Gauge("mlcd_sched_queue_depth",
+			"Submissions currently waiting in the queue."),
+		workers: reg.Gauge("mlcd_sched_workers",
+			"Size of the search worker pool."),
+		activeWorkers: reg.Gauge("mlcd_sched_active_workers",
+			"Workers currently running a deployment search."),
+		cacheHits: reg.Counter("mlcd_sched_cache_hits_total",
+			"Probes answered from the shared profiling cache."),
+		cacheMisses: reg.Counter("mlcd_sched_cache_misses_total",
+			"Probes that had to be measured for real."),
+		cacheSavedUSD: reg.Counter("mlcd_sched_cache_saved_usd_total",
+			"Profiling dollars spared by cache hits."),
+		journalAppends: reg.Counter("mlcd_sched_journal_appends_total",
+			"Records appended (and fsynced) to the crash journal."),
+		journalSeconds: reg.Histogram("mlcd_sched_journal_append_seconds",
+			"Wall-clock latency of one journal append+fsync.", nil),
+	}
+}
+
+// rejection counts one refused submission by reason.
+func (m *schedMetrics) rejection(reason string) {
+	m.reg.Counter("mlcd_sched_rejections_total",
+		"Submissions refused, by reason.", obs.L{Key: "reason", Value: reason}).Inc()
+}
+
+// terminal counts one job reaching a final status.
+func (m *schedMetrics) terminal(st Status) {
+	m.reg.Counter("mlcd_sched_jobs_total",
+		"Jobs reaching a terminal status.", obs.L{Key: "status", Value: string(st)}).Inc()
 }
 
 // DefaultMenu returns the standard submission menu: every predefined
@@ -176,14 +236,20 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 	if cfg.Cache == nil {
 		cfg.Cache = NewProfileCache()
 	}
+	if cfg.Traces == nil {
+		cfg.Traces = obs.NewRecorder(0)
+	}
 	s := &Scheduler{
 		sys:     sys,
 		menu:    cfg.Jobs,
 		cache:   cfg.Cache,
 		workers: cfg.Workers,
 		mw:      cfg.ProfilerMiddleware,
+		traces:  cfg.Traces,
+		m:       registerSchedMetrics(sys.Metrics()),
 		jobs:    make(map[string]*job),
 	}
+	s.m.workers.Set(float64(cfg.Workers))
 
 	var recovered []*job
 	if cfg.JournalPath != "" {
@@ -259,6 +325,8 @@ func (s *Scheduler) absorb(state JournalState) []*job {
 			s.journalDone(rec)
 		default:
 			rec.status = StatusQueued
+			rec.trace = s.traces.Start(rec.id, rec.name, rec.tenant, scenarioName(rec.req))
+			rec.trace.Emit(obs.Event{Kind: "recovered", Note: "re-enqueued from journal; cached probes warm-start the search"})
 			pending = append(pending, rec)
 		}
 		s.jobs[rec.id] = rec
@@ -273,26 +341,56 @@ func (s *Scheduler) Menu() map[string]workload.Job { return s.menu }
 // Cache returns the shared profiling cache.
 func (s *Scheduler) Cache() *ProfileCache { return s.cache }
 
+// Traces returns the per-job timeline recorder.
+func (s *Scheduler) Traces() *obs.Recorder { return s.traces }
+
+// scenarioName renders the scenario a requirement set maps to ("" when
+// the requirements are invalid).
+func scenarioName(req mlcdsys.Requirements) string {
+	scen, _, err := mlcdsys.AnalyzeScenario(req)
+	if err != nil {
+		return ""
+	}
+	return scen.String()
+}
+
+// constraintNote renders the user's requirement for the trace ledger.
+func constraintNote(req mlcdsys.Requirements) string {
+	switch {
+	case req.Deadline > 0:
+		return fmt.Sprintf("deadline %s", req.Deadline)
+	case req.Budget > 0:
+		return fmt.Sprintf("budget $%.2f", req.Budget)
+	default:
+		return "unconstrained"
+	}
+}
+
 // Submit validates, admits, journals, and enqueues one submission.
 // It returns ErrUnknownJob, ErrShuttingDown, or ErrQueueFull without
 // enqueuing anything.
 func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, error) {
 	w, ok := s.menu[name]
 	if !ok {
+		s.m.rejection("unknown_job")
 		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, name)
 	}
-	if _, _, err := mlcdsys.AnalyzeScenario(req); err != nil {
+	scen, _, err := mlcdsys.AnalyzeScenario(req)
+	if err != nil {
+		s.m.rejection("invalid_requirements")
 		return Job{}, err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.m.rejection("shutting_down")
 		return Job{}, ErrShuttingDown
 	}
 	// Admission control: all senders serialize on s.mu and workers only
 	// drain, so this capacity check cannot race into a blocking send.
 	if len(s.queue) == cap(s.queue) {
+		s.m.rejection("queue_full")
 		return Job{}, ErrQueueFull
 	}
 	s.nextID++
@@ -305,7 +403,7 @@ func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, 
 		status:   StatusQueued,
 	}
 	if s.journal != nil {
-		err := s.journal.append(journalRecord{
+		err := s.journalAppend(journalRecord{
 			Type:          "submit",
 			ID:            rec.id,
 			Job:           name,
@@ -323,6 +421,10 @@ func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, 
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
 	s.queue <- rec
+	s.m.submissions.Inc()
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	rec.trace = s.traces.Start(rec.id, name, tenant, scen.String())
+	rec.trace.Emit(obs.Event{Kind: "submitted", Note: constraintNote(req)})
 	return rec.snapshotLocked(), nil
 }
 
@@ -341,6 +443,8 @@ func (s *Scheduler) Cancel(id string) (Job, error) {
 		rec.status = StatusCancelled
 		rec.userCancelled = true
 		s.journalDone(rec)
+		s.m.terminal(StatusCancelled)
+		rec.trace.Emit(obs.Event{Kind: "cancelled", Note: "cancelled while queued"})
 	case StatusRunning:
 		rec.userCancelled = true
 		if rec.cancel != nil {
@@ -483,9 +587,14 @@ func (s *Scheduler) runJob(rec *job) {
 	rec.status = StatusRunning
 	rec.cancel = cancel
 	s.active++
+	s.m.activeWorkers.Set(float64(s.active))
+	s.m.queueDepth.Set(float64(len(s.queue)))
 	warm := s.cache.Observations(rec.workload)
 	s.mu.Unlock()
 	defer cancel()
+
+	rec.trace.Emit(obs.Event{Kind: "started",
+		Note: fmt.Sprintf("search started with %d warm-start observation(s)", len(warm))})
 
 	rep, err := s.sys.DeployCtx(ctx, rec.workload, rec.req, mlcdsys.DeployOptions{
 		WarmStart: warm,
@@ -495,21 +604,36 @@ func (s *Scheduler) runJob(rec *job) {
 			}
 			return &cachingProfiler{sched: s, inner: inner, rec: rec}
 		},
+		Tracer: rec.trace,
 	})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.active--
+	s.m.activeWorkers.Set(float64(s.active))
 	rec.cancel = nil
 	switch {
 	case err == nil:
 		rec.status = StatusDone
 		rec.report = &rep
 		s.journalDone(rec)
+		s.m.terminal(StatusDone)
+		rec.trace.Emit(obs.Event{
+			Kind:            "done",
+			Deployment:      rep.Outcome.Best.String(),
+			Throughput:      rep.Outcome.BestThroughput,
+			CumProfileHours: rep.Outcome.ProfileTime.Hours(),
+			CumProfileUSD:   rep.Outcome.ProfileCost,
+			TrainHours:      rep.TrainTime.Hours(),
+			TrainUSD:        rep.TrainCost,
+			Note:            fmt.Sprintf("satisfied=%t, total $%.2f in %s", rep.Satisfied, rep.TotalCost, rep.TotalTime),
+		})
 	case errors.Is(err, context.Canceled):
 		if rec.userCancelled {
 			rec.status = StatusCancelled
 			s.journalDone(rec)
+			s.m.terminal(StatusCancelled)
+			rec.trace.Emit(obs.Event{Kind: "cancelled", Note: "cancelled while running"})
 		} else {
 			// Shutdown abort: no terminal record, so a restart resumes
 			// the job — warm-started from its already-journaled probes.
@@ -519,6 +643,8 @@ func (s *Scheduler) runJob(rec *job) {
 		rec.status = StatusFailed
 		rec.err = err.Error()
 		s.journalDone(rec)
+		s.m.terminal(StatusFailed)
+		rec.trace.Emit(obs.Event{Kind: "failed", Note: rec.err})
 	}
 }
 
@@ -527,12 +653,23 @@ func (s *Scheduler) journalDone(rec *job) {
 	if s.journal == nil {
 		return
 	}
-	_ = s.journal.append(journalRecord{
+	_ = s.journalAppend(journalRecord{
 		Type:   "done",
 		ID:     rec.id,
 		Status: rec.status,
 		Error:  rec.err,
 	})
+}
+
+// journalAppend appends one record, timing the fsync for the metrics.
+func (s *Scheduler) journalAppend(rec journalRecord) error {
+	start := time.Now()
+	err := s.journal.append(rec)
+	s.m.journalSeconds.Observe(time.Since(start).Seconds())
+	if err == nil {
+		s.m.journalAppends.Inc()
+	}
+	return err
 }
 
 // snapshotLocked copies the record for callers. Callers hold s.mu.
@@ -572,17 +709,27 @@ func (p *cachingProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.R
 		p.rec.cacheHits++
 		p.rec.savedUSD += res.Cost
 		p.sched.mu.Unlock()
+		p.sched.m.cacheHits.Inc()
+		p.sched.m.cacheSavedUSD.Add(res.Cost)
+		p.rec.trace.Emit(obs.Event{
+			Kind:       "cache_hit",
+			Deployment: res.Deployment.String(),
+			Throughput: res.Throughput,
+			SavedUSD:   res.Cost,
+			Note:       "probe answered from the shared cache at zero cost",
+		})
 		// The measurement is reused: the job pays neither time nor money.
 		res.Duration = 0
 		res.Cost = 0
 		return res
 	}
+	p.sched.m.cacheMisses.Inc()
 	if !res.Failed && p.sched.journal != nil {
-		if obs, ok := search.EncodeObservation(search.Observation{Deployment: res.Deployment, Throughput: res.Throughput}); ok {
-			_ = p.sched.journal.append(journalRecord{
+		if enc, ok := search.EncodeObservation(search.Observation{Deployment: res.Deployment, Throughput: res.Throughput}); ok {
+			_ = p.sched.journalAppend(journalRecord{
 				Type:        "probe",
 				Job:         p.rec.name,
-				Observation: &obs,
+				Observation: &enc,
 				DurationSec: res.Duration.Seconds(),
 				CostUSD:     res.Cost,
 			})

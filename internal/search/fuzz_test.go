@@ -1,0 +1,46 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"mlcd/internal/cloud"
+)
+
+// FuzzDecodeObservation hammers the journal/persistence decode path with
+// arbitrary wire records. Invariants: no panic on any input; a decode
+// that succeeds must resolve to a live catalog type with the requested
+// node count; and every successfully decoded observation must re-encode
+// to the record it came from.
+func FuzzDecodeObservation(f *testing.F) {
+	cat := cloud.DefaultCatalog()
+	f.Add("c5.4xlarge", 4, 250.0)
+	f.Add("c5.4xlarge", 0, 0.0)
+	f.Add("", 1, 1.0)
+	f.Add("no-such-type", 8, -3.5)
+	f.Add("p3.8xlarge", -1, math.Inf(1))
+	f.Add("c5.4xlarge", 1<<30, math.NaN())
+
+	f.Fuzz(func(t *testing.T, typ string, nodes int, throughput float64) {
+		rec := SavedObservation{Type: typ, Nodes: nodes, Throughput: throughput}
+		obs, err := DecodeObservation(rec, cat)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if obs.Deployment.Type.Name != typ {
+			t.Fatalf("decoded type %q from record %q", obs.Deployment.Type.Name, typ)
+		}
+		if obs.Deployment.Nodes != nodes || nodes < 1 {
+			t.Fatalf("decoded %d nodes from record %d", obs.Deployment.Nodes, nodes)
+		}
+		back, ok := EncodeObservation(obs)
+		if !ok {
+			t.Fatalf("decoded observation %+v refuses to re-encode", obs)
+		}
+		sameThroughput := back.Throughput == throughput ||
+			(math.IsNaN(back.Throughput) && math.IsNaN(throughput))
+		if back.Type != typ || back.Nodes != nodes || !sameThroughput {
+			t.Fatalf("round trip %+v → %+v → %+v", rec, obs, back)
+		}
+	})
+}

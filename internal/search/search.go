@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mlcd/internal/cloud"
+	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/workload"
 )
@@ -132,6 +133,18 @@ type WarmStarter interface {
 	// WithWarmStart returns a searcher seeded with obs; the receiver is
 	// not modified.
 	WithWarmStart(obs []Observation) Searcher
+}
+
+// Traceable is implemented by searchers that can narrate their search to
+// an observability sink (internal/obs): one event per probe with its
+// heterogeneous cost and acquisition value, prior prunings, the stop
+// decision, and the final pick. HeterBO implements it; the scheduler
+// uses it to build the per-job timeline served at /v1/jobs/{id}/trace.
+type Traceable interface {
+	Searcher
+	// WithTracer returns a searcher that emits events to sink; the
+	// receiver is not modified.
+	WithTracer(sink obs.EventSink) Searcher
 }
 
 // Observation pairs a deployment with its measured throughput.

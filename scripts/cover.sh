@@ -1,0 +1,42 @@
+#!/bin/sh
+# cover.sh — coverage gate with a ratcheting floor.
+#
+# Runs the full test suite with -coverprofile, compares total statement
+# coverage against the floor recorded in .coverage-baseline, and fails
+# if coverage dropped below it. Run with --update after durably raising
+# coverage to ratchet the floor up (it never ratchets down).
+#
+# Usage:
+#   scripts/cover.sh            # gate: fail if total < baseline
+#   scripts/cover.sh --update   # gate, then raise the baseline to total
+set -eu
+
+cd "$(dirname "$0")/.."
+BASELINE_FILE=.coverage-baseline
+PROFILE="${COVERPROFILE:-coverage.out}"
+
+go test ./... -coverprofile="$PROFILE" -covermode=atomic >/dev/null
+
+total=$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+if [ -z "$total" ]; then
+    echo "cover.sh: could not extract total coverage from $PROFILE" >&2
+    exit 2
+fi
+
+baseline=$(cat "$BASELINE_FILE")
+echo "coverage: ${total}% (baseline floor: ${baseline}%)"
+
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t < b) }'; then
+    echo "cover.sh: FAIL — total coverage ${total}% fell below the recorded floor ${baseline}%" >&2
+    echo "cover.sh: add tests for the new code, or justify lowering $BASELINE_FILE in review" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t > b) }'; then
+        echo "$total" > "$BASELINE_FILE"
+        echo "cover.sh: ratcheted baseline ${baseline}% → ${total}%"
+    else
+        echo "cover.sh: baseline unchanged (${baseline}%)"
+    fi
+fi
