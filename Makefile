@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update ci clean
+.PHONY: all vet build test race cover cover-update bench ci clean
 
 all: ci
 
@@ -20,6 +20,11 @@ race:
 # .coverage-baseline; cover-update raises the floor after coverage gains.
 cover:
 	sh scripts/cover.sh
+
+# bench runs the figure, micro, and surrogate-engine benchmarks and
+# records ns/op plus custom metrics in BENCH_PR3.json.
+bench:
+	sh scripts/bench.sh
 
 cover-update:
 	sh scripts/cover.sh --update

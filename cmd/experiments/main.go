@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 	"time"
 
 	"mlcd/internal/experiments"
@@ -30,9 +29,10 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|markdown")
 	outDir := flag.String("out", "", "also write each figure's dataset as CSV into this directory")
 	parallel := flag.Bool("parallel", false, "run figures concurrently")
+	workers := flag.Int("workers", 0, "worker bound for -parallel and per-seed fan-outs (0 = one per CPU)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers}
 	type runner struct {
 		id  string
 		run func() (fmt.Stringer, error)
@@ -78,26 +78,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	results := make([]finished, len(selected))
+	// One bounded pool serves both serial and parallel modes: figures run
+	// as independent tasks writing to index slots, so printed output is
+	// identical either way.
+	figWorkers := 1
 	if *parallel {
-		var wg sync.WaitGroup
-		for i, r := range selected {
-			wg.Add(1)
-			go func(i int, r runner) {
-				defer wg.Done()
-				start := time.Now()
-				res, err := r.run()
-				results[i] = finished{r.id, res, err, time.Since(start)}
-			}(i, r)
-		}
-		wg.Wait()
-	} else {
-		for i, r := range selected {
-			start := time.Now()
-			res, err := r.run()
-			results[i] = finished{r.id, res, err, time.Since(start)}
+		figWorkers = *workers // 0 = one per CPU, resolved by the driver
+		if figWorkers == 1 {
+			figWorkers = 2
 		}
 	}
+	results := make([]finished, len(selected))
+	_ = experiments.ForEach(figWorkers, len(selected), func(i int) error {
+		r := selected[i]
+		start := time.Now()
+		res, err := r.run()
+		results[i] = finished{r.id, res, err, time.Since(start)}
+		return nil
+	})
 
 	for _, fr := range results {
 		r, res, err := fr, fr.res, fr.err

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +40,7 @@ func main() {
 		queueSize    = flag.Int("queue", 64, "max queued submissions before 429")
 		journal      = flag.String("journal", "", "crash-safe journal path (empty = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running searches on shutdown")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,23 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("mlcdd: %v", err)
+	}
+
+	// The profiler gets its own mux on its own listener so /debug/pprof
+	// is never reachable through the public API address.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("mlcdd: pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("mlcdd: pprof on %s/debug/pprof/\n", *pprofAddr)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: server}

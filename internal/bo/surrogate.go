@@ -3,9 +3,11 @@ package bo
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/gp"
+	"mlcd/internal/obs"
 )
 
 // Surrogate is a Gaussian-process regressor over the shared deployment
@@ -25,6 +27,13 @@ type Surrogate struct {
 	// (every observation would be wasteful; default 1 ⇒ always, which is
 	// fine at BO scale).
 	RefitEvery int
+	// FitWorkers bounds the goroutines used for the hyperparameter
+	// multi-start (≤1 = serial). Results are identical either way; see
+	// gp.FitMLE.
+	FitWorkers int
+	// Perf, when non-nil, receives wall-clock timings for every
+	// re-conditioning (gp_refactor_seconds).
+	Perf *obs.Perf
 }
 
 // NewSurrogate builds a surrogate with the given kernel over the 5-D
@@ -44,7 +53,11 @@ func NewSurrogate(kernel gp.Kernel, rng *rand.Rand) *Surrogate {
 func (s *Surrogate) Len() int { return len(s.ys) }
 
 // Observe adds a (deployment, objective) pair and re-conditions the GP.
+// When the hyperparameters are unchanged since the last refit, the GP
+// extends its Cholesky factor incrementally in O(n²); the periodic
+// hyperparameter refit still pays the full refactor cost.
 func (s *Surrogate) Observe(d cloud.Deployment, y float64) error {
+	start := time.Now()
 	s.xs = append(s.xs, cloud.Features(d))
 	s.ys = append(s.ys, y)
 	if s.model == nil {
@@ -56,11 +69,27 @@ func (s *Surrogate) Observe(d cloud.Deployment, y float64) error {
 	s.sinceFit++
 	if s.Len() >= 3 && s.sinceFit >= s.RefitEvery {
 		s.sinceFit = 0
-		if err := s.model.FitMLE(s.rng, gp.FitMLEOpts{Starts: 3, FitNoise: true, MaxIter: 80}); err != nil {
+		opts := gp.FitMLEOpts{Starts: 3, FitNoise: true, MaxIter: 80, Workers: s.FitWorkers}
+		if err := s.model.FitMLE(s.rng, opts); err != nil {
 			return fmt.Errorf("bo: refitting hyperparameters: %w", err)
 		}
 	}
+	s.Perf.ObserveGPRefactor(time.Since(start))
 	return nil
+}
+
+// PredictAll fills mu[i], sigma[i] with the posterior at ds[i], fanning
+// the queries over at most workers goroutines. The outputs are written
+// by index, so they match a serial Predict loop exactly.
+func (s *Surrogate) PredictAll(ds []cloud.Deployment, mu, sigma []float64, workers int) {
+	if s.model == nil || s.Len() == 0 {
+		panic("bo: PredictAll before any observation")
+	}
+	xs := make([][]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = cloud.Features(d)
+	}
+	s.model.PredictBatch(xs, mu, sigma, workers)
 }
 
 // Predict returns the posterior mean and standard deviation of the

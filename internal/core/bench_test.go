@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mlcd/internal/bo"
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// benchState builds a mid-search state: the single-type scale-out space
+// of Figs. 9–11, conditioned on a handful of probes, poised to score the
+// remaining candidates.
+func benchState(b *testing.B) *state {
+	b.Helper()
+	sm := sim.New(1)
+	space := cloud.NewSpace(cloud.DefaultCatalog(), cloud.DefaultLimits).
+		Filter(func(d cloud.Deployment) bool { return d.Type.Name == "c5.4xlarge" })
+	opts := Options{Seed: 42}.withDefaults()
+	st := &state{
+		job: workload.ResNetCIFAR10, scen: search.FastestUnlimited,
+		space: space, prof: profiler.NewSimProfiler(sm),
+		opts:       opts,
+		rng:        rngtape.New(opts.Seed),
+		profiled:   make(map[string]bool),
+		priorBound: make(map[string]int),
+	}
+	st.surr = bo.NewSurrogate(opts.Kernel.Clone(), st.rng)
+	st.surr.FitWorkers = opts.Workers
+	for _, n := range []int{1, 4, 8, 16, 24} {
+		st.probe(cloud.Deployment{Type: space.Types()[0], Nodes: n}, 0, "init")
+	}
+	if st.surr.Len() == 0 {
+		b.Fatal("bench state has no observations")
+	}
+	return st
+}
+
+// BenchmarkNextCandidate times one acquisition sweep: a GP posterior for
+// every unprofiled deployment in the space plus the CI/TEI filters and
+// the cost-penalized argmax — the per-step scoring cost of the search.
+func BenchmarkNextCandidate(b *testing.B) {
+	st := benchState(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		cand, score, ok := st.nextCandidate()
+		if !ok {
+			b.Fatal("no candidate")
+		}
+		sink += score.score + float64(cand.Nodes)
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("NaN score")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"mlcd/internal/gp"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
+	"mlcd/internal/rngtape"
 	"mlcd/internal/search"
 	"mlcd/internal/workload"
 )
@@ -60,6 +62,19 @@ type Options struct {
 	// wall-clock data, so a seeded search traces identically every run.
 	Tracer obs.EventSink
 
+	// Workers bounds the goroutines used for candidate scoring and the
+	// surrogate's hyperparameter multi-start (default GOMAXPROCS). Every
+	// parallel path computes into index-addressed slots and reduces in
+	// index order, so a search's decisions — and its trace — are
+	// bit-identical at any worker count.
+	Workers int
+
+	// Metrics, when non-nil, registers the wall-clock performance
+	// histograms gp_refactor_seconds and search_score_seconds. These carry
+	// real elapsed time (unlike the virtual-clock trace) and exist to make
+	// the surrogate engine's speed visible on /metrics.
+	Metrics *obs.Registry
+
 	// Ablation switches.
 	DisableCostPenalty  bool // plain EI selection (no profiling-cost division)
 	DisableConcavePrior bool
@@ -89,6 +104,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.InitPoints <= 0 {
 		o.InitPoints = 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -135,6 +153,7 @@ type state struct {
 	opts      Options
 	rng       *rand.Rand
 	surr      *bo.Surrogate
+	perf      *obs.Perf
 	obs       []search.Observation
 	steps     []search.Step
 	spentTime time.Duration
@@ -176,11 +195,14 @@ func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenari
 	st := &state{
 		job: j, scen: scen, cons: cons, space: space, prof: prof,
 		opts:       h.opts,
-		rng:        rand.New(rand.NewSource(h.opts.Seed)),
+		rng:        rngtape.New(h.opts.Seed),
 		profiled:   make(map[string]bool),
 		priorBound: make(map[string]int),
 	}
 	st.surr = bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng)
+	st.perf = obs.NewPerf(h.opts.Metrics)
+	st.surr.Perf = st.perf
+	st.surr.FitWorkers = h.opts.Workers
 	st.emit(obs.Event{
 		Kind: "search_started",
 		Note: fmt.Sprintf("%s %s, warm_start=%d", h.Name(), scen, len(h.opts.WarmStart)),
@@ -604,28 +626,49 @@ type candidateScore struct {
 // satisfies the user constraint, and a candidate only qualifies if even
 // its optimistic (95 % upper-bound) throughput would leave positive TEI
 // headroom — enough deadline/budget for the probe plus training there.
+//
+// The sweep runs in three passes. Pass 1 applies the cheap state-only
+// filters (profiled, pruned, reserve) serially to fix the candidate set.
+// Pass 2 — the expensive part, one GP posterior per candidate — fans out
+// over Options.Workers goroutines; each result lands in its candidate's
+// index slot, and the posterior only reads the surrogate. Pass 3 walks
+// the slots in index order applying the CI filter, TEI headroom, and the
+// strict-greater argmax, which is the identical comparison sequence a
+// serial sweep performs, so the selected probe, its score, and maxRawEI
+// are bit-for-bit independent of the worker count.
 func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 	if st.surr.Len() == 0 {
 		return cloud.Deployment{}, candidateScore{}, false
 	}
+	start := time.Now()
+	defer func() { st.perf.ObserveSearchScore(time.Since(start)) }()
 	bestObj, haveFeasible := st.feasibleIncumbentObjective()
 	if !haveFeasible {
 		// Nothing feasible yet: every candidate is an improvement, so
 		// anchor EI below everything observed.
 		bestObj = st.surr.BestObserved() - 3
 	}
-	var (
-		best      cloud.Deployment
-		bestScore candidateScore
-		found     bool
-	)
+	cands := make([]cloud.Deployment, 0, st.space.Len())
 	for i := 0; i < st.space.Len(); i++ {
 		d := st.space.At(i)
 		if st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
 			continue
 		}
-		mu, sigma := st.surr.Predict(d)
-		optimistic := mu + st.opts.ConfidenceZ*sigma
+		cands = append(cands, d)
+	}
+	if len(cands) == 0 {
+		return cloud.Deployment{}, candidateScore{}, false
+	}
+	mu := make([]float64, len(cands))
+	sigma := make([]float64, len(cands))
+	st.surr.PredictAll(cands, mu, sigma, st.opts.Workers)
+	var (
+		best      cloud.Deployment
+		bestScore candidateScore
+		found     bool
+	)
+	for i, d := range cands {
+		optimistic := mu[i] + st.opts.ConfidenceZ*sigma[i]
 		// 95 % CI filter (§III-C stop condition): skip candidates whose
 		// optimistic bound cannot beat the feasible incumbent.
 		if optimistic <= bestObj {
@@ -636,7 +679,7 @@ func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 		if !st.teiPositive(d, optimistic) {
 			continue
 		}
-		ei := st.opts.Acquisition.Score(mu, sigma, bestObj)
+		ei := st.opts.Acquisition.Score(mu[i], sigma[i], bestObj)
 		if ei <= 0 {
 			continue
 		}

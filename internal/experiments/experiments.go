@@ -19,9 +19,15 @@ import (
 	"mlcd/internal/workload"
 )
 
-// Config carries the only free parameter of the experiment suite.
+// Config carries the free parameters of the experiment suite.
 type Config struct {
 	Seed int64 // 0 means 1
+	// Workers bounds the concurrency of experiments that fan out over
+	// independent seeded runs (Fig 12's per-seed whiskers). 0 means one
+	// worker per CPU; 1 forces the serial path. Results are identical at
+	// any setting: every run derives its seeds from its own index and
+	// lands in its own result slot (see ForEach).
+	Workers int
 }
 
 func (c Config) seed() int64 {

@@ -36,7 +36,14 @@ func Fig1a(cfg Config) Fig1aResult {
 	for name, v := range norm {
 		rows = append(rows, Fig1aRow{Name: name, Normalized: v})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Normalized < rows[j].Normalized })
+	// Ties (e.g. two types at exactly the same normalized price) break by
+	// name, so the table is deterministic despite map iteration order.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Normalized != rows[j].Normalized {
+			return rows[i].Normalized < rows[j].Normalized
+		}
+		return rows[i].Name < rows[j].Name
+	})
 	return Fig1aResult{Rows: rows}
 }
 

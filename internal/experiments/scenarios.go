@@ -127,29 +127,44 @@ func Fig12(cfg Config) (Fig12Result, error) {
 	const seedsPerPoint = 20
 
 	res := Fig12Result{Probes: probes, SeedsPerPoint: seedsPerPoint}
-	for _, k := range probes {
-		var totals []float64
-		for s := 0; s < seedsPerPoint; s++ {
-			r := baselines.NewRandom(k, e.seed*1000+int64(s)*17+int64(k))
-			out, row, err := e.runSearcher(r, j, so, search.FastestUnlimited, search.Constraints{})
-			if err != nil {
-				return Fig12Result{}, err
-			}
-			_ = out
-			totals = append(totals, hours(row.TotalTime()))
+
+	// Every (probe budget, seed) run is independent: the searcher seeds
+	// derive from the task index alone, the simulator is immutable, and
+	// each run gets a fresh profiler from runSearcher. Fan the full grid
+	// out across the bounded driver and collect by index slot.
+	totals := make([]float64, len(probes)*seedsPerPoint)
+	err := ForEach(cfg.Workers, len(totals), func(i int) error {
+		k := probes[i/seedsPerPoint]
+		s := i % seedsPerPoint
+		r := baselines.NewRandom(k, e.seed*1000+int64(s)*17+int64(k))
+		_, row, err := e.runSearcher(r, j, so, search.FastestUnlimited, search.Constraints{})
+		if err != nil {
+			return err
 		}
-		res.TotalHours = append(res.TotalHours, stats.Summarize(totals))
+		totals[i] = hours(row.TotalTime())
+		return nil
+	})
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	for ki := range probes {
+		res.TotalHours = append(res.TotalHours,
+			stats.Summarize(totals[ki*seedsPerPoint:(ki+1)*seedsPerPoint]))
 	}
 
 	const heterRuns = 5
-	var hTotals []float64
-	for s := 0; s < heterRuns; s++ {
+	hTotals := make([]float64, heterRuns)
+	err = ForEach(cfg.Workers, heterRuns, func(s int) error {
 		h := core.New(core.Options{Seed: e.seed*100 + int64(s)})
 		_, row, err := e.runSearcher(h, j, so, search.FastestUnlimited, search.Constraints{})
 		if err != nil {
-			return Fig12Result{}, err
+			return err
 		}
-		hTotals = append(hTotals, hours(row.TotalTime()))
+		hTotals[s] = hours(row.TotalTime())
+		return nil
+	})
+	if err != nil {
+		return Fig12Result{}, err
 	}
 	res.HeterBOMean = stats.Mean(hTotals)
 	res.HeterBORuns = heterRuns

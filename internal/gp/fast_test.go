@@ -1,0 +1,204 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fastKernels returns one of each stationary kernel family with randomized
+// hyperparameters inside its search box.
+func fastKernels(dim int, rng *rand.Rand) []Stationary {
+	ks := []Stationary{NewSE(dim), NewMatern32(dim), NewMatern52(dim)}
+	for _, k := range ks {
+		b := k.ParamBounds()
+		p := make([]float64, len(b.Lo))
+		for i := range p {
+			p[i] = b.Lo[i] + rng.Float64()*(b.Hi[i]-b.Lo[i])
+		}
+		k.SetParams(p)
+	}
+	return ks
+}
+
+// TestEvalDiffMatchesEval checks the diff-cache fast path bit for bit:
+// evaluating from a precomputed difference vector must equal the direct
+// two-point evaluation exactly, for every stationary kernel family, in
+// either subtraction order.
+func TestEvalDiffMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(6)
+		for _, k := range fastKernels(dim, rng) {
+			x := make([]float64, dim)
+			y := make([]float64, dim)
+			diff := make([]float64, dim)
+			neg := make([]float64, dim)
+			for i := range x {
+				x[i] = rng.NormFloat64() * 3
+				y[i] = rng.NormFloat64() * 3
+				diff[i] = x[i] - y[i]
+				neg[i] = y[i] - x[i]
+			}
+			want := k.Eval(x, y)
+			if got := k.EvalDiff(diff); got != want {
+				t.Fatalf("%s: EvalDiff = %v, Eval = %v", k.Name(), got, want)
+			}
+			if got := k.EvalDiff(neg); got != want {
+				t.Fatalf("%s: EvalDiff(−diff) = %v, Eval = %v", k.Name(), got, want)
+			}
+		}
+	}
+}
+
+// fitRandom conditions a fresh GP on random observations, point by point
+// so the incremental Fit path gets exercised.
+func fitRandom(t *testing.T, k Kernel, n, dim int, rng *rand.Rand) *GP {
+	t.Helper()
+	g := New(k, 1e-4)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.NormFloat64() * 2
+		}
+		xs = append(xs, x)
+		ys = append(ys, rng.NormFloat64())
+		if err := g.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestIncrementalFitMatchesFresh grows one GP observation by observation
+// (exercising Cholesky extension) and fits a second GP on the final
+// dataset in one shot; their posteriors must agree bit for bit.
+func TestIncrementalFitMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		dim := 1 + rng.Intn(4)
+		n := 3 + rng.Intn(12)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for d := range xs[i] {
+				xs[i][d] = rng.NormFloat64() * 2
+			}
+			ys[i] = rng.NormFloat64()
+		}
+
+		inc := New(NewMatern52(dim), 1e-4)
+		for i := 1; i <= n; i++ {
+			if err := inc.Fit(xs[:i], ys[:i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh := New(NewMatern52(dim), 1e-4)
+		if err := fresh.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+
+		q := make([]float64, dim)
+		for probe := 0; probe < 20; probe++ {
+			for d := range q {
+				q[d] = rng.NormFloat64() * 3
+			}
+			mi, si := inc.Predict(q)
+			mf, sf := fresh.Predict(q)
+			if mi != mf || si != sf {
+				t.Fatalf("trial %d: incremental (%v, %v) != fresh (%v, %v)", trial, mi, si, mf, sf)
+			}
+		}
+		if li, lf := inc.LogMarginalLikelihood(), fresh.LogMarginalLikelihood(); li != lf {
+			t.Fatalf("trial %d: LML %v != %v", trial, li, lf)
+		}
+	}
+}
+
+// TestFitMLESerialParallelIdentical checks the parallel multi-start
+// contract: same rng stream consumed, same winner installed, identical
+// posterior, identical rng state afterwards.
+func TestFitMLESerialParallelIdentical(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		rngA := rand.New(rand.NewSource(23))
+		rngB := rand.New(rand.NewSource(23))
+		dataRng := rand.New(rand.NewSource(24))
+
+		a := fitRandom(t, NewMatern52(3), 12, 3, dataRng)
+		dataRng = rand.New(rand.NewSource(24))
+		b := fitRandom(t, NewMatern52(3), 12, 3, dataRng)
+
+		if err := a.FitMLE(rngA, FitMLEOpts{Starts: 4, FitNoise: true, MaxIter: 60}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.FitMLE(rngB, FitMLEOpts{Starts: 4, FitNoise: true, MaxIter: 60, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+
+		pa, pb := a.Kernel().Params(), b.Kernel().Params()
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("workers=%d: param %d: serial %v, parallel %v", workers, i, pa[i], pb[i])
+			}
+		}
+		if a.Noise() != b.Noise() {
+			t.Fatalf("workers=%d: noise %v != %v", workers, a.Noise(), b.Noise())
+		}
+		// The rng must be left in the same state: subsequent draws decide
+		// downstream search behavior.
+		if x, y := rngA.Float64(), rngB.Float64(); x != y {
+			t.Fatalf("workers=%d: rng streams diverged: %v vs %v", workers, x, y)
+		}
+		q := []float64{0.3, -1.2, 0.8}
+		ma, sa := a.Predict(q)
+		mb, sb := b.Predict(q)
+		if ma != mb || sa != sb {
+			t.Fatalf("workers=%d: posterior (%v,%v) != (%v,%v)", workers, ma, sa, mb, sb)
+		}
+	}
+}
+
+// TestPredictIntoZeroAlloc pins the zero-allocation contract of the hot
+// candidate-scoring path.
+func TestPredictIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := fitRandom(t, NewMatern52(4), 20, 4, rng)
+	q := []float64{0.1, -0.4, 1.2, 0.7}
+	var s PredictScratch
+	g.PredictInto(q, &s) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		g.PredictInto(q, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictInto allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestPredictBatchMatchesSerial checks index-slot collection: any worker
+// count produces the byte-identical mu/sigma a serial loop would.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	g := fitRandom(t, NewMatern52(3), 15, 3, rng)
+	xs := make([][]float64, 40)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	wantMu := make([]float64, len(xs))
+	wantSigma := make([]float64, len(xs))
+	for i, x := range xs {
+		wantMu[i], wantSigma[i] = g.Predict(x)
+	}
+	for _, workers := range []int{1, 2, 4, 64} {
+		mu := make([]float64, len(xs))
+		sigma := make([]float64, len(xs))
+		g.PredictBatch(xs, mu, sigma, workers)
+		for i := range xs {
+			if mu[i] != wantMu[i] || sigma[i] != wantSigma[i] {
+				t.Fatalf("workers=%d: query %d: (%v,%v) want (%v,%v)",
+					workers, i, mu[i], sigma[i], wantMu[i], wantSigma[i])
+			}
+		}
+	}
+}

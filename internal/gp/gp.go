@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"mlcd/internal/mat"
 	"mlcd/internal/optim"
@@ -17,9 +19,23 @@ var ErrNoData = errors.New("gp: no observations fitted")
 // GP is an exact Gaussian-process regressor with fixed Gaussian
 // observation noise. Targets are internally standardized (zero mean,
 // unit variance) so kernel hyperparameter boxes stay scale-free.
+//
+// The regressor keeps three pieces of derived state to make refitting
+// cheap without changing any numerical result:
+//
+//   - a pairwise-difference cache for stationary kernels, so kernel-matrix
+//     rebuilds during FitMLE are pure O(n²·dim) flops with no
+//     feature-vector traversals;
+//   - scratch buffers (kernel matrix, double-buffered Cholesky, alpha) so
+//     the refit loop allocates nothing after warm-up;
+//   - the jitter and hyperparameters of the current factorization, so a
+//     Fit that appends exactly one observation under unchanged
+//     hyperparameters extends the Cholesky factor in O(n²) instead of
+//     refactoring in O(n³).
 type GP struct {
 	kernel   Kernel
-	logNoise float64 // log of the noise *variance* in standardized units
+	statk    Stationary // non-nil iff kernel is stationary (diff-cache fast path)
+	logNoise float64    // log of the noise *variance* in standardized units
 
 	x      [][]float64
 	y      []float64 // raw targets
@@ -29,6 +45,15 @@ type GP struct {
 
 	chol  *mat.Cholesky
 	alpha []float64 // K⁻¹ y (standardized)
+
+	diffs  diffCache    // raw pairwise differences (stationary kernels only)
+	kmat   *mat.Dense   // scratch: kernel matrix without the noise diagonal
+	spare  *mat.Cholesky // double buffer: CholeskyInto target, swapped with chol
+	rowBuf []float64    // scratch: bordering row for Cholesky.Extend
+
+	factorN      int       // observation count the current factor covers (-1 = stale)
+	factorJitter float64   // diagonal jitter the current factor succeeded at
+	factorParams []float64 // kernel params + logNoise at factorization time
 }
 
 // New returns a GP using kernel k and observation-noise variance noise
@@ -37,7 +62,9 @@ func New(k Kernel, noise float64) *GP {
 	if noise <= 0 {
 		noise = 1e-6
 	}
-	return &GP{kernel: k, logNoise: math.Log(noise)}
+	g := &GP{kernel: k, logNoise: math.Log(noise), factorN: -1}
+	g.statk, _ = k.(Stationary)
+	return g
 }
 
 // Kernel returns the GP's kernel (shared, not a copy).
@@ -49,10 +76,69 @@ func (g *GP) Noise() float64 { return math.Exp(g.logNoise) }
 // N returns the number of fitted observations.
 func (g *GP) N() int { return len(g.y) }
 
+// diffCache stores the raw per-dimension differences x_i − x_j for every
+// pair j ≤ i, laid out as a row-major triangle so appending observation n
+// appends pairs (n, 0..n) without disturbing existing entries. Raw
+// differences — not squared distances — are cached because sqDist divides
+// by the lengthscale *before* squaring; caching the difference lets
+// EvalDiff replay sqDist's exact operation sequence, keeping every cached
+// kernel value bit-identical to a direct Eval.
+type diffCache struct {
+	dim  int
+	pts  [][]float64 // the cached points, for prefix-identity checks
+	data []float64   // (n(n+1)/2)·dim raw differences
+}
+
+// pair returns the difference vector for pair (i, j), j ≤ i.
+func (c *diffCache) pair(i, j int) []float64 {
+	off := (i*(i+1)/2 + j) * c.dim
+	return c.data[off : off+c.dim]
+}
+
+// sameSlice reports whether two slices share identity (same backing start
+// and length), which is how the cache detects that a caller's dataset is
+// an append-only extension of what it has already processed.
+func sameSlice(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// sync brings the cache in line with x, reusing every pair whose points
+// are identical to the cached prefix and rebuilding only the rest.
+func (c *diffCache) sync(x [][]float64) {
+	dim := 0
+	if len(x) > 0 {
+		dim = len(x[0])
+	}
+	if dim != c.dim {
+		c.dim = dim
+		c.pts = c.pts[:0]
+		c.data = c.data[:0]
+	}
+	keep := 0
+	for keep < len(c.pts) && keep < len(x) && sameSlice(c.pts[keep], x[keep]) {
+		keep++
+	}
+	c.pts = c.pts[:keep]
+	c.data = c.data[:keep*(keep+1)/2*dim]
+	for i := keep; i < len(x); i++ {
+		xi := x[i]
+		for j := 0; j <= i; j++ {
+			xj := x[j]
+			for k := 0; k < dim; k++ {
+				c.data = append(c.data, xi[k]-xj[k])
+			}
+		}
+		c.pts = append(c.pts, xi)
+	}
+}
+
 // Fit conditions the GP on the observations (X, y). It copies neither X
-// nor y; callers must not mutate them afterwards. Fit recomputes the
-// Cholesky factorization; it returns an error if the covariance matrix
-// is numerically singular even after jitter escalation.
+// nor y; callers must not mutate them afterwards. When X appends exactly
+// one point to the previously fitted set and the hyperparameters are
+// unchanged, the existing Cholesky factor is extended in O(n²); any other
+// change falls back to the full refactorization. Both paths produce
+// bit-identical factors. Fit returns an error if the covariance matrix is
+// numerically singular even after jitter escalation.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("gp: |X|=%d but |y|=%d", len(x), len(y)))
@@ -60,9 +146,89 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(y) == 0 {
 		panic("gp: Fit with zero observations")
 	}
+	extendable := g.chol != nil && g.factorN >= 1 &&
+		len(x) == g.factorN+1 && len(g.x) == g.factorN &&
+		g.paramsUnchanged() && samePrefix(x, g.x)
 	g.x, g.y = x, y
+	if g.statk != nil {
+		g.diffs.sync(x)
+	}
 	g.standardize()
+	if extendable && g.tryExtend() {
+		g.factorN = len(x)
+		g.solveAlpha()
+		return nil
+	}
 	return g.refactor()
+}
+
+// samePrefix reports whether x starts with exactly the points of old.
+func samePrefix(x, old [][]float64) bool {
+	for i := range old {
+		if !sameSlice(x[i], old[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// paramsUnchanged reports whether the kernel hyperparameters and noise
+// match those of the current factorization.
+func (g *GP) paramsUnchanged() bool {
+	p := g.kernel.Params()
+	if len(g.factorParams) != len(p)+1 {
+		return false
+	}
+	for i, v := range p {
+		if g.factorParams[i] != v {
+			return false
+		}
+	}
+	return g.factorParams[len(p)] == g.logNoise
+}
+
+// recordFactor notes the hyperparameters and jitter the live factor was
+// built under, enabling the incremental Fit path next time.
+func (g *GP) recordFactor(n int, jitter float64) {
+	g.factorN = n
+	g.factorJitter = jitter
+	p := g.kernel.Params()
+	if cap(g.factorParams) < len(p)+1 {
+		g.factorParams = make([]float64, len(p)+1)
+	}
+	g.factorParams = g.factorParams[:len(p)+1]
+	copy(g.factorParams, p)
+	g.factorParams[len(p)] = g.logNoise
+}
+
+// tryExtend appends the newest observation to the existing Cholesky
+// factor at the recorded jitter. The bordering row replays exactly the
+// operations a full factorization would execute for its final row, so a
+// successful extension is bit-identical to refactoring from scratch. On
+// a non-positive pivot it reports false with the factor unchanged and the
+// caller falls back to the full jitter-escalation path — which is again
+// identical to what the from-scratch code would have done, because every
+// jitter attempt below the recorded one fails on the leading principal
+// block exactly as it did at order n.
+func (g *GP) tryExtend() bool {
+	m := len(g.x) - 1 // index of the new point
+	if cap(g.rowBuf) < m {
+		g.rowBuf = make([]float64, m)
+	}
+	row := g.rowBuf[:m]
+	var diag float64
+	if g.statk != nil {
+		for j := 0; j < m; j++ {
+			row[j] = g.statk.EvalDiff(g.diffs.pair(m, j))
+		}
+		diag = g.statk.EvalDiff(g.diffs.pair(m, m))
+	} else {
+		for j := 0; j < m; j++ {
+			row[j] = g.kernel.Eval(g.x[j], g.x[m])
+		}
+		diag = g.kernel.Eval(g.x[m], g.x[m])
+	}
+	return g.chol.Extend(row, diag+g.factorJitter) == nil
 }
 
 // standardize computes yStd = (y − mean) / scale.
@@ -81,55 +247,160 @@ func (g *GP) standardize() {
 	if g.yScale < 1e-12 {
 		g.yScale = 1 // constant targets: predict the mean with prior variance
 	}
-	g.yStd = make([]float64, len(g.y))
+	if cap(g.yStd) < len(g.y) {
+		g.yStd = make([]float64, len(g.y))
+	}
+	g.yStd = g.yStd[:len(g.y)]
 	for i, v := range g.y {
 		g.yStd[i] = (v - g.yMean) / g.yScale
 	}
 }
 
+// buildK fills the kmat scratch with the kernel matrix (no noise on the
+// diagonal). Stationary kernels evaluate from the difference cache and
+// only fill the lower triangle, which is all the factorization reads.
+func (g *GP) buildK(n int) {
+	if g.kmat == nil {
+		g.kmat = mat.NewDense(n, n)
+	} else {
+		g.kmat.Reset(n, n)
+	}
+	if g.statk != nil {
+		for i := 0; i < n; i++ {
+			row := g.kmat.Row(i)
+			for j := 0; j <= i; j++ {
+				row[j] = g.statk.EvalDiff(g.diffs.pair(i, j))
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(g.x[i], g.x[j])
+			g.kmat.Set(i, j, v)
+			g.kmat.Set(j, i, v)
+		}
+	}
+}
+
 // refactor rebuilds the Cholesky factorization of K + noise·I, escalating
-// jitter a few times if the kernel matrix is borderline.
+// jitter a few times if the kernel matrix is borderline. The kernel
+// matrix is built once per call; each jitter attempt factors it with a
+// diagonal shift into a double-buffered target, leaving the live factor
+// intact until an attempt succeeds.
 func (g *GP) refactor() error {
 	n := len(g.x)
-	k := mat.SymmetricFrom(n, func(i, j int) float64 {
-		return g.kernel.Eval(g.x[i], g.x[j])
-	})
+	g.buildK(n)
 	jitter := g.Noise()
 	for attempt := 0; attempt < 6; attempt++ {
-		kj := k.Clone()
-		mat.AddDiag(kj, jitter)
-		chol, err := mat.NewCholesky(kj)
+		c, err := mat.CholeskyInto(g.spare, g.kmat, jitter)
 		if err == nil {
-			g.chol = chol
-			g.alpha = chol.SolveVec(g.yStd)
+			g.spare = g.chol
+			g.chol = c
+			g.recordFactor(n, jitter)
+			g.solveAlpha()
 			return nil
 		}
+		g.spare = c
 		jitter *= 10
 	}
+	g.factorN = -1 // the live factor no longer matches the data
 	return fmt.Errorf("gp: covariance not positive-definite after jitter escalation: %w", mat.ErrNotSPD)
+}
+
+// solveAlpha recomputes alpha = (K+σ²I)⁻¹·yStd into the reusable buffer.
+func (g *GP) solveAlpha() {
+	n := len(g.yStd)
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.SolveVecInto(g.alpha, g.yStd)
+}
+
+// PredictScratch holds the per-caller buffers for PredictInto. A zero
+// value is ready to use; buffers grow on demand and are reused across
+// calls, making steady-state prediction allocation-free.
+type PredictScratch struct {
+	ks, v []float64
+}
+
+func (s *PredictScratch) resize(n int) {
+	if cap(s.ks) < n {
+		s.ks = make([]float64, n)
+		s.v = make([]float64, n)
+	}
+	s.ks = s.ks[:n]
+	s.v = s.v[:n]
 }
 
 // Predict returns the posterior mean and standard deviation at x,
 // in the original target units.
 func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	var s PredictScratch
+	return g.PredictInto(x, &s)
+}
+
+// PredictInto is Predict using caller-provided scratch buffers, so the
+// hot candidate-scoring loop performs zero allocations. It only reads the
+// GP's state and is safe to call concurrently (with distinct scratch)
+// as long as nothing refits the model.
+func (g *GP) PredictInto(x []float64, s *PredictScratch) (mu, sigma float64) {
 	if g.chol == nil {
 		panic(ErrNoData)
 	}
 	n := len(g.x)
-	ks := make([]float64, n)
+	s.resize(n)
 	for i := range g.x {
-		ks[i] = g.kernel.Eval(g.x[i], x)
+		s.ks[i] = g.kernel.Eval(g.x[i], x)
 	}
-	muStd := mat.Dot(ks, g.alpha)
+	muStd := mat.Dot(s.ks, g.alpha)
 	// var = k(x,x) − ksᵀ (K+σ²I)⁻¹ ks, computed via the forward solve.
-	v := g.chol.ForwardSolve(ks)
-	variance := g.kernel.Eval(x, x) - mat.Dot(v, v)
+	g.chol.ForwardSolveInto(s.v, s.ks)
+	variance := g.kernel.Eval(x, x) - mat.Dot(s.v, s.v)
 	if variance < 0 {
 		variance = 0
 	}
 	mu = muStd*g.yScale + g.yMean
 	sigma = math.Sqrt(variance) * g.yScale
 	return mu, sigma
+}
+
+// PredictBatch fills mu[i], sigma[i] with the posterior at xs[i], fanning
+// the queries across at most workers goroutines with per-worker scratch.
+// Results are written by index, so the output is identical to a serial
+// loop regardless of scheduling.
+func (g *GP) PredictBatch(xs [][]float64, mu, sigma []float64, workers int) {
+	if len(mu) < len(xs) || len(sigma) < len(xs) {
+		panic(fmt.Sprintf("gp: PredictBatch outputs %d,%d < %d queries", len(mu), len(sigma), len(xs)))
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		var s PredictScratch
+		for i, x := range xs {
+			mu[i], sigma[i] = g.PredictInto(x, &s)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var s PredictScratch
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				mu[i], sigma[i] = g.PredictInto(xs[i], &s)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // PosteriorCov returns the joint posterior covariance matrix of the
@@ -183,11 +454,20 @@ type FitMLEOpts struct {
 	Starts   int // multi-start count (default 4)
 	FitNoise bool
 	MaxIter  int // per-start Nelder–Mead iterations (default 120)
+	Workers  int // parallel multi-start fan-out (≤1 = serial; results identical)
 }
 
 // FitMLE fits the kernel hyperparameters (and optionally the noise) by
 // maximizing the log marginal likelihood with multi-start Nelder–Mead.
 // The GP must already have been Fit with data. rng must not be nil.
+//
+// With Workers > 1 the starts run concurrently, each on a private clone
+// of the GP (cloned kernel, shared read-only data and difference cache).
+// The random start points are drawn up front in exactly the order
+// optim.MultiStart would draw them — Nelder–Mead itself never consumes
+// the rng — and the winner is reduced in start order with a strict
+// less-than, so the chosen hyperparameters, the rng stream, and therefore
+// every downstream decision are bit-identical to the serial path.
 func (g *GP) FitMLE(rng *rand.Rand, opts FitMLEOpts) error {
 	if g.chol == nil {
 		panic(ErrNoData)
@@ -209,10 +489,68 @@ func (g *GP) FitMLE(rng *rand.Rand, opts FitMLEOpts) error {
 	}
 	bounds := optim.Bounds{Lo: lo, Hi: hi}
 	nk := len(g.kernel.Params())
+	nmOpts := optim.NelderMeadOpts{MaxIter: opts.MaxIter}
 
-	obj := func(p []float64) float64 {
+	var res optim.Result
+	if opts.Workers > 1 && opts.Starts > 1 {
+		starts := make([][]float64, opts.Starts)
+		starts[0] = x0
+		for s := 1; s < opts.Starts; s++ {
+			p := make([]float64, len(x0))
+			for i := range p {
+				p[i] = bounds.Lo[i] + rng.Float64()*(bounds.Hi[i]-bounds.Lo[i])
+			}
+			starts[s] = p
+		}
+		results := make([]optim.Result, opts.Starts)
+		workers := opts.Workers
+		if workers > opts.Starts {
+			workers = opts.Starts
+		}
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				c := g.cloneForFit()
+				obj := c.mleObjective(nk, opts.FitNoise)
+				for {
+					s := int(atomic.AddInt64(&next, 1)) - 1
+					if s >= opts.Starts {
+						return
+					}
+					results[s] = optim.NelderMead(obj, starts[s], bounds, nmOpts)
+				}
+			}()
+		}
+		wg.Wait()
+		res = results[0]
+		for s := 1; s < opts.Starts; s++ {
+			res.Evals += results[s].Evals
+			if results[s].F < res.F {
+				res.X, res.F = results[s].X, results[s].F
+			}
+		}
+	} else {
+		obj := g.mleObjective(nk, opts.FitNoise)
+		res = optim.MultiStart(obj, x0, bounds, opts.Starts, rng, nmOpts)
+	}
+
+	// Install the winner and leave the GP conditioned on it.
+	g.kernel.SetParams(res.X[:nk])
+	if opts.FitNoise {
+		g.logNoise = res.X[nk]
+	}
+	return g.refactor()
+}
+
+// mleObjective returns the negative log marginal likelihood as a function
+// of the packed hyperparameter vector, evaluated by mutating g.
+func (g *GP) mleObjective(nk int, fitNoise bool) optim.Objective {
+	return func(p []float64) float64 {
 		g.kernel.SetParams(p[:nk])
-		if opts.FitNoise {
+		if fitNoise {
 			g.logNoise = p[nk]
 		}
 		if err := g.refactor(); err != nil {
@@ -220,12 +558,24 @@ func (g *GP) FitMLE(rng *rand.Rand, opts FitMLEOpts) error {
 		}
 		return -g.LogMarginalLikelihood()
 	}
+}
 
-	res := optim.MultiStart(obj, x0, bounds, opts.Starts, rng, optim.NelderMeadOpts{MaxIter: opts.MaxIter})
-	// Install the winner and leave the GP conditioned on it.
-	g.kernel.SetParams(res.X[:nk])
-	if opts.FitNoise {
-		g.logNoise = res.X[nk]
+// cloneForFit returns a GP that shares g's (read-only, during FitMLE)
+// observations, standardized targets, and difference cache, but owns its
+// kernel and factorization scratch, so concurrent objective evaluations
+// never share mutable state.
+func (g *GP) cloneForFit() *GP {
+	c := &GP{
+		kernel:   g.kernel.Clone(),
+		logNoise: g.logNoise,
+		x:        g.x,
+		y:        g.y,
+		yStd:     g.yStd,
+		yMean:    g.yMean,
+		yScale:   g.yScale,
+		diffs:    g.diffs,
+		factorN:  -1,
 	}
-	return g.refactor()
+	c.statk, _ = c.kernel.(Stationary)
+	return c
 }

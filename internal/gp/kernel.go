@@ -31,6 +31,18 @@ type Kernel interface {
 	Name() string
 }
 
+// Stationary is implemented by kernels whose value depends on the
+// coordinate difference x−y only. EvalDiff evaluates from a precomputed
+// diff vector (diff[i] = x[i] − y[i]) with exactly the floating-point
+// operations Eval(x, y) would execute, so a caller caching raw pairwise
+// differences — the GP's distance cache — reproduces the direct path bit
+// for bit while touching no feature vectors.
+type Stationary interface {
+	Kernel
+	// EvalDiff returns k(x, y) given diff[i] = x[i] − y[i].
+	EvalDiff(diff []float64) float64
+}
+
 // sqDist returns the ARD-scaled squared distance Σ ((x_i−y_i)/ℓ_i)².
 func sqDist(x, y, lengthscales []float64) float64 {
 	if len(x) != len(y) || len(x) != len(lengthscales) {
@@ -44,27 +56,45 @@ func sqDist(x, y, lengthscales []float64) float64 {
 	return s
 }
 
+// sqDistDiff is sqDist evaluated from a precomputed difference vector.
+// Same operations in the same order: diff[i] = x[i]−y[i] exactly, and
+// (−d)·(−d) ≡ d·d in IEEE arithmetic, so the sign of the stored
+// difference is irrelevant.
+func sqDistDiff(diff, lengthscales []float64) float64 {
+	if len(diff) != len(lengthscales) {
+		panic(fmt.Sprintf("gp: dimension mismatch |diff|=%d |ℓ|=%d", len(diff), len(lengthscales)))
+	}
+	var s float64
+	for i := range diff {
+		d := diff[i] / lengthscales[i]
+		s += d * d
+	}
+	return s
+}
+
 // ard holds the shared state of the stationary ARD kernels below:
-// a signal variance σ² and one lengthscale per input dimension.
+// a signal variance σ² and one lengthscale per input dimension. The
+// exponentiated parameters are cached so the hot kernel-matrix loops pay
+// for exp() once per SetParams instead of once per pair.
 type ard struct {
 	logSigma2 float64
 	logLen    []float64
+	sig2      float64   // exp(logSigma2), kept in sync by setParams
+	lens      []float64 // exp(logLen), kept in sync by setParams
 }
 
 func newARD(dim int) ard {
-	a := ard{logSigma2: 0, logLen: make([]float64, dim)}
+	a := ard{logSigma2: 0, sig2: 1, logLen: make([]float64, dim), lens: make([]float64, dim)}
+	for i := range a.lens {
+		a.lens[i] = 1
+	}
 	return a
 }
 
-func (a *ard) lengthscales() []float64 {
-	ls := make([]float64, len(a.logLen))
-	for i, v := range a.logLen {
-		ls[i] = math.Exp(v)
-	}
-	return ls
-}
+// lengthscales returns the cached exp(logLen); callers must not mutate it.
+func (a *ard) lengthscales() []float64 { return a.lens }
 
-func (a *ard) sigma2() float64 { return math.Exp(a.logSigma2) }
+func (a *ard) sigma2() float64 { return a.sig2 }
 
 func (a *ard) params() []float64 {
 	p := make([]float64, 1+len(a.logLen))
@@ -78,7 +108,11 @@ func (a *ard) setParams(p []float64) {
 		panic(fmt.Sprintf("gp: got %d params, want %d", len(p), 1+len(a.logLen)))
 	}
 	a.logSigma2 = p[0]
+	a.sig2 = math.Exp(a.logSigma2)
 	copy(a.logLen, p[1:])
+	for i, v := range a.logLen {
+		a.lens[i] = math.Exp(v)
+	}
 }
 
 func (a *ard) bounds() optim.Bounds {
@@ -100,7 +134,12 @@ func (a *ard) bounds() optim.Bounds {
 }
 
 func (a *ard) clone() ard {
-	return ard{logSigma2: a.logSigma2, logLen: append([]float64(nil), a.logLen...)}
+	return ard{
+		logSigma2: a.logSigma2,
+		sig2:      a.sig2,
+		logLen:    append([]float64(nil), a.logLen...),
+		lens:      append([]float64(nil), a.lens...),
+	}
 }
 
 // SE is the squared-exponential (RBF) kernel with ARD lengthscales:
@@ -113,6 +152,11 @@ func NewSE(dim int) *SE { return &SE{newARD(dim)} }
 // Eval implements Kernel.
 func (k *SE) Eval(x, y []float64) float64 {
 	return k.sigma2() * math.Exp(-0.5*sqDist(x, y, k.lengthscales()))
+}
+
+// EvalDiff implements Stationary.
+func (k *SE) EvalDiff(diff []float64) float64 {
+	return k.sigma2() * math.Exp(-0.5*sqDistDiff(diff, k.lengthscales()))
 }
 
 // Params implements Kernel.
@@ -140,6 +184,13 @@ func NewMatern32(dim int) *Matern32 { return &Matern32{newARD(dim)} }
 // Eval implements Kernel.
 func (k *Matern32) Eval(x, y []float64) float64 {
 	r := math.Sqrt(sqDist(x, y, k.lengthscales()))
+	s := math.Sqrt(3) * r
+	return k.sigma2() * (1 + s) * math.Exp(-s)
+}
+
+// EvalDiff implements Stationary.
+func (k *Matern32) EvalDiff(diff []float64) float64 {
+	r := math.Sqrt(sqDistDiff(diff, k.lengthscales()))
 	s := math.Sqrt(3) * r
 	return k.sigma2() * (1 + s) * math.Exp(-s)
 }
@@ -172,6 +223,14 @@ func NewMatern52(dim int) *Matern52 { return &Matern52{newARD(dim)} }
 // Eval implements Kernel.
 func (k *Matern52) Eval(x, y []float64) float64 {
 	r2 := sqDist(x, y, k.lengthscales())
+	r := math.Sqrt(r2)
+	s := math.Sqrt(5) * r
+	return k.sigma2() * (1 + s + 5*r2/3) * math.Exp(-s)
+}
+
+// EvalDiff implements Stationary.
+func (k *Matern52) EvalDiff(diff []float64) float64 {
+	r2 := sqDistDiff(diff, k.lengthscales())
 	r := math.Sqrt(r2)
 	s := math.Sqrt(5) * r
 	return k.sigma2() * (1 + s + 5*r2/3) * math.Exp(-s)

@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// leadingBlock returns the n×n leading principal submatrix of a.
+func leadingBlock(a *Dense, n int) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, a.At(i, j))
+		}
+	}
+	return b
+}
+
+// sameFactor asserts two Cholesky factors agree entry for entry. The
+// incremental paths replay exactly the floating-point operations of the
+// from-scratch factorization, so the comparison is for bit equality —
+// far stronger than the 1e-12 the callers rely on.
+func sameFactor(t *testing.T, got, want *Cholesky, label string) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d, want %d", label, got.Size(), want.Size())
+	}
+	n := want.Size()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if g, w := got.L().At(i, j), want.L().At(i, j); g != w {
+				t.Fatalf("%s: L[%d][%d] = %v, want %v (diff %g)", label, i, j, g, w, g-w)
+			}
+		}
+	}
+}
+
+// TestCholeskyExtendMatchesFull grows a factor one bordering row at a
+// time and checks it stays identical to factoring the whole matrix from
+// scratch at every size.
+func TestCholeskyExtendMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(14)
+		a := randomSPD(n, rng)
+		inc, err := NewCholesky(leadingBlock(a, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 1; m < n; m++ {
+			row := make([]float64, m)
+			for j := 0; j < m; j++ {
+				row[j] = a.At(m, j)
+			}
+			if err := inc.Extend(row, a.At(m, m)); err != nil {
+				t.Fatalf("trial %d: Extend to %d: %v", trial, m+1, err)
+			}
+			full, err := NewCholesky(leadingBlock(a, m+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFactor(t, inc, full, "extend")
+		}
+	}
+}
+
+// TestCholeskyExtendNotSPDLeavesReceiver checks the documented failure
+// contract: a bordering row that breaks positive-definiteness returns
+// ErrNotSPD and leaves the factor usable and unchanged.
+func TestCholeskyExtendNotSPDLeavesReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSPD(4, rng)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bordering row equal to the last column of A with the same diagonal
+	// makes the new row linearly dependent — the pivot cannot be positive.
+	row := make([]float64, 4)
+	for j := 0; j < 4; j++ {
+		row[j] = a.At(3, j)
+	}
+	if err := c.Extend(row, a.At(3, 3)); err != ErrNotSPD {
+		t.Fatalf("Extend with dependent row = %v, want ErrNotSPD", err)
+	}
+	sameFactor(t, c, before, "after failed extend")
+}
+
+// TestCholeskyIntoMatchesAddDiag checks that factoring a+shift·I into
+// reused storage matches the allocating Clone+AddDiag+NewCholesky path
+// exactly, and that the input matrix is never mutated.
+func TestCholeskyIntoMatchesAddDiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var dst *Cholesky
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(n, rng)
+		orig := a.Clone()
+		shift := rng.Float64()
+
+		shifted := a.Clone()
+		AddDiag(shifted, shift)
+		want, err := NewCholesky(shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reuse dst across trials of different sizes to exercise the
+		// storage-recycling path.
+		dst, err = CholeskyInto(dst, a, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFactor(t, dst, want, "into")
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if a.At(i, j) != orig.At(i, j) {
+					t.Fatalf("CholeskyInto mutated input at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+// FuzzCholeskyExtend drives Extend with fuzzer-chosen sizes and seeds,
+// asserting the incremental factor always matches the from-scratch one.
+func FuzzCholeskyExtend(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(8))
+	f.Add(int64(-7), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		n := int(size%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(n, rng)
+		inc, err := NewCholesky(leadingBlock(a, n-1))
+		if err != nil {
+			t.Skip("base factorization failed")
+		}
+		row := make([]float64, n-1)
+		for j := 0; j < n-1; j++ {
+			row[j] = a.At(n-1, j)
+		}
+		if err := inc.Extend(row, a.At(n-1, n-1)); err != nil {
+			t.Skip("extension rejected")
+		}
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("full factorization failed after Extend accepted: %v", err)
+		}
+		sameFactor(t, inc, full, "fuzz extend")
+	})
+}

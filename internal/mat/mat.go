@@ -58,6 +58,25 @@ func (m *Dense) Clone() *Dense {
 	return &Dense{rows: m.rows, cols: m.cols, data: d}
 }
 
+// Reset resizes m to r×c, reusing its backing array when capacity allows,
+// and zeroes every element. It is the allocation-free counterpart of
+// NewDense for scratch matrices rebuilt in hot loops.
+func (m *Dense) Reset(r, c int) {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	n := r * c
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = r, c
+}
+
 // Mul computes the product a·b into a new matrix.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
@@ -147,6 +166,88 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 	return &Cholesky{n: n, l: l}, nil
 }
 
+// CholeskyInto factors a + shift·I, writing the lower-triangular factor
+// into dst's storage when dst has the same order (a zero-allocation
+// refactor); otherwise it allocates. Only the lower triangle of a is
+// read, and a itself is never mutated, so the same pristine matrix can be
+// retried under an escalating shift. The arithmetic matches NewCholesky
+// on a matrix whose diagonal already carries the shift, bit for bit.
+func CholeskyInto(dst *Cholesky, a *Dense, shift float64) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %d×%d", a.rows, a.cols))
+	}
+	n := a.rows
+	if dst == nil || dst.n != n {
+		dst = &Cholesky{n: n, l: NewDense(n, n)}
+	}
+	l := dst.l
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + shift
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return dst, ErrNotSPD
+		}
+		diag := math.Sqrt(d)
+		lrowj[j] = diag
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / diag
+		}
+		// Zero the strictly-upper part of the row so a reused buffer
+		// never leaks a previous factorization.
+		for k := j + 1; k < n; k++ {
+			lrowj[k] = 0
+		}
+	}
+	return dst, nil
+}
+
+// Extend grows the factorization from order n to n+1 given the new
+// bordering row of the underlying SPD matrix: row holds A[n][0..n-1] and
+// diag holds A[n][n], both already carrying any diagonal shift the
+// original factorization used. The append costs O(n²) instead of the
+// O(n³) full refactor, and its floating-point operations replicate what
+// NewCholesky would execute for the final row — an extended factor is
+// bit-for-bit indistinguishable from a from-scratch one. On ErrNotSPD
+// the receiver is left unchanged.
+func (c *Cholesky) Extend(row []float64, diag float64) error {
+	n := c.n
+	if len(row) != n {
+		panic(fmt.Sprintf("mat: Extend row length %d != order %d", len(row), n))
+	}
+	nl := NewDense(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(nl.Row(i)[:n], c.l.Row(i))
+	}
+	lrow := nl.Row(n)
+	for j := 0; j < n; j++ {
+		s := row[j]
+		lrowj := nl.Row(j)
+		for k := 0; k < j; k++ {
+			s -= lrow[k] * lrowj[k]
+		}
+		lrow[j] = s / lrowj[j]
+	}
+	d := diag
+	for k := 0; k < n; k++ {
+		d -= lrow[k] * lrow[k]
+	}
+	if d <= 0 || math.IsNaN(d) {
+		return ErrNotSPD
+	}
+	lrow[n] = math.Sqrt(d)
+	c.l = nl
+	c.n = n + 1
+	return nil
+}
+
 // Size returns the order of the factored matrix.
 func (c *Cholesky) Size() int { return c.n }
 
@@ -164,29 +265,52 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 
 // ForwardSolve solves L·y = b (in a fresh slice).
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
-	y := make([]float64, c.n)
+	return c.ForwardSolveInto(make([]float64, c.n), b)
+}
+
+// ForwardSolveInto solves L·y = b into dst, which must have length n.
+// dst may alias b: each b[i] is consumed before y[i] is written.
+func (c *Cholesky) ForwardSolveInto(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: ForwardSolveInto lengths %d,%d != order %d", len(dst), len(b), c.n))
+	}
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		row := c.l.Row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * dst[k]
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return y
+	return dst
 }
 
 // backSolve solves Lᵀ·x = y.
 func (c *Cholesky) backSolve(y []float64) []float64 {
-	x := make([]float64, c.n)
+	return c.backSolveInto(make([]float64, c.n), y)
+}
+
+// backSolveInto solves Lᵀ·x = y into dst. dst may alias y: x[i] depends
+// only on y[i] and already-written x[k>i].
+func (c *Cholesky) backSolveInto(dst, y []float64) []float64 {
 	for i := c.n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= c.l.At(k, i) * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / c.l.At(i, i)
 	}
-	return x
+	return dst
+}
+
+// SolveVecInto solves A·x = b into dst (length n, may alias b) without
+// allocating: the forward and backward substitutions run in place.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: SolveVecInto lengths %d,%d != order %d", len(dst), len(b), c.n))
+	}
+	c.ForwardSolveInto(dst, b)
+	return c.backSolveInto(dst, dst)
 }
 
 // LogDet returns log|A| = 2·Σ log L[i,i].

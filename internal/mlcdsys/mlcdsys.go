@@ -193,14 +193,16 @@ func New(cfg Config) *System {
 	if cfg.Provider == nil {
 		cfg.Provider = cloud.NewSimProvider(cloud.DefaultQuota, 2*time.Minute)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	if cfg.Searcher == nil {
-		cfg.Searcher = core.New(core.Options{Seed: cfg.Seed})
+		// The registry must be resolved first so the default searcher can
+		// publish its performance histograms on the system's /metrics.
+		cfg.Searcher = core.New(core.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
 	}
 	if cfg.Adapters == nil {
 		cfg.Adapters = DefaultAdapters()
-	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = obs.NewRegistry()
 	}
 	s := &System{
 		catalog:  cfg.Catalog,

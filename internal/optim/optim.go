@@ -75,9 +75,32 @@ func (o NelderMeadOpts) withDefaults(dim int) NelderMeadOpts {
 	return o
 }
 
+// vertex is one simplex corner: a point and its objective value.
+type vertex struct {
+	x []float64
+	f float64
+}
+
+// byF sorts simplex vertices by ascending objective value. A concrete
+// sort.Interface avoids sort.Slice's per-call reflection in the
+// optimizer's inner loop; both run the standard library's pdqsort, whose
+// comparisons and swaps depend only on Less results, so the resulting
+// vertex order is the same either way.
+type byF []vertex
+
+func (s byF) Len() int           { return len(s) }
+func (s byF) Less(i, j int) bool { return s[i].f < s[j].f }
+func (s byF) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // NelderMead minimizes f within bounds starting from x0.
 // Points proposed outside the box are clamped to it, which keeps the
 // method valid for the log-space hyperparameter boxes used by the GP.
+//
+// The GP hyperparameter refit evaluates this optimizer's objective
+// hundreds of times per observation, so candidate points are carried in
+// a small recycled buffer pool instead of fresh allocations; every
+// floating-point operation and comparison is unchanged, making the
+// trajectory identical to the allocating implementation.
 func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) Result {
 	dim := len(x0)
 	if dim == 0 {
@@ -94,10 +117,6 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 		return f(x)
 	}
 
-	type vertex struct {
-		x []float64
-		f float64
-	}
 	simplex := make([]vertex, dim+1)
 	start := bounds.Clamp(append([]float64(nil), x0...))
 	simplex[0] = vertex{x: start, f: eval(start)}
@@ -122,8 +141,29 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 		sigma = 0.5 // shrink
 	)
 
+	centroid := make([]float64, dim)
+	// pool recycles candidate-point buffers: a discarded candidate and
+	// the evicted worst vertex both return here. At most three buffers
+	// circulate, covering reflection/expansion/contraction of any
+	// iteration without further allocation.
+	var pool [][]float64
+	grab := func() []float64 {
+		if n := len(pool); n > 0 {
+			x := pool[n-1]
+			pool = pool[:n-1]
+			return x
+		}
+		return make([]float64, dim)
+	}
+	// install replaces the worst vertex, recycling its buffer. Callers
+	// must not touch worst.x afterwards.
+	install := func(x []float64, fx float64) {
+		pool = append(pool, simplex[dim].x)
+		simplex[dim] = vertex{x, fx}
+	}
+
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		sort.Sort(byF(simplex))
 		if simplex[dim].f-simplex[0].f < opts.TolF {
 			// A flat simplex can straddle a minimum (notably in 1-D), so
 			// require the vertices to have collapsed in x as well.
@@ -140,7 +180,9 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 			}
 		}
 		// Centroid of all but the worst.
-		centroid := make([]float64, dim)
+		for j := range centroid {
+			centroid[j] = 0
+		}
 		for _, v := range simplex[:dim] {
 			for j, xv := range v.x {
 				centroid[j] += xv
@@ -152,7 +194,7 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 		worst := simplex[dim]
 
 		mix := func(coef float64) []float64 {
-			x := make([]float64, dim)
+			x := grab()
 			for j := range x {
 				x[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
 			}
@@ -166,32 +208,38 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 			exp := mix(gamma)
 			fe := eval(exp)
 			if fe < fr {
-				simplex[dim] = vertex{exp, fe}
+				install(exp, fe)
+				pool = append(pool, refl)
 			} else {
-				simplex[dim] = vertex{refl, fr}
+				install(refl, fr)
+				pool = append(pool, exp)
 			}
 		case fr < simplex[dim-1].f:
-			simplex[dim] = vertex{refl, fr}
+			install(refl, fr)
 		default:
 			contr := mix(-rho)
 			fc := eval(contr)
 			if fc < worst.f {
-				simplex[dim] = vertex{contr, fc}
+				install(contr, fc)
+				pool = append(pool, refl)
 			} else {
-				// Shrink toward the best vertex.
+				pool = append(pool, refl, contr)
+				// Shrink toward the best vertex, overwriting each vertex
+				// in place (x[j] depends only on its own old value and the
+				// best vertex, so the update order cannot alias).
 				for i := 1; i <= dim; i++ {
-					x := make([]float64, dim)
-					for j := range x {
-						x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					xi := simplex[i].x
+					for j := range xi {
+						xi[j] = simplex[0].x[j] + sigma*(xi[j]-simplex[0].x[j])
 					}
-					bounds.Clamp(x)
-					simplex[i] = vertex{x, eval(x)}
+					bounds.Clamp(xi)
+					simplex[i] = vertex{xi, eval(xi)}
 				}
 			}
 		}
 	}
 
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	sort.Sort(byF(simplex))
 	return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals}
 }
 

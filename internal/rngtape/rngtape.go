@@ -1,0 +1,93 @@
+// Package rngtape provides seeded math/rand generators whose streams are
+// memoized per seed. Seeding math/rand's default source costs a ~600-word
+// lagged-Fibonacci warm-up — wildly more than the handful of values most
+// deterministic components actually draw: the simulator seeds a source
+// per measurement trial to produce one noise sample, and a search seeds
+// one per run for a few hundred hyperparameter draws. Recording a seed's
+// output on a shared tape the first time and replaying it thereafter
+// makes repeat seeding nearly free.
+//
+// The stream is the real generator's own output, memoized — not a
+// reimplementation — so New(seed) behaves identically to
+// rand.New(rand.NewSource(seed)), value for value.
+package rngtape
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// tape memoizes the output stream of one seeded source.
+type tape struct {
+	mu   sync.Mutex
+	src  rand.Source64 // the real seeded source, advanced on demand
+	vals []uint64      // everything it has produced, in order
+}
+
+// at returns the i'th value of the stream, drawing from the underlying
+// source as needed.
+func (t *tape) at(i int) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.vals) <= i {
+		t.vals = append(t.vals, t.src.Uint64())
+	}
+	return t.vals[i]
+}
+
+// source replays a tape from the start; every New carries its own cursor
+// over the shared tape.
+type source struct {
+	tape *tape
+	pos  int
+}
+
+// Uint64 implements rand.Source64.
+func (s *source) Uint64() uint64 {
+	v := s.tape.at(s.pos)
+	s.pos++
+	return v
+}
+
+// Int63 implements rand.Source. The masking matches how math/rand's own
+// source derives Int63 from its 64-bit stream.
+func (s *source) Int63() int64 { return int64(s.Uint64() & (1<<63 - 1)) }
+
+// Seed implements rand.Source by retargeting the cursor at a fresh tape.
+func (s *source) Seed(seed int64) {
+	s.tape = tapeFor(seed)
+	s.pos = 0
+}
+
+var (
+	tapesMu sync.Mutex
+	tapes   = map[int64]*tape{}
+)
+
+// maxTapes bounds the cache. Consumers draw at most a few hundred 8-byte
+// values per seed, so the worst case stays a few megabytes; evicting a
+// tape only means the next user of that seed re-pays the seeding cost.
+const maxTapes = 4096
+
+func tapeFor(seed int64) *tape {
+	tapesMu.Lock()
+	defer tapesMu.Unlock()
+	if t, ok := tapes[seed]; ok {
+		return t
+	}
+	if len(tapes) >= maxTapes {
+		for k := range tapes {
+			delete(tapes, k)
+			break
+		}
+	}
+	t := &tape{src: rand.NewSource(seed).(rand.Source64)}
+	tapes[seed] = t
+	return t
+}
+
+// New is a drop-in replacement for rand.New(rand.NewSource(seed)) that
+// amortizes the seeding cost across all users of a seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(&source{tape: tapeFor(seed)})
+}

@@ -1,0 +1,109 @@
+package rngtape
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStreamMatchesMathRand is the package's core contract: New(seed)
+// yields exactly the stream of rand.New(rand.NewSource(seed)) across the
+// derived draw kinds the codebase uses, including on tape replays.
+func TestStreamMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40} {
+		for replay := 0; replay < 2; replay++ {
+			want := rand.New(rand.NewSource(seed))
+			got := New(seed)
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					if g, w := got.Float64(), want.Float64(); g != w {
+						t.Fatalf("seed %d replay %d draw %d: Float64 %v != %v", seed, replay, i, g, w)
+					}
+				case 1:
+					if g, w := got.NormFloat64(), want.NormFloat64(); g != w {
+						t.Fatalf("seed %d replay %d draw %d: NormFloat64 %v != %v", seed, replay, i, g, w)
+					}
+				case 2:
+					if g, w := got.Intn(1000), want.Intn(1000); g != w {
+						t.Fatalf("seed %d replay %d draw %d: Intn %v != %v", seed, replay, i, g, w)
+					}
+				case 3:
+					if g, w := got.Int63(), want.Int63(); g != w {
+						t.Fatalf("seed %d replay %d draw %d: Int63 %v != %v", seed, replay, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndependentCursors checks that two generators over the same seed do
+// not advance each other.
+func TestIndependentCursors(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	av := a.Float64()
+	bv := b.Float64()
+	if av != bv {
+		t.Fatalf("same seed diverged: %v != %v", av, bv)
+	}
+	a.Float64()
+	if b2, w := b.Float64(), rand.New(rand.NewSource(7)); true {
+		w.Float64()
+		if b2 != w.Float64() {
+			t.Fatalf("cursor b advanced by reads on a")
+		}
+	}
+}
+
+// TestSeedRetargets checks the rand.Source Seed contract: reseeding an
+// existing generator restarts the requested stream.
+func TestSeedRetargets(t *testing.T) {
+	g := New(1)
+	g.Float64()
+	g.Seed(99)
+	want := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		if gv, wv := g.Float64(), want.Float64(); gv != wv {
+			t.Fatalf("draw %d after Seed: %v != %v", i, gv, wv)
+		}
+	}
+}
+
+// TestConcurrentReaders lets the race detector audit the shared tape.
+func TestConcurrentReaders(t *testing.T) {
+	want := make([]float64, 200)
+	ref := rand.New(rand.NewSource(555))
+	for i := range want {
+		want[i] = ref.Float64()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := New(555)
+			for i := range want {
+				if v := g.Float64(); v != want[i] {
+					t.Errorf("draw %d: %v != %v", i, v, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEvictionBound keeps the tape cache from growing without limit.
+func TestEvictionBound(t *testing.T) {
+	for s := int64(0); s < maxTapes+100; s++ {
+		New(s).Float64()
+	}
+	tapesMu.Lock()
+	n := len(tapes)
+	tapesMu.Unlock()
+	if n > maxTapes {
+		t.Fatalf("tape cache holds %d entries, cap %d", n, maxTapes)
+	}
+}

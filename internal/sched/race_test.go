@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"testing"
+
+	"mlcd/internal/mlcdsys"
+)
+
+// TestConcurrentSearchesShareNothing runs two deployment searches at the
+// same time through a two-worker scheduler and lets the race detector
+// audit them. Each search clones the system's kernel template before
+// fitting (core.Options ensures this); a regression that shares one
+// kernel's hyperparameter state — or any other surrogate state — across
+// concurrent FitMLE calls shows up here under `go test -race`.
+func TestConcurrentSearchesShareNothing(t *testing.T) {
+	s, err := New(newTestSystem(t), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Different tenants and requirement shapes so the two searches take
+	// different trajectories through the shared profiling cache while
+	// overlapping in time.
+	a, err := s.Submit("resnet-cifar10", "tenant-a", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit("resnet-cifar10", "tenant-b", mlcdsys.Requirements{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{a.ID, b.ID} {
+		done := awaitStatus(t, s, id, StatusDone)
+		if done.Report == nil {
+			t.Fatalf("job %s finished without a report", id)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and emit a machine-readable record.
+#
+# Runs the figure/ablation benchmarks (one iteration each: they are whole
+# experiment reproductions whose custom metrics, not ns/op, are the
+# point), the micro-benchmarks of the core machinery, and the surrogate-
+# engine benchmarks added with the fast-surrogate work, then converts
+# `go test -bench` output into BENCH_PR3.json: ns/op plus every custom
+# metric, alongside the frozen pre-optimization baseline so the speedup
+# is auditable from the file alone.
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH_PR3.json at the repo root
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Pre-optimization reference, measured at the commit before the surrogate
+# engine work on the same class of machine (Intel Xeon @ 2.10GHz,
+# GOMAXPROCS=1): one full HeterBO scale-out search and one simulator
+# throughput evaluation.
+BASE_SEARCH_NS=3089809
+BASE_SIM_NS=172.8
+
+echo "bench.sh: figure + ablation suite (1 iteration each)" >&2
+go test -run '^$' -bench 'Fig|Ablation|Fidelity' -benchtime 1x . >>"$RAW"
+
+echo "bench.sh: micro-benchmarks" >&2
+go test -run '^$' -bench 'BenchmarkHeterBOSearch$' -benchtime 400x . >>"$RAW"
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchtime 1s . >>"$RAW"
+
+echo "bench.sh: surrogate engine" >&2
+go test -run '^$' -bench 'BenchmarkSurrogateObserve' -benchtime 50x ./internal/bo/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkFitMLE$' -benchtime 20x ./internal/gp/ >>"$RAW"
+go test -run '^$' -bench 'BenchmarkNextCandidate$' -benchtime 1000x ./internal/core/ >>"$RAW"
+
+awk -v base_search="$BASE_SEARCH_NS" -v base_sim="$BASE_SIM_NS" '
+function flushpkg() { pkg = "" }
+/^pkg: /   { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = $3                             # value preceding "ns/op"
+    metrics = ""
+    for (i = 5; i + 1 <= NF; i += 2) {  # trailing "value unit" metric pairs
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics sprintf("\"%s\": %s", $(i + 1), $i)
+    }
+    if (count++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"package\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s",
+           name, pkg, iters, ns
+    if (metrics != "") printf ", \"metrics\": {%s}", metrics
+    printf "}"
+    if (name == "BenchmarkHeterBOSearch") search_ns = ns
+    if (name == "BenchmarkSimulatorThroughput") sim_ns = ns
+}
+END {
+    printf "\n  ],\n"
+    printf "  \"baseline\": {\n"
+    printf "    \"note\": \"pre-optimization reference, same machine class\",\n"
+    printf "    \"heterbo_search_ns_per_op\": %s,\n", base_search
+    printf "    \"simulator_throughput_ns_per_op\": %s\n", base_sim
+    printf "  }"
+    if (search_ns != "") {
+        printf ",\n  \"speedup\": {\n"
+        printf "    \"heterbo_search_x\": %.2f", base_search / search_ns
+        if (sim_ns != "") printf ",\n    \"simulator_throughput_x\": %.2f", base_sim / sim_ns
+        printf "\n  }"
+    }
+    printf "\n}\n"
+}
+BEGIN { printf "{\n  \"benchmarks\": [\n" }
+' "$RAW" >"$OUT"
+
+echo "bench.sh: wrote $OUT" >&2
