@@ -22,7 +22,7 @@ cover:
 	sh scripts/cover.sh
 
 # bench runs the figure, micro, and surrogate-engine benchmarks and
-# records ns/op plus custom metrics in BENCH_PR3.json.
+# records ns/op plus custom metrics in BENCH_PR4.json.
 bench:
 	sh scripts/bench.sh
 

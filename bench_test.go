@@ -365,3 +365,30 @@ func BenchmarkHeterBOSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDeployFaultFree measures one full deployment — search plus
+// checkpointless training — through the resilient execution layer with
+// no faults injected: the price the retry loop, circuit breaker, and
+// interruption accounting add to the happy path. Compared in
+// BENCH_PR4.json against the pre-resilience search baseline.
+func BenchmarkDeployFaultFree(b *testing.B) {
+	cat, err := mlcd.DefaultCatalog().Subset("c5.4xlarge")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := mlcd.NewSystem(mlcd.SystemConfig{
+			Catalog: cat,
+			Limits:  mlcd.SpaceLimits{MaxCPUNodes: 50, MaxGPUNodes: 1},
+			Seed:    1,
+		})
+		rep, err := sys.Deploy(mlcd.ResNetCIFAR10, mlcd.Requirements{Budget: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Satisfied {
+			b.Fatal("budget not satisfied")
+		}
+	}
+}

@@ -28,8 +28,11 @@ import (
 	"syscall"
 	"time"
 
+	"mlcd/internal/chaos"
+	"mlcd/internal/cloud"
 	"mlcd/internal/mlcdapi"
 	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
 )
 
 func main() {
@@ -41,10 +44,36 @@ func main() {
 		journal      = flag.String("journal", "", "crash-safe journal path (empty = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running searches on shutdown")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		chaosPlan    = flag.String("chaos-plan", "", "fault-injection plan: a builtin name (launch-storm, spot-interrupt, waitready-timeout, brownout) or a JSON plan file")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos provider's injection decisions")
+		ckptEvery    = flag.Duration("checkpoint-every", 0, "checkpoint interval for training runs (0 = no checkpointing)")
 	)
 	flag.Parse()
 
-	sys := mlcdsys.New(mlcdsys.Config{Seed: *seed})
+	// The registry is built first so the chaos provider (when enabled)
+	// and the system publish on the same /metrics exposition.
+	reg := obs.NewRegistry()
+	var provider cloud.Provider = cloud.NewSimProvider(cloud.DefaultQuota, 2*time.Minute)
+	if *chaosPlan != "" {
+		plan, ok := chaos.PlanByName(*chaosPlan)
+		if !ok {
+			b, err := os.ReadFile(*chaosPlan)
+			if err != nil {
+				log.Fatalf("mlcdd: -chaos-plan %q is neither a builtin plan nor a readable file: %v", *chaosPlan, err)
+			}
+			if plan, err = chaos.ParsePlan(b); err != nil {
+				log.Fatalf("mlcdd: %v", err)
+			}
+		}
+		provider = chaos.Wrap(provider, plan, *chaosSeed, reg)
+		fmt.Printf("mlcdd: chaos plan %q armed (seed %d)\n", plan.Name, *chaosSeed)
+	}
+	sys := mlcdsys.New(mlcdsys.Config{
+		Seed:       *seed,
+		Provider:   provider,
+		Metrics:    reg,
+		Resilience: mlcdsys.Resilience{CheckpointEvery: *ckptEvery},
+	})
 	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
 		Workers:     *workers,
 		QueueSize:   *queueSize,

@@ -78,7 +78,85 @@ var (
 	// ErrTransient is a retryable control-plane failure (capacity blips,
 	// API throttling); injected by SimProvider when configured.
 	ErrTransient = errors.New("cloud: transient control-plane failure")
+	// ErrSpotInterrupted is returned by Run when the cloud reclaims a
+	// spot/preemptible cluster mid-run. The cluster keeps billing until
+	// Terminate; the typed SpotInterruption error carries how much of the
+	// requested run actually executed (and was billed) before the
+	// reclamation.
+	ErrSpotInterrupted = errors.New("cloud: spot capacity reclaimed")
+	// ErrWaitTimeout is returned by WaitReady when a cluster never became
+	// usable within the provider's patience. The typed WaitTimeout error
+	// carries how much virtual time the wait burned — billed time, since
+	// the cluster was booked the whole while.
+	ErrWaitTimeout = errors.New("cloud: cluster never became ready")
 )
+
+// SpotInterruption is the typed form of ErrSpotInterrupted: Ran is the
+// virtual time the run executed (and billed) before the reclamation, so
+// callers can charge the partial chunk and resume from their last
+// checkpoint.
+type SpotInterruption struct {
+	Ran time.Duration
+}
+
+func (e *SpotInterruption) Error() string {
+	return fmt.Sprintf("cloud: spot capacity reclaimed after %s of run", e.Ran)
+}
+
+// Unwrap lets errors.Is(err, ErrSpotInterrupted) match.
+func (e *SpotInterruption) Unwrap() error { return ErrSpotInterrupted }
+
+// WaitTimeout is the typed form of ErrWaitTimeout: Waited is the virtual
+// time WaitReady burned before giving up — chargeable, since the cluster
+// was booked and billing the whole wait.
+type WaitTimeout struct {
+	Waited time.Duration
+}
+
+func (e *WaitTimeout) Error() string {
+	return fmt.Sprintf("cloud: cluster never became ready after %s", e.Waited)
+}
+
+// Unwrap lets errors.Is(err, ErrWaitTimeout) match.
+func (e *WaitTimeout) Unwrap() error { return ErrWaitTimeout }
+
+// ClockAdvancer is an optional Provider refinement: providers whose time
+// is virtual can advance it directly. The resilient execution layer uses
+// it to sleep retry backoffs and breaker cooldowns on the provider clock
+// instead of the wall clock, keeping fault recovery deterministic and
+// instantaneous in tests.
+type ClockAdvancer interface {
+	Advance(d time.Duration)
+}
+
+// ElapsedRunner is an optional Provider refinement: RunFor behaves like
+// Run but additionally reports the virtual time actually consumed, which
+// can exceed dur (straggling nodes) or fall short of it (a mid-run spot
+// interruption). Callers that meter cluster time should prefer it via
+// RunElapsed so faults are charged for exactly what they burned.
+type ElapsedRunner interface {
+	RunFor(c *Cluster, dur time.Duration) (time.Duration, error)
+}
+
+// RunElapsed runs the cluster for dur through p, reporting the virtual
+// time actually consumed. It uses ElapsedRunner when p implements it;
+// otherwise it falls back to Run, inferring partial time from a typed
+// SpotInterruption and assuming exact time on success — which is what
+// every virtual-clock provider in this repository guarantees.
+func RunElapsed(p Provider, c *Cluster, dur time.Duration) (time.Duration, error) {
+	if er, ok := p.(ElapsedRunner); ok {
+		return er.RunFor(c, dur)
+	}
+	err := p.Run(c, dur)
+	if err == nil {
+		return dur, nil
+	}
+	var spot *SpotInterruption
+	if errors.As(err, &spot) {
+		return spot.Ran, err
+	}
+	return 0, err
+}
 
 // Quota bounds concurrently running nodes, mirroring EC2 account limits.
 type Quota struct {
@@ -231,6 +309,27 @@ func (p *SimProvider) Terminate(c *Cluster) error {
 		p.cpuInUse -= cl.Deployment.Nodes
 	}
 	return nil
+}
+
+// Advance implements ClockAdvancer: it moves the virtual clock forward
+// by d with no cluster work attached — retry backoffs, breaker
+// cooldowns, and other waits that burn time but run nothing.
+func (p *SimProvider) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.now += d
+	p.mu.Unlock()
+}
+
+// RunFor implements ElapsedRunner. The simulated control plane is exact:
+// a successful run consumes precisely dur.
+func (p *SimProvider) RunFor(c *Cluster, dur time.Duration) (time.Duration, error) {
+	if err := p.Run(c, dur); err != nil {
+		return 0, err
+	}
+	return dur, nil
 }
 
 // Now implements Provider.

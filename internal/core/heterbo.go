@@ -75,6 +75,21 @@ type Options struct {
 	// the surrogate engine's speed visible on /metrics.
 	Metrics *obs.Registry
 
+	// FailureRetries is how many times a deployment whose probe failed
+	// for infrastructure reasons (launch storm, boot timeout) may be
+	// re-probed before the search quarantines it from the candidate set.
+	// A failed probe carries no signal about the deployment itself, so
+	// one retry is cheap insurance against transient cloud weather;
+	// repeated failures mean the launch path is broken and further spend
+	// there is waste. Default 1; negative means quarantine immediately.
+	FailureRetries int
+
+	// RestartReserve inflates the protective reserve (§III-C) by this
+	// fraction of the projected training time/cost, covering the
+	// checkpoint/restart overhead a spot interruption would add to the
+	// final run. 0 reserves nothing beyond the plain training projection.
+	RestartReserve float64
+
 	// Ablation switches.
 	DisableCostPenalty  bool // plain EI selection (no profiling-cost division)
 	DisableConcavePrior bool
@@ -104,6 +119,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.InitPoints <= 0 {
 		o.InitPoints = 2
+	}
+	if o.FailureRetries == 0 {
+		o.FailureRetries = 1
+	} else if o.FailureRetries < 0 {
+		o.FailureRetries = 0
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -159,6 +179,14 @@ type state struct {
 	spentTime time.Duration
 	spentCost float64
 	profiled  map[string]bool
+	// failures counts infrastructure-failed probes per deployment;
+	// quarantined removes a deployment from the candidate set once the
+	// count exceeds Options.FailureRetries. A failed probe is a censored
+	// observation: its burned time and dollars debit the TEI headroom
+	// (spentTime/spentCost above) but it teaches nothing about the
+	// deployment, so the key stays re-probeable until quarantined.
+	failures    map[string]int
+	quarantined map[string]bool
 	// priorBound[type] caps explorable node counts after the concave
 	// prior fires (0 = unbounded).
 	priorBound map[string]int
@@ -194,10 +222,12 @@ func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenari
 	}
 	st := &state{
 		job: j, scen: scen, cons: cons, space: space, prof: prof,
-		opts:       h.opts,
-		rng:        rngtape.New(h.opts.Seed),
-		profiled:   make(map[string]bool),
-		priorBound: make(map[string]int),
+		opts:        h.opts,
+		rng:         rngtape.New(h.opts.Seed),
+		profiled:    make(map[string]bool),
+		failures:    make(map[string]int),
+		quarantined: make(map[string]bool),
+		priorBound:  make(map[string]int),
 	}
 	st.surr = bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng)
 	st.perf = obs.NewPerf(h.opts.Metrics)
@@ -387,9 +417,9 @@ func (st *state) anchorSharded() {
 			}
 			lastN[t.Name] = n
 			d := cloud.Deployment{Type: t, Nodes: n}
-			st.probe(d, 0, "feasibility-anchor")
+			r := st.probe(d, 0, "feasibility-anchor")
 			progressed = true
-			if st.obs[len(st.obs)-1].Throughput > 0 {
+			if !r.Failed && r.Throughput > 0 {
 				feasible[t.Name] = true
 				count++
 			}
@@ -503,13 +533,19 @@ func (st *state) affordableBracket(t cloud.InstanceType, hi int) int {
 	return 1
 }
 
-// probe profiles d and folds the result into every piece of state.
-func (st *state) probe(d cloud.Deployment, acq float64, note string) {
+// probe profiles d and folds the result into every piece of state. It
+// returns the raw profiling result so callers (feasibility anchoring)
+// can tell a real measurement from a censored failure.
+func (st *state) probe(d cloud.Deployment, acq float64, note string) profiler.Result {
 	r := st.prof.Profile(st.job, d)
+	// A failed probe is censored, not free: whatever the launch retries,
+	// boot hang, or partial run burned still debits the TEI headroom.
 	st.spentTime += r.Duration
 	st.spentCost += r.Cost
-	st.profiled[d.Key()] = true
-	st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
+	if !r.Failed {
+		st.profiled[d.Key()] = true
+		st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
+	}
 	st.steps = append(st.steps, search.Step{
 		Index:          len(st.steps) + 1,
 		Deployment:     d,
@@ -519,8 +555,21 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) {
 		CumProfileTime: st.spentTime,
 		CumProfileCost: st.spentCost,
 		Acquisition:    acq,
+		Failed:         r.Failed,
 		Note:           note,
 	})
+	quarantinedNow := false
+	defer func() {
+		// Declared first so it runs after the probe event below: the
+		// quarantine verdict follows the probe that triggered it.
+		if quarantinedNow {
+			st.emit(obs.Event{
+				Kind:       "quarantined",
+				Deployment: d.String(),
+				Note:       fmt.Sprintf("%d failed probes", st.failures[d.Key()]),
+			})
+		}
+	}()
 	defer func() {
 		// Emit after the failure/OOM notes are final, so the trace event
 		// carries exactly what the Outcome's step table will say.
@@ -540,11 +589,19 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) {
 		st.emit(e)
 	}()
 	if r.Failed {
-		// Infrastructure failure: no signal about the deployment. The
-		// key stays marked so the search does not loop on a broken
-		// launch path (retries already happened below us).
-		st.steps[len(st.steps)-1].Note += " (probe failed)"
-		return
+		// Infrastructure failure: no signal about the deployment, so no
+		// observation is recorded and the key stays eligible for a
+		// retry — until repeated failures quarantine it.
+		key := d.Key()
+		st.failures[key]++
+		if st.failures[key] > st.opts.FailureRetries {
+			st.quarantined[key] = true
+			quarantinedNow = true
+			st.steps[len(st.steps)-1].Note += " (probe failed; quarantined)"
+		} else {
+			st.steps[len(st.steps)-1].Note += " (probe failed)"
+		}
+		return r
 	}
 	if r.Throughput <= 0 {
 		// OOM: learn the memory-feasibility boundary instead of
@@ -557,7 +614,7 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) {
 		} else if cap > st.oomReplicatedCap {
 			st.oomReplicatedCap = cap
 		}
-		return
+		return r
 	}
 	// The surrogate models log-objective: scale-out and scale-up act
 	// multiplicatively on throughput, so the log makes their effects
@@ -568,6 +625,7 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) {
 		// conditioned; the search can continue on prior observations.
 		st.steps[len(st.steps)-1].Note += " (surrogate: " + err.Error() + ")"
 	}
+	return r
 }
 
 // updatePrior applies the concave scale-out prior: for each type, find
@@ -762,8 +820,15 @@ func (st *state) penalty(d cloud.Deployment) float64 {
 	}
 }
 
-// pruned applies the concave prior bound and the learned OOM boundary.
+// pruned applies the quarantine list, the concave prior bound, and the
+// learned OOM boundary.
 func (st *state) pruned(d cloud.Deployment) bool {
+	// Checked only when non-empty: pruned runs per candidate per step,
+	// and Key() builds a string — a fault-free search (the common case)
+	// must not pay for quarantine lookups that can never hit.
+	if len(st.quarantined) > 0 && st.quarantined[d.Key()] {
+		return true
+	}
 	cap := nodeCapacityGiB(d.Type)
 	if st.job.Model.ShardedStates {
 		if cap*float64(d.Nodes) <= st.oomShardedCap {
@@ -823,23 +888,30 @@ func (st *state) reservePick() (search.Observation, bool) {
 // reserveTrainTime returns the training time of the current best pick —
 // the slice of deadline that must stay untouched so stopping now still
 // meets the constraint. Probing anything that would erode it is
-// over-exploration.
+// over-exploration. RestartReserve widens the slice by the projected
+// checkpoint/restart overhead of a spot-interrupted final run.
 func (st *state) reserveTrainTime() (time.Duration, bool) {
 	o, ok := st.reservePick()
 	if !ok {
 		return 0, false
 	}
-	return search.EstTrainTime(st.job, o.Throughput), true
+	t := search.EstTrainTime(st.job, o.Throughput)
+	if st.opts.RestartReserve > 0 {
+		t += time.Duration(float64(t) * st.opts.RestartReserve)
+	}
+	return t, true
 }
 
 // reserveTrainCost returns the training cost of the current best pick —
-// the slice of budget reserved so stopping now still fits it.
+// the slice of budget reserved so stopping now still fits it, widened by
+// RestartReserve for checkpoint/restart overhead.
 func (st *state) reserveTrainCost() (float64, bool) {
 	o, ok := st.reservePick()
 	if !ok {
 		return 0, false
 	}
-	return search.EstTrainCost(st.job, o.Deployment, o.Throughput), true
+	c := search.EstTrainCost(st.job, o.Deployment, o.Throughput)
+	return c * (1 + st.opts.RestartReserve), true
 }
 
 // safetyMargin is the headroom kept against measurement noise: probes

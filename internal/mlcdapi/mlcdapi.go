@@ -64,6 +64,13 @@ type reportJSON struct {
 	TotalHours   float64 `json:"total_hours"`
 	TotalUSD     float64 `json:"total_cost_usd"`
 	Probes       int     `json:"probes"`
+
+	// Fault-recovery accounting: interruptions survived by the training
+	// run and the billed-but-redone work they cost (already included in
+	// the train/total figures above).
+	Interruptions int     `json:"interruptions,omitempty"`
+	LostHours     float64 `json:"lost_hours,omitempty"`
+	LostUSD       float64 `json:"lost_cost_usd,omitempty"`
 }
 
 // submissionJSON is the wire form of one submission.
@@ -182,6 +189,10 @@ func toJSON(j sched.Job) submissionJSON {
 			TotalHours:   rep.TotalTime.Hours(),
 			TotalUSD:     rep.TotalCost,
 			Probes:       len(rep.Outcome.Steps),
+
+			Interruptions: rep.Interruptions,
+			LostHours:     rep.LostTime.Hours(),
+			LostUSD:       rep.LostCost,
 		}
 	}
 	return out

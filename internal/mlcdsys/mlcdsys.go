@@ -99,6 +99,11 @@ type Config struct {
 	Adapters []PlatformAdapter // nil → DefaultAdapters
 	Metrics  *obs.Registry     // nil → a fresh registry
 	Seed     int64
+	// Resilience tunes the fault-tolerant execution layer: launch retry
+	// backoff, the per-provider circuit breaker, and checkpoint/resume
+	// for the training run. The zero value keeps checkpointing off and
+	// reproduces the legacy behaviour exactly on a fault-free provider.
+	Resilience Resilience
 }
 
 // System is a configured MLCD instance.
@@ -111,6 +116,8 @@ type System struct {
 	adapters map[workload.Platform]PlatformAdapter
 	metrics  *obs.Registry
 	m        sysMetrics
+	res      Resilience
+	brk      *breaker
 }
 
 // sysMetrics holds the pipeline's metric handles, resolved once at New.
@@ -134,6 +141,12 @@ type sysMetrics struct {
 	trainHours         *obs.Counter
 	trainUSD           *obs.Counter
 	trainWarmupSeconds *obs.Counter
+
+	terminateErrors *obs.Counter
+	interruptions   *obs.Counter
+	trainResumes    *obs.Counter
+	lostHours       *obs.Counter
+	lostUSD         *obs.Counter
 }
 
 // registerMetrics resolves every pipeline metric against r.
@@ -176,6 +189,16 @@ func registerMetrics(r *obs.Registry) sysMetrics {
 			"Dollars billed for training runs."),
 		trainWarmupSeconds: r.Counter("mlcd_train_warmup_seconds_total",
 			"Virtual seconds of platform warm-up before training."),
+		terminateErrors: r.Counter("mlcd_terminate_errors_total",
+			"Terminate calls that ultimately failed — the cluster may keep billing."),
+		interruptions: r.Counter("mlcd_spot_interruptions_total",
+			"Training runs reclaimed by the cloud mid-run."),
+		trainResumes: r.Counter("mlcd_train_resumes_total",
+			"Training relaunch+resume cycles after interruptions."),
+		lostHours: r.Counter("mlcd_train_lost_hours_total",
+			"Virtual hours of training work lost to interruptions (billed, redone)."),
+		lostUSD: r.Counter("mlcd_train_lost_usd_total",
+			"Dollars billed for training work lost to interruptions."),
 	}
 }
 
@@ -204,6 +227,7 @@ func New(cfg Config) *System {
 	if cfg.Adapters == nil {
 		cfg.Adapters = DefaultAdapters()
 	}
+	cfg.Resilience = cfg.Resilience.withDefaults()
 	s := &System{
 		catalog:  cfg.Catalog,
 		limits:   cfg.Limits,
@@ -213,6 +237,8 @@ func New(cfg Config) *System {
 		adapters: make(map[workload.Platform]PlatformAdapter, len(cfg.Adapters)),
 		metrics:  cfg.Metrics,
 		m:        registerMetrics(cfg.Metrics),
+		res:      cfg.Resilience,
+		brk:      newBreaker(cfg.Resilience.Breaker, cfg.Metrics),
 	}
 	for _, a := range cfg.Adapters {
 		s.adapters[a.Platform()] = a
@@ -242,69 +268,159 @@ func (s *System) Catalog() *cloud.Catalog { return s.catalog }
 // profiling totals are exactly the dollars and hours actually paid.
 type clusterProfiler struct {
 	sys    *System
+	ctx    context.Context
 	trials map[string]int
 	tracer obs.EventSink // nil-safe per-job timeline
 }
 
-// launchRetries is how many transient control-plane failures a probe or
-// training launch shrugs off before giving up.
-const launchRetries = 3
-
-// launchWithRetry retries Launch across transient failures; quota and
-// other hard errors return immediately. Retries are counted in the
-// metrics registry and, when tracer is non-nil, narrated to the job's
-// timeline.
-func (s *System) launchWithRetry(d cloud.Deployment, tracer obs.EventSink) (*cloud.Cluster, error) {
+// launchWithRetry retries Launch across transient failures with
+// deterministically-jittered exponential backoff, slept on the provider
+// clock, honoring ctx between attempts; quota and other hard errors
+// return immediately. It consults the per-provider circuit breaker: an
+// open circuit makes the caller sit out the remaining cooldown (charged
+// against the job's headroom) before the half-open probe. The returned
+// wait is the cumulative virtual time spent waiting — backoffs plus
+// breaker cooldowns — which callers charge to the probe even when no
+// cluster ever came up. Retries are counted in the metrics registry
+// and, when tracer is non-nil, narrated to the job's timeline.
+func (s *System) launchWithRetry(ctx context.Context, d cloud.Deployment, tracer obs.EventSink) (*cloud.Cluster, time.Duration, error) {
+	pol := s.res.Retry
+	var waited time.Duration
 	var lastErr error
-	for attempt := 0; attempt <= launchRetries; attempt++ {
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, waited, err
+		}
+		if cool := s.brk.acquire(s.provider.Now()); cool > 0 {
+			if waited+cool > pol.MaxWait {
+				return nil, waited, fmt.Errorf("mlcdsys: breaker open past the %s launch deadline: %w", pol.MaxWait, cloud.ErrTransient)
+			}
+			if tracer != nil {
+				tracer.Emit(obs.Event{
+					Kind:       "breaker_wait",
+					Deployment: d.String(),
+					Note:       fmt.Sprintf("circuit open; waiting out %s cooldown", cool),
+				})
+			}
+			s.sleep(ctx, cool)
+			waited += cool
+		}
 		cl, err := s.provider.Launch(d)
 		if err == nil {
 			s.m.launchesOK.Inc()
-			return cl, nil
+			s.brk.success()
+			return cl, waited, nil
 		}
 		lastErr = err
 		if !errors.Is(err, cloud.ErrTransient) {
 			s.m.launchesRefused.Inc()
-			return nil, err
+			return nil, waited, err
 		}
 		s.m.launchesTransient.Inc()
-		if attempt < launchRetries {
+		s.brk.failure(s.provider.Now())
+		if attempt < pol.MaxAttempts-1 {
+			backoff := pol.backoff(d, attempt)
+			if waited+backoff > pol.MaxWait {
+				break
+			}
 			s.m.launchRetries.Inc()
 			if tracer != nil {
 				tracer.Emit(obs.Event{
 					Kind:       "launch_retry",
 					Deployment: d.String(),
-					Note:       fmt.Sprintf("attempt %d: %v", attempt+1, err),
+					Note:       fmt.Sprintf("attempt %d: %v (backing off %s)", attempt+1, err, backoff),
 				})
 			}
+			s.sleep(ctx, backoff)
+			waited += backoff
 		}
 	}
-	return nil, fmt.Errorf("mlcdsys: giving up after %d transient failures: %w", launchRetries+1, lastErr)
+	return nil, waited, fmt.Errorf("mlcdsys: giving up after %d transient failures: %w", pol.MaxAttempts, lastErr)
+}
+
+// terminateAttempts bounds the Terminate retry loop. The backoff sum
+// across this many attempts exceeds the longest builtin brownout window,
+// so a cluster orphaned mid-brownout is still reaped before the loop
+// gives up and declares the leak.
+const terminateAttempts = 8
+
+// terminate stops a cluster's billing, retrying transient control-plane
+// refusals with the launch backoff policy. A Terminate that ultimately
+// fails is no longer dropped on the floor: the leak is counted in
+// mlcd_terminate_errors_total and narrated to the job's timeline,
+// because a cluster nobody terminated keeps billing forever.
+func (s *System) terminate(ctx context.Context, cl *cloud.Cluster, tracer obs.EventSink) {
+	var lastErr error
+	for attempt := 0; attempt < terminateAttempts; attempt++ {
+		err := s.provider.Terminate(cl)
+		if err == nil {
+			return
+		}
+		lastErr = err
+		if !errors.Is(err, cloud.ErrTransient) {
+			break
+		}
+		if attempt < terminateAttempts-1 {
+			s.sleep(ctx, s.res.Retry.backoff(cl.Deployment, attempt))
+		}
+	}
+	s.m.terminateErrors.Inc()
+	if tracer != nil {
+		tracer.Emit(obs.Event{
+			Kind:       "terminate_error",
+			Deployment: cl.Deployment.String(),
+			Note:       fmt.Sprintf("cluster %s leaked: %v", cl.ID, lastErr),
+		})
+	}
+}
+
+// failedProbe charges a censored probe consistently: the burned time
+// and dollars land in the Result (so the search debits its headroom),
+// and in the metrics registry (so /metrics reconciles with the traces).
+func (p *clusterProfiler) failedProbe(d cloud.Deployment, burned time.Duration, cost float64) profiler.Result {
+	m := &p.sys.m
+	m.probesFailed.Inc()
+	if burned > 0 {
+		m.profileHours.Add(burned.Hours())
+	}
+	if cost > 0 {
+		m.profileUSD.Add(cost)
+	}
+	return profiler.Result{Deployment: d, Failed: true, Duration: burned, Cost: cost}
 }
 
 // Profile launches, warms up, measures, and tears down a probe cluster.
+// Every failure mode is charged for exactly what it burned: launch
+// retries charge their backoff time, a boot timeout charges the billed
+// wait, and a mid-run interruption charges the partial run — censored
+// observations the search still debits from its TEI headroom.
 func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
 	m := &p.sys.m
 	dur := profiler.Duration(d.Nodes)
-	cl, err := p.sys.launchWithRetry(d, p.tracer)
+	cl, waited, err := p.sys.launchWithRetry(p.ctx, d, p.tracer)
 	if err != nil {
 		// Quota refusal or persistent failure: the probe never ran and
-		// says nothing about the deployment itself.
-		m.probesFailed.Inc()
-		return profiler.Result{Deployment: d, Failed: true}
+		// says nothing about the deployment itself — but the time spent
+		// backing off is gone either way.
+		return p.failedProbe(d, waited, 0)
 	}
-	defer func() { _ = p.sys.provider.Terminate(cl) }()
+	defer p.sys.terminate(p.ctx, cl, p.tracer)
 	if err := p.sys.provider.WaitReady(cl); err != nil {
-		m.probesFailed.Inc()
-		return profiler.Result{Deployment: d, Failed: true}
+		// A typed WaitTimeout burned booked — billed — cluster time.
+		burned, cost := waited, 0.0
+		var wt *cloud.WaitTimeout
+		if errors.As(err, &wt) {
+			burned += wt.Waited
+			cost = d.CostFor(wt.Waited)
+		}
+		return p.failedProbe(d, burned, cost)
 	}
-	if err := p.sys.provider.Run(cl, dur); err != nil {
-		// The cluster ran (and billed) before failing, so the charge
-		// still lands on the job and in the profiling ledger.
-		m.probesFailed.Inc()
-		m.profileHours.Add(dur.Hours())
-		m.profileUSD.Add(d.CostFor(dur))
-		return profiler.Result{Deployment: d, Failed: true, Duration: dur, Cost: d.CostFor(dur)}
+	elapsed, err := cloud.RunElapsed(p.sys.provider, cl, dur)
+	if err != nil {
+		// The cluster ran (and billed) for elapsed before the failure —
+		// a spot reclamation bills its partial run — so the charge still
+		// lands on the job and in the profiling ledger.
+		return p.failedProbe(d, waited+elapsed, d.CostFor(elapsed))
 	}
 	key := j.String() + "|" + d.Key()
 	meas := make([]float64, 0, 3)
@@ -315,8 +431,8 @@ func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.R
 	res := profiler.Result{
 		Deployment: d,
 		Throughput: stats.Mean(meas),
-		Duration:   dur,
-		Cost:       d.CostFor(dur),
+		Duration:   waited + elapsed,
+		Cost:       d.CostFor(elapsed),
 		Trials:     len(meas),
 	}
 	if res.Throughput > 0 {
@@ -341,6 +457,15 @@ type Report struct {
 	TotalTime time.Duration // profiling + training
 	TotalCost float64       // profiling + training
 	Satisfied bool          // did the run meet the user requirement?
+
+	// Fault-recovery accounting: how many times the training run was
+	// interrupted and resumed, and the billed-but-redone work those
+	// interruptions cost. Lost time/cost are already included in
+	// TrainTime/TrainCost — a reclaimed spot cluster's partial run and
+	// its replacement's relaunch both land on the user's bill.
+	Interruptions int
+	LostTime      time.Duration
+	LostCost      float64
 }
 
 // DeployOptions customizes one Deploy run without touching the shared
@@ -428,7 +553,7 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 			searcher = tr.WithTracer(opts.Tracer)
 		}
 	}
-	var prof profiler.Profiler = &clusterProfiler{sys: s, trials: make(map[string]int), tracer: opts.Tracer}
+	var prof profiler.Profiler = &clusterProfiler{sys: s, ctx: ctx, trials: make(map[string]int), tracer: opts.Tracer}
 	if opts.WrapProfiler != nil {
 		prof = opts.WrapProfiler(prof)
 	}
@@ -450,7 +575,6 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 
 	// Execute training on the chosen deployment.
 	warmup := adapter.WarmupTime(out.Best)
-	trainDur := s.sim.TrainTime(j, out.Best) + warmup
 	if opts.Tracer != nil {
 		opts.Tracer.Emit(obs.Event{
 			Kind:       "train_started",
@@ -458,42 +582,33 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 			Note:       fmt.Sprintf("platform warm-up %s", warmup),
 		})
 	}
-	cl, err := s.launchWithRetry(out.Best, opts.Tracer)
+	tr, err := s.runTraining(ctx, j, out.Best, warmup, opts.Tracer)
 	if err != nil {
-		return Report{}, fmt.Errorf("mlcdsys: launching training cluster: %w", err)
-	}
-	defer func() { _ = s.provider.Terminate(cl) }()
-	if err := s.provider.WaitReady(cl); err != nil {
-		return Report{}, fmt.Errorf("mlcdsys: training cluster never became ready: %w", err)
-	}
-	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
-	if err := s.provider.Run(cl, trainDur); err != nil {
-		return Report{}, fmt.Errorf("mlcdsys: training run failed: %w", err)
-	}
-	trainCost := out.Best.CostFor(trainDur)
 	s.m.trainRuns.Inc()
-	s.m.trainHours.Add(trainDur.Hours())
-	s.m.trainUSD.Add(trainCost)
-	s.m.trainWarmupSeconds.Add(warmup.Seconds())
+	s.m.trainHours.Add(tr.Time.Hours())
+	s.m.trainUSD.Add(tr.Cost)
 	if opts.Tracer != nil {
 		opts.Tracer.Emit(obs.Event{
 			Kind:       "train_done",
 			Deployment: out.Best.String(),
-			TrainHours: trainDur.Hours(),
-			TrainUSD:   trainCost,
+			TrainHours: tr.Time.Hours(),
+			TrainUSD:   tr.Cost,
 		})
 	}
 
 	rep := Report{
-		Scenario:    scen,
-		Constraints: cons,
-		Outcome:     out,
-		TrainTime:   trainDur,
-		TrainCost:   trainCost,
-		TotalTime:   out.ProfileTime + trainDur,
-		TotalCost:   out.ProfileCost + trainCost,
+		Scenario:      scen,
+		Constraints:   cons,
+		Outcome:       out,
+		TrainTime:     tr.Time,
+		TrainCost:     tr.Cost,
+		TotalTime:     out.ProfileTime + tr.Time,
+		TotalCost:     out.ProfileCost + tr.Cost,
+		Interruptions: tr.Interruptions,
+		LostTime:      tr.LostTime,
+		LostCost:      tr.LostCost,
 	}
 	switch scen {
 	case search.CheapestWithDeadline:
@@ -504,4 +619,138 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 		rep.Satisfied = true
 	}
 	return rep, nil
+}
+
+// trainingOutcome accounts one resilient training execution: everything
+// billed (including lost work and repeated warm-ups) and the
+// interruption ledger.
+type trainingOutcome struct {
+	Time          time.Duration
+	Cost          float64
+	Interruptions int
+	LostTime      time.Duration
+	LostCost      float64
+}
+
+// runTraining executes the training run on d, surviving spot
+// interruptions via checkpoint epochs. With Resilience.CheckpointEvery
+// set, training proceeds in checkpointed chunks: a reclaimed cluster
+// loses only the partial chunk since the last checkpoint (billed, and
+// booked as lost work), and training resumes there on a relaunched
+// cluster after a fresh platform warm-up. Without checkpointing an
+// interruption restarts from scratch. Every relaunch consumes one of
+// Resilience.MaxResumes; exhausting them fails the deployment.
+func (s *System) runTraining(ctx context.Context, j workload.Job, d cloud.Deployment, warmup time.Duration, tracer obs.EventSink) (trainingOutcome, error) {
+	work := s.sim.TrainTime(j, d)
+	var out trainingOutcome
+	var done time.Duration // checkpointed training progress
+	resumes := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		cl, waited, err := s.launchWithRetry(ctx, d, tracer)
+		// Time spent backing off never bills, but the deadline clock
+		// does not stop for it.
+		out.Time += waited
+		if err != nil {
+			return out, fmt.Errorf("mlcdsys: launching training cluster: %w", err)
+		}
+		if err := s.provider.WaitReady(cl); err != nil {
+			s.terminate(ctx, cl, tracer)
+			var wt *cloud.WaitTimeout
+			if errors.As(err, &wt) {
+				// The hung boot billed its whole wait: charged, and all
+				// of it lost.
+				cost := d.CostFor(wt.Waited)
+				out.Time += wt.Waited
+				out.Cost += cost
+				out.LostTime += wt.Waited
+				out.LostCost += cost
+				s.m.lostHours.Add(wt.Waited.Hours())
+				s.m.lostUSD.Add(cost)
+			}
+			if resumes >= s.res.MaxResumes {
+				return out, fmt.Errorf("mlcdsys: training cluster never became ready: %w", err)
+			}
+			resumes++
+			s.m.trainResumes.Inc()
+			continue
+		}
+
+		// Run this cluster in checkpointed segments. The first segment
+		// carries the platform warm-up — paid again by every relaunch.
+		pending := warmup
+		interrupted := false
+		for done < work || pending > 0 {
+			if err := ctx.Err(); err != nil {
+				s.terminate(ctx, cl, tracer)
+				return out, err
+			}
+			chunk := work - done
+			if s.res.CheckpointEvery > 0 && chunk > s.res.CheckpointEvery {
+				chunk = s.res.CheckpointEvery
+			}
+			seg := pending + chunk
+			elapsed, err := cloud.RunElapsed(s.provider, cl, seg)
+			if err != nil {
+				var spot *cloud.SpotInterruption
+				if !errors.As(err, &spot) {
+					s.terminate(ctx, cl, tracer)
+					return out, fmt.Errorf("mlcdsys: training run failed: %w", err)
+				}
+				// Spot reclamation mid-segment: the partial run billed,
+				// and none of it reached a checkpoint.
+				cost := d.CostFor(elapsed)
+				out.Time += elapsed
+				out.Cost += cost
+				out.LostTime += elapsed
+				out.LostCost += cost
+				out.Interruptions++
+				s.m.interruptions.Inc()
+				s.m.lostHours.Add(elapsed.Hours())
+				s.m.lostUSD.Add(cost)
+				if tracer != nil {
+					tracer.Emit(obs.Event{
+						Kind:       "spot_interruption",
+						Deployment: d.String(),
+						LostHours:  elapsed.Hours(),
+						LostUSD:    cost,
+						Note:       fmt.Sprintf("reclaimed %s into a %s segment; checkpoint holds %s of %s", elapsed, seg, done, work),
+					})
+				}
+				interrupted = true
+				break
+			}
+			// Stragglers may stretch the segment; whatever it actually
+			// took is what bills.
+			out.Time += elapsed
+			out.Cost += d.CostFor(elapsed)
+			if pending > 0 {
+				s.m.trainWarmupSeconds.Add(pending.Seconds())
+			}
+			done += chunk
+			pending = 0
+		}
+		s.terminate(ctx, cl, tracer)
+		if !interrupted {
+			return out, nil
+		}
+		if resumes >= s.res.MaxResumes {
+			return out, fmt.Errorf("mlcdsys: training interrupted %d times, resume budget exhausted: %w",
+				out.Interruptions, cloud.ErrSpotInterrupted)
+		}
+		resumes++
+		s.m.trainResumes.Inc()
+		if s.res.CheckpointEvery <= 0 {
+			done = 0 // no checkpoints to resume from: start over
+		}
+		if tracer != nil {
+			tracer.Emit(obs.Event{
+				Kind:       "train_resumed",
+				Deployment: d.String(),
+				Note:       fmt.Sprintf("resume %d: relaunching from checkpoint %s of %s", resumes, done, work),
+			})
+		}
+	}
 }

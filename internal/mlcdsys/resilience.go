@@ -1,0 +1,222 @@
+package mlcdsys
+
+import (
+	"context"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/obs"
+)
+
+// RetryPolicy shapes how launchWithRetry spreads its attempts: capped
+// exponential backoff with deterministic jitter, slept on the provider
+// clock when it is virtual (cloud.ClockAdvancer) and on the wall clock
+// otherwise. The zero value resolves to the defaults below, which
+// reproduce the historical 4-attempt behaviour plus a short backoff.
+type RetryPolicy struct {
+	MaxAttempts int           // total Launch attempts (default 4)
+	BaseBackoff time.Duration // delay before the first retry (default 15s)
+	Multiplier  float64       // growth per retry (default 2)
+	MaxBackoff  time.Duration // per-retry cap (default 4m)
+	// MaxWait is the per-call deadline on cumulative waiting (backoffs
+	// plus breaker cooldowns): once a launch has burned this much virtual
+	// time waiting, it gives up rather than eroding more of the job's
+	// headroom (default 30m).
+	MaxWait time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 15 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 4 * time.Minute
+	}
+	if p.MaxWait <= 0 {
+		p.MaxWait = 30 * time.Minute
+	}
+	return p
+}
+
+// backoff returns the delay before retry number attempt (0-based) of a
+// launch for d. The ±20% jitter is derived from (deployment, attempt)
+// rather than a shared RNG stream, so concurrent jobs cannot perturb
+// each other's retry timing and a seeded run replays exactly.
+func (p RetryPolicy) backoff(d cloud.Deployment, attempt int) time.Duration {
+	b := float64(p.BaseBackoff) * math.Pow(p.Multiplier, float64(attempt))
+	if b > float64(p.MaxBackoff) {
+		b = float64(p.MaxBackoff)
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(d.Key()))
+	_, _ = h.Write([]byte(strconv.Itoa(attempt)))
+	frac := float64(h.Sum64()%1000) / 1000 // [0, 1)
+	return time.Duration(b * (0.8 + 0.4*frac))
+}
+
+// BreakerPolicy configures the per-provider circuit breaker.
+type BreakerPolicy struct {
+	Threshold int           // consecutive transients that open the breaker (default 5)
+	Cooldown  time.Duration // open duration before a half-open probe (default 5m)
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 5 * time.Minute
+	}
+	return p
+}
+
+// Resilience bundles the execution layer's fault-tolerance knobs. The
+// zero value resolves retry and breaker defaults but leaves training
+// checkpointing off, reproducing the pre-resilience single-Run training
+// path exactly on a fault-free provider.
+type Resilience struct {
+	Retry   RetryPolicy
+	Breaker BreakerPolicy
+
+	// CheckpointEvery splits the training run into checkpointed chunks
+	// of this much training time: a spot interruption only loses the
+	// partial chunk since the last checkpoint, and training resumes
+	// there on a relaunched cluster. 0 disables checkpointing — an
+	// interruption then restarts training from scratch.
+	CheckpointEvery time.Duration
+
+	// MaxResumes bounds how many relaunch+resume cycles one training run
+	// may absorb (spot interruptions, boot timeouts) before Deploy gives
+	// up (default 3; negative disables resumption).
+	MaxResumes int
+}
+
+func (r Resilience) withDefaults() Resilience {
+	r.Retry = r.Retry.withDefaults()
+	r.Breaker = r.Breaker.withDefaults()
+	if r.MaxResumes == 0 {
+		r.MaxResumes = 3
+	} else if r.MaxResumes < 0 {
+		r.MaxResumes = 0
+	}
+	return r
+}
+
+// Breaker states, exported on the mlcd_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// breaker is a per-provider circuit breaker on the virtual clock: after
+// Threshold consecutive transient launch failures it opens, and every
+// caller arriving while it is open waits out the remaining cooldown (on
+// the provider clock) before the half-open probe. On a virtual clock
+// the wait is an Advance — instantaneous in wall time, charged against
+// the job's headroom — so a control-plane brownout is survived by
+// sitting it out rather than bleeding every probe into failure.
+type breaker struct {
+	mu          sync.Mutex
+	pol         BreakerPolicy
+	consecutive int
+	state       int
+	openedAt    time.Duration
+
+	gauge       *obs.Gauge
+	transitions func(to string) *obs.Counter
+}
+
+func newBreaker(pol BreakerPolicy, reg *obs.Registry) *breaker {
+	b := &breaker{
+		pol:   pol,
+		gauge: reg.Gauge("mlcd_breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open)."),
+		transitions: func(to string) *obs.Counter {
+			return reg.Counter("mlcd_breaker_transitions_total",
+				"Circuit breaker state transitions.", obs.L{Key: "to", Value: to})
+		},
+	}
+	// Register every transition series eagerly so the exposition is
+	// stable whether or not the breaker ever trips.
+	b.transitions("open")
+	b.transitions("half_open")
+	b.transitions("closed")
+	return b
+}
+
+// acquire admits one launch attempt at virtual time now, returning how
+// long the caller must wait first (the remaining cooldown of an open
+// breaker; 0 when closed or half-open). The caller sleeps the returned
+// wait on the provider clock; the breaker transitions to half-open on
+// the assumption the wait is honored.
+func (b *breaker) acquire(now time.Duration) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return 0
+	}
+	wait := b.openedAt + b.pol.Cooldown - now
+	if wait < 0 {
+		wait = 0
+	}
+	b.state = breakerHalfOpen
+	b.gauge.Set(breakerHalfOpen)
+	b.transitions("half_open").Inc()
+	return wait
+}
+
+// success records a successful launch: the circuit closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.gauge.Set(breakerClosed)
+		b.transitions("closed").Inc()
+	}
+}
+
+// failure records a transient launch failure at virtual time now: a
+// failed half-open probe reopens immediately, and Threshold consecutive
+// failures open a closed circuit.
+func (b *breaker) failure(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.pol.Threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.gauge.Set(breakerOpen)
+		b.transitions("open").Inc()
+	}
+}
+
+// sleep waits d of provider time: an Advance on virtual-clock providers
+// (instantaneous, deterministic), a cancellable timer otherwise. It
+// returns early when ctx is done.
+func (s *System) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ca, ok := s.provider.(cloud.ClockAdvancer); ok {
+		ca.Advance(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -44,6 +44,12 @@ type Event struct {
 	TrainHours float64 `json:"train_hours,omitempty"`
 	TrainUSD   float64 `json:"train_usd,omitempty"`
 
+	// Fault-recovery ledger (kinds "spot_interruption", "train_resumed"):
+	// work lost to an interruption — billed but to be redone from the
+	// last checkpoint.
+	LostHours float64 `json:"lost_hours,omitempty"`
+	LostUSD   float64 `json:"lost_usd,omitempty"`
+
 	// Note carries the human-readable detail: init/explore notes, prior
 	// pruning bounds, stop reasons, failure messages.
 	Note string `json:"note,omitempty"`

@@ -19,6 +19,11 @@ func FuzzReplayJournal(f *testing.F) {
 	f.Add([]byte(`{"type":"probe","job":"resnet-cifar10","observation":{"type":"c5.4xlarge","nodes":4,"throughput_samples_per_sec":250},"duration_sec":600,"cost_usd":2.18}` + "\n"))
 	f.Add([]byte(`{"type":"submit","id":"job-0002"}` + "\n" + `{"type":"done","id":"job-0002","status":"done"}` + "\n"))
 	f.Add([]byte("{\"type\":\"submit\",\"id\":\"job-0003\"}\n{\"type\":\"sub")) // torn tail
+	// A probe record torn mid-observation — the crash-mid-append shape the
+	// scheduler's warm start must shrug off.
+	f.Add([]byte(`{"type":"submit","id":"job-0004","job":"resnet-cifar10","budget_usd":100}` + "\n" +
+		`{"type":"probe","job":"resnet-cifar10","observation":{"type":"c5.4xlarge","nodes":4,"throughput_samples_per_sec":250},"duration_sec":600,"cost_usd":2.18}` + "\n" +
+		`{"type":"probe","job":"resnet-cifar10","observation":{"type":"c5.4xlarge","nodes":8,"throughput`))
 	f.Add([]byte("\x00\xff garbage\n"))
 	f.Add([]byte(`{"type":"done","id":"job-9999","status":"failed","error":"boom"}` + "\n"))
 

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -59,13 +60,68 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
-// appending.
+// appending. A torn final line — the partial record of an append the
+// crash interrupted — is truncated away first: without the repair the
+// next record would concatenate onto the torn bytes and a later replay
+// would reject the journal as mid-file corruption.
 func OpenJournal(path string) (*Journal, error) {
+	if err := repairTornTail(path); err != nil {
+		return nil, fmt.Errorf("sched: repairing journal tail: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sched: opening journal: %w", err)
 	}
 	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// repairTornTail truncates path back to its last newline when the file
+// does not end with one. The dropped bytes are a record whose fsync
+// never completed, so the operation it covered was never acknowledged
+// as durable — discarding it is the correct recovery, not data loss.
+func repairTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	// Scan backwards in chunks for the last newline; everything after it
+	// is the torn record.
+	const chunk = 32 * 1024
+	pos := size - 1 // the final byte is known not to be a newline
+	for pos > 0 {
+		n := int64(chunk)
+		if pos < n {
+			n = pos
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, pos-n); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			return f.Truncate(pos - n + int64(i) + 1)
+		}
+		pos -= n
+	}
+	return f.Truncate(0)
 }
 
 // append writes one record and fsyncs it.

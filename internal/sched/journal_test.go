@@ -73,6 +73,60 @@ func TestJournalTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestJournalTornTailRepairedOnOpen pins the append-after-crash story:
+// reopening a journal whose final line is torn must truncate the torn
+// bytes first, so new records never concatenate onto them and the
+// *next* replay still parses. Without the repair the journal survives
+// one crash but not two.
+func TestJournalTornTailRepairedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	content := `{"type":"submit","id":"job-0001","job":"resnet-cifar10","budget_usd":100}
+{"type":"probe","job":"resnet-cifar10","obser` // crashed mid-append
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.append(journalRecord{Type: "done", ID: "job-0001", Status: StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by appending after a torn tail: %v", err)
+	}
+	if len(st.Subs) != 1 || st.Subs[0].Status != StatusDone {
+		t.Fatalf("state = %+v", st)
+	}
+	if len(st.Probes) != 0 {
+		t.Fatalf("torn probe resurrected: %+v", st.Probes)
+	}
+}
+
+// TestJournalRepairWholeFileTorn covers the degenerate repair: a journal
+// holding nothing but one torn line truncates to empty.
+func TestJournalRepairWholeFileTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.journal")
+	if err := os.WriteFile(path, []byte(`{"type":"sub`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayJournal(path)
+	if err != nil || len(st.Subs) != 0 || len(st.Probes) != 0 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
 func TestJournalMidFileCorruptionRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sched.journal")
 	content := `{"type":"submit","id":"job-0001","job":"resnet-cifar10"}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -217,6 +218,132 @@ func TestJournalRecovery(t *testing.T) {
 			t.Errorf("probe %s journaled twice", key)
 		}
 		seen[key] = true
+	}
+}
+
+// TestCrashRecoveryTruncatedTrailingLine is the crash-mid-append story
+// end to end: the process dies while fsyncing a probe record, leaving a
+// truncated trailing JSONL line. A fresh scheduler must warm-start
+// cleanly — every complete record recovered and never re-measured, the
+// torn record dropped and honestly re-measured — and the journal it
+// appends afterwards must replay cleanly for the *next* restart.
+func TestCrashRecoveryTruncatedTrailingLine(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "sched.journal")
+
+	// Phase A: journal 3 probes for two jobs, then abandon the scheduler
+	// wedged on its 4th — a process kill with the journal left behind.
+	requests := make(chan struct{}, 128)
+	tokens := make(chan struct{}, 128)
+	for i := 0; i < 3; i++ {
+		tokens <- struct{}{}
+	}
+	a, err := New(newTestSystem(t), Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				requests <- struct{}{}
+				<-tokens
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := a.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := a.Submit("resnet-cifar10", "globex", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-requests:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("probe %d never requested", i+1)
+		}
+	}
+
+	// The crash tears the final record: chop bytes off the journal so the
+	// last journaled probe's line is incomplete.
+	intact, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intact.Probes) != 3 {
+		t.Fatalf("pre-crash journal probes = %+v", intact.Probes)
+	}
+	info, err := os.Stat(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(journalPath, info.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatalf("truncated trailing line must replay cleanly: %v", err)
+	}
+	if len(torn.Subs) != 2 || len(torn.Probes) != 2 {
+		t.Fatalf("post-crash journal = %d subs, %d probes; want 2 and 2", len(torn.Subs), len(torn.Probes))
+	}
+	probeKey := func(typ string, nodes int) string { return typ + "|" + string(rune('0'+nodes)) }
+	recovered := make(map[string]bool)
+	for _, p := range torn.Probes {
+		recovered[probeKey(p.Observation.Type, p.Observation.Nodes)] = true
+	}
+	tornKey := probeKey(intact.Probes[2].Observation.Type, intact.Probes[2].Observation.Nodes)
+
+	// Phase B: warm start over the torn journal. Both jobs finish; the
+	// two intact probes arrive via the primed cache, and the torn third
+	// is measured again — dropped, not silently half-trusted.
+	var mu sync.Mutex
+	measured := make(map[string]int)
+	b, err := New(newTestSystem(t), Config{
+		Workers:     2,
+		JournalPath: journalPath,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				mu.Lock()
+				measured[probeKey(d.Type.Name, d.Nodes)]++
+				mu.Unlock()
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, b, j1.ID, StatusDone)
+	awaitStatus(t, b, j2.ID, StatusDone)
+	b.Close()
+
+	mu.Lock()
+	for key := range recovered {
+		if measured[key] > 0 {
+			t.Errorf("recovered deployment %s re-profiled after warm start", key)
+		}
+	}
+	if measured[tornKey] == 0 {
+		t.Errorf("torn probe %s never re-measured — a half-written record was trusted", tornKey)
+	}
+	mu.Unlock()
+
+	// The journal B appended must be whole again: a second restart replays
+	// without error and proves both jobs terminal.
+	final, err := ReplayJournal(journalPath)
+	if err != nil {
+		t.Fatalf("journal unreadable after append-over-torn-tail: %v", err)
+	}
+	for _, sub := range final.Subs {
+		if sub.ID == j1.ID || sub.ID == j2.ID {
+			if sub.Status != StatusDone {
+				t.Errorf("job %s not terminal in repaired journal: %q", sub.ID, sub.Status)
+			}
+		}
 	}
 }
 

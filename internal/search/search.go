@@ -78,6 +78,7 @@ type Step struct {
 	CumProfileTime time.Duration
 	CumProfileCost float64
 	Acquisition    float64 // score that selected this point (0 for init)
+	Failed         bool    // probe failed for infrastructure reasons (censored: cost charged, no signal)
 	Note           string  // "init", "explore", "exploit", "prior-pruned" ...
 }
 
