@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update bench ci clean
+.PHONY: all vet build test race cover cover-update bench conformance ci clean
 
 all: ci
 
@@ -28,6 +28,12 @@ bench:
 
 cover-update:
 	sh scripts/cover.sh --update
+
+# conformance soaks the search end to end against the brute-force
+# oracle and the invariant engine; failures are shrunk to minimal JSON
+# reproducers under conformance-failures/.
+conformance:
+	$(GO) run -race ./cmd/conformance -cases 200 -seed 7
 
 ci: vet build race cover
 

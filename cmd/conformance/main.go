@@ -1,0 +1,134 @@
+// Command conformance soaks the system against the exhaustive oracle:
+// it generates randomized scenario cases (all three user scenarios,
+// every fourth case under a chaos plan), runs each end to end through
+// mlcdsys, checks every invariant, and — on failure — shrinks the case
+// to a minimal reproducer written as replayable JSON.
+//
+// Usage:
+//
+//	conformance -cases 200 -seed 7 -shrink -out conformance-failures
+//
+// Exit status 1 when any case errors or violates an invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mlcd/internal/conformance"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/search"
+)
+
+// config carries the soak parameters main parses from flags.
+type config struct {
+	cases   int
+	seed    int64
+	shrink  bool
+	out     string
+	verbose bool
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.cases, "cases", 50, "number of randomized cases to run")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.BoolVar(&cfg.shrink, "shrink", true, "shrink failing cases to minimal reproducers")
+	flag.StringVar(&cfg.out, "out", "conformance-failures", "directory for reproducer JSON files")
+	flag.BoolVar(&cfg.verbose, "v", false, "log every case, not just failures")
+	flag.Parse()
+	if soak(cfg, os.Stdout, os.Stderr) > 0 {
+		os.Exit(1)
+	}
+}
+
+// soak runs the randomized conformance loop and returns the failure
+// count. Split from main so the soak is testable without an exec.
+func soak(cfg config, stdout, stderr io.Writer) int {
+	rng := rngtape.New(cfg.seed)
+	failures := 0
+	declined := 0
+	chaosCases := 0
+	perScenario := map[search.Scenario]int{}
+	regretSum, regretMax, regretN := 0.0, 0.0, 0
+
+	for i := 0; i < cfg.cases; i++ {
+		c := conformance.GenerateCase(rng, i)
+		c.Name = fmt.Sprintf("case-%04d", i)
+		perScenario[search.Scenario(c.Scenario)]++
+		if c.Chaos != nil {
+			chaosCases++
+		}
+
+		art, err := conformance.RunCase(c)
+		if conformance.Declined(err) {
+			declined++
+			if cfg.verbose {
+				fmt.Fprintf(stdout, "decl %s: %v\n", c.Name, err)
+			}
+			continue
+		}
+		if err != nil {
+			failures++
+			fmt.Fprintf(stderr, "FAIL %s: %v\n", c.Name, err)
+			writeReproducer(stderr, cfg.out, c.Name, c)
+			continue
+		}
+		vs := conformance.Check(art)
+		if r, ok := art.Oracle.Regret(art.Scenario, art.UserCons, art.Report.Outcome.Best); ok {
+			regretSum += r
+			regretN++
+			if r > regretMax {
+				regretMax = r
+			}
+		}
+		if len(vs) == 0 {
+			if cfg.verbose {
+				fmt.Fprintf(stdout, "ok   %s %s job=%s types=%d chaos=%v\n",
+					c.Name, art.Scenario, c.Job, len(c.Types), c.Chaos != nil)
+			}
+			continue
+		}
+		failures++
+		fmt.Fprintf(stderr, "FAIL %s (%d violations):\n", c.Name, len(vs))
+		for _, v := range vs {
+			fmt.Fprintf(stderr, "  %s\n", v)
+		}
+		min := c
+		if cfg.shrink {
+			res := conformance.Shrink(c, vs)
+			min = res.Case
+			fmt.Fprintf(stderr, "  shrunk to %d types / %d max nodes in %d evals\n",
+				len(min.Types), min.MaxNodes, res.Evals)
+		}
+		writeReproducer(stderr, cfg.out, c.Name, min)
+	}
+
+	fmt.Fprintf(stdout, "conformance: %d cases (%d chaos; s1=%d s2=%d s3=%d), %d declined, %d failures",
+		cfg.cases, chaosCases,
+		perScenario[search.FastestUnlimited], perScenario[search.CheapestWithDeadline], perScenario[search.FastestWithBudget],
+		declined, failures)
+	if regretN > 0 {
+		fmt.Fprintf(stdout, ", regret mean=%.3f max=%.3f over %d scored picks", regretSum/float64(regretN), regretMax, regretN)
+	}
+	fmt.Fprintln(stdout)
+	return failures
+}
+
+// writeReproducer saves a failing case under dir, creating it lazily so
+// a clean soak leaves nothing behind.
+func writeReproducer(stderr io.Writer, dir, name string, c conformance.Case) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(stderr, "  (cannot create %s: %v)\n", dir, err)
+		return
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := conformance.WriteCase(path, c); err != nil {
+		fmt.Fprintf(stderr, "  (cannot write %s: %v)\n", path, err)
+		return
+	}
+	fmt.Fprintf(stderr, "  reproducer: %s\n", path)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlcd/internal/conformance"
+)
+
+// TestSoakCleanRun drives the soak loop the CI job runs, on a small
+// case count: it must report zero failures, leave no reproducer
+// directory behind, and print the per-scenario summary line.
+func TestSoakCleanRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "failures")
+	var stdout, stderr strings.Builder
+	fails := soak(config{cases: 12, seed: 1, shrink: true, out: out, verbose: true}, &stdout, &stderr)
+	if fails != 0 {
+		t.Fatalf("clean soak reported %d failures:\n%s", fails, stderr.String())
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("clean soak left a reproducer directory behind (stat err: %v)", err)
+	}
+	if !strings.Contains(stdout.String(), "conformance: 12 cases") {
+		t.Errorf("missing summary line in output:\n%s", stdout.String())
+	}
+}
+
+// TestWriteReproducer pins the lazy-directory contract and the JSON
+// round trip of a saved failure.
+func TestWriteReproducer(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "failures")
+	c := conformance.Case{Name: "repro", Seed: 3, Job: "resnet-cifar10",
+		Types: []string{"c5.xlarge"}, MaxNodes: 4}
+	var stderr strings.Builder
+	writeReproducer(&stderr, dir, c.Name, c)
+	loaded, err := conformance.LoadCase(filepath.Join(dir, "repro.json"))
+	if err != nil {
+		t.Fatalf("reproducer did not round-trip: %v (log: %s)", err, stderr.String())
+	}
+	if loaded.Seed != c.Seed || loaded.Job != c.Job {
+		t.Errorf("loaded %+v, want %+v", loaded, c)
+	}
+
+	// An unwritable destination must be reported, not panic.
+	stderr.Reset()
+	writeReproducer(&stderr, filepath.Join(dir, "repro.json"), "x", c)
+	if !strings.Contains(stderr.String(), "cannot") {
+		t.Errorf("expected an error report for a file-as-directory path, got: %q", stderr.String())
+	}
+}

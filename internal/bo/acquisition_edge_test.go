@@ -1,0 +1,94 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"mlcd/internal/gp"
+)
+
+// Zero-variance edges: at an already-observed point a near-noiseless GP
+// collapses its predictive variance to ~0, and the acquisition must
+// stay finite there — z = imp/sigma blows up otherwise and a single
+// NaN wins (or loses) every argmax comparison after it.
+
+func TestEITinySigmaStaysFinite(t *testing.T) {
+	e := EI{}
+	sigmas := []float64{0, math.SmallestNonzeroFloat64, 1e-300, 1e-12}
+	mus := []float64{-1e9, -1, 0, 1, 1e9}
+	for _, sigma := range sigmas {
+		for _, mu := range mus {
+			got := e.Score(mu, sigma, 0)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("EI(mu=%g, sigma=%g) = %v; must be finite", mu, sigma, got)
+			}
+			if got < 0 {
+				t.Errorf("EI(mu=%g, sigma=%g) = %v; must be non-negative", mu, sigma, got)
+			}
+			// As sigma → 0 the score must approach plain improvement.
+			if want := math.Max(mu, 0); sigma < 1e-100 && math.Abs(got-want) > 1e-9*math.Abs(want)+1e-100 {
+				t.Errorf("EI(mu=%g, sigma=%g) = %v, want ≈ %v", mu, sigma, got, want)
+			}
+		}
+	}
+}
+
+// TestEIAtObservedIncumbent drives the degenerate case through a real
+// GP: predict exactly at the best observed training input. The
+// posterior variance there is essentially zero and the improvement is
+// zero, so EI must come out ~0 — not NaN from 0/0 — and the point must
+// lose the argmax to anywhere with genuine uncertainty.
+func TestEIAtObservedIncumbent(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{1, 3, 2, 0}
+	g := gp.New(gp.NewMatern52(1), 1e-10)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	best := 3.0 // y at x=1, the incumbent
+
+	mu, sigma := g.Predict([]float64{1})
+	if math.IsNaN(mu) || math.IsNaN(sigma) || sigma < 0 {
+		t.Fatalf("posterior at observed point: mu=%v sigma=%v", mu, sigma)
+	}
+	atIncumbent := (EI{}).Score(mu, sigma, best)
+	if math.IsNaN(atIncumbent) || math.IsInf(atIncumbent, 0) {
+		t.Fatalf("EI at observed incumbent = %v; must be finite", atIncumbent)
+	}
+	if atIncumbent > 1e-3 {
+		t.Errorf("EI at observed incumbent = %v; should be ~0", atIncumbent)
+	}
+
+	// A point far from the data keeps real variance, so its EI must beat
+	// the collapsed incumbent — otherwise the search re-probes what it
+	// already knows.
+	muFar, sigmaFar := g.Predict([]float64{10})
+	if away := (EI{}).Score(muFar, sigmaFar, best); away <= atIncumbent {
+		t.Errorf("EI far from data (%v) must exceed EI at incumbent (%v)", away, atIncumbent)
+	}
+}
+
+// TestGPDuplicateInputsStayFinite pins the other route to zero
+// variance: the same input observed twice (a retried probe) makes the
+// kernel matrix rank-deficient, and only the noise jitter keeps the
+// Cholesky alive. Predictions must stay finite with sane variance.
+func TestGPDuplicateInputsStayFinite(t *testing.T) {
+	x := [][]float64{{0}, {1}, {1}, {2}}
+	y := []float64{0, 2, 2, 1}
+	g := gp.New(gp.NewMatern52(1), 1e-6)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatalf("duplicate inputs must not break the fit: %v", err)
+	}
+	for _, q := range [][]float64{{0}, {1}, {1.5}, {2}, {5}} {
+		mu, sigma := g.Predict(q)
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+			t.Errorf("Predict(%v) = (%v, %v); must be finite", q, mu, sigma)
+		}
+		if sigma < 0 {
+			t.Errorf("Predict(%v) sigma = %v; must be non-negative", q, sigma)
+		}
+		if ei := (EI{}).Score(mu, sigma, 2); math.IsNaN(ei) || math.IsInf(ei, 0) || ei < 0 {
+			t.Errorf("EI at %v = %v; must be finite and non-negative", q, ei)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"mlcd/internal/chaos"
+	"mlcd/internal/cloud"
+	"mlcd/internal/core"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// Case is one replayable conformance scenario: everything needed to
+// reproduce a full HeterBO-through-mlcdsys run byte for byte. Shrunk
+// reproducers are serialized in exactly this shape, so a failure found
+// by the soak binary replays under plain `go test` forever after.
+type Case struct {
+	Name string `json:"name,omitempty"`
+	Seed int64  `json:"seed"`
+
+	// Job names a predefined workload (see jobMenu); EpochsScale
+	// multiplies its epoch count (0 = unchanged) to vary training length.
+	Job         string  `json:"job"`
+	EpochsScale float64 `json:"epochs_scale,omitempty"`
+
+	// Types is the catalog subset; MaxNodes bounds scale-out per type.
+	Types    []string `json:"types"`
+	MaxNodes int      `json:"max_nodes"`
+
+	// Scenario is 0 (fastest-unlimited), 1 (cheapest-deadline), or
+	// 2 (fastest-budget), matching search.Scenario.
+	Scenario int `json:"scenario"`
+
+	// SlackFactor sizes derived constraints relative to the oracle
+	// optimum (default 2): deadline ≈ slack·fastest + pad, budget ≈
+	// slack·cheapest + pad. Explicit DeadlineHours/BudgetUSD override
+	// the derivation, pinning the exact limit a reproducer failed at.
+	SlackFactor   float64 `json:"slack_factor,omitempty"`
+	DeadlineHours float64 `json:"deadline_hours,omitempty"`
+	BudgetUSD     float64 `json:"budget_usd,omitempty"`
+
+	// Chaos, when non-nil, wraps the provider in a fault plan drawn on
+	// ChaosSeed.
+	Chaos     *chaos.Plan `json:"chaos,omitempty"`
+	ChaosSeed int64       `json:"chaos_seed,omitempty"`
+
+	// MaxRegret bounds the chosen deployment's ground-truth objective
+	// relative to the oracle optimum (0 = don't assert a regret bound).
+	MaxRegret float64 `json:"max_regret,omitempty"`
+
+	// DisableReserve switches the searcher's protective reserve off.
+	// It exists so the suite can prove the invariant engine catches a
+	// deliberately broken reserve; generated cases never set it.
+	DisableReserve bool `json:"disable_reserve,omitempty"`
+}
+
+// jobMenu maps case job names onto the predefined workloads. BERTMXNet
+// is keyed separately because it shares workload.Job.Name with BERTTF.
+var jobMenu = map[string]workload.Job{
+	"resnet-cifar10":  workload.ResNetCIFAR10,
+	"alexnet-cifar10": workload.AlexNetCIFAR10,
+	"charrnn-text":    workload.CharRNNText,
+	"bert-wiki":       workload.BERTTF,
+	"bert-wiki-mxnet": workload.BERTMXNet,
+	"zero-8b":         workload.ZeRO8BJob,
+}
+
+// ResolveJob returns the case's workload with EpochsScale applied.
+func (c Case) ResolveJob() (workload.Job, error) {
+	j, ok := jobMenu[c.Job]
+	if !ok {
+		return workload.Job{}, fmt.Errorf("conformance: unknown job %q", c.Job)
+	}
+	if c.EpochsScale > 0 {
+		j.Epochs *= c.EpochsScale
+	}
+	return j, nil
+}
+
+// Validate rejects malformed cases before anything expensive runs.
+func (c Case) Validate() error {
+	if _, err := c.ResolveJob(); err != nil {
+		return err
+	}
+	if len(c.Types) == 0 {
+		return fmt.Errorf("conformance: case has no instance types")
+	}
+	if c.MaxNodes < 1 {
+		return fmt.Errorf("conformance: max_nodes %d < 1", c.MaxNodes)
+	}
+	if c.Scenario < 0 || c.Scenario > 2 {
+		return fmt.Errorf("conformance: scenario %d outside [0,2]", c.Scenario)
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Derived constraint pads: room for profiling spend on top of the
+// slack-scaled optimum, widened when a fault plan is armed because
+// censored probes, backoffs, and lost checkpoint chunks all erode the
+// same headroom.
+const (
+	padDeadline      = 90 * time.Minute
+	padDeadlineChaos = 2 * time.Hour
+	padBudgetUSD     = 30.0
+	padBudgetChaos   = 60.0
+)
+
+// Constraints derives the user requirement for the case from the
+// oracle: slack × the scenario's unconstrained optimum plus a profiling
+// pad, so that generated (and shrunk) cases stay feasible by
+// construction. Explicit DeadlineHours/BudgetUSD take precedence.
+func (c Case) Constraints(o *Oracle) (search.Constraints, error) {
+	slack := c.SlackFactor
+	if slack <= 0 {
+		slack = 2
+	}
+	switch search.Scenario(c.Scenario) {
+	case search.CheapestWithDeadline:
+		if c.DeadlineHours > 0 {
+			return search.Constraints{Deadline: time.Duration(c.DeadlineHours * float64(time.Hour))}, nil
+		}
+		opt, ok := o.Optimum(search.FastestUnlimited, search.Constraints{})
+		if !ok {
+			return search.Constraints{}, fmt.Errorf("conformance: no feasible deployment to derive a deadline from")
+		}
+		pad := padDeadline
+		if c.Chaos != nil {
+			pad = padDeadlineChaos
+		}
+		return search.Constraints{Deadline: time.Duration(slack*float64(opt.TrainTime)) + pad}, nil
+	case search.FastestWithBudget:
+		if c.BudgetUSD > 0 {
+			return search.Constraints{Budget: c.BudgetUSD}, nil
+		}
+		var cheapest float64
+		found := false
+		for _, e := range o.Entries() {
+			if e.Feasible() && (!found || e.TrainCost < cheapest) {
+				cheapest, found = e.TrainCost, true
+			}
+		}
+		if !found {
+			return search.Constraints{}, fmt.Errorf("conformance: no feasible deployment to derive a budget from")
+		}
+		pad := padBudgetUSD
+		if c.Chaos != nil {
+			pad = padBudgetChaos
+		}
+		return search.Constraints{Budget: slack*cheapest + pad}, nil
+	default:
+		return search.Constraints{}, nil
+	}
+}
+
+// Artifacts is everything one case run produced — the material the
+// invariant engine cross-examines.
+type Artifacts struct {
+	Case     Case
+	Job      workload.Job
+	Scenario search.Scenario
+	// UserCons is the requirement handed to mlcdsys (profiling +
+	// training); SearchCons is the tightened constraint mlcdsys handed
+	// the search (3 % + 10 min deadline margin, 5 % budget margin).
+	UserCons   search.Constraints
+	SearchCons search.Constraints
+	Report     mlcdsys.Report
+	Trace      obs.Trace
+	Metrics    string
+	Oracle     *Oracle
+}
+
+// searchConstraints mirrors mlcdsys.DeployCtx's Scenario Analyzer
+// tightening, so the invariant engine can reason about the constraint
+// the search actually saw.
+func searchConstraints(cons search.Constraints) search.Constraints {
+	out := cons
+	if cons.Deadline > 0 {
+		out.Deadline = cons.Deadline - time.Duration(float64(cons.Deadline)*0.03) - 10*time.Minute
+	}
+	if cons.Budget > 0 {
+		out.Budget = cons.Budget * 0.95
+	}
+	return out
+}
+
+// conformance runs resume more aggressively than the production default:
+// a generated plan may stack a boot hang on top of spot reclamations,
+// and the point here is to exercise the accounting, not the give-up path.
+const caseMaxResumes = 8
+
+// RunCase executes one case end to end — catalog subset, simulator,
+// provider (optionally chaos-wrapped), HeterBO through mlcdsys with a
+// fresh metrics registry and trace recorder — and returns the artifacts
+// for invariant checking.
+func RunCase(c Case) (*Artifacts, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	job, err := c.ResolveJob()
+	if err != nil {
+		return nil, err
+	}
+	catalog, err := cloud.DefaultCatalog().Subset(c.Types...)
+	if err != nil {
+		return nil, err
+	}
+	limits := cloud.SpaceLimits{MaxCPUNodes: c.MaxNodes, MaxGPUNodes: c.MaxNodes}
+	simulator := sim.New(c.Seed)
+	space := cloud.NewSpace(catalog, limits)
+	oracle := BuildOracle(simulator, job, space)
+	if oracle.FeasibleCount() == 0 {
+		return nil, fmt.Errorf("conformance: case %q: no deployment in the space can hold %s", c.Name, job)
+	}
+	cons, err := c.Constraints(oracle)
+	if err != nil {
+		return nil, err
+	}
+	scen := search.Scenario(c.Scenario)
+
+	// Quota is sized well past one cluster: a chaos terminate_error can
+	// leak a cluster for a few retry rounds, and the leak must surface
+	// in the books, not as a spurious quota refusal.
+	quota := cloud.Quota{MaxCPUNodes: 4 * c.MaxNodes, MaxGPUNodes: 4 * c.MaxNodes}
+	var provider cloud.Provider = cloud.NewSimProvider(quota, 2*time.Minute)
+	reg := obs.NewRegistry()
+	if c.Chaos != nil {
+		provider = chaos.Wrap(provider, *c.Chaos, c.ChaosSeed, reg)
+	}
+	rec := obs.NewRecorder(4)
+	tracer := rec.Start(c.Name, job.String(), "", scen.String())
+
+	sys := mlcdsys.New(mlcdsys.Config{
+		Catalog:  catalog,
+		Limits:   limits,
+		Searcher: core.New(core.Options{Seed: c.Seed, Metrics: reg, DisableReserve: c.DisableReserve}),
+		Provider: provider,
+		Sim:      simulator,
+		Metrics:  reg,
+		Seed:     c.Seed,
+		Resilience: mlcdsys.Resilience{
+			CheckpointEvery: 30 * time.Minute,
+			MaxResumes:      caseMaxResumes,
+		},
+	})
+	req := mlcdsys.Requirements{Deadline: cons.Deadline, Budget: cons.Budget}
+	rep, err := sys.DeployCtx(context.Background(), job, req, mlcdsys.DeployOptions{Tracer: tracer})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: case %q: %w", c.Name, err)
+	}
+	trace, _ := rec.Get(c.Name)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return &Artifacts{
+		Case:       c,
+		Job:        job,
+		Scenario:   scen,
+		UserCons:   cons,
+		SearchCons: searchConstraints(cons),
+		Report:     rep,
+		Trace:      trace,
+		Metrics:    buf.String(),
+		Oracle:     oracle,
+	}, nil
+}
+
+// Declined reports whether a RunCase error is the system *honestly*
+// refusing the case: the search finished, nothing observed satisfies
+// the requirement, and rather than train a deployment already known to
+// blow the deadline/budget, mlcdsys declined. That is conformant
+// behavior — the paper's guarantee is "never violate Tmax/Cmax", not
+// "always succeed" — so harnesses count it separately from failures.
+func Declined(err error) bool {
+	return errors.Is(err, mlcdsys.ErrNoSatisfyingDeployment)
+}
+
+// MarshalCase renders a case as indented JSON with a trailing newline.
+func MarshalCase(c Case) ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteCase saves a case file.
+func WriteCase(path string, c Case) error {
+	b, err := MarshalCase(c)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadCase reads and validates a case file.
+func LoadCase(path string) (Case, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var c Case
+	if err := json.Unmarshal(b, &c); err != nil {
+		return Case{}, fmt.Errorf("conformance: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return Case{}, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return c, nil
+}

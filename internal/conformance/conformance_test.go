@@ -1,0 +1,294 @@
+package conformance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/obs"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/sim"
+	"mlcd/internal/search"
+)
+
+// TestRandomizedConformance is the bounded tier-1 slice of the soak
+// binary: 60 randomized cases across all three scenarios, every fourth
+// under a generated chaos plan, each run end to end through mlcdsys and
+// held against the full invariant set. An honest decline (nothing
+// observed satisfies the requirement) is conformant and skipped; any
+// other error or invariant violation fails.
+func TestRandomizedConformance(t *testing.T) {
+	const cases = 60
+	rng := rngtape.New(1)
+	ran, declined, chaosCases := 0, 0, 0
+	perScenario := map[search.Scenario]int{}
+	for i := 0; i < cases; i++ {
+		c := GenerateCase(rng, i)
+		c.Name = "rand-" + string(rune('a'+i%26)) + "-case"
+		art, err := RunCase(c)
+		if Declined(err) {
+			declined++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, c, err)
+		}
+		if vs := Check(art); len(vs) > 0 {
+			res := Shrink(c, vs)
+			b, _ := MarshalCase(res.Case)
+			t.Fatalf("case %d violated %d invariants: %v\nshrunk reproducer:\n%s", i, len(vs), vs, b)
+		}
+		ran++
+		perScenario[art.Scenario]++
+		if c.Chaos != nil {
+			chaosCases++
+		}
+	}
+	if ran < 50 {
+		t.Fatalf("only %d cases ran clean (%d declined); want >= 50", ran, declined)
+	}
+	for _, s := range []search.Scenario{search.FastestUnlimited, search.CheapestWithDeadline, search.FastestWithBudget} {
+		if perScenario[s] == 0 {
+			t.Errorf("no case exercised %s", s)
+		}
+	}
+	if chaosCases == 0 {
+		t.Error("no case ran under a chaos plan")
+	}
+}
+
+// brokenReserveCase is a scenario-2 case calibrated so that the search,
+// with its protective reserve switched off, keeps probing past the
+// point where stopping would still fit the deadline — exactly the
+// over-exploration the reserve invariant exists to catch. The deadline
+// is derived from the oracle (1.5× the fastest training time plus a
+// fixed pad) so the case stays valid if the simulator's noise model
+// drifts.
+func brokenReserveCase(t *testing.T) Case {
+	t.Helper()
+	c := Case{
+		Name:           "broken-reserve",
+		Seed:           10,
+		Job:            "resnet-cifar10",
+		Types:          []string{"c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge", "c4.xlarge"},
+		MaxNodes:       8,
+		Scenario:       int(search.CheapestWithDeadline),
+		DisableReserve: true,
+	}
+	oracle := caseOracle(t, c)
+	opt, ok := oracle.Optimum(search.FastestUnlimited, search.Constraints{})
+	if !ok {
+		t.Fatal("no feasible deployment to derive the deadline from")
+	}
+	deadline := time.Duration(1.5*float64(opt.TrainTime)) + 45*time.Minute
+	c.DeadlineHours = deadline.Hours()
+	return c
+}
+
+// caseOracle brute-forces the case's ground truth the same way RunCase
+// does.
+func caseOracle(t *testing.T, c Case) *Oracle {
+	t.Helper()
+	job, err := c.ResolveJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := cloud.DefaultCatalog().Subset(c.Types...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(catalog, cloud.SpaceLimits{MaxCPUNodes: c.MaxNodes, MaxGPUNodes: c.MaxNodes})
+	return BuildOracle(sim.New(c.Seed), job, space)
+}
+
+// TestBrokenReserveCaughtAndShrunk proves the invariant engine detects
+// a deliberately broken protective reserve and that the shrinker
+// reduces the failure to a small reproducer: the same case with the
+// reserve restored must pass every invariant.
+func TestBrokenReserveCaughtAndShrunk(t *testing.T) {
+	c := brokenReserveCase(t)
+
+	art, err := RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Check(art)
+	reserveHit := false
+	for _, v := range vs {
+		if v.Invariant == InvReserve {
+			reserveHit = true
+		}
+	}
+	if !reserveHit {
+		t.Fatalf("reserve disabled but no %s violation; got %v", InvReserve, vs)
+	}
+
+	// Control: with the reserve on, the identical case is fully clean.
+	fixed := c
+	fixed.DisableReserve = false
+	artFixed, err := RunCase(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vsFixed := Check(artFixed); len(vsFixed) != 0 {
+		t.Fatalf("reserve enabled but invariants still fail: %v", vsFixed)
+	}
+
+	// Shrink to a minimal reproducer: at most 3 of the 5 types survive,
+	// and the shrunk case still trips the reserve invariant.
+	res := Shrink(c, vs)
+	if len(res.Case.Types) > 3 {
+		t.Errorf("shrunk reproducer keeps %d types (%v); want <= 3", len(res.Case.Types), res.Case.Types)
+	}
+	stillReserve := false
+	for _, v := range res.Violations {
+		if v.Invariant == InvReserve {
+			stillReserve = true
+		}
+	}
+	if !stillReserve {
+		t.Fatalf("shrunk case no longer violates %s: %v", InvReserve, res.Violations)
+	}
+
+	// The reproducer must replay through its JSON form: write, reload,
+	// re-run, and the violation must still be there.
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteCase(path, res.Case); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artRepro, err := RunCase(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserveAgain := false
+	for _, v := range Check(artRepro) {
+		if v.Invariant == InvReserve {
+			reserveAgain = true
+		}
+	}
+	if !reserveAgain {
+		t.Fatal("reloaded reproducer no longer violates the reserve invariant")
+	}
+}
+
+// TestGoldenReproducers replays the shrunk reproducers this suite has
+// produced while hunting real bugs — each pinned a fix in the search or
+// the system, and each must now run clean (or decline honestly)
+// forever. A reappearing violation means the bug is back.
+func TestGoldenReproducers(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden reproducers in testdata/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			c, err := LoadCase(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := RunCase(c)
+			if Declined(err) {
+				return // honest refusal is conformant
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs := Check(art); len(vs) > 0 {
+				t.Fatalf("golden case regressed: %v", vs)
+			}
+		})
+	}
+}
+
+// TestCaseDeterminism pins the replayability contract reproducers rely
+// on: the same case file yields a byte-identical trace and identical
+// simulated accounting (the mlcd_* metric families) on every run. The
+// registry also carries wall-clock self-timing families, which are
+// inherently run-dependent and excluded.
+func TestCaseDeterminism(t *testing.T) {
+	rng := rngtape.New(3)
+	c := GenerateCase(rng, 3) // idx 3: a chaos case, the hardest to keep deterministic
+	c.Name = "determinism"
+	run := func() (string, string) {
+		art, err := RunCase(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := obs.MarshalTrace(art.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mlcd []string
+		for _, line := range strings.Split(art.Metrics, "\n") {
+			if strings.HasPrefix(line, "mlcd_") {
+				mlcd = append(mlcd, line)
+			}
+		}
+		return string(b), strings.Join(mlcd, "\n")
+	}
+	trace1, metrics1 := run()
+	trace2, metrics2 := run()
+	if trace1 != trace2 {
+		t.Error("same case produced different traces")
+	}
+	if metrics1 != metrics2 {
+		t.Error("same case produced different simulated accounting")
+	}
+	if metrics1 == "" {
+		t.Error("no mlcd_* metric series found")
+	}
+}
+
+// TestInfeasibleCatalogErrors pins the guard against vacuous cases: a
+// sharded 8B model on a catalog whose biggest cluster cannot hold it
+// must error out before anything runs, not "pass" with no probes.
+func TestInfeasibleCatalogErrors(t *testing.T) {
+	c := Case{
+		Name:     "infeasible",
+		Seed:     1,
+		Job:      "zero-8b",
+		Types:    []string{"c4.large"},
+		MaxNodes: 2,
+		Scenario: int(search.FastestUnlimited),
+	}
+	if _, err := RunCase(c); err == nil {
+		t.Fatal("expected an error for a space that cannot hold the model")
+	}
+}
+
+// TestCaseRoundTrip pins the JSON shape reproducers are stored in.
+func TestCaseRoundTrip(t *testing.T) {
+	rng := rngtape.New(5)
+	c := GenerateCase(rng, 3)
+	c.Name = "round-trip"
+	b, err := MarshalCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Case
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := MarshalCase(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("case does not round-trip:\n%s\nvs\n%s", b, b2)
+	}
+	if _, err := os.Stat("testdata"); err != nil {
+		t.Fatalf("testdata directory missing: %v", err)
+	}
+}

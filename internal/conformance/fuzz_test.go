@@ -1,0 +1,34 @@
+package conformance
+
+import "testing"
+
+// FuzzConformanceCase feeds a mutated byte stream through ByteSource
+// into the same generator the seeded soak uses, so the fuzzer explores
+// exactly the case space the suite does — job mix, catalog subsets,
+// node ranges, scenarios, and chaos plans. Every decodable case must
+// either run clean under the hard invariants or be an honest decline;
+// the regret tripwire is cleared because it bounds search *quality*,
+// which mutation can legitimately push past any fixed multiple, not a
+// correctness guarantee.
+func FuzzConformanceCase(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c})
+	f.Add([]byte{0xff, 0x7f, 0x00, 0x80, 0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x42, 0x42, 0x10, 0x01})
+	f.Add([]byte{0x30, 0x00, 0x00, 0x03, 0xc8, 0x21, 0x00, 0x00, 0x91, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := NewByteSource(data)
+		c := GenerateCase(src, -1)
+		c.Name = "fuzz"
+		c.MaxRegret = 0
+		art, err := RunCase(c)
+		if err != nil {
+			// Declines and infeasible draws are conformant outcomes for a
+			// mutated input; only invariant violations matter here.
+			return
+		}
+		if vs := Check(art); len(vs) > 0 {
+			b, _ := MarshalCase(c)
+			t.Fatalf("fuzz case violated invariants: %v\ncase:\n%s", vs, b)
+		}
+	})
+}

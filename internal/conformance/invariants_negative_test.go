@@ -1,0 +1,319 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlcd/internal/chaos"
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// The invariant engine is only trustworthy if every checker actually
+// fires. These tests corrupt a known-clean run one field at a time (and
+// hand-build artifacts for the branches corruption cannot reach) and
+// assert the right invariant trips.
+
+func dep(t *testing.T, name string, nodes int) cloud.Deployment {
+	t.Helper()
+	return cloud.NewDeployment(cloud.DefaultCatalog().MustLookup(name), nodes)
+}
+
+func hasInv(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneArtifacts(a *Artifacts) *Artifacts {
+	b := *a
+	b.Report.Outcome.Steps = append([]search.Step(nil), a.Report.Outcome.Steps...)
+	b.Trace.Events = append([]obs.Event(nil), a.Trace.Events...)
+	return &b
+}
+
+// TestCorruptedArtifactsTripInvariants mutates one artifact field per
+// row and asserts the matching checker fires (a clean copy must not).
+func TestCorruptedArtifactsTripInvariants(t *testing.T) {
+	base := brokenReserveCase(t)
+	base.DisableReserve = false
+	art, err := RunCase(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(art); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %v", vs)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*Artifacts)
+		want    string
+	}{
+		{"step cost fold broken", func(a *Artifacts) {
+			a.Report.Outcome.Steps[0].ProfileCost += 1
+		}, InvLedger},
+		{"total not profiling plus training", func(a *Artifacts) {
+			a.Report.TotalCost += 5
+		}, InvLedger},
+		{"metrics disagree with report", func(a *Artifacts) {
+			a.Metrics = ""
+		}, InvLedger},
+		{"interruptions without lost cost", func(a *Artifacts) {
+			a.Report.Interruptions = 2
+		}, InvLedger},
+		{"headroom annotation inconsistent", func(a *Artifacts) {
+			for i := range a.Trace.Events {
+				if a.Trace.Events[i].Kind == "probe" {
+					a.Trace.Events[i].HeadroomHours += 1
+					return
+				}
+			}
+			t.Fatal("no probe event to corrupt")
+		}, InvHeadroom},
+		{"final pick does not replay", func(a *Artifacts) {
+			a.Report.Outcome.Best = dep(t, "c4.xlarge", 7)
+		}, InvReserve},
+		{"deadline overrun hidden", func(a *Artifacts) {
+			a.Report.TotalTime = a.UserCons.Deadline + time.Hour
+		}, InvConstraints},
+		{"satisfied flag lies", func(a *Artifacts) {
+			a.Report.Satisfied = false
+		}, InvConstraints},
+		{"re-measured deployment", func(a *Artifacts) {
+			st := a.Report.Outcome.Steps[0]
+			st.Index = len(a.Report.Outcome.Steps) + 1
+			a.Report.Outcome.Steps = append(a.Report.Outcome.Steps, st)
+		}, InvQuarantine},
+		{"no pick despite feasible space", func(a *Artifacts) {
+			a.Report.Outcome.Best = cloud.Deployment{}
+		}, InvRegret},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := cloneArtifacts(art)
+			tc.corrupt(a)
+			vs := Check(a)
+			if !hasInv(vs, tc.want) {
+				t.Errorf("corruption did not trip %s; got %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+// TestConcavityCheckerFires hand-builds the one shape corruption cannot
+// reach in a clean run: an exploration probe above a scale-out bound
+// that earlier observations had already taught.
+func TestConcavityCheckerFires(t *testing.T) {
+	a := &Artifacts{Job: workload.ResNetCIFAR10, Report: mlcdsys.Report{Outcome: search.Outcome{Steps: []search.Step{
+		{Index: 1, Deployment: dep(t, "c5.xlarge", 2), Throughput: 100, Note: "init"},
+		{Index: 2, Deployment: dep(t, "c5.xlarge", 3), Throughput: 50, Note: "init"},
+		{Index: 3, Deployment: dep(t, "c5.xlarge", 4), Throughput: 60, Note: "explore"},
+	}}}}
+	vs := checkConcavity(a)
+	if len(vs) != 1 || vs[0].Invariant != InvConcavity {
+		t.Fatalf("expected one %s violation, got %v", InvConcavity, vs)
+	}
+	if !strings.Contains(vs[0].Detail, "capped c5.xlarge at 3 nodes") {
+		t.Errorf("unexpected detail: %s", vs[0].Detail)
+	}
+
+	// The same walk without the throughput decline sets no bound.
+	a.Report.Outcome.Steps[1].Throughput = 150
+	if vs := checkConcavity(a); len(vs) != 0 {
+		t.Errorf("no decline, but got %v", vs)
+	}
+}
+
+// TestConstraintsChaosAttribution pins the weakened chaos contract: an
+// overrun covered by booked lost work plus the per-event grace is
+// conformant; one beyond it is not; fault-free any overrun trips.
+func TestConstraintsChaosAttribution(t *testing.T) {
+	mk := func(total time.Duration, chaosOn bool, satisfied bool) *Artifacts {
+		a := &Artifacts{
+			Scenario: search.CheapestWithDeadline,
+			UserCons: search.Constraints{Deadline: 10 * time.Hour},
+			Metrics:  "mlcd_chaos_faults_total 1\n",
+			Report:   mlcdsys.Report{TotalTime: total, Satisfied: satisfied},
+		}
+		if chaosOn {
+			a.Case.Chaos = &chaos.Plan{}
+		}
+		return a
+	}
+	// 20 min over, one injected fault → inside the 30-min grace.
+	if vs := checkConstraints(mk(10*time.Hour+20*time.Minute, true, false)); len(vs) != 0 {
+		t.Errorf("attributable overrun flagged: %v", vs)
+	}
+	// 45 min over with the same single fault → beyond attribution.
+	if vs := checkConstraints(mk(10*time.Hour+45*time.Minute, true, false)); !hasInv(vs, InvConstraints) {
+		t.Errorf("unattributable overrun not flagged: %v", vs)
+	}
+	// Fault-free the guarantee is absolute.
+	if vs := checkConstraints(mk(10*time.Hour+time.Minute, false, false)); !hasInv(vs, InvConstraints) {
+		t.Errorf("fault-free overrun not flagged: %v", vs)
+	}
+	// Budget leg, fault-free, exact accounting.
+	b := &Artifacts{
+		Scenario: search.FastestWithBudget,
+		UserCons: search.Constraints{Budget: 50},
+		Report:   mlcdsys.Report{TotalCost: 51, Satisfied: true},
+	}
+	vs := checkConstraints(b)
+	if !hasInv(vs, InvConstraints) || len(vs) != 2 {
+		t.Errorf("budget overrun plus lying flag should be two violations, got %v", vs)
+	}
+}
+
+// TestHeadroomStrictNegative: a consistent but negative headroom is
+// fine under chaos (censored probes burn past plan) yet must trip in a
+// fault-free reserve-protected run.
+func TestHeadroomStrictNegative(t *testing.T) {
+	a := &Artifacts{
+		Scenario:   search.CheapestWithDeadline,
+		SearchCons: search.Constraints{Deadline: time.Hour},
+		Trace: obs.Trace{Events: []obs.Event{
+			{Kind: "probe", Step: 1, CumProfileHours: 1.5, HeadroomHours: -0.5},
+		}},
+	}
+	if vs := checkHeadroom(a); !hasInv(vs, InvHeadroom) {
+		t.Errorf("fault-free negative headroom not flagged: %v", vs)
+	}
+	a.Case.Chaos = &chaos.Plan{}
+	if vs := checkHeadroom(a); len(vs) != 0 {
+		t.Errorf("chaos run's negative headroom flagged: %v", vs)
+	}
+
+	budget := &Artifacts{
+		Scenario:   search.FastestWithBudget,
+		SearchCons: search.Constraints{Budget: 10},
+		Trace: obs.Trace{Events: []obs.Event{
+			{Kind: "probe", Step: 1, CumProfileUSD: 11, HeadroomUSD: -1},
+		}},
+	}
+	if vs := checkHeadroom(budget); !hasInv(vs, InvHeadroom) {
+		t.Errorf("fault-free negative budget headroom not flagged: %v", vs)
+	}
+}
+
+// TestQuarantineCheckerBranches hand-builds the censoring shapes: a
+// failed probe carrying throughput, a probe on a quarantined key, and
+// probes below learned OOM boundaries (replicated and sharded).
+func TestQuarantineCheckerBranches(t *testing.T) {
+	fail := func(idx int, d cloud.Deployment) search.Step {
+		return search.Step{Index: idx, Deployment: d, Failed: true}
+	}
+	d4 := dep(t, "c5.xlarge", 4)
+
+	ghost := &Artifacts{Job: workload.ResNetCIFAR10, Report: mlcdsys.Report{Outcome: search.Outcome{Steps: []search.Step{
+		{Index: 1, Deployment: d4, Failed: true, Throughput: 5},
+	}}}}
+	if vs := checkQuarantine(ghost); !hasInv(vs, InvQuarantine) {
+		t.Errorf("failed probe with throughput not flagged: %v", vs)
+	}
+
+	quarantined := &Artifacts{Job: workload.ResNetCIFAR10, Report: mlcdsys.Report{Outcome: search.Outcome{Steps: []search.Step{
+		fail(1, d4), fail(2, d4), fail(3, d4),
+	}}}}
+	if vs := checkQuarantine(quarantined); !hasInv(vs, InvQuarantine) {
+		t.Errorf("probe past the retry allowance not flagged: %v", vs)
+	}
+
+	// 1×c5.xlarge OOMs (8 GiB insufficient) — probing the smaller
+	// c5.large afterwards re-tests excluded ground.
+	replicated := &Artifacts{Job: workload.ResNetCIFAR10, Report: mlcdsys.Report{Outcome: search.Outcome{Steps: []search.Step{
+		{Index: 1, Deployment: dep(t, "c5.xlarge", 1), Throughput: 0},
+		{Index: 2, Deployment: dep(t, "c5.large", 2), Throughput: 3},
+	}}}}
+	if vs := checkQuarantine(replicated); !hasInv(vs, InvQuarantine) {
+		t.Errorf("probe below the replicated OOM boundary not flagged: %v", vs)
+	}
+
+	// Sharded model: 4×c5.xlarge = 32 GiB total OOMs, 2×c5.xlarge has
+	// even less aggregate memory.
+	sharded := &Artifacts{Job: workload.ZeRO8BJob, Report: mlcdsys.Report{Outcome: search.Outcome{Steps: []search.Step{
+		{Index: 1, Deployment: d4, Throughput: 0},
+		{Index: 2, Deployment: dep(t, "c5.xlarge", 2), Throughput: 1},
+	}}}}
+	if vs := checkQuarantine(sharded); !hasInv(vs, InvQuarantine) {
+		t.Errorf("probe below the sharded OOM boundary not flagged: %v", vs)
+	}
+}
+
+// TestRegretCheckerBranches drives every refusal path of the oracle
+// scoring: off-space picks, ground-truth-infeasible picks, best-effort
+// picks, bound breaches, and constraints no deployment can meet.
+func TestRegretCheckerBranches(t *testing.T) {
+	o, _ := smallOracle(t)
+	base := func() *Artifacts {
+		return &Artifacts{
+			Scenario: search.FastestUnlimited,
+			Oracle:   o,
+			Case:     Case{MaxRegret: 100},
+		}
+	}
+
+	offSpace := base()
+	offSpace.Report.Outcome = search.Outcome{Best: dep(t, "p2.xlarge", 1), Found: true}
+	if vs := checkRegret(offSpace); !hasInv(vs, InvRegret) {
+		t.Errorf("off-space pick not flagged: %v", vs)
+	}
+
+	bestEffort := base()
+	opt, ok := o.Optimum(search.FastestUnlimited, search.Constraints{})
+	if !ok {
+		t.Fatal("no optimum")
+	}
+	bestEffort.Report.Outcome = search.Outcome{Best: opt.Deployment, BestThroughput: opt.Throughput, Found: false}
+	if vs := checkRegret(bestEffort); !hasInv(vs, InvRegret) {
+		t.Errorf("best-effort pick not flagged: %v", vs)
+	}
+
+	// A pick the oracle knows cannot hold the model: 8B states on a
+	// small CPU space are infeasible everywhere.
+	cat, err := cloud.DefaultCatalog().Subset("c5.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(cat, cloud.SpaceLimits{MaxCPUNodes: 2, MaxGPUNodes: 1})
+	zo := BuildOracle(sim.New(1), workload.ZeRO8BJob, space)
+	if zo.FeasibleCount() != 0 {
+		t.Fatalf("expected a fully infeasible oracle, %d feasible", zo.FeasibleCount())
+	}
+	infeasible := &Artifacts{Scenario: search.FastestUnlimited, Oracle: zo, Case: Case{MaxRegret: 100}}
+	infeasible.Report.Outcome = search.Outcome{Best: dep(t, "c5.xlarge", 1), Found: true}
+	if vs := checkRegret(infeasible); !hasInv(vs, InvRegret) {
+		t.Errorf("ground-truth-infeasible pick not flagged: %v", vs)
+	}
+
+	// Worst feasible pick against a microscopic bound.
+	worst := base()
+	worst.Case.MaxRegret = 1e-9
+	for _, e := range o.Entries() {
+		if e.Feasible() && e.Deployment.Key() != opt.Deployment.Key() {
+			worst.Report.Outcome = search.Outcome{Best: e.Deployment, BestThroughput: e.Throughput, Found: true}
+			break
+		}
+	}
+	if vs := checkRegret(worst); !hasInv(vs, InvRegret) {
+		t.Errorf("bound breach not flagged: %v", vs)
+	}
+
+	// A constraint nothing satisfies: the oracle must refuse to score
+	// and the checker must surface it.
+	empty := base()
+	empty.Scenario = search.CheapestWithDeadline
+	empty.UserCons = search.Constraints{Deadline: time.Minute}
+	empty.Report.Outcome = search.Outcome{Best: opt.Deployment, BestThroughput: opt.Throughput, Found: true}
+	if vs := checkRegret(empty); !hasInv(vs, InvRegret) {
+		t.Errorf("unscorable pick not flagged: %v", vs)
+	}
+}

@@ -1,0 +1,165 @@
+// Package conformance is the repository's correctness harness: an
+// exhaustive ground-truth oracle over the deterministic simulator, a
+// library of invariant checkers evaluated against a job's search trace,
+// report, and metrics, and a randomized scenario generator with
+// shrinking that turns any violation into a minimal replayable JSON
+// case file. Lynceus and TrimTuner validate their searchers against
+// exhaustively profiled grids; the virtual-clock stack makes the same
+// oracle free here, so every future optimization PR can prove it did
+// not silently break the optimizer.
+package conformance
+
+import (
+	"math"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// OracleEntry is the exhaustively profiled ground truth for one D(m, n):
+// the noise-free throughput and the resulting training time and cost.
+// Memory-infeasible deployments carry Throughput 0, TrainTime sim.Never,
+// and TrainCost +Inf.
+type OracleEntry struct {
+	Deployment cloud.Deployment
+	Throughput float64
+	TrainTime  time.Duration
+	TrainCost  float64
+}
+
+// Feasible reports whether the deployment can run the job at all.
+func (e OracleEntry) Feasible() bool { return e.Throughput > 0 }
+
+// Oracle holds the brute-forced ground truth for one (job, space) pair.
+type Oracle struct {
+	Job     workload.Job
+	entries []OracleEntry
+	byKey   map[string]int
+}
+
+// BuildOracle profiles every deployment in the space at ground truth.
+// The scan is exhaustive by design — the whole point is to know the
+// true optimum the searcher never sees.
+func BuildOracle(s *sim.Simulator, j workload.Job, space *cloud.Space) *Oracle {
+	o := &Oracle{
+		Job:     j,
+		entries: make([]OracleEntry, 0, space.Len()),
+		byKey:   make(map[string]int, space.Len()),
+	}
+	for i := 0; i < space.Len(); i++ {
+		d := space.At(i)
+		e := OracleEntry{
+			Deployment: d,
+			Throughput: s.Throughput(j, d),
+			TrainTime:  s.TrainTime(j, d),
+			TrainCost:  s.TrainCost(j, d),
+		}
+		o.byKey[d.Key()] = len(o.entries)
+		o.entries = append(o.entries, e)
+	}
+	return o
+}
+
+// Entries returns the full ground-truth table.
+func (o *Oracle) Entries() []OracleEntry {
+	return append([]OracleEntry(nil), o.entries...)
+}
+
+// Lookup returns the ground truth for a deployment key.
+func (o *Oracle) Lookup(d cloud.Deployment) (OracleEntry, bool) {
+	i, ok := o.byKey[d.Key()]
+	if !ok {
+		return OracleEntry{}, false
+	}
+	return o.entries[i], true
+}
+
+// FeasibleCount returns how many deployments can run the job at all.
+func (o *Oracle) FeasibleCount() int {
+	n := 0
+	for _, e := range o.entries {
+		if e.Feasible() {
+			n++
+		}
+	}
+	return n
+}
+
+// scenarioFeasible reports whether an entry belongs to the scenario's
+// feasible set under cons. The deadline/budget here is the raw limit on
+// the *training* run — the oracle knows nothing about profiling spend,
+// matching the paper's "Opt" reference, which assumes the optimum is
+// known in advance.
+func scenarioFeasible(scen search.Scenario, cons search.Constraints, e OracleEntry) bool {
+	if !e.Feasible() {
+		return false
+	}
+	switch scen {
+	case search.CheapestWithDeadline:
+		return e.TrainTime <= cons.Deadline
+	case search.FastestWithBudget:
+		return e.TrainCost <= cons.Budget
+	default:
+		return true
+	}
+}
+
+// objective returns the scenario's minimized scalar for an entry.
+func objective(scen search.Scenario, e OracleEntry) float64 {
+	if scen == search.CheapestWithDeadline {
+		return e.TrainCost
+	}
+	return e.TrainTime.Seconds()
+}
+
+// Optimum returns the true optimal deployment for the scenario under
+// cons: the fastest feasible deployment, or the cheapest one meeting the
+// deadline. ok is false when the scenario's feasible set is empty.
+func (o *Oracle) Optimum(scen search.Scenario, cons search.Constraints) (OracleEntry, bool) {
+	var best OracleEntry
+	bestVal, found := math.Inf(1), false
+	for _, e := range o.entries {
+		if !scenarioFeasible(scen, cons, e) {
+			continue
+		}
+		if v := objective(scen, e); v < bestVal {
+			best, bestVal, found = e, v, true
+		}
+	}
+	return best, found
+}
+
+// ScenarioFeasibleCount sizes the scenario's feasible set under cons.
+func (o *Oracle) ScenarioFeasibleCount(scen search.Scenario, cons search.Constraints) int {
+	n := 0
+	for _, e := range o.entries {
+		if scenarioFeasible(scen, cons, e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Regret returns how far the chosen deployment's ground-truth objective
+// sits above the scenario optimum, as a ratio: 0 means the searcher
+// found the true optimum, 0.5 means 50 % worse (slower, or costlier for
+// scenario 2). ok is false when the chosen deployment is unknown to the
+// oracle, infeasible at ground truth, or the feasible set is empty.
+func (o *Oracle) Regret(scen search.Scenario, cons search.Constraints, chosen cloud.Deployment) (float64, bool) {
+	e, ok := o.Lookup(chosen)
+	if !ok || !e.Feasible() {
+		return 0, false
+	}
+	opt, ok := o.Optimum(scen, cons)
+	if !ok {
+		return 0, false
+	}
+	ov := objective(scen, opt)
+	if ov <= 0 {
+		return 0, false
+	}
+	return objective(scen, e)/ov - 1, true
+}

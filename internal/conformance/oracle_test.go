@@ -1,0 +1,118 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+func smallOracle(t *testing.T) (*Oracle, *cloud.Space) {
+	t.Helper()
+	cat, err := cloud.DefaultCatalog().Subset("c5.xlarge", "c5.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(cat, cloud.SpaceLimits{MaxCPUNodes: 4, MaxGPUNodes: 1})
+	return BuildOracle(sim.New(1), workload.ResNetCIFAR10, space), space
+}
+
+// TestOracleLookupAndFeasibleCounts pins the oracle's index: every
+// deployment of the space resolves, anything off-space does not, and
+// the scenario feasible set shrinks monotonically as constraints
+// tighten.
+func TestOracleLookupAndFeasibleCounts(t *testing.T) {
+	o, space := smallOracle(t)
+	for i := 0; i < space.Len(); i++ {
+		if _, ok := o.Lookup(space.At(i)); !ok {
+			t.Errorf("oracle has no entry for %s", space.At(i))
+		}
+	}
+	offSpace := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("p3.16xlarge"), 2)
+	if _, ok := o.Lookup(offSpace); ok {
+		t.Error("oracle resolved a deployment outside its space")
+	}
+
+	loose := search.Constraints{Deadline: 1000 * time.Hour}
+	tight := search.Constraints{Deadline: time.Minute}
+	all := o.ScenarioFeasibleCount(search.CheapestWithDeadline, loose)
+	none := o.ScenarioFeasibleCount(search.CheapestWithDeadline, tight)
+	if all != o.FeasibleCount() {
+		t.Errorf("loose deadline admits %d of %d feasible deployments", all, o.FeasibleCount())
+	}
+	if none != 0 {
+		t.Errorf("1-minute deadline admits %d deployments", none)
+	}
+}
+
+// TestOracleRegretEdges: regret is 0 at the optimum, positive
+// elsewhere, and refuses to score picks the oracle cannot ground.
+func TestOracleRegretEdges(t *testing.T) {
+	o, _ := smallOracle(t)
+	scen := search.FastestUnlimited
+	opt, ok := o.Optimum(scen, search.Constraints{})
+	if !ok {
+		t.Fatal("no optimum on a feasible space")
+	}
+	if r, ok := o.Regret(scen, search.Constraints{}, opt.Deployment); !ok || r != 0 {
+		t.Errorf("regret at the optimum = (%v, %v), want (0, true)", r, ok)
+	}
+
+	worst := false
+	for _, e := range o.Entries() {
+		if !e.Feasible() || e.Deployment.Key() == opt.Deployment.Key() {
+			continue
+		}
+		r, ok := o.Regret(scen, search.Constraints{}, e.Deployment)
+		if !ok || r <= 0 {
+			t.Errorf("regret of non-optimal %s = (%v, %v), want positive", e.Deployment, r, ok)
+		}
+		worst = true
+	}
+	if !worst {
+		t.Fatal("space has no non-optimal feasible deployment to score")
+	}
+
+	unknown := cloud.NewDeployment(cloud.DefaultCatalog().MustLookup("p2.xlarge"), 1)
+	if _, ok := o.Regret(scen, search.Constraints{}, unknown); ok {
+		t.Error("regret scored a deployment the oracle never brute-forced")
+	}
+}
+
+// TestCaseValidateRejections walks every rejection branch.
+func TestCaseValidateRejections(t *testing.T) {
+	good := Case{Seed: 1, Job: "resnet-cifar10", Types: []string{"c5.xlarge"}, MaxNodes: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid case rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Case)
+		want string
+	}{
+		{"unknown job", func(c *Case) { c.Job = "no-such-job" }, "job"},
+		{"no types", func(c *Case) { c.Types = nil }, "no instance types"},
+		{"zero nodes", func(c *Case) { c.MaxNodes = 0 }, "max_nodes"},
+		{"bad scenario", func(c *Case) { c.Scenario = 3 }, "scenario"},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mut(&c)
+		err := c.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestViolationString pins the rendering the soak binary prints.
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: InvLedger, Detail: "off by $1"}
+	if got := v.String(); got != "ledger-conservation: off by $1" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package conformance
+
+import "mlcd/internal/chaos"
+
+// ShrinkResult is a minimized failing case and how it still fails.
+type ShrinkResult struct {
+	Case       Case        `json:"case"`
+	Violations []Violation `json:"violations"`
+	Evals      int         `json:"evals"` // case executions the shrink spent
+}
+
+// shrinkBudget caps how many case executions one shrink may spend.
+const shrinkBudget = 200
+
+// violationNames collects the distinct invariant names in a violation
+// list — the shrinker's notion of "still the same failure".
+func violationNames(vs []Violation) map[string]bool {
+	out := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		out[v.Invariant] = true
+	}
+	return out
+}
+
+// Shrink greedily minimizes a failing case: starting from the violations
+// the full case produced, it tries dropping the chaos plan, stripping
+// faults one at a time, removing instance types, and halving the node
+// range — adopting any reduction that still trips at least one of the
+// original invariants, and iterating to a fixpoint. A case that errors
+// instead of running is never adopted (an error is a different failure).
+// The result replays byte-for-byte via RunCase + Check.
+func Shrink(c Case, failing []Violation) ShrinkResult {
+	target := violationNames(failing)
+	evals := 0
+	// still reports whether cand reproduces any of the original
+	// invariant violations, returning them when it does.
+	still := func(cand Case) ([]Violation, bool) {
+		if evals >= shrinkBudget {
+			return nil, false
+		}
+		evals++
+		art, err := RunCase(cand)
+		if err != nil {
+			return nil, false
+		}
+		vs := Check(art)
+		for _, v := range vs {
+			if target[v.Invariant] {
+				return vs, true
+			}
+		}
+		return nil, false
+	}
+
+	cur, curVs := c, failing
+	for {
+		improved := false
+		for _, cand := range reductions(cur) {
+			if vs, ok := still(cand); ok {
+				cur, curVs = cand, vs
+				improved = true
+				break // restart the reduction list from the smaller case
+			}
+		}
+		if !improved || evals >= shrinkBudget {
+			return ShrinkResult{Case: cur, Violations: curVs, Evals: evals}
+		}
+	}
+}
+
+// reductions enumerates the one-step simplifications of a case, most
+// aggressive first.
+func reductions(c Case) []Case {
+	var out []Case
+	add := func(mut func(*Case)) {
+		cand := c
+		// Deep-copy the slices a mutation may touch.
+		cand.Types = append([]string(nil), c.Types...)
+		if c.Chaos != nil {
+			plan := *c.Chaos
+			plan.Faults = append([]chaos.Fault(nil), c.Chaos.Faults...)
+			cand.Chaos = &plan
+		}
+		mut(&cand)
+		out = append(out, cand)
+	}
+
+	if c.Chaos != nil {
+		add(func(x *Case) { x.Chaos = nil }) // drop the whole plan
+		for i := range c.Chaos.Faults {
+			if len(c.Chaos.Faults) > 1 {
+				i := i
+				add(func(x *Case) {
+					x.Chaos.Faults = append(x.Chaos.Faults[:i], x.Chaos.Faults[i+1:]...)
+				})
+			}
+		}
+	}
+	if len(c.Types) > 1 {
+		// Drop later-listed types first so reproducers keep a stable
+		// prefix of the original catalog draw.
+		for i := len(c.Types) - 1; i >= 0; i-- {
+			i := i
+			add(func(x *Case) {
+				x.Types = append(x.Types[:i], x.Types[i+1:]...)
+			})
+		}
+	}
+	if c.MaxNodes > 1 {
+		if half := c.MaxNodes / 2; half >= 1 && half != c.MaxNodes {
+			add(func(x *Case) { x.MaxNodes = half })
+		}
+		add(func(x *Case) { x.MaxNodes-- })
+	}
+	return out
+}

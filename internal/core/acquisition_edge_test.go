@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// Acquisition edge cases: the argmax over EI scores must never see a
+// NaN or Inf, must degrade cleanly when every candidate is infeasible,
+// and must break exact ties deterministically.
+
+// assertFiniteAcquisitions fails if any step's acquisition score is NaN
+// or infinite — a poisoned score silently wins or loses every argmax.
+func assertFiniteAcquisitions(t *testing.T, out search.Outcome) {
+	t.Helper()
+	for _, s := range out.Steps {
+		if math.IsNaN(s.Acquisition) || math.IsInf(s.Acquisition, 0) {
+			t.Errorf("step %d (%s, %q): non-finite acquisition %v",
+				s.Index, s.Deployment, s.Note, s.Acquisition)
+		}
+	}
+}
+
+// TestAcquisitionFiniteAllScenarios sweeps every scenario over a mixed
+// CPU/GPU space and asserts no non-finite score ever reaches the argmax
+// — including on censored probes, where throughput is unknown.
+func TestAcquisitionFiniteAllScenarios(t *testing.T) {
+	sub, err := cat.Subset("c5.large", "c5.2xlarge", "c5n.xlarge", "p2.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(sub, cloud.SpaceLimits{MaxCPUNodes: 6, MaxGPUNodes: 4})
+	cases := []struct {
+		scen search.Scenario
+		cons search.Constraints
+	}{
+		{search.FastestUnlimited, search.Constraints{}},
+		{search.CheapestWithDeadline, search.Constraints{Deadline: 24 * time.Hour}},
+		{search.FastestWithBudget, search.Constraints{Budget: 60}},
+	}
+	for _, c := range cases {
+		t.Run(c.scen.String(), func(t *testing.T) {
+			_, prof := newProf(7)
+			out := mustSearch(t, New(Options{Seed: 7}), workload.ResNetCIFAR10, space, c.scen, c.cons, prof)
+			if len(out.Steps) == 0 {
+				t.Fatal("no probes ran")
+			}
+			assertFiniteAcquisitions(t, out)
+		})
+	}
+}
+
+// TestAllCandidatesInfeasibleStopsBeforeProbing: a budget smaller than
+// the cheapest possible probe leaves no admissible candidate at all.
+// The search must refuse to spend, not probe "just once" or crash.
+func TestAllCandidatesInfeasibleStopsBeforeProbing(t *testing.T) {
+	_, prof := newProf(2)
+	out := mustSearch(t, New(Options{Seed: 2}), workload.ResNetCIFAR10, fullSpace,
+		search.FastestWithBudget, search.Constraints{Budget: 0.01}, prof)
+	if out.Found {
+		t.Error("Found=true with a budget below any probe price")
+	}
+	if len(out.Steps) != 0 {
+		t.Errorf("ran %d probes despite an unaffordable budget", len(out.Steps))
+	}
+	if out.Stopped != "no admissible initial probe" {
+		t.Errorf("Stopped = %q, want %q", out.Stopped, "no admissible initial probe")
+	}
+	if out.ProfileCost != 0 || out.ProfileTime != 0 {
+		t.Errorf("spent %v / $%v without an admissible probe", out.ProfileTime, out.ProfileCost)
+	}
+}
+
+// TestSingleTypeCatalogAllScenarios: with one instance type the search
+// degenerates to picking a node count. It must still finish with a
+// feasible pick in every scenario, never wander off-type, and keep all
+// scores finite.
+func TestSingleTypeCatalogAllScenarios(t *testing.T) {
+	cases := []struct {
+		scen search.Scenario
+		cons search.Constraints
+	}{
+		{search.FastestUnlimited, search.Constraints{}},
+		{search.CheapestWithDeadline, search.Constraints{Deadline: 24 * time.Hour}},
+		{search.FastestWithBudget, search.Constraints{Budget: 40}},
+	}
+	for _, c := range cases {
+		t.Run(c.scen.String(), func(t *testing.T) {
+			_, prof := newProf(11)
+			out := mustSearch(t, New(Options{Seed: 11}), workload.ResNetCIFAR10, scaleOut, c.scen, c.cons, prof)
+			if !out.Found {
+				t.Fatalf("no feasible pick on a single-type space (stopped: %s)", out.Stopped)
+			}
+			if out.Best.Type.Name != "c5.4xlarge" {
+				t.Errorf("picked %s outside the single-type space", out.Best)
+			}
+			for _, s := range out.Steps {
+				if s.Deployment.Type.Name != "c5.4xlarge" {
+					t.Errorf("step %d probed %s outside the single-type space", s.Index, s.Deployment)
+				}
+			}
+			assertFiniteAcquisitions(t, out)
+		})
+	}
+}
+
+// TestIdenticalTypesTieDeterministically: two types with identical
+// hardware and price produce identical features, so the surrogate
+// scores their deployments identically. The argmax must break those
+// exact EI ties the same way on every run — ties resolved by map
+// iteration order would make reproducers worthless.
+func TestIdenticalTypesTieDeterministically(t *testing.T) {
+	base := cat.MustLookup("c5.xlarge")
+	clone := base
+	clone.Name = "c5.xlarge-clone"
+	twin, err := cloud.NewCatalog([]cloud.InstanceType{base, clone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(twin, cloud.SpaceLimits{MaxCPUNodes: 6, MaxGPUNodes: 1})
+
+	run := func() search.Outcome {
+		_, prof := newProf(5)
+		return mustSearch(t, New(Options{Seed: 5}), workload.ResNetCIFAR10, space,
+			search.FastestUnlimited, search.Constraints{}, prof)
+	}
+	a, b := run(), run()
+	if len(a.Steps) == 0 {
+		t.Fatal("no probes ran")
+	}
+	assertFiniteAcquisitions(t, a)
+	if a.Best.String() != b.Best.String() {
+		t.Errorf("tie broken differently across runs: %s vs %s", a.Best, b.Best)
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("step counts differ across runs: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Deployment.String() != b.Steps[i].Deployment.String() ||
+			a.Steps[i].Acquisition != b.Steps[i].Acquisition {
+			t.Errorf("step %d diverged: %s (%g) vs %s (%g)", i,
+				a.Steps[i].Deployment, a.Steps[i].Acquisition,
+				b.Steps[i].Deployment, b.Steps[i].Acquisition)
+		}
+	}
+}

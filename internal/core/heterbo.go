@@ -293,6 +293,17 @@ func (st *state) run() string {
 			}
 			st.probe(d, 0, "init")
 		}
+		// A censored init probe carries no signal about its deployment —
+		// and a censored *anchor* leaves its whole instance type
+		// unmodeled, which the CI/TEI filters then rule out on pure
+		// extrapolation. Retry each failed anchor once (within the
+		// FailureRetries allowance) so type coverage survives a fault.
+		for _, d := range st.initialDeployments() {
+			if st.failures[d.Key()] == 0 || st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
+				continue
+			}
+			st.probe(d, 0, "init-retry")
+		}
 	}
 	if len(st.obs) == 0 {
 		return "no admissible initial probe"
@@ -431,13 +442,19 @@ func (st *state) anchorSharded() {
 }
 
 // anchorNodes picks the next node count to try for type t: beyond both
-// the learned capacity bound and a doubling of the last attempt.
+// the learned capacity bound and a doubling of the last attempt. The
+// doubling is clamped to the space's ceiling — when it overshoots, the
+// largest allowed count is the type's only remaining chance at
+// feasibility and must be tried before the type is written off.
 func (st *state) anchorNodes(t cloud.InstanceType, last int) (int, bool) {
 	minN := last*2 + 1
 	if cap := nodeCapacityGiB(t); cap > 0 {
 		if byBound := int(st.oomShardedCap/cap) + 1; byBound > minN {
 			minN = byBound
 		}
+	}
+	if max := st.space.MaxNodes(t.Name); minN > max {
+		minN = max
 	}
 	for n := minN; n <= st.space.MaxNodes(t.Name); n++ {
 		d := cloud.Deployment{Type: t, Nodes: n}

@@ -43,6 +43,13 @@ type Requirements struct {
 // budget are set; the paper's scenarios are single-constraint.
 var ErrConflictingRequirements = errors.New("mlcdsys: set a deadline or a budget, not both")
 
+// ErrNoSatisfyingDeployment is returned when the search completed but
+// none of its observations satisfies the user's deadline or budget:
+// rather than train a best-effort pick that is already known to violate
+// the requirement, Deploy refuses. Callers can retry with a relaxed
+// constraint (warm-started, the repeat search costs nothing).
+var ErrNoSatisfyingDeployment = errors.New("no deployment satisfies the requirement")
+
 // AnalyzeScenario is the Scenario Analyzer: it maps requirements onto the
 // paper's three scenarios (§III-A).
 func AnalyzeScenario(r Requirements) (search.Scenario, search.Constraints, error) {
@@ -571,6 +578,14 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 	}
 	if out.Best.Nodes == 0 {
 		return Report{}, fmt.Errorf("mlcdsys: search found no runnable deployment")
+	}
+	if !out.Found && scen != search.FastestUnlimited {
+		// The search's pick is best-effort: no observation satisfies the
+		// user constraint. Training it anyway would knowingly blow the
+		// deadline or budget — often by a large multiple — so decline and
+		// let the caller relax the requirement instead.
+		return Report{}, fmt.Errorf("mlcdsys: best candidate %s cannot meet the %s requirement: %w",
+			out.Best, scen, ErrNoSatisfyingDeployment)
 	}
 
 	// Execute training on the chosen deployment.

@@ -100,12 +100,24 @@ type Outcome struct {
 	Stopped     string // why the search stopped
 }
 
+// MaxEstTrainTime is the "effectively never" ceiling on training-time
+// estimates (≈73 centuries). Estimates are clamped here because the
+// seconds→Duration conversion otherwise overflows int64 for a
+// near-zero measured throughput and wraps *negative* — and a negative
+// estimate would make the slowest deployment in the space look
+// trivially deadline-feasible in every spentTime+tt comparison.
+const MaxEstTrainTime = time.Duration(math.MaxInt64 / 4)
+
 // EstTrainTime estimates training time at a measured throughput.
 func EstTrainTime(j workload.Job, throughput float64) time.Duration {
 	if throughput <= 0 {
-		return math.MaxInt64 / 4
+		return MaxEstTrainTime
 	}
-	return time.Duration(j.TotalSamples() / throughput * float64(time.Second))
+	secs := j.TotalSamples() / throughput
+	if secs >= MaxEstTrainTime.Seconds() {
+		return MaxEstTrainTime
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // EstTrainCost estimates training cost for d at a measured throughput.

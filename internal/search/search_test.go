@@ -281,3 +281,41 @@ func TestQuickPickBestSoundAndComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEstTrainTimeClampsNearZeroThroughput pins the overflow guard: a
+// denormal-small measured throughput must saturate at MaxEstTrainTime,
+// not wrap the seconds→Duration conversion negative — a negative
+// estimate made the slowest deployment in a space look trivially
+// deadline-feasible.
+func TestEstTrainTimeClampsNearZeroThroughput(t *testing.T) {
+	j := workload.ResNetCIFAR10
+	for _, thr := range []float64{0, -1, 1e-300, 1e-12, math.SmallestNonzeroFloat64} {
+		got := EstTrainTime(j, thr)
+		if got != MaxEstTrainTime {
+			t.Errorf("EstTrainTime(thr=%g) = %v, want MaxEstTrainTime", thr, got)
+		}
+		if got < 0 {
+			t.Errorf("EstTrainTime(thr=%g) wrapped negative: %v", thr, got)
+		}
+	}
+	// A throughput just past the clamp boundary still estimates normally.
+	if got := EstTrainTime(j, 1); got <= 0 || got == MaxEstTrainTime {
+		t.Errorf("EstTrainTime(thr=1) = %v, want a finite positive estimate", got)
+	}
+}
+
+// TestPickBestNotFooledByClampedEstimate: an observation so slow its
+// training estimate clamps must never be reported deadline-feasible —
+// before the clamp the wrapped-negative estimate passed any deadline. A
+// decade is far beyond any real Tmax yet far below the clamp ceiling.
+func TestPickBestNotFooledByClampedEstimate(t *testing.T) {
+	obs := []Observation{{Deployment: dep(t, "c5.large", 1), Throughput: 1e-300}}
+	cons := Constraints{Deadline: 10 * 365 * 24 * time.Hour}
+	got, ok := PickBest(workload.ResNetCIFAR10, CheapestWithDeadline, cons, 0, 0, obs)
+	if ok {
+		t.Fatalf("clamped estimate reported feasible: %+v", got)
+	}
+	if got.Deployment.Nodes != 1 {
+		t.Fatalf("best-effort fallback should still surface the observation, got %+v", got)
+	}
+}
