@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update bench conformance ci clean
+.PHONY: all vet build test race cover cover-update bench conformance loadgen ci clean
 
 all: ci
 
@@ -31,9 +31,17 @@ cover-update:
 
 # conformance soaks the search end to end against the brute-force
 # oracle and the invariant engine; failures are shrunk to minimal JSON
-# reproducers under conformance-failures/.
+# reproducers under conformance-failures/. The soak runs sharded — the
+# same case partitioning the sharded control plane uses for tenants.
 conformance:
-	$(GO) run -race ./cmd/conformance -cases 200 -seed 7
+	$(GO) run -race ./cmd/conformance -cases 200 -seed 7 -shards 2
+
+# loadgen is the control-plane scale smoke: a submission storm against
+# the sharded plane, with admission latency percentiles, throughput,
+# and rejection rate written to BENCH_PR6.json. CI runs 5k jobs; the
+# full gate is 100k (see cmd/loadgen).
+loadgen:
+	$(GO) run ./cmd/loadgen -jobs 5000 -shards 4 -concurrency 256 -out BENCH_PR6.json
 
 ci: vet build race cover
 

@@ -8,25 +8,36 @@
 //
 //	conformance -cases 200 -seed 7 -shrink -out conformance-failures
 //
+// With -shards N >= 2 the case stream is partitioned across N workers
+// by the same consistent-hash ring the sharded control plane routes
+// tenants with (case name → shard), and shards soak concurrently. The
+// case set is identical for every shard count — only the partition and
+// the interleaving change — so a sharded soak checks the same ground
+// truth as a serial one.
+//
 // Exit status 1 when any case errors or violates an invariant.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"mlcd/internal/conformance"
 	"mlcd/internal/rngtape"
 	"mlcd/internal/search"
+	"mlcd/internal/shardplane"
 )
 
 // config carries the soak parameters main parses from flags.
 type config struct {
 	cases   int
 	seed    int64
+	shards  int
 	shrink  bool
 	out     string
 	verbose bool
@@ -36,6 +47,7 @@ func main() {
 	var cfg config
 	flag.IntVar(&cfg.cases, "cases", 50, "number of randomized cases to run")
 	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.IntVar(&cfg.shards, "shards", 1, "soak shards running concurrently (>= 2 partitions cases by consistent hash)")
 	flag.BoolVar(&cfg.shrink, "shrink", true, "shrink failing cases to minimal reproducers")
 	flag.StringVar(&cfg.out, "out", "conformance-failures", "directory for reproducer JSON files")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every case, not just failures")
@@ -45,44 +57,120 @@ func main() {
 	}
 }
 
+// tally accumulates one soak partition's outcome.
+type tally struct {
+	failures    int
+	declined    int
+	chaosCases  int
+	perScenario map[search.Scenario]int
+	regretSum   float64
+	regretMax   float64
+	regretN     int
+}
+
+func newTally() *tally { return &tally{perScenario: map[search.Scenario]int{}} }
+
+func (t *tally) merge(o *tally) {
+	t.failures += o.failures
+	t.declined += o.declined
+	t.chaosCases += o.chaosCases
+	for k, v := range o.perScenario {
+		t.perScenario[k] += v
+	}
+	t.regretSum += o.regretSum
+	t.regretN += o.regretN
+	if o.regretMax > t.regretMax {
+		t.regretMax = o.regretMax
+	}
+}
+
 // soak runs the randomized conformance loop and returns the failure
 // count. Split from main so the soak is testable without an exec.
 func soak(cfg config, stdout, stderr io.Writer) int {
+	// Case generation consumes the rng sequentially, so the full set is
+	// built up front — the same set regardless of shard count.
 	rng := rngtape.New(cfg.seed)
-	failures := 0
-	declined := 0
-	chaosCases := 0
-	perScenario := map[search.Scenario]int{}
-	regretSum, regretMax, regretN := 0.0, 0.0, 0
+	cases := make([]conformance.Case, cfg.cases)
+	for i := range cases {
+		cases[i] = conformance.GenerateCase(rng, i)
+		cases[i].Name = fmt.Sprintf("case-%04d", i)
+	}
 
-	for i := 0; i < cfg.cases; i++ {
-		c := conformance.GenerateCase(rng, i)
-		c.Name = fmt.Sprintf("case-%04d", i)
-		perScenario[search.Scenario(c.Scenario)]++
+	total := newTally()
+	if cfg.shards <= 1 {
+		runCases(cases, cfg, total, stdout, stderr)
+	} else {
+		ring := shardplane.NewRing(cfg.shards, 0)
+		buckets := make([][]conformance.Case, cfg.shards)
+		for _, c := range cases {
+			s := ring.Shard(c.Name)
+			buckets[s] = append(buckets[s], c)
+		}
+		// Each shard soaks its partition concurrently into private
+		// buffers, flushed in shard order so output stays readable.
+		tallies := make([]*tally, cfg.shards)
+		outs := make([]bytes.Buffer, cfg.shards)
+		errs := make([]bytes.Buffer, cfg.shards)
+		var wg sync.WaitGroup
+		for s := 0; s < cfg.shards; s++ {
+			wg.Add(1)
+			tallies[s] = newTally()
+			go func(s int) {
+				defer wg.Done()
+				runCases(buckets[s], cfg, tallies[s], &outs[s], &errs[s])
+			}(s)
+		}
+		wg.Wait()
+		for s := 0; s < cfg.shards; s++ {
+			_, _ = io.Copy(stdout, &outs[s])
+			_, _ = io.Copy(stderr, &errs[s])
+			total.merge(tallies[s])
+		}
+	}
+
+	fmt.Fprintf(stdout, "conformance: %d cases (%d chaos; s1=%d s2=%d s3=%d), %d declined, %d failures",
+		cfg.cases, total.chaosCases,
+		total.perScenario[search.FastestUnlimited], total.perScenario[search.CheapestWithDeadline], total.perScenario[search.FastestWithBudget],
+		total.declined, total.failures)
+	if total.regretN > 0 {
+		fmt.Fprintf(stdout, ", regret mean=%.3f max=%.3f over %d scored picks",
+			total.regretSum/float64(total.regretN), total.regretMax, total.regretN)
+	}
+	if cfg.shards > 1 {
+		fmt.Fprintf(stdout, " [%d shards]", cfg.shards)
+	}
+	fmt.Fprintln(stdout)
+	return total.failures
+}
+
+// runCases soaks one partition of the case set into t.
+func runCases(cases []conformance.Case, cfg config, t *tally, stdout, stderr io.Writer) {
+	for _, c := range cases {
+		t.perScenario[search.Scenario(c.Scenario)]++
 		if c.Chaos != nil {
-			chaosCases++
+			t.chaosCases++
 		}
 
 		art, err := conformance.RunCase(c)
 		if conformance.Declined(err) {
-			declined++
+			t.declined++
 			if cfg.verbose {
 				fmt.Fprintf(stdout, "decl %s: %v\n", c.Name, err)
 			}
 			continue
 		}
 		if err != nil {
-			failures++
+			t.failures++
 			fmt.Fprintf(stderr, "FAIL %s: %v\n", c.Name, err)
 			writeReproducer(stderr, cfg.out, c.Name, c)
 			continue
 		}
 		vs := conformance.Check(art)
 		if r, ok := art.Oracle.Regret(art.Scenario, art.UserCons, art.Report.Outcome.Best); ok {
-			regretSum += r
-			regretN++
-			if r > regretMax {
-				regretMax = r
+			t.regretSum += r
+			t.regretN++
+			if r > t.regretMax {
+				t.regretMax = r
 			}
 		}
 		if len(vs) == 0 {
@@ -92,7 +180,7 @@ func soak(cfg config, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
-		failures++
+		t.failures++
 		fmt.Fprintf(stderr, "FAIL %s (%d violations):\n", c.Name, len(vs))
 		for _, v := range vs {
 			fmt.Fprintf(stderr, "  %s\n", v)
@@ -106,16 +194,6 @@ func soak(cfg config, stdout, stderr io.Writer) int {
 		}
 		writeReproducer(stderr, cfg.out, c.Name, min)
 	}
-
-	fmt.Fprintf(stdout, "conformance: %d cases (%d chaos; s1=%d s2=%d s3=%d), %d declined, %d failures",
-		cfg.cases, chaosCases,
-		perScenario[search.FastestUnlimited], perScenario[search.CheapestWithDeadline], perScenario[search.FastestWithBudget],
-		declined, failures)
-	if regretN > 0 {
-		fmt.Fprintf(stdout, ", regret mean=%.3f max=%.3f over %d scored picks", regretSum/float64(regretN), regretMax, regretN)
-	}
-	fmt.Fprintln(stdout)
-	return failures
 }
 
 // writeReproducer saves a failing case under dir, creating it lazily so

@@ -27,6 +27,37 @@ func TestSoakCleanRun(t *testing.T) {
 	}
 }
 
+// TestSoakShardedMatchesSerial: sharding the soak changes only the
+// partition, never the verdict — the same seed must report the same
+// failure count and case totals with 1 and 3 shards.
+func TestSoakShardedMatchesSerial(t *testing.T) {
+	var serialOut, shardedOut, stderr strings.Builder
+	serial := soak(config{cases: 12, seed: 1, shrink: true,
+		out: filepath.Join(t.TempDir(), "f1")}, &serialOut, &stderr)
+	sharded := soak(config{cases: 12, seed: 1, shards: 3, shrink: true,
+		out: filepath.Join(t.TempDir(), "f3")}, &shardedOut, &stderr)
+	if serial != sharded {
+		t.Fatalf("serial soak → %d failures, 3-shard soak → %d:\n%s", serial, sharded, stderr.String())
+	}
+	if !strings.Contains(shardedOut.String(), "conformance: 12 cases") ||
+		!strings.Contains(shardedOut.String(), "[3 shards]") {
+		t.Errorf("sharded summary line wrong:\n%s", shardedOut.String())
+	}
+	// Every per-scenario count survives the partition (the summary line
+	// embeds them; equality of the "(...)" section pins it).
+	section := func(s string) string {
+		i, j := strings.Index(s, "("), strings.Index(s, ")")
+		if i < 0 || j < i {
+			return s
+		}
+		return s[i : j+1]
+	}
+	if section(serialOut.String()) != section(shardedOut.String()) {
+		t.Errorf("scenario tallies diverge:\nserial:  %s\nsharded: %s",
+			section(serialOut.String()), section(shardedOut.String()))
+	}
+}
+
 // TestWriteReproducer pins the lazy-directory contract and the JSON
 // round trip of a saved failure.
 func TestWriteReproducer(t *testing.T) {

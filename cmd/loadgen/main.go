@@ -1,0 +1,245 @@
+// Command loadgen is the scale gate for the sharded control plane: it
+// drives a large synthetic submission storm through the real HTTP
+// surface (POST /v1/jobs against an in-process mlcdapi server) and
+// reports admission latency percentiles, throughput, and rejection
+// rate as JSON.
+//
+//	loadgen -jobs 100000 -shards 4 -concurrency 1024 -out BENCH_PR6.json
+//
+// The point is CONCURRENT residency, not end-to-end completion: a gate
+// inside the profiler holds every search's first probe until the storm
+// has been fully admitted, so all accepted jobs are simultaneously
+// queued or running when the resident count is snapshotted. Searches
+// are then aborted (Shutdown with an expired deadline) rather than
+// drained — completing 100k simulated searches is a different
+// benchmark (see make bench).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdapi"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/sched"
+	"mlcd/internal/workload"
+)
+
+// config carries the storm parameters main parses from flags.
+type config struct {
+	jobs        int
+	concurrency int
+	shards      int
+	workers     int
+	queue       int // 0 → sized to hold the whole storm with headroom
+	tenants     int
+	seed        int64
+	out         string
+}
+
+// latencyMS is one percentile summary, in milliseconds.
+type latencyMS struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// benchResult is the BENCH_PR6.json schema.
+type benchResult struct {
+	Jobs            int       `json:"jobs"`
+	Shards          int       `json:"shards"`
+	WorkersPerShard int       `json:"workers_per_shard"`
+	QueuePerShard   int       `json:"queue_per_shard"`
+	Concurrency     int       `json:"concurrency"`
+	Tenants         int       `json:"tenants"`
+	Seed            int64     `json:"seed"`
+	Accepted        int       `json:"accepted"`
+	Rejected        int       `json:"rejected"`
+	RejectionRate   float64   `json:"rejection_rate"`
+	DurationSec     float64   `json:"duration_sec"`
+	ThroughputRPS   float64   `json:"throughput_rps"`
+	Admission       latencyMS `json:"admission_latency_ms"`
+	ResidentJobs    int       `json:"resident_jobs"`
+	QueuedJobs      int       `json:"queued_jobs"`
+	RunningJobs     int       `json:"running_jobs"`
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.jobs, "jobs", 100000, "submissions to drive through POST /v1/jobs")
+	flag.IntVar(&cfg.concurrency, "concurrency", 1024, "concurrent client goroutines")
+	flag.IntVar(&cfg.shards, "shards", 4, "scheduler shards in the control plane")
+	flag.IntVar(&cfg.workers, "workers", 2, "search workers per shard")
+	flag.IntVar(&cfg.queue, "queue", 0, "queue size per shard (0 = sized to hold the storm ×1.5)")
+	flag.IntVar(&cfg.tenants, "tenants", 1024, "distinct tenants cycling through the storm")
+	flag.Int64Var(&cfg.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR6.json", "result JSON path")
+	flag.Parse()
+
+	res, err := run(cfg)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(cfg.out, b, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	fmt.Printf("loadgen: %d jobs over %d shards — %d resident, %.0f submits/s, p50=%.2fms p95=%.2fms p99=%.2fms, %.2f%% rejected → %s\n",
+		res.Jobs, res.Shards, res.ResidentJobs, res.ThroughputRPS,
+		res.Admission.P50, res.Admission.P95, res.Admission.P99,
+		100*res.RejectionRate, cfg.out)
+}
+
+// run executes one storm. Split from main so the gate is testable at
+// small job counts without an exec.
+func run(cfg config) (benchResult, error) {
+	if cfg.jobs < 1 || cfg.concurrency < 1 || cfg.shards < 1 || cfg.tenants < 1 {
+		return benchResult{}, errors.New("jobs, concurrency, shards, and tenants must all be >= 1")
+	}
+	if cfg.concurrency > cfg.jobs {
+		cfg.concurrency = cfg.jobs
+	}
+	queue := cfg.queue
+	if queue == 0 {
+		// Hold the whole storm: per-shard share of jobs plus 50% headroom
+		// for consistent-hash skew across tenants.
+		queue = cfg.jobs * 3 / (cfg.shards * 2)
+	}
+
+	// The gate wedges every search at its first probe so admitted jobs
+	// stay resident (queued or running) for the whole storm.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	defer gateOnce.Do(func() { close(gate) })
+	sys := mlcdsys.New(mlcdsys.Config{Seed: cfg.seed})
+	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
+		Shards:    cfg.shards,
+		Workers:   cfg.workers,
+		QueueSize: queue,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return gatedProfiler{gate: gate, inner: inner}
+		},
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+
+	// The storm: cfg.concurrency clients pull job indices from a shared
+	// counter and POST through the server's real handler stack.
+	// ServeHTTP is driven directly — no TCP — so the numbers isolate the
+	// control plane (routing, queueing, journal-less admission) from
+	// kernel socket behavior.
+	latencies := make([]time.Duration, cfg.jobs)
+	codes := make([]int32, cfg.jobs)
+	var next int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= cfg.jobs {
+					return
+				}
+				body := fmt.Sprintf(`{"job":"resnet-cifar10","budget_usd":100,"tenant":"tenant-%04d"}`,
+					i%cfg.tenants)
+				req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewBufferString(body))
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				server.ServeHTTP(rec, req)
+				latencies[i] = time.Since(t0)
+				codes[i] = int32(rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	duration := time.Since(start)
+
+	res := benchResult{
+		Jobs:            cfg.jobs,
+		Shards:          cfg.shards,
+		WorkersPerShard: cfg.workers,
+		QueuePerShard:   queue,
+		Concurrency:     cfg.concurrency,
+		Tenants:         cfg.tenants,
+		Seed:            cfg.seed,
+		DurationSec:     duration.Seconds(),
+	}
+	for i := range codes {
+		switch codes[i] {
+		case http.StatusAccepted:
+			res.Accepted++
+		case http.StatusTooManyRequests:
+			res.Rejected++
+		default:
+			return res, fmt.Errorf("job %d → unexpected status %d", i, codes[i])
+		}
+	}
+	res.RejectionRate = float64(res.Rejected) / float64(cfg.jobs)
+	res.ThroughputRPS = float64(cfg.jobs) / duration.Seconds()
+	res.Admission = percentiles(latencies)
+
+	// Every accepted job must still be resident behind the gate.
+	stats := server.Plane().Stats()
+	res.QueuedJobs = stats.Aggregate.JobsByStatus[sched.StatusQueued]
+	res.RunningJobs = stats.Aggregate.JobsByStatus[sched.StatusRunning]
+	res.ResidentJobs = res.QueuedJobs + res.RunningJobs
+	if res.ResidentJobs != res.Accepted {
+		return res, fmt.Errorf("%d jobs resident, want the %d accepted — the gate leaked", res.ResidentJobs, res.Accepted)
+	}
+
+	// Abort, don't drain: the deadline is already expired, so Shutdown
+	// cancels every search and returns without waiting for the wedged
+	// probes; the deferred gate close then lets them observe their dead
+	// contexts and unwind.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now())
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return res, err
+	}
+	return res, nil
+}
+
+// gatedProfiler holds every measurement until the gate closes.
+type gatedProfiler struct {
+	gate  <-chan struct{}
+	inner profiler.Profiler
+}
+
+func (g gatedProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result {
+	<-g.gate
+	return g.inner.Profile(j, d)
+}
+
+// percentiles summarizes admission latencies in milliseconds.
+func percentiles(ds []time.Duration) latencyMS {
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return latencyMS{P50: at(0.50), P95: at(0.95), P99: at(0.99), Max: at(1.0)}
+}

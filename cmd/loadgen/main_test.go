@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestRunSmallStorm is the smoke the CI loadgen job scales up: every
+// submission is admitted or cleanly rejected, accepted jobs are all
+// simultaneously resident behind the gate, and the percentile summary
+// is well-formed.
+func TestRunSmallStorm(t *testing.T) {
+	res, err := run(config{
+		jobs: 500, concurrency: 64, shards: 2, workers: 2, tenants: 32, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted+res.Rejected != res.Jobs {
+		t.Fatalf("accepted %d + rejected %d != %d jobs", res.Accepted, res.Rejected, res.Jobs)
+	}
+	// Auto queue sizing holds the whole storm: nothing is rejected.
+	if res.Rejected != 0 {
+		t.Errorf("auto-sized queues rejected %d jobs", res.Rejected)
+	}
+	if res.ResidentJobs != res.Accepted {
+		t.Errorf("resident %d != accepted %d", res.ResidentJobs, res.Accepted)
+	}
+	if res.RunningJobs != res.Shards*res.WorkersPerShard {
+		t.Errorf("running %d, want every worker wedged (%d)", res.RunningJobs, res.Shards*res.WorkersPerShard)
+	}
+	if res.ThroughputRPS <= 0 || res.DurationSec <= 0 {
+		t.Errorf("degenerate timing: %+v", res)
+	}
+	p := res.Admission
+	if p.P50 < 0 || p.P95 < p.P50 || p.P99 < p.P95 || p.Max < p.P99 {
+		t.Errorf("percentiles out of order: %+v", p)
+	}
+}
+
+// TestRunOverflowCountsRejections: an explicitly tiny queue must turn
+// the overflow into clean 429s, not errors — and the rejection rate
+// must say so.
+func TestRunOverflowCountsRejections(t *testing.T) {
+	res, err := run(config{
+		jobs: 200, concurrency: 16, shards: 2, workers: 1, queue: 10, tenants: 8, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("queue of 10 per shard admitted all 200 jobs")
+	}
+	if res.ResidentJobs != res.Accepted {
+		t.Errorf("resident %d != accepted %d", res.ResidentJobs, res.Accepted)
+	}
+	if want := float64(res.Rejected) / float64(res.Jobs); res.RejectionRate != want {
+		t.Errorf("rejection rate %f, want %f", res.RejectionRate, want)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{jobs: 0, concurrency: 1, shards: 1, tenants: 1}); err == nil {
+		t.Fatal("jobs=0 accepted")
+	}
+}

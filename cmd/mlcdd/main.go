@@ -13,6 +13,14 @@
 // daemon drains in-flight HTTP requests, gives running searches
 // -drain-timeout to finish, then cancels them (journaled jobs are
 // recovered on the next start).
+//
+// With -shards N (N >= 2) the daemon runs the sharded control plane:
+// tenants are routed across N independent scheduler shards by
+// consistent hashing, each journaling to its own segmented directory
+// under -journal-dir and compacted in the background every
+// -compact-every:
+//
+//	mlcdd -addr :9090 -shards 4 -workers 2 -journal-dir /var/lib/mlcdd -compact-every 1m
 package main
 
 import (
@@ -41,7 +49,10 @@ func main() {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		workers      = flag.Int("workers", 2, "concurrent deployment searches")
 		queueSize    = flag.Int("queue", 64, "max queued submissions before 429")
-		journal      = flag.String("journal", "", "crash-safe journal path (empty = none)")
+		journal      = flag.String("journal", "", "crash-safe journal path (empty = none; single scheduler only)")
+		shards       = flag.Int("shards", 1, "scheduler shards; >= 2 enables the sharded control plane")
+		journalDir   = flag.String("journal-dir", "", "segmented journal directory (per shard when sharded; empty = none)")
+		compactEvery = flag.Duration("compact-every", 0, "background journal compaction cadence (0 = on demand only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running searches on shutdown")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		chaosPlan    = flag.String("chaos-plan", "", "fault-injection plan: a builtin name (launch-storm, spot-interrupt, waitready-timeout, brownout) or a JSON plan file")
@@ -75,9 +86,12 @@ func main() {
 		Resilience: mlcdsys.Resilience{CheckpointEvery: *ckptEvery},
 	})
 	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
-		Workers:     *workers,
-		QueueSize:   *queueSize,
-		JournalPath: *journal,
+		Workers:      *workers,
+		QueueSize:    *queueSize,
+		JournalPath:  *journal,
+		Shards:       *shards,
+		JournalDir:   *journalDir,
+		CompactEvery: *compactEvery,
 	})
 	if err != nil {
 		log.Fatalf("mlcdd: %v", err)
@@ -103,9 +117,16 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: server}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("mlcdd: MLaaS deployment service on %s (%d workers)\n", *addr, *workers)
+	if *shards >= 2 {
+		fmt.Printf("mlcdd: MLaaS deployment service on %s (%d shards × %d workers)\n", *addr, *shards, *workers)
+	} else {
+		fmt.Printf("mlcdd: MLaaS deployment service on %s (%d workers)\n", *addr, *workers)
+	}
 	if *journal != "" {
 		fmt.Printf("mlcdd: journaling to %s\n", *journal)
+	}
+	if *journalDir != "" {
+		fmt.Printf("mlcdd: segmented journals under %s\n", *journalDir)
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -126,7 +147,7 @@ func main() {
 	}
 	schedCtx, cancelSched := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelSched()
-	if err := server.Scheduler().Shutdown(schedCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	if err := server.Shutdown(schedCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mlcdd: scheduler shutdown: %v", err)
 	}
 	fmt.Println("mlcdd: bye")

@@ -13,22 +13,33 @@
 //
 // Lifecycle and execution live in the scheduler subsystem
 // (internal/sched): submissions flow through a bounded queue (full →
-// 429) into a worker pool of concurrent searches that share one
-// profiling cache, with an optional crash-safe journal. Status
-// transitions are queued → running → done | failed | cancelled.
+// 429 with a Retry-After hint derived from queue depth) into a worker
+// pool of concurrent searches that share one profiling cache, with an
+// optional crash-safe journal. Status transitions are queued → running
+// → done | failed | cancelled.
+//
+// With ServerConfig.Shards >= 2 the server runs the sharded control
+// plane (internal/shardplane) instead of a single scheduler: tenants are
+// routed across N independent shards by consistent hashing, each shard
+// keeps its own segmented journal, and a merged cache snapshot shares
+// measurements across all of them. The HTTP surface is identical either
+// way.
 package mlcdapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/sched"
+	"mlcd/internal/shardplane"
 	"mlcd/internal/workload"
 )
 
@@ -85,9 +96,12 @@ type submissionJSON struct {
 	Report        *reportJSON `json:"report,omitempty"`
 }
 
-// errorJSON is the error envelope.
+// errorJSON is the error envelope. RetryAfterSec mirrors the
+// Retry-After header on 429 responses: an estimate of when the queue
+// that rejected the submission will have drained one slot.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
 }
 
 // ServerConfig tunes the service around its scheduler.
@@ -99,16 +113,57 @@ type ServerConfig struct {
 	// QueueSize bounds waiting submissions; beyond it POST returns 429
 	// (default 64).
 	QueueSize int
-	// JournalPath enables the crash-safe journal ("" → none).
+	// JournalPath enables the crash-safe journal ("" → none). Only valid
+	// with Shards <= 1; sharded planes journal per shard under JournalDir.
 	JournalPath string
+	// Shards >= 2 runs the sharded control plane instead of a single
+	// scheduler; Workers and QueueSize then apply to EACH shard.
+	Shards int
+	// JournalDir enables the segmented journal: per shard under
+	// JournalDir/shard-N when Shards >= 2, one directory otherwise.
+	JournalDir string
+	// CompactEvery is the segmented journal's background compaction
+	// cadence (0 = on demand only).
+	CompactEvery time.Duration
+	// MergeEvery is the plane's cache snapshot merge cadence
+	// (see shardplane.Config.MergeEvery; Shards >= 2 only).
+	MergeEvery time.Duration
 	// ProfilerMiddleware wraps the measuring profiler inside the shared
 	// cache (instrumentation; see sched.Config.ProfilerMiddleware).
 	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
 }
 
+// control is what the handlers need from whichever backend runs the
+// jobs — the single scheduler or the sharded plane.
+type control interface {
+	Submit(name, tenant string, req mlcdsys.Requirements) (sched.Job, error)
+	Get(id string) (sched.Job, bool)
+	Cancel(id string) (sched.Job, error)
+	List(filter sched.Status) []sched.Job
+	Load(tenant string) (queued, capacity, workers int)
+	statsJSON() any
+	Traces() *obs.Recorder
+	Close()
+	Shutdown(ctx context.Context) error
+}
+
+// schedControl adapts the single scheduler: one queue serves every
+// tenant, so Load ignores the tenant.
+type schedControl struct{ *sched.Scheduler }
+
+func (c schedControl) Load(string) (queued, capacity, workers int) { return c.Scheduler.Load() }
+func (c schedControl) statsJSON() any                              { return c.Scheduler.Stats() }
+
+// planeControl adapts the sharded plane.
+type planeControl struct{ *shardplane.Plane }
+
+func (c planeControl) statsJSON() any { return c.Plane.Stats() }
+
 // Server exposes an MLCD system as an HTTP service.
 type Server struct {
-	sched   *sched.Scheduler
+	ctl     control
+	sched   *sched.Scheduler // nil when sharded
+	plane   *shardplane.Plane
 	metrics *obs.Registry
 	traces  *obs.Recorder
 	mux     *http.ServeMux
@@ -126,21 +181,46 @@ func NewServer(sys *mlcdsys.System, jobs map[string]workload.Job) *Server {
 	return s
 }
 
-// NewServerWithConfig wraps an MLCD system with a configured scheduler,
-// replaying cfg.JournalPath first when set (which is the only way
-// construction can fail).
+// NewServerWithConfig wraps an MLCD system with a configured backend:
+// a single scheduler (default), or the sharded control plane when
+// cfg.Shards >= 2. Journals (cfg.JournalPath or cfg.JournalDir) are
+// replayed before the server accepts requests.
 func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error) {
-	sc, err := sched.New(sys, sched.Config{
-		Workers:            cfg.Workers,
-		QueueSize:          cfg.QueueSize,
-		Jobs:               cfg.Jobs,
-		JournalPath:        cfg.JournalPath,
-		ProfilerMiddleware: cfg.ProfilerMiddleware,
-	})
-	if err != nil {
-		return nil, err
+	s := &Server{metrics: sys.Metrics(), mux: http.NewServeMux()}
+	if cfg.Shards >= 2 {
+		if cfg.JournalPath != "" {
+			return nil, errors.New("mlcdapi: JournalPath is single-scheduler only; use JournalDir with shards")
+		}
+		p, err := shardplane.New(sys, shardplane.Config{
+			Shards:             cfg.Shards,
+			Workers:            cfg.Workers,
+			QueueSize:          cfg.QueueSize,
+			Jobs:               cfg.Jobs,
+			JournalDir:         cfg.JournalDir,
+			CompactEvery:       cfg.CompactEvery,
+			MergeEvery:         cfg.MergeEvery,
+			ProfilerMiddleware: cfg.ProfilerMiddleware,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.plane, s.ctl = p, planeControl{p}
+	} else {
+		sc, err := sched.New(sys, sched.Config{
+			Workers:            cfg.Workers,
+			QueueSize:          cfg.QueueSize,
+			Jobs:               cfg.Jobs,
+			JournalPath:        cfg.JournalPath,
+			JournalDir:         cfg.JournalDir,
+			CompactEvery:       cfg.CompactEvery,
+			ProfilerMiddleware: cfg.ProfilerMiddleware,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sched, s.ctl = sc, schedControl{sc}
 	}
-	s := &Server{sched: sc, metrics: sys.Metrics(), traces: sc.Traces(), mux: http.NewServeMux()}
+	s.traces = s.ctl.Traces()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -152,13 +232,23 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 }
 
 // Scheduler exposes the underlying scheduler (stats, direct control).
+// Nil when the server runs the sharded plane — use Plane then.
 func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
+
+// Plane exposes the sharded control plane. Nil when the server runs a
+// single scheduler — use Scheduler then.
+func (s *Server) Plane() *shardplane.Plane { return s.plane }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the scheduler; queued submissions still run.
-func (s *Server) Close() { s.sched.Close() }
+// Close drains the backend gracefully; queued submissions still run.
+func (s *Server) Close() { s.ctl.Close() }
+
+// Shutdown stops the backend with a deadline: running searches are
+// aborted when ctx expires (journaled submissions are recovered on
+// restart). Works for both the single scheduler and the sharded plane.
+func (s *Server) Shutdown(ctx context.Context) error { return s.ctl.Shutdown(ctx) }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -212,12 +302,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Budget:   req.BudgetUSD,
 		Deadline: time.Duration(req.DeadlineHours * float64(time.Hour)),
 	}
-	job, err := s.sched.Submit(req.Job, req.Tenant, requirements)
+	job, err := s.ctl.Submit(req.Job, req.Tenant, requirements)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, toJSON(job))
 	case errors.Is(err, sched.ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error()})
+		queued, _, workers := s.ctl.Load(req.Tenant)
+		retry := retryAfterSeconds(queued, workers)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error(), RetryAfterSec: retry})
 	case errors.Is(err, sched.ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
 	default:
@@ -226,13 +319,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// retryAfterSeconds estimates when the rejecting queue will have room:
+// one search slot frees per worker per drain cycle, so a full queue of
+// depth q over w workers clears its head in roughly q/w "search times".
+// Search time varies too much to measure here, so the estimate treats
+// it as one second — deliberately optimistic, because the cost of an
+// early retry is one cheap 429, while a pessimistic hint idles clients.
+// Clamped to [1, 120] so the header is always a sane backoff.
+func retryAfterSeconds(queued, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (queued + workers - 1) / workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	filter := Status(r.URL.Query().Get("status"))
 	if filter != "" && !filter.Valid() {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown status %q", filter)})
 		return
 	}
-	jobs := s.sched.List(filter)
+	jobs := s.ctl.List(filter)
 	out := make([]submissionJSON, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, toJSON(j))
@@ -242,7 +356,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.sched.Get(id)
+	job, ok := s.ctl.Get(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorJSON{Error: fmt.Sprintf("unknown submission %q", id)})
 		return
@@ -252,7 +366,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, err := s.sched.Cancel(id)
+	job, err := s.ctl.Cancel(id)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, toJSON(job))
@@ -266,7 +380,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Stats())
+	writeJSON(w, http.StatusOK, s.ctl.statsJSON())
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

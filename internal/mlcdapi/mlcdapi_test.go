@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -424,9 +425,41 @@ func TestQueueFullReturns429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var e errorJSON
+	err = json.NewDecoder(resp.Body).Decode(&e)
 	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit → %d, want 429", resp.StatusCode)
+	}
+	// The rejection must tell the client when to come back: header for
+	// standard backoff machinery, body field for humans reading the error.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 120 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 120]", resp.Header.Get("Retry-After"))
+	}
+	if e.RetryAfterSec != ra {
+		t.Fatalf("body retry_after_sec = %d, header = %d; must agree", e.RetryAfterSec, ra)
+	}
+	if e.Error == "" {
+		t.Fatal("429 body lost its error message")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct{ queued, workers, want int }{
+		{0, 1, 1},      // empty queue still hints a minimal backoff
+		{10, 1, 10},    // one worker drains one per cycle
+		{10, 4, 3},     // ceil(10/4)
+		{10, 0, 10},    // worker count is defensive-clamped to 1
+		{9999, 2, 120}, // deep queues cap at 2 minutes
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.workers); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d) = %d, want %d", c.queued, c.workers, got, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package mlcdapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestShardedServerEndToEnd drives the full HTTP surface against a
+// 2-shard control plane: tenants land on ring-chosen shards, IDs route
+// back through GET/DELETE, /v1/stats serves the plane-wide shape, and
+// /metrics carries the per-shard series.
+func TestShardedServerEndToEnd(t *testing.T) {
+	srv, hts := newService(t, ServerConfig{Shards: 2, Workers: 1, MergeEvery: -1})
+	if srv.Scheduler() != nil || srv.Plane() == nil {
+		t.Fatal("sharded server must expose Plane, not Scheduler")
+	}
+	ring := srv.Plane().Ring()
+
+	// One tenant per shard, discovered through the same ring the server
+	// routes with.
+	tenants := [2]string{}
+	for i := 0; tenants[0] == "" || tenants[1] == ""; i++ {
+		cand := fmt.Sprintf("tenant-%d", i)
+		tenants[ring.Shard(cand)] = cand
+	}
+
+	var ids []string
+	for shard, tenant := range tenants {
+		sub := submit(t, hts.URL, fmt.Sprintf(
+			`{"job":"resnet-cifar10","budget_usd":100,"tenant":%q}`, tenant))
+		if !strings.HasPrefix(sub.ID, fmt.Sprintf("s%d-job-", shard)) {
+			t.Fatalf("tenant %q (shard %d) got ID %s", tenant, shard, sub.ID)
+		}
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		if done := await(t, hts.URL, id); done.Status != StatusDone {
+			t.Fatalf("%s → %s (%s)", id, done.Status, done.Error)
+		}
+	}
+
+	// The plane-wide stats shape: shards, aggregate, per-shard.
+	resp, err := http.Get(hts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Shards    int `json:"shards"`
+		Aggregate struct {
+			JobsByStatus map[string]int `json:"jobs_by_status"`
+		} `json:"aggregate"`
+		PerShard []json.RawMessage `json:"per_shard"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 2 || len(stats.PerShard) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Aggregate.JobsByStatus["done"] != 2 {
+		t.Fatalf("aggregate done = %d, want 2", stats.Aggregate.JobsByStatus["done"])
+	}
+
+	// Per-shard series on /metrics, distinguished by the shard label.
+	mresp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, mresp)
+	for _, want := range []string{
+		`mlcd_shardplane_shards 2`,
+		`shard="0"`,
+		`shard="1"`,
+		`mlcd_shardplane_snapshot_merges_total`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer func() { _ = resp.Body.Close() }()
+	b := new(strings.Builder)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}
+
+// TestShardedConfigValidation: the journal knobs are mutually exclusive
+// across modes and must fail loudly, not journal to the wrong place.
+func TestShardedConfigValidation(t *testing.T) {
+	if _, err := NewServerWithConfig(newSystem(t), ServerConfig{
+		Shards: 2, JournalPath: "x.jnl",
+	}); err == nil {
+		t.Fatal("Shards>=2 with JournalPath must be rejected")
+	}
+}
+
+// TestShardedJournalRecoveryOverHTTP: a sharded server restarted over
+// the same journal tree serves its recovered submissions through GET.
+func TestShardedJournalRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+
+	srvA, htsA := newService(t, ServerConfig{
+		Shards: 2, Workers: 1, MergeEvery: -1, JournalDir: dir,
+	})
+	sub := submit(t, htsA.URL, `{"job":"resnet-cifar10","budget_usd":100,"tenant":"acme"}`)
+	first := await(t, htsA.URL, sub.ID)
+	if first.Status != StatusDone {
+		t.Fatalf("first run → %s (%s)", first.Status, first.Error)
+	}
+	srvA.Close()
+
+	_, htsB := newService(t, ServerConfig{
+		Shards: 2, Workers: 1, MergeEvery: -1, JournalDir: dir,
+	})
+	resp, err := http.Get(htsB.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got submissionJSON
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || got.Status != StatusDone {
+		t.Fatalf("recovered submission → %d %+v", resp.StatusCode, got)
+	}
+	if got.Tenant != "acme" || got.ID != sub.ID {
+		t.Fatalf("recovered identity mangled: %+v", got)
+	}
+}

@@ -348,6 +348,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// Sum totals a family across every label set: per-shard series (label
+// shard="0", shard="1", …) roll up to one fleet-wide figure without the
+// caller knowing the labelling scheme. Counters and gauges sum their
+// values; histograms sum their _sum (total observed value). An unknown
+// name sums to 0 — absence of a metric is "nothing recorded", not an
+// error, matching Prometheus sum() over an empty vector.
+func (r *Registry) Sum(name string) float64 {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		r.mu.Unlock()
+		return 0
+	}
+	series := make([]any, 0, len(f.series))
+	for _, s := range f.series {
+		series = append(series, s)
+	}
+	r.mu.Unlock()
+
+	total := 0.0
+	for _, s := range series {
+		switch m := s.(type) {
+		case *Counter:
+			total += m.Value()
+		case *Gauge:
+			total += m.Value()
+		case *Histogram:
+			total += m.Sum()
+		}
+	}
+	return total
+}
+
 // braced wraps a rendered label set in {} (empty set → nothing).
 func braced(key string) string {
 	if key == "" {

@@ -251,3 +251,31 @@ func TestMarshalTraceStable(t *testing.T) {
 		t.Errorf("empty tenant must be omitted:\n%s", a)
 	}
 }
+
+func TestSumRollsUpLabelledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mlcd_jobs_total", "h", L{Key: "shard", Value: "0"}).Add(3)
+	r.Counter("mlcd_jobs_total", "h", L{Key: "shard", Value: "1"}).Add(4)
+	r.Counter("mlcd_jobs_total", "h").Inc() // unlabelled series joins the roll-up
+	if got := r.Sum("mlcd_jobs_total"); got != 8 {
+		t.Errorf("counter Sum = %v, want 8", got)
+	}
+
+	r.Gauge("mlcd_depth", "h", L{Key: "shard", Value: "0"}).Set(5)
+	r.Gauge("mlcd_depth", "h", L{Key: "shard", Value: "1"}).Set(-2)
+	if got := r.Sum("mlcd_depth"); got != 3 {
+		t.Errorf("gauge Sum = %v, want 3", got)
+	}
+
+	h0 := r.Histogram("mlcd_lat", "h", []float64{1, 10}, L{Key: "shard", Value: "0"})
+	h1 := r.Histogram("mlcd_lat", "h", nil, L{Key: "shard", Value: "1"})
+	h0.Observe(0.5)
+	h1.Observe(2.5)
+	if got := r.Sum("mlcd_lat"); got != 3 {
+		t.Errorf("histogram Sum = %v, want 3 (total observed value)", got)
+	}
+
+	if got := r.Sum("mlcd_never_registered"); got != 0 {
+		t.Errorf("unknown family Sum = %v, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlcd/internal/cloud"
@@ -20,16 +21,48 @@ import (
 //
 // The cache also keeps the savings ledger: profiling dollars and hours
 // that cache hits spared, in total and per tenant.
+//
+// Under the sharded control plane (internal/shardplane) the cache is
+// the *hot tier* of a two-tier structure: each shard owns one, and a
+// merge loop periodically publishes the union of every shard's entries
+// as an immutable CacheSnapshot installed on all shards. A miss in the
+// hot map falls through to the snapshot before measuring, and a
+// snapshot hit is promoted into the hot map — so a tenant rerouted to a
+// different shard by a reshard still warm-starts from measurements its
+// old shard paid for.
 type ProfileCache struct {
 	mu       sync.Mutex
 	entries  map[string]profiler.Result
 	inflight map[string]*flight
+	snap     atomic.Pointer[CacheSnapshot] // shared read-only tier (may be nil)
 
-	hits      int
-	misses    int
-	savedUSD  float64
-	savedTime time.Duration
-	byTenant  map[string]float64
+	hits         int
+	snapshotHits int // subset of hits answered by the shared tier
+	misses       int
+	savedUSD     float64
+	savedTime    time.Duration
+	byTenant     map[string]float64
+}
+
+// CacheSnapshot is an immutable, shareable view of merged cache entries
+// — the read-only tier. It is built once (NewCacheSnapshot) and then
+// only ever read, so shards consult it without locking.
+type CacheSnapshot struct {
+	entries map[string]profiler.Result
+}
+
+// NewCacheSnapshot builds a snapshot from merged entries. The map is
+// owned by the snapshot afterwards; callers must not mutate it.
+func NewCacheSnapshot(entries map[string]profiler.Result) *CacheSnapshot {
+	return &CacheSnapshot{entries: entries}
+}
+
+// Len reports how many measurements the snapshot holds.
+func (s *CacheSnapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
 }
 
 // flight is one in-progress measurement that followers wait on.
@@ -68,6 +101,18 @@ func (c *ProfileCache) Do(j workload.Job, d cloud.Deployment, tenant string, mea
 		c.creditLocked(res, tenant)
 		c.mu.Unlock()
 		return res, true
+	}
+	if snap := c.snap.Load(); snap != nil {
+		if res, ok := snap.entries[key]; ok {
+			// Shared-tier hit: another shard paid for this measurement.
+			// Promote it so later lookups (and the next snapshot merge)
+			// see it locally.
+			c.entries[key] = res
+			c.creditLocked(res, tenant)
+			c.snapshotHits++
+			c.mu.Unlock()
+			return res, true
+		}
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
@@ -114,20 +159,31 @@ func (c *ProfileCache) Prime(j workload.Job, res profiler.Result) {
 	}
 }
 
-// Observations returns every cached measurement of job j as warm-start
+// Observations returns every cached measurement of job j — hot map and
+// shared snapshot merged, hot entries winning — as warm-start
 // observations, in deterministic (type, nodes) order. OOM probes
 // (throughput 0) are included — they teach the searcher its memory
 // bounds for free.
 func (c *ProfileCache) Observations(j workload.Job) []search.Observation {
 	prefix := j.String() + "|"
+	snap := c.snap.Load()
 	c.mu.Lock()
 	var obs []search.Observation
+	seen := make(map[string]bool, len(c.entries))
 	for key, res := range c.entries {
 		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			seen[key] = true
 			obs = append(obs, search.Observation{Deployment: res.Deployment, Throughput: res.Throughput})
 		}
 	}
 	c.mu.Unlock()
+	if snap != nil {
+		for key, res := range snap.entries {
+			if len(key) > len(prefix) && key[:len(prefix)] == prefix && !seen[key] {
+				obs = append(obs, search.Observation{Deployment: res.Deployment, Throughput: res.Throughput})
+			}
+		}
+	}
 	sort.Slice(obs, func(a, b int) bool {
 		if obs[a].Deployment.Type.Name != obs[b].Deployment.Type.Name {
 			return obs[a].Deployment.Type.Name < obs[b].Deployment.Type.Name
@@ -137,10 +193,30 @@ func (c *ProfileCache) Observations(j workload.Job) []search.Observation {
 	return obs
 }
 
+// Export copies the hot map for a snapshot merge. The returned map is
+// the caller's to own.
+func (c *ProfileCache) Export() map[string]profiler.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]profiler.Result, len(c.entries))
+	for k, v := range c.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// SetSnapshot installs the shared read-only tier consulted on hot-map
+// misses. Pass nil to detach. Safe to call while probes are in flight.
+func (c *ProfileCache) SetSnapshot(snap *CacheSnapshot) {
+	c.snap.Store(snap)
+}
+
 // CacheStats is a point-in-time snapshot of the cache's effectiveness.
 type CacheStats struct {
 	Entries           int                `json:"entries"`
+	SnapshotEntries   int                `json:"snapshot_entries,omitempty"`
 	Hits              int                `json:"hits"`
+	SnapshotHits      int                `json:"snapshot_hits,omitempty"`
 	Misses            int                `json:"misses"`
 	HitRate           float64            `json:"hit_rate"`
 	SavedUSD          float64            `json:"saved_profile_usd"`
@@ -150,11 +226,14 @@ type CacheStats struct {
 
 // Stats snapshots the cache counters.
 func (c *ProfileCache) Stats() CacheStats {
+	snap := c.snap.Load()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CacheStats{
 		Entries:           len(c.entries),
+		SnapshotEntries:   snap.Len(),
 		Hits:              c.hits,
+		SnapshotHits:      c.snapshotHits,
 		Misses:            c.misses,
 		SavedUSD:          c.savedUSD,
 		SavedProfileHours: c.savedTime.Hours(),

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"mlcd/internal/search"
@@ -49,6 +51,28 @@ type journalRecord struct {
 	// done
 	Status Status `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
+}
+
+// idSeq extracts the numeric sequence from a job ID ("job-0042" → 42).
+// Sharded schedulers prefix their IDs ("s3-job-0042"), so the sequence
+// is whatever follows the final dash; 0 when the suffix is not numeric.
+func idSeq(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 || i == len(id)-1 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// journalSink is what the scheduler appends to: the single-file Journal
+// or the rotating SegmentedJournal.
+type journalSink interface {
+	append(rec journalRecord) error
+	Close() error
 }
 
 // Journal is an open, append-only scheduler journal.
@@ -207,54 +231,74 @@ func ReplayJournal(path string) (JournalState, error) {
 	defer func() { _ = f.Close() }()
 
 	index := make(map[string]int) // id → position in st.Subs
-	sc := bufio.NewScanner(f)
+	if _, err := scanRecords(f, func(rec journalRecord) {
+		applyRecord(&st, index, rec)
+	}); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// applyRecord folds one decoded record into st; index maps submission
+// IDs to positions in st.Subs so "done" records find their submission.
+func applyRecord(st *JournalState, index map[string]int, rec journalRecord) {
+	switch rec.Type {
+	case "submit":
+		index[rec.ID] = len(st.Subs)
+		st.Subs = append(st.Subs, RecoveredSub{
+			ID:            rec.ID,
+			Job:           rec.Job,
+			Tenant:        rec.Tenant,
+			BudgetUSD:     rec.BudgetUSD,
+			DeadlineHours: rec.DeadlineHours,
+		})
+		if n := idSeq(rec.ID); n > st.MaxID {
+			st.MaxID = n
+		}
+	case "probe":
+		if rec.Observation != nil {
+			st.Probes = append(st.Probes, RecoveredProbe{
+				Job:         rec.Job,
+				Observation: *rec.Observation,
+				DurationSec: rec.DurationSec,
+				CostUSD:     rec.CostUSD,
+			})
+		}
+	case "done":
+		if i, ok := index[rec.ID]; ok {
+			st.Subs[i].Status = rec.Status
+			st.Subs[i].Error = rec.Error
+		}
+	}
+}
+
+// scanRecords decodes JSONL journal records from r, invoking apply per
+// record, and returns how many records it applied. A torn final line —
+// the tail of a crashed append — is tolerated; an undecodable record
+// followed by more data is mid-file corruption and an error.
+func scanRecords(r io.Reader, apply func(journalRecord)) (int, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var torn bool
+	n := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		if torn {
-			return st, fmt.Errorf("sched: journal corrupt: undecodable record followed by %q", string(line))
+			return n, fmt.Errorf("sched: journal corrupt: undecodable record followed by %q", string(line))
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			torn = true // only tolerable if nothing follows
 			continue
 		}
-		switch rec.Type {
-		case "submit":
-			index[rec.ID] = len(st.Subs)
-			st.Subs = append(st.Subs, RecoveredSub{
-				ID:            rec.ID,
-				Job:           rec.Job,
-				Tenant:        rec.Tenant,
-				BudgetUSD:     rec.BudgetUSD,
-				DeadlineHours: rec.DeadlineHours,
-			})
-			var n int
-			if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > st.MaxID {
-				st.MaxID = n
-			}
-		case "probe":
-			if rec.Observation != nil {
-				st.Probes = append(st.Probes, RecoveredProbe{
-					Job:         rec.Job,
-					Observation: *rec.Observation,
-					DurationSec: rec.DurationSec,
-					CostUSD:     rec.CostUSD,
-				})
-			}
-		case "done":
-			if i, ok := index[rec.ID]; ok {
-				st.Subs[i].Status = rec.Status
-				st.Subs[i].Error = rec.Error
-			}
-		}
+		apply(rec)
+		n++
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		return st, fmt.Errorf("sched: replaying journal: %w", err)
+		return n, fmt.Errorf("sched: replaying journal: %w", err)
 	}
-	return st, nil
+	return n, nil
 }

@@ -85,6 +85,26 @@ type Config struct {
 	// file exists it is replayed first: unfinished submissions are
 	// re-enqueued and journaled probes prime the cache.
 	JournalPath string
+	// JournalDir enables the segmented journal instead: rotating segment
+	// files under this directory with snapshot compaction, so recovery
+	// cost stays O(live jobs) as history grows. Mutually exclusive with
+	// JournalPath.
+	JournalDir string
+	// CompactEvery sets the segmented journal's background compaction
+	// cadence (0 = compact only on demand). Only meaningful with
+	// JournalDir.
+	CompactEvery time.Duration
+	// SegmentMaxRecords seals a journal segment after this many appends
+	// (0 → 1024). Only meaningful with JournalDir.
+	SegmentMaxRecords int
+	// IDPrefix prefixes generated job IDs ("" → "job", yielding
+	// "job-0001"). The shard plane gives each shard its own prefix
+	// ("s2-job") so IDs stay unique — and routable — across shards.
+	IDPrefix string
+	// ShardLabel, when non-empty, adds a {shard="..."} label to every
+	// scheduler metric so per-shard series stay distinguishable on one
+	// shared registry.
+	ShardLabel string
 	// Cache is the shared profiling cache (nil → a fresh one). Passing
 	// one in lets several schedulers — or tests — share measurements.
 	Cache *ProfileCache
@@ -133,14 +153,15 @@ type job struct {
 
 // Scheduler runs submissions through a worker pool over one MLCD system.
 type Scheduler struct {
-	sys     *mlcdsys.System
-	menu    map[string]workload.Job
-	cache   *ProfileCache
-	journal *Journal
-	workers int
-	mw      func(profiler.Profiler) profiler.Profiler
-	traces  *obs.Recorder
-	m       schedMetrics
+	sys      *mlcdsys.System
+	menu     map[string]workload.Job
+	cache    *ProfileCache
+	journal  journalSink // nil when journaling is off
+	workers  int
+	idPrefix string
+	mw       func(profiler.Profiler) profiler.Profiler
+	traces   *obs.Recorder
+	m        schedMetrics
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -155,55 +176,80 @@ type Scheduler struct {
 }
 
 // schedMetrics holds the scheduler's metric handles, resolved once
-// against the system's shared registry.
+// against the system's shared registry. When several shards share one
+// registry each resolves its own label set via the shard label, so
+// per-shard series stay distinguishable (and sum to the fleet totals).
 type schedMetrics struct {
-	reg *obs.Registry // for label-parameterized families
+	reg   *obs.Registry // for label-parameterized families
+	shard string        // "" outside the shard plane
 
-	submissions    *obs.Counter
-	queueDepth     *obs.Gauge
-	workers        *obs.Gauge
-	activeWorkers  *obs.Gauge
-	cacheHits      *obs.Counter
-	cacheMisses    *obs.Counter
-	cacheSavedUSD  *obs.Counter
-	journalAppends *obs.Counter
-	journalSeconds *obs.Histogram
+	submissions     *obs.Counter
+	queueDepth      *obs.Gauge
+	workers         *obs.Gauge
+	activeWorkers   *obs.Gauge
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	cacheSavedUSD   *obs.Counter
+	journalAppends  *obs.Counter
+	journalSeconds  *obs.Histogram
+	journalRotates  *obs.Counter
+	journalCompacts *obs.Counter
+	compactSeconds  *obs.Histogram
 }
 
-func registerSchedMetrics(reg *obs.Registry) schedMetrics {
+// shardLabels renders the label set metrics of one shard carry: empty
+// outside the shard plane, {shard="N"} inside it.
+func shardLabels(shard string, extra ...obs.L) []obs.L {
+	if shard == "" {
+		return extra
+	}
+	return append([]obs.L{{Key: "shard", Value: shard}}, extra...)
+}
+
+func registerSchedMetrics(reg *obs.Registry, shard string) schedMetrics {
+	ls := shardLabels(shard)
 	return schedMetrics{
-		reg: reg,
+		reg:   reg,
+		shard: shard,
 		submissions: reg.Counter("mlcd_sched_submissions_total",
-			"Submissions admitted to the queue."),
+			"Submissions admitted to the queue.", ls...),
 		queueDepth: reg.Gauge("mlcd_sched_queue_depth",
-			"Submissions currently waiting in the queue."),
+			"Submissions currently waiting in the queue.", ls...),
 		workers: reg.Gauge("mlcd_sched_workers",
-			"Size of the search worker pool."),
+			"Size of the search worker pool.", ls...),
 		activeWorkers: reg.Gauge("mlcd_sched_active_workers",
-			"Workers currently running a deployment search."),
+			"Workers currently running a deployment search.", ls...),
 		cacheHits: reg.Counter("mlcd_sched_cache_hits_total",
-			"Probes answered from the shared profiling cache."),
+			"Probes answered from the shared profiling cache.", ls...),
 		cacheMisses: reg.Counter("mlcd_sched_cache_misses_total",
-			"Probes that had to be measured for real."),
+			"Probes that had to be measured for real.", ls...),
 		cacheSavedUSD: reg.Counter("mlcd_sched_cache_saved_usd_total",
-			"Profiling dollars spared by cache hits."),
+			"Profiling dollars spared by cache hits.", ls...),
 		journalAppends: reg.Counter("mlcd_sched_journal_appends_total",
-			"Records appended (and fsynced) to the crash journal."),
+			"Records appended (and fsynced) to the crash journal.", ls...),
 		journalSeconds: reg.Histogram("mlcd_sched_journal_append_seconds",
-			"Wall-clock latency of one journal append+fsync.", nil),
+			"Wall-clock latency of one journal append+fsync.", nil, ls...),
+		journalRotates: reg.Counter("mlcd_sched_journal_rotations_total",
+			"Journal segments sealed by rotation.", ls...),
+		journalCompacts: reg.Counter("mlcd_sched_journal_compactions_total",
+			"Journal compactions folding sealed segments into the snapshot.", ls...),
+		compactSeconds: reg.Histogram("mlcd_sched_journal_compact_seconds",
+			"Wall-clock latency of one journal compaction.", nil, ls...),
 	}
 }
 
 // rejection counts one refused submission by reason.
 func (m *schedMetrics) rejection(reason string) {
 	m.reg.Counter("mlcd_sched_rejections_total",
-		"Submissions refused, by reason.", obs.L{Key: "reason", Value: reason}).Inc()
+		"Submissions refused, by reason.",
+		shardLabels(m.shard, obs.L{Key: "reason", Value: reason})...).Inc()
 }
 
 // terminal counts one job reaching a final status.
 func (m *schedMetrics) terminal(st Status) {
 	m.reg.Counter("mlcd_sched_jobs_total",
-		"Jobs reaching a terminal status.", obs.L{Key: "status", Value: string(st)}).Inc()
+		"Jobs reaching a terminal status.",
+		shardLabels(m.shard, obs.L{Key: "status", Value: string(st)})...).Inc()
 }
 
 // DefaultMenu returns the standard submission menu: every predefined
@@ -239,28 +285,58 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 	if cfg.Traces == nil {
 		cfg.Traces = obs.NewRecorder(0)
 	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "job"
+	}
+	if cfg.JournalPath != "" && cfg.JournalDir != "" {
+		return nil, errors.New("sched: JournalPath and JournalDir are mutually exclusive")
+	}
 	s := &Scheduler{
-		sys:     sys,
-		menu:    cfg.Jobs,
-		cache:   cfg.Cache,
-		workers: cfg.Workers,
-		mw:      cfg.ProfilerMiddleware,
-		traces:  cfg.Traces,
-		m:       registerSchedMetrics(sys.Metrics()),
-		jobs:    make(map[string]*job),
+		sys:      sys,
+		menu:     cfg.Jobs,
+		cache:    cfg.Cache,
+		workers:  cfg.Workers,
+		idPrefix: cfg.IDPrefix,
+		mw:       cfg.ProfilerMiddleware,
+		traces:   cfg.Traces,
+		m:        registerSchedMetrics(sys.Metrics(), cfg.ShardLabel),
+		jobs:     make(map[string]*job),
 	}
 	s.m.workers.Set(float64(cfg.Workers))
 
 	var recovered []*job
-	if cfg.JournalPath != "" {
+	switch {
+	case cfg.JournalPath != "":
 		state, err := ReplayJournal(cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
 		recovered = s.absorb(state)
-		if s.journal, err = OpenJournal(cfg.JournalPath); err != nil {
+		jl, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
 			return nil, err
 		}
+		s.journal = jl
+	case cfg.JournalDir != "":
+		state, _, err := ReplaySegmented(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		recovered = s.absorb(state)
+		jl, err := OpenSegmented(SegmentedConfig{
+			Dir:          cfg.JournalDir,
+			MaxRecords:   cfg.SegmentMaxRecords,
+			CompactEvery: cfg.CompactEvery,
+			OnRotate:     s.m.journalRotates.Inc,
+			OnCompact: func(segments int, d time.Duration) {
+				s.m.journalCompacts.Inc()
+				s.m.compactSeconds.Observe(d.Seconds())
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
 	}
 
 	size := cfg.QueueSize
@@ -395,7 +471,7 @@ func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, 
 	}
 	s.nextID++
 	rec := &job{
-		id:       fmt.Sprintf("job-%04d", s.nextID),
+		id:       fmt.Sprintf("%s-%04d", s.idPrefix, s.nextID),
 		name:     name,
 		tenant:   tenant,
 		workload: w,
@@ -507,6 +583,25 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
 	return st
+}
+
+// Load reports the queue's occupancy and capacity plus the worker-pool
+// size — what the API layer needs to derive a Retry-After hint for a
+// rejected submission.
+func (s *Scheduler) Load() (queued, capacity, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), cap(s.queue), s.workers
+}
+
+// CompactJournal folds the segmented journal's sealed segments into its
+// snapshot immediately. A no-op when the scheduler journals to a single
+// file or not at all.
+func (s *Scheduler) CompactJournal() error {
+	if sj, ok := s.journal.(*SegmentedJournal); ok {
+		return sj.Compact()
+	}
+	return nil
 }
 
 // Close stops accepting submissions and blocks until every queued and

@@ -1,0 +1,479 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The segmented journal replaces the single ever-growing JSONL file with
+// a directory of rotating segment files plus a compacted snapshot, so
+// that recovery cost is O(live jobs + distinct probes), not O(history):
+//
+//	dir/
+//	  snapshot.json    compacted state covering segments ≤ Through
+//	  seg-00000007.jnl sealed segment (immutable once rotated away from)
+//	  seg-00000008.jnl active segment (append + fsync per record)
+//
+// Appends go to the active segment exactly as in the single-file
+// journal. When the active segment reaches MaxRecords it is sealed and
+// a new one opened. Compaction folds the current snapshot plus every
+// sealed segment into a fresh snapshot — keeping only live (non-
+// terminal) submissions, one probe per (job, type, nodes), and the
+// maximum job-ID sequence — then deletes the sealed segments it
+// absorbed. The snapshot is written to a temp file, fsynced, and
+// renamed into place, so a crash at any point leaves either the old or
+// the new snapshot, never a torn one; segments are deleted only after
+// the rename, and replay skips any leftover segment the snapshot
+// already covers (Through), so the crash window between rename and
+// delete is idempotent.
+//
+// Recovery replays snapshot.json, then every segment with a sequence
+// number greater than the snapshot's Through, in order. The last
+// segment may end in a torn line (crash mid-append); any segment may
+// have been torn-tail-repaired by a previous open (the PR 4 repair
+// path), and compaction reads such segments cleanly.
+
+// snapshotFile is the on-disk compacted state.
+type snapshotFile struct {
+	Version int              `json:"version"`
+	Through int              `json:"through"` // highest segment seq folded in
+	MaxID   int              `json:"max_id"`
+	Subs    []RecoveredSub   `json:"subs,omitempty"` // live (non-terminal) only
+	Probes  []RecoveredProbe `json:"probes,omitempty"`
+}
+
+const (
+	snapshotName      = "snapshot.json"
+	segmentPattern    = "seg-%08d.jnl"
+	defaultMaxRecords = 1024
+)
+
+// SegmentedConfig assembles a SegmentedJournal.
+type SegmentedConfig struct {
+	// Dir is the journal directory (created if missing).
+	Dir string
+	// MaxRecords seals the active segment after this many appends
+	// (default 1024).
+	MaxRecords int
+	// CompactEvery starts a background loop compacting sealed segments
+	// on this cadence (0 = compact only on rotation thresholds or when
+	// Compact is called explicitly).
+	CompactEvery time.Duration
+	// OnCompact, when non-nil, is invoked after each successful
+	// compaction with the number of segments absorbed and the elapsed
+	// wall time. Used to wire metrics without importing obs here.
+	OnCompact func(segments int, d time.Duration)
+	// OnRotate, when non-nil, is invoked after each segment rotation.
+	OnRotate func()
+}
+
+// SegmentedJournal is an open segmented scheduler journal.
+type SegmentedJournal struct {
+	cfg SegmentedConfig
+
+	mu     sync.Mutex
+	seq    int // active segment sequence number
+	f      *os.File
+	w      *bufio.Writer
+	n      int // records appended to the active segment
+	closed bool
+
+	stop chan struct{} // closes the background compaction loop
+	done chan struct{} // loop exited
+}
+
+// segPath renders the path of segment seq.
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf(segmentPattern, seq))
+}
+
+// listSegments returns the segment sequence numbers present in dir, in
+// ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), segmentPattern, &n); err == nil {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// readSnapshot loads dir's snapshot; a missing file is an empty one.
+func readSnapshot(dir string) (snapshotFile, error) {
+	var snap snapshotFile
+	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return snap, nil
+	}
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return snap, fmt.Errorf("sched: parsing journal snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// ReplayStats reports what one segmented recovery actually read — the
+// quantity the snapshot+tail design keeps flat as dead history grows.
+type ReplayStats struct {
+	SnapshotSubs   int // live submissions restored from the snapshot
+	SnapshotProbes int // probes restored from the snapshot
+	TailRecords    int // records replayed from post-snapshot segments
+	TailSegments   int // segments replayed
+}
+
+// ReplaySegmented reads the segmented journal in dir: the snapshot
+// first, then every segment the snapshot does not cover, in order. A
+// missing directory is an empty journal.
+func ReplaySegmented(dir string) (JournalState, ReplayStats, error) {
+	var st JournalState
+	var rs ReplayStats
+	snap, err := readSnapshot(dir)
+	if err != nil {
+		return st, rs, err
+	}
+	index := make(map[string]int)
+	for _, sub := range snap.Subs {
+		index[sub.ID] = len(st.Subs)
+		st.Subs = append(st.Subs, sub)
+	}
+	st.Probes = append(st.Probes, snap.Probes...)
+	st.MaxID = snap.MaxID
+	rs.SnapshotSubs = len(snap.Subs)
+	rs.SnapshotProbes = len(snap.Probes)
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return st, rs, err
+	}
+	for _, seq := range seqs {
+		if seq <= snap.Through {
+			continue // compacted but not yet deleted (crash window)
+		}
+		f, err := os.Open(segPath(dir, seq))
+		if err != nil {
+			return st, rs, err
+		}
+		n, err := scanRecords(f, func(rec journalRecord) {
+			applyRecord(&st, index, rec)
+		})
+		_ = f.Close()
+		if err != nil {
+			return st, rs, fmt.Errorf("sched: segment %d: %w", seq, err)
+		}
+		rs.TailRecords += n
+		rs.TailSegments++
+	}
+	return st, rs, nil
+}
+
+// OpenSegmented opens (creating if needed) the segmented journal in
+// cfg.Dir for appending, repairing the active segment's torn tail
+// first, and starts the background compaction loop when CompactEvery is
+// set. Callers replay with ReplaySegmented before opening, exactly as
+// with the single-file journal.
+func OpenSegmented(cfg SegmentedConfig) (*SegmentedJournal, error) {
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = defaultMaxRecords
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: creating journal dir: %w", err)
+	}
+	seqs, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := 1
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1]
+	}
+	path := segPath(cfg.Dir, seq)
+	// Only the last segment can be torn (it was the active one when the
+	// crash hit); sealed segments were rotated away from after a flush.
+	if err := repairTornTail(path); err != nil {
+		return nil, fmt.Errorf("sched: repairing segment tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sched: opening segment: %w", err)
+	}
+	n, err := countRecords(path)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	j := &SegmentedJournal{
+		cfg: cfg,
+		seq: seq,
+		f:   f,
+		w:   bufio.NewWriter(f),
+		n:   n,
+	}
+	if cfg.CompactEvery > 0 {
+		j.stop = make(chan struct{})
+		j.done = make(chan struct{})
+		go j.compactLoop()
+	}
+	return j, nil
+}
+
+// countRecords counts newline-terminated records in a segment so a
+// reopened active segment rotates at the same threshold as a fresh one.
+func countRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// append writes one record to the active segment, fsyncs it, and
+// rotates when the segment is full. Implements journalSink.
+func (j *SegmentedJournal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("sched: journal is closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sched: encoding journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		return fmt.Errorf("sched: appending journal record: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("sched: flushing journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sched: syncing journal: %w", err)
+	}
+	j.n++
+	if j.n >= j.cfg.MaxRecords {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next. Callers
+// hold j.mu.
+func (j *SegmentedJournal) rotateLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.seq++
+	f, err := os.OpenFile(segPath(j.cfg.Dir, j.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sched: rotating to segment %d: %w", j.seq, err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.n = 0
+	if j.cfg.OnRotate != nil {
+		j.cfg.OnRotate()
+	}
+	return nil
+}
+
+// Compact folds the snapshot and every sealed segment into a new
+// snapshot and deletes the absorbed segments. When the active segment
+// holds records and no sealed segment exists yet, it is rotated first
+// so a slow-trickle journal still converges to snapshot + empty tail.
+// Safe to call concurrently with appends: sealed segments are immutable
+// and only the rotation itself takes the journal lock.
+func (j *SegmentedJournal) Compact() error {
+	start := time.Now()
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("sched: journal is closed")
+	}
+	if j.n > 0 {
+		if err := j.rotateLocked(); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+	}
+	through := j.seq - 1 // everything before the (fresh) active segment
+	j.mu.Unlock()
+
+	snap, err := readSnapshot(j.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	seqs, err := listSegments(j.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var sealed []int
+	for _, seq := range seqs {
+		if seq > snap.Through && seq <= through {
+			sealed = append(sealed, seq)
+		}
+	}
+	if len(sealed) == 0 && snap.Through >= through {
+		return nil // nothing new to fold in
+	}
+
+	// Rebuild the full state the snapshot + sealed segments prove.
+	var st JournalState
+	index := make(map[string]int)
+	for _, sub := range snap.Subs {
+		index[sub.ID] = len(st.Subs)
+		st.Subs = append(st.Subs, sub)
+	}
+	st.Probes = append(st.Probes, snap.Probes...)
+	st.MaxID = snap.MaxID
+	for _, seq := range sealed {
+		f, err := os.Open(segPath(j.cfg.Dir, seq))
+		if err != nil {
+			return err
+		}
+		// A sealed segment can still end in a torn line when the previous
+		// process crashed mid-append and a later open repaired — or never
+		// saw — that tail; scanRecords tolerates exactly that shape.
+		_, err = scanRecords(f, func(rec journalRecord) {
+			applyRecord(&st, index, rec)
+		})
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("sched: compacting segment %d: %w", seq, err)
+		}
+	}
+
+	next := snapshotFile{Version: 1, Through: through, MaxID: st.MaxID}
+	for _, sub := range st.Subs {
+		// Status "" means the journal never proved a terminal state: the
+		// job is still owed work and must survive compaction. Terminal
+		// jobs are the dead history compaction exists to shed.
+		if sub.Status == "" {
+			next.Subs = append(next.Subs, sub)
+		}
+	}
+	// One probe per (job, type, nodes): the cache keeps the first
+	// measurement it sees (Prime never overwrites), so keep the first
+	// here too — replay order is then irrelevant.
+	seen := make(map[string]bool)
+	for _, p := range st.Probes {
+		key := fmt.Sprintf("%s|%s|%d", p.Job, p.Observation.Type, p.Observation.Nodes)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		next.Probes = append(next.Probes, p)
+	}
+
+	if err := writeSnapshot(j.cfg.Dir, next); err != nil {
+		return err
+	}
+	for _, seq := range sealed {
+		_ = os.Remove(segPath(j.cfg.Dir, seq))
+	}
+	if j.cfg.OnCompact != nil {
+		j.cfg.OnCompact(len(sealed), time.Since(start))
+	}
+	return nil
+}
+
+// writeSnapshot atomically replaces dir's snapshot: write temp, fsync,
+// rename.
+func writeSnapshot(dir string, snap snapshotFile) error {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("sched: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, snapshotName))
+}
+
+// compactLoop compacts on the configured cadence until Close.
+func (j *SegmentedJournal) compactLoop() {
+	defer close(j.done)
+	t := time.NewTicker(j.cfg.CompactEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			_ = j.Compact() // a failed compaction never loses data; retry next tick
+		}
+	}
+}
+
+// Close stops the compaction loop, flushes, and closes the active
+// segment. Idempotent.
+func (j *SegmentedJournal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	stop, done := j.stop, j.done
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}

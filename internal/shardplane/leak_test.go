@@ -1,0 +1,104 @@
+package shardplane
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+// goroutineCount reports the current goroutine count after giving the
+// runtime a moment to retire goroutines that have already returned.
+func goroutineCount() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// awaitGoroutines polls until the goroutine count drops back to at most
+// want, failing with a full stack dump if it never does: the dump names
+// the leaked goroutine outright.
+func awaitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if goroutineCount() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines never returned to %d (now %d); stacks:\n%s",
+		want, goroutineCount(), buf[:n])
+}
+
+// TestPlaneCloseNoGoroutineLeak: a graceful drain of a multi-shard
+// plane — shard workers on every shard, plus the snapshot-merge loop —
+// must leave no goroutines behind. The merge cadence is deliberately
+// tight so the loop is demonstrably running when Close lands.
+func TestPlaneCloseNoGoroutineLeak(t *testing.T) {
+	baseline := goroutineCount()
+	p, err := New(newTestSystem(t), Config{Shards: 3, Workers: 2, MergeEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := tenantOnShard(t, p.Ring(), 0)
+	if _, err := p.Submit("resnet-cifar10", t0, mlcdsys.Requirements{Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent: a double close must not panic or hang
+	awaitGoroutines(t, baseline)
+}
+
+// TestPlaneShutdownNoGoroutineLeak wedges a probe on one shard past the
+// drain deadline, forcing Shutdown down its abort path, and verifies the
+// error surfaces AND that every plane goroutine — all shards' workers
+// and the merge loop — exits once the probe un-wedges.
+func TestPlaneShutdownNoGoroutineLeak(t *testing.T) {
+	baseline := goroutineCount()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	p, err := New(newTestSystem(t), Config{
+		Shards: 2, Workers: 1, MergeEvery: time.Millisecond,
+		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
+			return profilerFunc(func(j workload.Job, d cloud.Deployment) profiler.Result {
+				started <- struct{}{}
+				<-gate
+				return inner.Profile(j, d)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := tenantOnShard(t, p.Ring(), 0)
+	if _, err := p.Submit("resnet-cifar10", t0, mlcdsys.Requirements{Budget: 100}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // shard 0's worker is now wedged mid-probe
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+
+	close(gate)
+	for {
+		select {
+		case <-started: // later probes of the same drain, if any
+			continue
+		default:
+		}
+		break
+	}
+	awaitGoroutines(t, baseline)
+}

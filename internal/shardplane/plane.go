@@ -1,0 +1,352 @@
+package shardplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlcd/internal/mlcdsys"
+	"mlcd/internal/obs"
+	"mlcd/internal/profiler"
+	"mlcd/internal/sched"
+	"mlcd/internal/workload"
+)
+
+// Config assembles a Plane.
+type Config struct {
+	// Shards is the number of independent scheduler shards (default 2).
+	Shards int
+	// Replicas is the ring's virtual-node count per shard
+	// (0 → DefaultReplicas).
+	Replicas int
+	// Workers is the search worker-pool size of EACH shard (default 1).
+	Workers int
+	// QueueSize bounds EACH shard's submission queue (default 64).
+	QueueSize int
+	// Jobs is the submission menu shared by every shard (nil → every
+	// predefined workload).
+	Jobs map[string]workload.Job
+	// JournalDir enables per-shard segmented journals under
+	// JournalDir/shard-N ("" → no journaling). A restarted plane — even
+	// one restarted with a different shard count — replays each shard
+	// directory it finds.
+	JournalDir string
+	// CompactEvery is each shard journal's background compaction cadence
+	// (0 = on demand only).
+	CompactEvery time.Duration
+	// SegmentMaxRecords seals a journal segment after this many appends
+	// (0 → the sched default).
+	SegmentMaxRecords int
+	// MergeEvery is the cache snapshot merge cadence (0 → 1s; < 0
+	// disables the loop — tests then drive MergeNow explicitly).
+	MergeEvery time.Duration
+	// ProfilerMiddleware wraps each shard's measuring profiler inside its
+	// cache (instrumentation; see sched.Config.ProfilerMiddleware).
+	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
+	// Traces is the plane-wide timeline recorder shared by all shards
+	// (nil → a fresh one). Job IDs are globally unique, so one recorder
+	// serves every shard.
+	Traces *obs.Recorder
+}
+
+// Plane routes tenants across N scheduler shards via a consistent-hash
+// ring. Each shard is a full sched.Scheduler — bounded queue, worker
+// pool, segmented journal, hot profiling cache — and the plane adds the
+// pieces that make them one service: deterministic routing, ID-based
+// lookup, aggregate stats, and the shared cache snapshot tier.
+type Plane struct {
+	ring   *Ring
+	shards []*sched.Scheduler
+	caches []*sched.ProfileCache
+	traces *obs.Recorder
+
+	merges      *obs.Counter
+	snapEntries *obs.Gauge
+
+	stop      chan struct{} // closes the merge loop
+	done      chan struct{} // merge loop exited
+	closeOnce sync.Once
+}
+
+// New builds the plane over one MLCD system: the ring, then each shard
+// scheduler (replaying its journal directory when configured), then the
+// snapshot merge loop. Shard i journals under JournalDir/shard-i and
+// mints IDs "si-job-NNNN", so every ID is routable back to its shard.
+func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Traces == nil {
+		cfg.Traces = obs.NewRecorder(0)
+	}
+	if cfg.Jobs == nil {
+		cfg.Jobs = sched.DefaultMenu()
+	}
+	reg := sys.Metrics()
+	p := &Plane{
+		ring:   NewRing(cfg.Shards, cfg.Replicas),
+		traces: cfg.Traces,
+		merges: reg.Counter("mlcd_shardplane_snapshot_merges_total",
+			"Cache snapshot merges published to every shard."),
+		snapEntries: reg.Gauge("mlcd_shardplane_snapshot_entries",
+			"Measurements in the current shared cache snapshot."),
+	}
+	reg.Gauge("mlcd_shardplane_shards", "Scheduler shards in the control plane.").
+		Set(float64(cfg.Shards))
+	for i := 0; i < cfg.Shards; i++ {
+		cache := sched.NewProfileCache()
+		sc := sched.Config{
+			Workers:            cfg.Workers,
+			QueueSize:          cfg.QueueSize,
+			Jobs:               cfg.Jobs,
+			Cache:              cache,
+			Traces:             cfg.Traces,
+			ProfilerMiddleware: cfg.ProfilerMiddleware,
+			IDPrefix:           fmt.Sprintf("s%d-job", i),
+			ShardLabel:         strconv.Itoa(i),
+			CompactEvery:       cfg.CompactEvery,
+			SegmentMaxRecords:  cfg.SegmentMaxRecords,
+		}
+		if cfg.JournalDir != "" {
+			sc.JournalDir = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d", i))
+		}
+		shard, err := sched.New(sys, sc)
+		if err != nil {
+			for _, prev := range p.shards {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shardplane: building shard %d: %w", i, err)
+		}
+		p.shards = append(p.shards, shard)
+		p.caches = append(p.caches, cache)
+	}
+	// Journals replayed: publish what the shards recovered before any
+	// submission, so a tenant remapped by the restart (reshard) finds
+	// its old shard's measurements in the shared tier immediately.
+	p.MergeNow()
+
+	every := cfg.MergeEvery
+	if every == 0 {
+		every = time.Second
+	}
+	if every > 0 {
+		p.stop = make(chan struct{})
+		p.done = make(chan struct{})
+		go p.mergeLoop(every)
+	}
+	return p, nil
+}
+
+// Ring exposes the tenant→shard mapping.
+func (p *Plane) Ring() *Ring { return p.ring }
+
+// Shards returns the shard count.
+func (p *Plane) Shards() int { return len(p.shards) }
+
+// Shard returns shard i's scheduler (stats, tests, direct control).
+func (p *Plane) Shard(i int) *sched.Scheduler { return p.shards[i] }
+
+// Traces returns the plane-wide timeline recorder.
+func (p *Plane) Traces() *obs.Recorder { return p.traces }
+
+// ShardFor reports which shard owns a tenant.
+func (p *Plane) ShardFor(tenant string) int { return p.ring.Shard(tenant) }
+
+// shardForID routes a job ID ("s3-job-0042") back to its shard.
+func (p *Plane) shardForID(id string) (int, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil || n < 0 || n >= len(p.shards) {
+		return 0, false
+	}
+	return n, true
+}
+
+// Submit routes one submission to its tenant's shard.
+func (p *Plane) Submit(name, tenant string, req mlcdsys.Requirements) (sched.Job, error) {
+	return p.shards[p.ring.Shard(tenant)].Submit(name, tenant, req)
+}
+
+// Get returns a snapshot of one submission, routed by ID.
+func (p *Plane) Get(id string) (sched.Job, bool) {
+	i, ok := p.shardForID(id)
+	if !ok {
+		return sched.Job{}, false
+	}
+	return p.shards[i].Get(id)
+}
+
+// Cancel aborts one submission, routed by ID.
+func (p *Plane) Cancel(id string) (sched.Job, error) {
+	i, ok := p.shardForID(id)
+	if !ok {
+		return sched.Job{}, sched.ErrNotFound
+	}
+	return p.shards[i].Cancel(id)
+}
+
+// List returns every shard's submissions, shard-major: shard 0's jobs
+// in submission order, then shard 1's, and so on. Within a shard the
+// order is the shard's own submission order; there is no global clock
+// across shards to interleave by.
+func (p *Plane) List(filter sched.Status) []sched.Job {
+	var out []sched.Job
+	for _, s := range p.shards {
+		out = append(out, s.List(filter)...)
+	}
+	return out
+}
+
+// Load reports the queue occupancy, capacity, and worker count of the
+// shard that owns tenant — the inputs to a Retry-After hint.
+func (p *Plane) Load(tenant string) (queued, capacity, workers int) {
+	return p.shards[p.ring.Shard(tenant)].Load()
+}
+
+// Stats is the plane-wide load picture: per-shard scheduler stats plus
+// their aggregate. Cache entry counts may overlap across shards (the
+// same measurement promoted into several hot maps), so the aggregate
+// counts reuse, not distinct measurements — the snapshot entry count is
+// the deduplicated figure.
+type Stats struct {
+	Shards          int           `json:"shards"`
+	SnapshotEntries int           `json:"snapshot_entries"`
+	Aggregate       sched.Stats   `json:"aggregate"`
+	PerShard        []sched.Stats `json:"per_shard"`
+}
+
+// Stats snapshots every shard.
+func (p *Plane) Stats() Stats {
+	st := Stats{Shards: len(p.shards)}
+	agg := sched.Stats{JobsByStatus: make(map[sched.Status]int)}
+	for _, s := range p.shards {
+		ss := s.Stats()
+		st.PerShard = append(st.PerShard, ss)
+		agg.Workers += ss.Workers
+		agg.ActiveWorkers += ss.ActiveWorkers
+		agg.QueueDepth += ss.QueueDepth
+		for k, v := range ss.JobsByStatus {
+			agg.JobsByStatus[k] += v
+		}
+		agg.Cache.Entries += ss.Cache.Entries
+		agg.Cache.Hits += ss.Cache.Hits
+		agg.Cache.SnapshotHits += ss.Cache.SnapshotHits
+		agg.Cache.Misses += ss.Cache.Misses
+		agg.Cache.SavedUSD += ss.Cache.SavedUSD
+		agg.Cache.SavedProfileHours += ss.Cache.SavedProfileHours
+	}
+	if total := agg.Cache.Hits + agg.Cache.Misses; total > 0 {
+		agg.Cache.HitRate = float64(agg.Cache.Hits) / float64(total)
+	}
+	if len(st.PerShard) > 0 {
+		// Every shard holds the same shared snapshot; shard 0 speaks for all.
+		st.SnapshotEntries = st.PerShard[0].Cache.SnapshotEntries
+	}
+	agg.Cache.SnapshotEntries = st.SnapshotEntries
+	st.Aggregate = agg
+	return st
+}
+
+// MergeNow builds the union of every shard's hot cache and installs it
+// as the shared read-only tier on all shards. Shards are merged in
+// index order; identical keys hold identical measurements (the journal
+// and singleflight guarantee one measurement per key), so order only
+// matters for determinism, not correctness.
+func (p *Plane) MergeNow() {
+	merged := make(map[string]profiler.Result)
+	for _, c := range p.caches {
+		for k, v := range c.Export() {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	snap := sched.NewCacheSnapshot(merged)
+	for _, c := range p.caches {
+		c.SetSnapshot(snap)
+	}
+	p.merges.Inc()
+	p.snapEntries.Set(float64(snap.Len()))
+}
+
+// mergeLoop republishes the shared snapshot on a fixed cadence until
+// Close or Shutdown.
+func (p *Plane) mergeLoop(every time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.MergeNow()
+		}
+	}
+}
+
+// stopMerge halts the merge loop exactly once.
+func (p *Plane) stopMerge() {
+	p.closeOnce.Do(func() {
+		if p.stop != nil {
+			close(p.stop)
+			<-p.done
+		}
+	})
+}
+
+// CompactJournals compacts every shard's segmented journal immediately,
+// returning the first error.
+func (p *Plane) CompactJournals() error {
+	for _, s := range p.shards {
+		if err := s.CompactJournal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close drains every shard gracefully (queued submissions still run),
+// in parallel, then stops the merge loop.
+func (p *Plane) Close() {
+	var wg sync.WaitGroup
+	for _, s := range p.shards {
+		wg.Add(1)
+		go func(s *sched.Scheduler) {
+			defer wg.Done()
+			s.Close()
+		}(s)
+	}
+	wg.Wait()
+	p.stopMerge()
+}
+
+// Shutdown stops every shard with the shared deadline, in parallel,
+// then stops the merge loop. Returns ctx.Err() if any shard had to
+// abort running searches (they keep their journal claim and are
+// recovered on restart).
+func (p *Plane) Shutdown(ctx context.Context) error {
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i, s := range p.shards {
+		wg.Add(1)
+		go func(i int, s *sched.Scheduler) {
+			defer wg.Done()
+			errs[i] = s.Shutdown(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	p.stopMerge()
+	return errors.Join(errs...)
+}
