@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update bench conformance loadgen ci clean
+.PHONY: all vet build test race cover cover-update bench conformance multifidelity loadgen ci clean
 
 all: ci
 
@@ -35,6 +35,13 @@ cover-update:
 # same case partitioning the sharded control plane uses for tenants.
 conformance:
 	$(GO) run -race ./cmd/conformance -cases 200 -seed 7 -shards 2
+
+# multifidelity runs the paired regret-vs-profiling-dollars suite: the
+# same 40 generated cases searched with full probes only and with the
+# 0.25,0.5 sub-sampling ladder, both arms oracle-scored. The report
+# lands in BENCH_PR7.json; the ladder arm must not spend more.
+multifidelity:
+	$(GO) run ./cmd/conformance -regret-cases 40 -seed 1 -fidelity 0.25,0.5 -regret-out BENCH_PR7.json
 
 # loadgen is the control-plane scale smoke: a submission storm against
 # the sharded plane, with admission latency percentiles, throughput,

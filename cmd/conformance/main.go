@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"mlcd/internal/conformance"
@@ -35,12 +37,15 @@ import (
 
 // config carries the soak parameters main parses from flags.
 type config struct {
-	cases   int
-	seed    int64
-	shards  int
-	shrink  bool
-	out     string
-	verbose bool
+	cases       int
+	seed        int64
+	shards      int
+	shrink      bool
+	out         string
+	verbose     bool
+	fidelity    string
+	regretOut   string
+	regretCases int
 }
 
 func main() {
@@ -51,10 +56,70 @@ func main() {
 	flag.BoolVar(&cfg.shrink, "shrink", true, "shrink failing cases to minimal reproducers")
 	flag.StringVar(&cfg.out, "out", "conformance-failures", "directory for reproducer JSON files")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every case, not just failures")
+	flag.StringVar(&cfg.fidelity, "fidelity", "", "comma-separated sub-sampling ladder forced onto every soak case, e.g. 0.25,0.5 (empty = the generator's own rotation)")
+	flag.StringVar(&cfg.regretOut, "regret-out", "", "run the paired regret-vs-profiling-cost suite instead of the soak and write its JSON report here")
+	flag.IntVar(&cfg.regretCases, "regret-cases", 40, "case pairs for the regret suite (-regret-out mode)")
 	flag.Parse()
+	if cfg.regretOut != "" {
+		if err := regretStudy(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if soak(cfg, os.Stdout, os.Stderr) > 0 {
 		os.Exit(1)
 	}
+}
+
+// parseLadder turns "0.25,0.5" into a fidelity ladder.
+func parseLadder(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: bad fidelity %q: %w", part, err)
+		}
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("conformance: fidelity %v outside (0,1)", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// regretStudy runs the paired regret-vs-profiling-dollars suite and
+// writes the BENCH-shaped JSON report.
+func regretStudy(cfg config, stdout io.Writer) error {
+	ladder, err := parseLadder(cfg.fidelity)
+	if err != nil {
+		return err
+	}
+	if len(ladder) == 0 {
+		ladder = []float64{0.25, 0.5}
+	}
+	rep, err := conformance.RegretSuite(cfg.seed, cfg.regretCases, ladder)
+	if err != nil {
+		return err
+	}
+	if err := conformance.WriteRegretReport(cfg.regretOut, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "regret suite: %d pairs, ladder %v\n", cfg.regretCases, ladder)
+	fmt.Fprintf(stdout, "  full:  mean regret %.4f, within-5%%-of-oracle %d/%d, profiling $%.2f over %d probes\n",
+		rep.Full.MeanRegret, rep.Full.Within5Pct, rep.Full.Cases, rep.Full.ProfileUSD, rep.Full.Probes)
+	fmt.Fprintf(stdout, "  multi: mean regret %.4f, within-5%%-of-oracle %d/%d, profiling $%.2f over %d probes (%d sub-sampled)\n",
+		rep.Multi.MeanRegret, rep.Multi.Within5Pct, rep.Multi.Cases, rep.Multi.ProfileUSD, rep.Multi.Probes, rep.Multi.LowFiProbes)
+	fmt.Fprintf(stdout, "  savings: %.1f%% of profiling dollars, %.1f%% of profiling hours -> %s\n",
+		rep.SavingsUSDPct, rep.SavingsHoursPct, cfg.regretOut)
+	if rep.Full.Violations+rep.Multi.Violations > 0 {
+		return fmt.Errorf("conformance: regret suite found %d invariant violations",
+			rep.Full.Violations+rep.Multi.Violations)
+	}
+	return nil
 }
 
 // tally accumulates one soak partition's outcome.
@@ -90,10 +155,20 @@ func soak(cfg config, stdout, stderr io.Writer) int {
 	// Case generation consumes the rng sequentially, so the full set is
 	// built up front — the same set regardless of shard count.
 	rng := rngtape.New(cfg.seed)
+	ladder, err := parseLadder(cfg.fidelity)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	cases := make([]conformance.Case, cfg.cases)
 	for i := range cases {
 		cases[i] = conformance.GenerateCase(rng, i)
 		cases[i].Name = fmt.Sprintf("case-%04d", i)
+		// An explicit -fidelity ladder overrides the generator's own
+		// rotation on every case, so a soak can stress one ladder hard.
+		if len(ladder) > 0 {
+			cases[i].Fidelities = ladder
+		}
 	}
 
 	total := newTally()

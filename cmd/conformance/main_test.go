@@ -58,6 +58,54 @@ func TestSoakShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSoakForcedLadder: -fidelity overrides the generator's rotation,
+// so every case in the soak arms the given ladder and the run stays
+// clean under the fidelity invariants.
+func TestSoakForcedLadder(t *testing.T) {
+	var stdout, stderr strings.Builder
+	fails := soak(config{cases: 8, seed: 2, shrink: true, fidelity: "0.25,0.5",
+		out: filepath.Join(t.TempDir(), "failures")}, &stdout, &stderr)
+	if fails != 0 {
+		t.Fatalf("forced-ladder soak reported %d failures:\n%s", fails, stderr.String())
+	}
+}
+
+// TestSoakRejectsBadLadder: a malformed -fidelity is a startup error,
+// not a silent classic soak.
+func TestSoakRejectsBadLadder(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if fails := soak(config{cases: 1, seed: 1, fidelity: "1.5",
+		out: filepath.Join(t.TempDir(), "f")}, &stdout, &stderr); fails == 0 {
+		t.Fatal("ladder 1.5 accepted")
+	}
+	if !strings.Contains(stderr.String(), "outside (0,1)") {
+		t.Errorf("missing ladder error, got: %q", stderr.String())
+	}
+}
+
+// TestRegretStudyWritesReport drives the -regret-out mode end to end on
+// a small pairing and checks the report lands on disk with savings.
+func TestRegretStudyWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout strings.Builder
+	err := regretStudy(config{seed: 7, regretCases: 4, regretOut: path, fidelity: "0.25,0.5"}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"suite": "regret-vs-profiling"`, `"lowfi_probes"`, `"savings_usd_pct"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report missing %s:\n%s", want, b)
+		}
+	}
+	if !strings.Contains(stdout.String(), "savings:") {
+		t.Errorf("summary missing savings line:\n%s", stdout.String())
+	}
+}
+
 // TestWriteReproducer pins the lazy-directory contract and the JSON
 // round trip of a saved failure.
 func TestWriteReproducer(t *testing.T) {

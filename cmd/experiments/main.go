@@ -24,7 +24,7 @@ type datasetter interface {
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to run (default: all; also 'fidelity', 'ablation', 'robustness')")
+	fig := flag.String("fig", "", "figure to run (default: all; also 'fidelity', 'multifidelity', 'ablation', 'robustness')")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	format := flag.String("format", "text", "output format: text|csv|markdown")
 	outDir := flag.String("out", "", "also write each figure's dataset as CSV into this directory")
@@ -57,6 +57,7 @@ func main() {
 		{"18", func() (fmt.Stringer, error) { return str(experiments.Fig18(cfg)) }},
 		{"19", func() (fmt.Stringer, error) { return str(experiments.Fig19(cfg)) }},
 		{"fidelity", func() (fmt.Stringer, error) { return str(experiments.Fidelity(cfg)) }},
+		{"multifidelity", func() (fmt.Stringer, error) { return str(experiments.MultiFidelity(cfg)) }},
 		{"ablation", func() (fmt.Stringer, error) { return str(experiments.Ablation(cfg)) }},
 		{"robustness", func() (fmt.Stringer, error) { return str(experiments.Robustness(cfg)) }},
 	}

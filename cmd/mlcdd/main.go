@@ -33,6 +33,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,8 +60,14 @@ func main() {
 		chaosPlan    = flag.String("chaos-plan", "", "fault-injection plan: a builtin name (launch-storm, spot-interrupt, waitready-timeout, brownout) or a JSON plan file")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos provider's injection decisions")
 		ckptEvery    = flag.Duration("checkpoint-every", 0, "checkpoint interval for training runs (0 = no checkpointing)")
+		fidelity     = flag.String("fidelity", "", "comma-separated sub-sampling ladder for multi-fidelity probing, e.g. 0.25,0.5 (empty = full probes only)")
 	)
 	flag.Parse()
+
+	ladder, err := parseLadder(*fidelity)
+	if err != nil {
+		log.Fatalf("mlcdd: %v", err)
+	}
 
 	// The registry is built first so the chaos provider (when enabled)
 	// and the system publish on the same /metrics exposition.
@@ -83,6 +91,7 @@ func main() {
 		Seed:       *seed,
 		Provider:   provider,
 		Metrics:    reg,
+		Fidelities: ladder,
 		Resilience: mlcdsys.Resilience{CheckpointEvery: *ckptEvery},
 	})
 	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
@@ -151,4 +160,23 @@ func main() {
 		log.Printf("mlcdd: scheduler shutdown: %v", err)
 	}
 	fmt.Println("mlcdd: bye")
+}
+
+// parseLadder turns "0.25,0.5" into a multi-fidelity probing ladder.
+func parseLadder(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fidelity %q: %w", part, err)
+		}
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("fidelity %v outside (0,1)", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

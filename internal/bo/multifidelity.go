@@ -1,0 +1,210 @@
+package bo
+
+import (
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+	"mlcd/internal/obs"
+)
+
+// MultiFidelitySurrogate is a two-stage surrogate for searches that mix
+// full probes with cheap sub-sampled ones. While every observation is
+// full fidelity it delegates verbatim to a plain Surrogate — same calls,
+// same rng stream, same bytes out. The moment a low-fidelity reading
+// arrives it switches to a corrected view: raw readings stay in a
+// ledger, a gp.GapRegressor lifts the biased ones to predicted full-
+// fidelity values, and the GP is rebuilt over the corrected set. When a
+// low-probed deployment is later measured in full, the exact (low,
+// full) pair teaches the regressor and the corrected entry is replaced
+// by the truth.
+type MultiFidelitySurrogate struct {
+	inner *Surrogate
+	gap   *gp.GapRegressor
+
+	// The raw ledger: every observation ever absorbed, in order, with
+	// the fidelity it was taken at and the instance-type key the gap
+	// model groups by. idxByDep finds a deployment's latest entry.
+	ds       []cloud.Deployment
+	ys       []float64
+	fs       []float64
+	keys     []string
+	idxByDep map[string]int
+
+	// mixed flips (stickily) on the first low-fidelity observation;
+	// from then on `cur` replaces `inner` as the serving model.
+	mixed bool
+	cur   *Surrogate
+}
+
+// GapUpdate reports one promotion: a low-probed deployment re-measured
+// at full fidelity, closing the loop on the gap model.
+type GapUpdate struct {
+	// Key is the instance-type name the gap model groups by.
+	Key string
+	// LowFidelity is the fidelity of the earlier sub-sampled probe.
+	LowFidelity float64
+	// Observed is the measured log-gap yFull − yLow.
+	Observed float64
+	// Predicted is what the gap model expected before seeing this pair.
+	Predicted float64
+	// Residual is Observed − Predicted: the model's error on this pair.
+	Residual float64
+	// Beta is the key's slope estimate after absorbing the pair.
+	Beta float64
+}
+
+// NewMultiFidelitySurrogate wraps a plain surrogate. priorBeta seeds the
+// gap model (≤ 0 → gp.DefaultPriorBeta).
+func NewMultiFidelitySurrogate(inner *Surrogate, priorBeta float64) *MultiFidelitySurrogate {
+	return &MultiFidelitySurrogate{
+		inner:    inner,
+		gap:      gp.NewGapRegressor(priorBeta),
+		idxByDep: make(map[string]int),
+	}
+}
+
+// SetPerf routes re-conditioning timings (mirrors Surrogate.Perf).
+func (m *MultiFidelitySurrogate) SetPerf(p *obs.Perf) { m.inner.Perf = p }
+
+// SetFitWorkers bounds hyperparameter multi-start goroutines (mirrors
+// Surrogate.FitWorkers).
+func (m *MultiFidelitySurrogate) SetFitWorkers(n int) { m.inner.FitWorkers = n }
+
+// serving returns the surrogate answering queries right now.
+func (m *MultiFidelitySurrogate) serving() *Surrogate {
+	if m.mixed {
+		return m.cur
+	}
+	return m.inner
+}
+
+// Len returns the number of observations the serving model holds.
+func (m *MultiFidelitySurrogate) Len() int { return m.serving().Len() }
+
+// PredictAll mirrors Surrogate.PredictAll on the serving model.
+func (m *MultiFidelitySurrogate) PredictAll(ds []cloud.Deployment, mu, sigma []float64, workers int) {
+	m.serving().PredictAll(ds, mu, sigma, workers)
+}
+
+// Predict mirrors Surrogate.Predict on the serving model.
+func (m *MultiFidelitySurrogate) Predict(d cloud.Deployment) (mu, sigma float64) {
+	return m.serving().Predict(d)
+}
+
+// BestObserved mirrors Surrogate.BestObserved on the serving model; in
+// mixed mode that maximum is over gap-corrected values.
+func (m *MultiFidelitySurrogate) BestObserved() float64 { return m.serving().BestObserved() }
+
+// Observe absorbs a full-fidelity observation (the classic interface).
+func (m *MultiFidelitySurrogate) Observe(d cloud.Deployment, y float64) error {
+	_, err := m.ObserveAt(d, y, 1)
+	return err
+}
+
+// ObserveAt absorbs an observation taken at fidelity f (≤ 0 or ≥ 1
+// means full). The returned GapUpdate is non-nil exactly when this
+// observation promoted an earlier low-fidelity probe of the same
+// deployment — the caller surfaces it in traces and metrics.
+func (m *MultiFidelitySurrogate) ObserveAt(d cloud.Deployment, y, f float64) (*GapUpdate, error) {
+	if f <= 0 || f >= 1 {
+		f = 1
+	}
+	depKey := d.Key()
+	typeKey := d.Type.Name
+
+	if f >= 1 {
+		if i, ok := m.idxByDep[depKey]; ok && m.fs[i] < 1 {
+			// Promotion: the exact pair teaches the gap model, and the
+			// corrected guess is replaced by the measured truth.
+			up := &GapUpdate{
+				Key:         typeKey,
+				LowFidelity: m.fs[i],
+				Observed:    y - m.ys[i],
+				Predicted:   m.gap.Predict(typeKey, m.fs[i]),
+			}
+			up.Residual = up.Observed - up.Predicted
+			m.gap.Observe(typeKey, m.fs[i], up.Observed)
+			up.Beta = m.gap.Beta(typeKey)
+			m.ys[i] = y
+			m.fs[i] = 1
+			return up, m.rebuild()
+		}
+		m.ds = append(m.ds, d)
+		m.ys = append(m.ys, y)
+		m.fs = append(m.fs, 1)
+		m.keys = append(m.keys, typeKey)
+		m.idxByDep[depKey] = len(m.ds) - 1
+		if !m.mixed {
+			return nil, m.inner.Observe(d, y)
+		}
+		return nil, m.rebuild()
+	}
+
+	if i, ok := m.idxByDep[depKey]; ok {
+		if m.fs[i] >= 1 {
+			// A full measurement already exists; a cheaper biased reading
+			// adds nothing.
+			return nil, nil
+		}
+		// A higher-fidelity burst supersedes the earlier one.
+		if f > m.fs[i] {
+			m.ys[i] = y
+			m.fs[i] = f
+		}
+	} else {
+		m.ds = append(m.ds, d)
+		m.ys = append(m.ys, y)
+		m.fs = append(m.fs, f)
+		m.keys = append(m.keys, typeKey)
+		m.idxByDep[depKey] = len(m.ds) - 1
+	}
+	m.mixed = true
+	return nil, m.rebuild()
+}
+
+// rebuild reconditions a fresh GP over the corrected ledger: raw values
+// for full-fidelity entries, gap-corrected ones for pending lows.
+// Hyperparameters are refit once, at the end. The serving model is only
+// replaced on success.
+func (m *MultiFidelitySurrogate) rebuild() error {
+	fresh := NewSurrogate(m.inner.kernel.Clone(), m.inner.rng)
+	fresh.FitWorkers = m.inner.FitWorkers
+	fresh.Perf = m.inner.Perf
+	fresh.RefitEvery = len(m.ds)
+	if fresh.RefitEvery < 1 {
+		fresh.RefitEvery = 1
+	}
+	for i, d := range m.ds {
+		y := m.ys[i]
+		if m.fs[i] < 1 {
+			y = m.gap.Correct(m.keys[i], m.fs[i], y)
+		}
+		if err := fresh.Observe(d, y); err != nil {
+			return err
+		}
+	}
+	m.cur = fresh
+	return nil
+}
+
+// GapStd returns the standard deviation of the gap correction applied
+// at d — nonzero only while d's latest measurement is a pending low-
+// fidelity one. The search inflates the GP posterior by it so corrected
+// points remain candidates for a confirming full probe.
+func (m *MultiFidelitySurrogate) GapStd(d cloud.Deployment) float64 {
+	if i, ok := m.idxByDep[d.Key()]; ok && m.fs[i] < 1 {
+		return m.gap.Uncertainty(m.keys[i], m.fs[i])
+	}
+	return 0
+}
+
+// LowFidelity reports the pending low fidelity of d's latest
+// measurement, or false if d is unmeasured or confirmed in full.
+func (m *MultiFidelitySurrogate) LowFidelity(d cloud.Deployment) (float64, bool) {
+	if i, ok := m.idxByDep[d.Key()]; ok && m.fs[i] < 1 {
+		return m.fs[i], true
+	}
+	return 0, false
+}
+
+// Gap exposes the regressor (read-only use: diagnostics and tests).
+func (m *MultiFidelitySurrogate) Gap() *gp.GapRegressor { return m.gap }

@@ -57,6 +57,11 @@ type Case struct {
 	// relative to the oracle optimum (0 = don't assert a regret bound).
 	MaxRegret float64 `json:"max_regret,omitempty"`
 
+	// Fidelities arms multi-fidelity probing: the sub-sampling ladder
+	// handed to the searcher. Every entry must lie in (0, 1); empty
+	// keeps the classic all-full-probes search.
+	Fidelities []float64 `json:"fidelities,omitempty"`
+
 	// DisableReserve switches the searcher's protective reserve off.
 	// It exists so the suite can prove the invariant engine catches a
 	// deliberately broken reserve; generated cases never set it.
@@ -103,6 +108,11 @@ func (c Case) Validate() error {
 	if c.Chaos != nil {
 		if err := c.Chaos.Validate(); err != nil {
 			return err
+		}
+	}
+	for _, f := range c.Fidelities {
+		if f <= 0 || f >= 1 {
+			return fmt.Errorf("conformance: fidelity %v outside (0,1)", f)
 		}
 	}
 	return nil
@@ -246,7 +256,7 @@ func RunCase(c Case) (*Artifacts, error) {
 	sys := mlcdsys.New(mlcdsys.Config{
 		Catalog:  catalog,
 		Limits:   limits,
-		Searcher: core.New(core.Options{Seed: c.Seed, Metrics: reg, DisableReserve: c.DisableReserve}),
+		Searcher: core.New(core.Options{Seed: c.Seed, Metrics: reg, DisableReserve: c.DisableReserve, Fidelities: c.Fidelities}),
 		Provider: provider,
 		Sim:      simulator,
 		Metrics:  reg,

@@ -1,0 +1,332 @@
+package conformance
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlcd/internal/profiler"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/search"
+)
+
+// ladderCase is the fixed fidelity case the negative tests corrupt: a
+// deadline-scenario run over three CPU types with a two-rung ladder that
+// deterministically takes sub-sampled probes AND promotes two of them
+// (seed 4 was scanned for exactly that mix).
+func ladderCase() Case {
+	return Case{
+		Name:       "fidelity-base",
+		Seed:       4,
+		Job:        "resnet-cifar10",
+		Types:      []string{"c5.large", "c5.xlarge", "c5.2xlarge"},
+		MaxNodes:   6,
+		Scenario:   int(search.CheapestWithDeadline),
+		Fidelities: []float64{0.25, 0.5},
+	}
+}
+
+// runLadderCase runs the base case and sanity-checks that it exercises
+// what the mutations below need: clean invariants, sub-sampled steps,
+// and at least one promotion (a full probe after a low one).
+func runLadderCase(t *testing.T) *Artifacts {
+	t.Helper()
+	art, err := RunCase(ladderCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(art); len(vs) > 0 {
+		t.Fatalf("base fidelity case must be clean, got %v", vs)
+	}
+	low, promoted := 0, 0
+	lowSeen := map[string]bool{}
+	for _, st := range art.Report.Outcome.Steps {
+		if st.Fidelity > 0 {
+			low++
+			lowSeen[st.Deployment.Key()] = true
+		} else if !st.Failed && st.Throughput > 0 && lowSeen[st.Deployment.Key()] {
+			promoted++
+		}
+	}
+	if low == 0 || promoted == 0 {
+		t.Fatalf("base case took %d low probes, %d promotions; both must be > 0", low, promoted)
+	}
+	return art
+}
+
+// lowStepIndex returns the slice index of the first successful
+// sub-sampled step.
+func lowStepIndex(t *testing.T, a *Artifacts) int {
+	t.Helper()
+	for i, st := range a.Report.Outcome.Steps {
+		if st.Fidelity > 0 && !st.Failed && st.Throughput > 0 {
+			return i
+		}
+	}
+	t.Fatal("no successful low-fidelity step in artifacts")
+	return -1
+}
+
+// hasViolation reports whether vs contains the named invariant.
+func hasViolation(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFidelityCaseConformant: the fixed ladder case passes the full
+// invariant set, every sub-sampled step is billed the exact Eq. 7–8
+// burst price, and the pick rests on a full measurement.
+func TestFidelityCaseConformant(t *testing.T) {
+	art := runLadderCase(t)
+	out := art.Report.Outcome
+	for _, st := range out.Steps {
+		if st.Fidelity == 0 || st.Failed {
+			continue
+		}
+		if want := profiler.DurationAt(st.Deployment.Nodes, st.Fidelity); st.ProfileTime != want {
+			t.Errorf("step %d billed %v, want burst price %v", st.Index, st.ProfileTime, want)
+		}
+	}
+	if !out.Found {
+		t.Fatal("base case must satisfy its constraint")
+	}
+}
+
+// The negative tests below corrupt one artifact each and assert the
+// matching invariant catches it. Corruptions are applied to a fresh run
+// every time, so tests stay independent.
+
+// TestFidelityCatchesFullBillOnLowStep: a sub-sampled step billed the
+// full-probe price is a broken fidelity ledger.
+func TestFidelityCatchesFullBillOnLowStep(t *testing.T) {
+	art := runLadderCase(t)
+	i := lowStepIndex(t, art)
+	st := &art.Report.Outcome.Steps[i]
+	st.ProfileTime = profiler.Duration(st.Deployment.Nodes)
+	st.ProfileCost = profiler.Cost(st.Deployment)
+	if vs := Check(art); !hasViolation(vs, InvFidelity) {
+		t.Fatalf("full-priced low step escaped %s: %v", InvFidelity, vs)
+	}
+}
+
+// TestFidelityCatchesOffLadderFidelity: a probe at a fraction the case
+// never offered must be flagged even when its bill is self-consistent.
+func TestFidelityCatchesOffLadderFidelity(t *testing.T) {
+	art := runLadderCase(t)
+	i := lowStepIndex(t, art)
+	st := &art.Report.Outcome.Steps[i]
+	st.Fidelity = 0.77
+	st.ProfileTime = profiler.DurationAt(st.Deployment.Nodes, 0.77)
+	st.ProfileCost = profiler.CostAt(st.Deployment, 0.77)
+	// Keep the trace in agreement so only the ladder membership trips.
+	for k := range art.Trace.Events {
+		if art.Trace.Events[k].Kind == "probe" && art.Trace.Events[k].Step == st.Index {
+			art.Trace.Events[k].Fidelity = 0.77
+		}
+	}
+	if vs := Check(art); !hasViolation(vs, InvFidelity) {
+		t.Fatalf("off-ladder fidelity escaped %s: %v", InvFidelity, vs)
+	}
+}
+
+// TestFidelityCatchesFidelityOutOfRange: a recorded fidelity at or above
+// 1 (or negative) is malformed regardless of the ladder.
+func TestFidelityCatchesFidelityOutOfRange(t *testing.T) {
+	art := runLadderCase(t)
+	art.Report.Outcome.Steps[lowStepIndex(t, art)].Fidelity = 1.2
+	if vs := Check(art); !hasViolation(vs, InvFidelity) {
+		t.Fatalf("fidelity 1.2 escaped %s: %v", InvFidelity, vs)
+	}
+}
+
+// TestFidelityCatchesLadderlessLowStep: sub-sampled steps in a case
+// that never armed a ladder mean the searcher invented fidelities.
+func TestFidelityCatchesLadderlessLowStep(t *testing.T) {
+	art := runLadderCase(t)
+	art.Case.Fidelities = nil
+	if vs := Check(art); !hasViolation(vs, InvFidelity) {
+		t.Fatalf("low step without a ladder escaped %s: %v", InvFidelity, vs)
+	}
+}
+
+// TestFidelityCatchesTraceMismatch: the trace's probe event must mirror
+// the step's fidelity — a consumer reading the trace alone must see the
+// same bursts the step ledger records.
+func TestFidelityCatchesTraceMismatch(t *testing.T) {
+	art := runLadderCase(t)
+	i := lowStepIndex(t, art)
+	idx := art.Report.Outcome.Steps[i].Index
+	for k := range art.Trace.Events {
+		if art.Trace.Events[k].Kind == "probe" && art.Trace.Events[k].Step == idx {
+			art.Trace.Events[k].Fidelity = 0
+		}
+	}
+	if vs := Check(art); !hasViolation(vs, InvFidelity) {
+		t.Fatalf("trace/step fidelity mismatch escaped %s: %v", InvFidelity, vs)
+	}
+}
+
+// TestFidelityPickCatchesUnconfirmedPick: a pick whose only evidence is
+// a biased sub-sampled reading violates the promotion discipline.
+func TestFidelityPickCatchesUnconfirmedPick(t *testing.T) {
+	art := runLadderCase(t)
+	best := art.Report.Outcome.Best.Key()
+	for i := range art.Report.Outcome.Steps {
+		st := &art.Report.Outcome.Steps[i]
+		if st.Deployment.Key() == best && st.Fidelity == 0 && !st.Failed && st.Throughput > 0 {
+			st.Fidelity = 0.5
+		}
+	}
+	if vs := Check(art); !hasViolation(vs, InvFidelityPick) {
+		t.Fatalf("sub-sampled pick escaped %s: %v", InvFidelityPick, vs)
+	}
+}
+
+// TestFidelityPickCatchesLowAfterFull: once a deployment is measured in
+// full, a later sub-sampled probe of it is wasted spend the searcher
+// must never book.
+func TestFidelityPickCatchesLowAfterFull(t *testing.T) {
+	art := runLadderCase(t)
+	steps := art.Report.Outcome.Steps
+	// Find a full measurement, then append a low re-probe of it.
+	for _, st := range steps {
+		if st.Fidelity == 0 && !st.Failed && st.Throughput > 0 {
+			dup := st
+			dup.Fidelity = 0.25
+			dup.Index = len(steps) + 1
+			art.Report.Outcome.Steps = append(steps, dup)
+			break
+		}
+	}
+	if vs := Check(art); !hasViolation(vs, InvFidelityPick) {
+		t.Fatalf("low-after-full escaped %s: %v", InvFidelityPick, vs)
+	}
+}
+
+// TestFidelityPickCatchesNonStrictRefinement: re-probing a pending low
+// at the same (or lower) fidelity buys no new information; refinement
+// must be strictly upward.
+func TestFidelityPickCatchesNonStrictRefinement(t *testing.T) {
+	art := runLadderCase(t)
+	steps := art.Report.Outcome.Steps
+	i := lowStepIndex(t, art)
+	dup := steps[i]
+	dup.Index = len(steps) + 1
+	art.Report.Outcome.Steps = append(steps, dup)
+	if vs := Check(art); !hasViolation(vs, InvFidelityPick) {
+		t.Fatalf("equal-fidelity re-probe escaped %s: %v", InvFidelityPick, vs)
+	}
+}
+
+// TestGeneratedLadderCasesConformant: generated cases arm ladders on
+// every other index; a window of them must include ladder cases, take
+// sub-sampled probes, and hold every invariant (or decline honestly).
+func TestGeneratedLadderCasesConformant(t *testing.T) {
+	rng := rngtape.New(1)
+	ladders, lows := 0, 0
+	for i := 0; i < 16; i++ {
+		c := GenerateCase(rng, i)
+		if len(c.Fidelities) == 0 {
+			if i%2 == 1 {
+				t.Fatalf("odd case %d drew no ladder", i)
+			}
+			continue
+		}
+		ladders++
+		c.Name = "gen-fidelity"
+		art, err := RunCase(c)
+		if Declined(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if vs := Check(art); len(vs) > 0 {
+			t.Fatalf("ladder case %d violated: %v", i, vs)
+		}
+		for _, st := range art.Report.Outcome.Steps {
+			if st.Fidelity > 0 {
+				lows++
+			}
+		}
+	}
+	if ladders == 0 {
+		t.Fatal("no generated case armed a ladder")
+	}
+	if lows == 0 {
+		t.Fatal("no generated ladder case took a sub-sampled probe")
+	}
+}
+
+// TestValidateRejectsBadLadder: case validation refuses rungs outside
+// (0, 1) before anything runs.
+func TestValidateRejectsBadLadder(t *testing.T) {
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		c := ladderCase()
+		c.Fidelities = []float64{f}
+		if err := c.Validate(); err == nil {
+			t.Errorf("fidelity %v validated", f)
+		}
+	}
+}
+
+// TestRegretSuiteSmoke: a small paired run of the regret-vs-profiling
+// study. Both arms must be violation-free; the multi-fidelity arm must
+// actually sub-sample and spend measurably fewer profiling dollars than
+// the all-full arm on the same case population.
+func TestRegretSuiteSmoke(t *testing.T) {
+	rep, err := RegretSuite(7, 8, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full.Violations != 0 || rep.Multi.Violations != 0 {
+		t.Fatalf("violations in regret arms: full=%d multi=%d", rep.Full.Violations, rep.Multi.Violations)
+	}
+	if rep.Full.Cases == 0 || rep.Multi.Cases == 0 {
+		t.Fatalf("no scored cases: full=%d multi=%d", rep.Full.Cases, rep.Multi.Cases)
+	}
+	if rep.Multi.LowFiProbes == 0 {
+		t.Fatal("multi arm took no sub-sampled probes")
+	}
+	if rep.Full.LowFiProbes != 0 {
+		t.Fatalf("full arm took %d sub-sampled probes", rep.Full.LowFiProbes)
+	}
+	if rep.Multi.ProfileUSD >= rep.Full.ProfileUSD {
+		t.Fatalf("multi arm spent $%.2f ≥ full arm's $%.2f on profiling", rep.Multi.ProfileUSD, rep.Full.ProfileUSD)
+	}
+	if rep.SavingsUSDPct <= 0 {
+		t.Fatalf("savings %.2f%%, want positive", rep.SavingsUSDPct)
+	}
+}
+
+// TestWriteRegretReportRoundTrip pins the on-disk shape of
+// BENCH_PR7.json: indented JSON, the suite marker, and a trailing
+// newline.
+func TestWriteRegretReportRoundTrip(t *testing.T) {
+	rep := RegretReport{Suite: "regret-vs-profiling", Seed: 3, Cases: 2,
+		Ladder: []float64{0.25, 0.5}, SavingsUSDPct: 12.5}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteRegretReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("report must end with a newline")
+	}
+	var back RegretReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Suite != rep.Suite || back.SavingsUSDPct != rep.SavingsUSDPct {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

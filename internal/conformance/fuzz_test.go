@@ -15,6 +15,13 @@ func FuzzConformanceCase(f *testing.F) {
 	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c})
 	f.Add([]byte{0xff, 0x7f, 0x00, 0x80, 0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x42, 0x42, 0x10, 0x01})
 	f.Add([]byte{0x30, 0x00, 0x00, 0x03, 0xc8, 0x21, 0x00, 0x00, 0x91, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0x00})
+	// Decodes to a fault-free case arming the {0.1, 0.5} fidelity ladder,
+	// so mutation starts from a corpus member that exercises sub-sampled
+	// probing, promotion, and the fidelity invariants.
+	f.Add([]byte{
+		0x00, 0x05, 0x00, 0x00, 0x80, 0x00, 0x00, 0x03, 0x80, 0x00, 0x00, 0x00, 0x00, 0x02,
+		0x00, 0x00, 0x00, 0x01, 0x00, 0x02, 0x00, 0x01, 0x00, 0x01, 0x00, 0x02,
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src := NewByteSource(data)
 		c := GenerateCase(src, -1)

@@ -141,7 +141,28 @@ func GenerateCase(src Source, idx int) Case {
 	} else {
 		c.MaxRegret = maxRegretFaultFree
 	}
+
+	// Every other case arms a multi-fidelity ladder so the fidelity
+	// invariants see sub-sampled, promoted, and classic probes in one
+	// soak. The fuzz adapter leaves the draw to the source.
+	withLadder := idx%2 == 1
+	if idx < 0 {
+		withLadder = src.Intn(2) == 1
+	}
+	if withLadder {
+		c.Fidelities = fidelityLadders[src.Intn(len(fidelityLadders))]
+	}
 	return c
+}
+
+// fidelityLadders are the sub-sampling menus generated cases rotate
+// through: single-rung, spread, and deep ladders, all comfortably above
+// the profiler's clamp floor.
+var fidelityLadders = [][]float64{
+	{0.5},
+	{0.25, 0.5},
+	{0.1, 0.5},
+	{0.1, 0.3, 0.6},
 }
 
 // spaceFeasible reports whether any deployment of the case's space can
@@ -226,7 +247,7 @@ func generatePlan(src Source) chaos.Plan {
 			}
 		case chaos.KindBrownout:
 			f = chaos.Fault{
-				Kind:       chaos.KindBrownout,
+				Kind:         chaos.KindBrownout,
 				UntilHours:   floatIn(src, 0.25, 0.5),
 				Rate:         1,
 				Count:        intIn(src, 1, 2),

@@ -23,13 +23,15 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 
 // Invariant names, as they appear in violations and in DESIGN.md §11.
 const (
-	InvLedger      = "ledger-conservation"
-	InvHeadroom    = "headroom-nonnegative"
-	InvReserve     = "reserve-honored"
-	InvConcavity   = "concavity-respected"
-	InvConstraints = "constraints-respected"
-	InvQuarantine  = "censored-quarantine"
-	InvRegret      = "oracle-regret"
+	InvLedger       = "ledger-conservation"
+	InvHeadroom     = "headroom-nonnegative"
+	InvReserve      = "reserve-honored"
+	InvConcavity    = "concavity-respected"
+	InvConstraints  = "constraints-respected"
+	InvQuarantine   = "censored-quarantine"
+	InvRegret       = "oracle-regret"
+	InvFidelity     = "fidelity-accounting"
+	InvFidelityPick = "fidelity-pick-confirmed"
 )
 
 // Check evaluates every invariant against one case's artifacts and
@@ -43,7 +45,27 @@ func Check(a *Artifacts) []Violation {
 	out = append(out, checkConstraints(a)...)
 	out = append(out, checkQuarantine(a)...)
 	out = append(out, checkRegret(a)...)
+	out = append(out, checkFidelity(a)...)
+	out = append(out, checkFidelityPick(a)...)
 	return out
+}
+
+// stepFid is a step's delivered fidelity (the unset field means full).
+func stepFid(st search.Step) float64 {
+	if st.Fidelity > 0 && st.Fidelity < 1 {
+		return st.Fidelity
+	}
+	return 1
+}
+
+// stepEntersObs mirrors core's rule for which steps reach the
+// observation list the reserve and the final pick lean on: every
+// non-censored full measurement, including an OOM taken at low fidelity
+// (the crash is a fidelity-independent fact) — but never a successful
+// sub-sampled reading, whose biased throughput only informs the
+// surrogate through the gap model.
+func stepEntersObs(st search.Step) bool {
+	return !st.Failed && (st.Fidelity == 0 || st.Throughput <= 0)
 }
 
 // approxRel reports a ≈ b within a relative tolerance (absolute near 0).
@@ -246,11 +268,13 @@ func checkReserve(a *Artifacts) []Violation {
 	var spentC float64
 	var obsList []search.Observation
 	for _, st := range out.Steps {
-		// Reserve state as it stood when this probe was admitted.
+		// Reserve state as it stood when this probe was admitted: the
+		// probe is priced at the fidelity it actually ran at.
 		pick, havePick := search.PickBest(a.Job, a.Scenario, tight, spentT, spentC, obsList)
+		fid := stepFid(st)
 		switch a.Scenario {
 		case search.CheapestWithDeadline:
-			headroom := tight.Deadline - spentT - profiler.Duration(st.Deployment.Nodes)
+			headroom := tight.Deadline - spentT - profiler.DurationAt(st.Deployment.Nodes, fid)
 			if headroom <= 0 {
 				bad("step %d probed %s with %v headroom against the tightened deadline", st.Index, st.Deployment, headroom)
 			} else if havePick {
@@ -260,7 +284,7 @@ func checkReserve(a *Artifacts) []Violation {
 				}
 			}
 		case search.FastestWithBudget:
-			headroom := tight.Budget - spentC - profiler.Cost(st.Deployment)
+			headroom := tight.Budget - spentC - profiler.CostAt(st.Deployment, fid)
 			if headroom <= 0 {
 				bad("step %d probed %s with $%.6f headroom against the tightened budget", st.Index, st.Deployment, headroom)
 			} else if havePick {
@@ -271,7 +295,7 @@ func checkReserve(a *Artifacts) []Violation {
 			}
 		}
 		spentT, spentC = st.CumProfileTime, st.CumProfileCost
-		if !st.Failed {
+		if stepEntersObs(st) {
 			obsList = append(obsList, search.Observation{Deployment: st.Deployment, Throughput: st.Throughput})
 		}
 	}
@@ -331,7 +355,9 @@ func checkConcavity(a *Artifacts) []Violation {
 					st.Index, st.Deployment, st.Deployment.Type.Name, bound)})
 			}
 		}
-		if !st.Failed {
+		// Only full measurements feed the prior: a biased low reading on
+		// the scale-out curve would cap types on phantom declines.
+		if stepEntersObs(st) {
 			obsList = append(obsList, search.Observation{Deployment: st.Deployment, Throughput: st.Throughput})
 		}
 	}
@@ -438,6 +464,10 @@ func checkQuarantine(a *Artifacts) []Violation {
 			} else if cap > oomReplicated {
 				oomReplicated = cap
 			}
+		case st.Fidelity > 0:
+			// A successful sub-sampled probe leaves the key open for its
+			// confirming full probe; the fidelity invariants police the
+			// low→full ordering.
 		default:
 			measured[key] = true
 		}
@@ -447,13 +477,13 @@ func checkQuarantine(a *Artifacts) []Violation {
 	if out.Best.Nodes > 0 {
 		ok := false
 		for _, st := range out.Steps {
-			if !st.Failed && st.Throughput > 0 && st.Deployment.Key() == out.Best.Key() && st.Throughput == out.BestThroughput {
+			if !st.Failed && st.Fidelity == 0 && st.Throughput > 0 && st.Deployment.Key() == out.Best.Key() && st.Throughput == out.BestThroughput {
 				ok = true
 				break
 			}
 		}
 		if !ok {
-			bad("picked %s (thr %.3f) does not match any successful measurement", out.Best, out.BestThroughput)
+			bad("picked %s (thr %.3f) does not match any successful full-fidelity measurement", out.Best, out.BestThroughput)
 		}
 	}
 	return v
@@ -495,6 +525,124 @@ func checkRegret(a *Artifacts) []Violation {
 	if regret > a.Case.MaxRegret {
 		opt, _ := a.Oracle.Optimum(a.Scenario, a.UserCons)
 		bad("regret %.3f exceeds bound %.3f: picked %s, optimum %s", regret, a.Case.MaxRegret, out.Best, opt.Deployment)
+	}
+	return v
+}
+
+// checkFidelity is conservation of the fidelity ledger: a sub-sampled
+// probe may only run at a fraction the case actually offered, and it
+// must be billed exactly the sub-sampled Eq. 7–8 price — a low probe
+// billed at the full price (or vice versa) is a broken ledger even
+// when the totals still fold. Fault-free the bill is exact; under a
+// chaos plan a censored probe burns what it burns, so only successful
+// measurements are priced. The trace must mirror each step's fidelity,
+// so downstream consumers can tell bursts from full measurements.
+func checkFidelity(a *Artifacts) []Violation {
+	var v []Violation
+	bad := func(f string, args ...any) { v = append(v, Violation{InvFidelity, fmt.Sprintf(f, args...)}) }
+
+	out := a.Report.Outcome
+	offered := func(f float64) bool {
+		for _, g := range a.Case.Fidelities {
+			if g == f {
+				return true
+			}
+			// The profiler clamps requests below its floor up to it.
+			if g < profiler.MinFidelity && f == profiler.MinFidelity {
+				return true
+			}
+		}
+		return false
+	}
+	for _, st := range out.Steps {
+		if st.Fidelity == 0 {
+			continue
+		}
+		if st.Fidelity < 0 || st.Fidelity >= 1 {
+			bad("step %d carries fidelity %v outside (0,1)", st.Index, st.Fidelity)
+			continue
+		}
+		if len(a.Case.Fidelities) == 0 {
+			bad("step %d ran at fidelity %v but the case offers no ladder", st.Index, st.Fidelity)
+			continue
+		}
+		if !offered(st.Fidelity) {
+			bad("step %d ran at fidelity %v, not on the case ladder %v", st.Index, st.Fidelity, a.Case.Fidelities)
+		}
+		if !st.Failed {
+			// The cluster pipeline books the sub-sampled burst exactly:
+			// DurationAt for the run (an OOM crash still bills the booked
+			// burst on this path) and the deployment's rate for the bill.
+			// Under a chaos plan launch backoff legitimately stretches the
+			// wall-clock past the burst, so the bill may only grow.
+			wantT := profiler.DurationAt(st.Deployment.Nodes, st.Fidelity)
+			wantC := profiler.CostAt(st.Deployment, st.Fidelity)
+			if a.Case.Chaos == nil {
+				if st.ProfileTime != wantT {
+					bad("step %d at fidelity %v billed %v, want %v", st.Index, st.Fidelity, st.ProfileTime, wantT)
+				}
+				if !approxRel(st.ProfileCost, wantC, dollarTol) {
+					bad("step %d at fidelity %v billed $%.9f, want $%.9f", st.Index, st.Fidelity, st.ProfileCost, wantC)
+				}
+			} else if st.ProfileTime < wantT {
+				bad("step %d at fidelity %v billed %v < the burst price %v", st.Index, st.Fidelity, st.ProfileTime, wantT)
+			}
+		}
+	}
+
+	// Trace ↔ steps: the probe events must mirror each step's fidelity.
+	var probes []int
+	for i, e := range a.Trace.Events {
+		if e.Kind == "probe" {
+			probes = append(probes, i)
+		}
+	}
+	if len(probes) == len(out.Steps) {
+		for i, st := range out.Steps {
+			if e := a.Trace.Events[probes[i]]; e.Fidelity != st.Fidelity {
+				bad("step %d: trace fidelity %v ≠ step fidelity %v", st.Index, e.Fidelity, st.Fidelity)
+			}
+		}
+	}
+	return v
+}
+
+// checkFidelityPick is the promotion discipline: per deployment,
+// sub-sampled probes may only refine upward (strictly higher fidelity,
+// or the confirming full probe), nothing runs after the full
+// measurement, and — the teeth of the invariant — the final pick's
+// feasibility proof must rest on a full-fidelity measurement, never on
+// an uncorrected biased reading.
+func checkFidelityPick(a *Artifacts) []Violation {
+	var v []Violation
+	bad := func(f string, args ...any) { v = append(v, Violation{InvFidelityPick, fmt.Sprintf(f, args...)}) }
+
+	out := a.Report.Outcome
+	lowSeen := map[string]float64{}
+	confirmed := map[string]bool{}
+	for _, st := range out.Steps {
+		if st.Failed {
+			continue
+		}
+		key := st.Deployment.Key()
+		if st.Fidelity > 0 && st.Throughput > 0 {
+			if confirmed[key] {
+				bad("step %d sub-sampled %s after its full measurement", st.Index, st.Deployment)
+			}
+			if prev, ok := lowSeen[key]; ok && st.Fidelity <= prev {
+				bad("step %d re-probed %s at fidelity %v ≤ earlier %v (refinement must be strictly upward)",
+					st.Index, st.Deployment, st.Fidelity, prev)
+			}
+			lowSeen[key] = st.Fidelity
+			continue
+		}
+		confirmed[key] = true
+	}
+
+	if out.Best.Nodes > 0 && out.Found {
+		if !confirmed[out.Best.Key()] {
+			bad("picked %s rests on a sub-sampled reading: no full-fidelity measurement confirms it", out.Best)
+		}
 	}
 	return v
 }

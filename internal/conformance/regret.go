@@ -1,0 +1,143 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mlcd/internal/rngtape"
+)
+
+// The regret-vs-profiling-dollars study: the same generated fault-free
+// case population is run twice — once with the classic all-full-probes
+// HeterBO, once with a multi-fidelity ladder armed — and both arms are
+// scored against the exhaustive oracle. The paired design isolates the
+// fidelity axis: any difference in regret or profiling spend comes from
+// sub-sampling alone, not from the case draw.
+
+// RegretArm aggregates one probing policy's results over the suite.
+type RegretArm struct {
+	Name       string `json:"name"`
+	Cases      int    `json:"cases"`
+	Declined   int    `json:"declined"`
+	Violations int    `json:"violations"`
+
+	// Oracle proximity over the scored (non-declined) cases.
+	MeanRegret   float64 `json:"mean_regret"`
+	MaxRegret    float64 `json:"max_regret"`
+	OracleHits   int     `json:"oracle_hits"`
+	Within5Pct   int     `json:"within_5pct_of_oracle"`
+	FoundForSure int     `json:"constraint_satisfied"`
+
+	// What the search phase consumed, summed over scored cases.
+	ProfileUSD   float64 `json:"profile_usd"`
+	ProfileHours float64 `json:"profile_hours"`
+	Probes       int     `json:"probes"`
+	LowFiProbes  int     `json:"lowfi_probes"`
+}
+
+// RegretReport is the suite's full result — the shape of BENCH_PR7.json.
+type RegretReport struct {
+	Suite  string    `json:"suite"`
+	Seed   int64     `json:"seed"`
+	Cases  int       `json:"cases"`
+	Ladder []float64 `json:"ladder"`
+
+	Full  RegretArm `json:"full"`
+	Multi RegretArm `json:"multi"`
+
+	// Profiling saved by the multi-fidelity arm relative to the full
+	// arm, in percent (positive = the ladder was cheaper).
+	SavingsUSDPct   float64 `json:"savings_usd_pct"`
+	SavingsHoursPct float64 `json:"savings_hours_pct"`
+}
+
+// RegretSuite runs n paired fault-free cases from seed: each case is
+// searched once with full-fidelity probes only and once with ladder
+// armed, and both runs are invariant-checked and oracle-scored. The
+// regret bound is not asserted per case (MaxRegret 0) — the suite
+// measures the regret distribution instead of gating on it — but every
+// other invariant must hold in both arms.
+func RegretSuite(seed int64, n int, ladder []float64) (RegretReport, error) {
+	rep := RegretReport{Suite: "regret-vs-profiling", Seed: seed, Cases: n, Ladder: ladder,
+		Full: RegretArm{Name: "full-fidelity"}, Multi: RegretArm{Name: "multi-fidelity"}}
+	rng := rngtape.New(seed)
+	for i := 0; i < n; i++ {
+		c := GenerateCase(rng, i)
+		// Fault-free and unbounded: chaos would confound the pairing, and
+		// the suite reports regret rather than asserting it.
+		c.Chaos = nil
+		c.ChaosSeed = 0
+		c.MaxRegret = 0
+
+		full := c
+		full.Name = fmt.Sprintf("regret-%d-full", i)
+		full.Fidelities = nil
+		if err := scoreArm(full, &rep.Full); err != nil {
+			return rep, err
+		}
+
+		multi := c
+		multi.Name = fmt.Sprintf("regret-%d-multi", i)
+		multi.Fidelities = ladder
+		if err := scoreArm(multi, &rep.Multi); err != nil {
+			return rep, err
+		}
+	}
+	if rep.Full.ProfileUSD > 0 {
+		rep.SavingsUSDPct = 100 * (rep.Full.ProfileUSD - rep.Multi.ProfileUSD) / rep.Full.ProfileUSD
+	}
+	if rep.Full.ProfileHours > 0 {
+		rep.SavingsHoursPct = 100 * (rep.Full.ProfileHours - rep.Multi.ProfileHours) / rep.Full.ProfileHours
+	}
+	return rep, nil
+}
+
+// scoreArm runs one case under one policy and folds it into the arm.
+func scoreArm(c Case, arm *RegretArm) error {
+	a, err := RunCase(c)
+	if err != nil {
+		if Declined(err) {
+			arm.Declined++
+			return nil
+		}
+		return fmt.Errorf("conformance: regret case %s: %w", c.Name, err)
+	}
+	arm.Cases++
+	arm.Violations += len(Check(a))
+	out := a.Report.Outcome
+	if out.Found {
+		arm.FoundForSure++
+	}
+	if r, ok := a.Oracle.Regret(a.Scenario, a.UserCons, out.Best); ok {
+		arm.MeanRegret += (r - arm.MeanRegret) / float64(arm.Cases)
+		if r > arm.MaxRegret {
+			arm.MaxRegret = r
+		}
+		if r == 0 {
+			arm.OracleHits++
+		}
+		if r <= 0.05 {
+			arm.Within5Pct++
+		}
+	}
+	arm.ProfileUSD += out.ProfileCost
+	arm.ProfileHours += out.ProfileTime.Hours()
+	arm.Probes += len(out.Steps)
+	for _, st := range out.Steps {
+		if st.Fidelity > 0 {
+			arm.LowFiProbes++
+		}
+	}
+	return nil
+}
+
+// WriteRegretReport renders the report as indented JSON with a trailing
+// newline — the canonical BENCH_PR7.json shape.
+func WriteRegretReport(path string, rep RegretReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -28,12 +28,13 @@ func benchState(b *testing.B) *state {
 		opts:       opts,
 		rng:        rngtape.New(opts.Seed),
 		profiled:   make(map[string]bool),
+		lowProbed:  make(map[string]float64),
 		priorBound: make(map[string]int),
 	}
-	st.surr = bo.NewSurrogate(opts.Kernel.Clone(), st.rng)
-	st.surr.FitWorkers = opts.Workers
+	st.surr = bo.NewMultiFidelitySurrogate(bo.NewSurrogate(opts.Kernel.Clone(), st.rng), 0)
+	st.surr.SetFitWorkers(opts.Workers)
 	for _, n := range []int{1, 4, 8, 16, 24} {
-		st.probe(cloud.Deployment{Type: space.Types()[0], Nodes: n}, 0, "init")
+		st.probe(cloud.Deployment{Type: space.Types()[0], Nodes: n}, 1, 0, "init")
 	}
 	if st.surr.Len() == 0 {
 		b.Fatal("bench state has no observations")

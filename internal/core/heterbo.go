@@ -90,6 +90,20 @@ type Options struct {
 	// final run. 0 reserves nothing beyond the plain training projection.
 	RestartReserve float64
 
+	// Fidelities is the sub-sampled probing ladder (TrimTuner-style):
+	// fractions in (0, 1) the search may probe at instead of a full
+	// Eq. 7 run. A low probe charges roughly its fraction of the full
+	// time/cost but returns a biased-low reading that only enters the
+	// surrogate through the gap model — never the feasibility proof —
+	// until a full probe of the same deployment confirms it. Empty (the
+	// default) keeps every probe at full fidelity: the classic search,
+	// bit for bit. Values outside (0, 1) are dropped.
+	Fidelities []float64
+
+	// GapPriorBeta seeds the fidelity gap model's prior slope
+	// (≤ 0 → gp.DefaultPriorBeta). Only meaningful with Fidelities set.
+	GapPriorBeta float64
+
 	// Ablation switches.
 	DisableCostPenalty  bool // plain EI selection (no profiling-cost division)
 	DisableConcavePrior bool
@@ -127,6 +141,25 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Fidelities) > 0 {
+		norm := make([]float64, 0, len(o.Fidelities))
+		for _, f := range o.Fidelities {
+			if f > 0 && f < 1 {
+				norm = append(norm, f)
+			}
+		}
+		sort.Float64s(norm)
+		dedup := norm[:0]
+		for i, f := range norm {
+			if i == 0 || f != norm[i-1] {
+				dedup = append(dedup, f)
+			}
+		}
+		if len(dedup) == 0 {
+			dedup = nil
+		}
+		o.Fidelities = dedup
 	}
 	return o
 }
@@ -172,13 +205,18 @@ type state struct {
 	prof      profiler.Profiler
 	opts      Options
 	rng       *rand.Rand
-	surr      *bo.Surrogate
+	surr      *bo.MultiFidelitySurrogate
 	perf      *obs.Perf
 	obs       []search.Observation
 	steps     []search.Step
 	spentTime time.Duration
 	spentCost float64
 	profiled  map[string]bool
+	// lowProbed[key] is the fidelity of a deployment's pending sub-
+	// sampled measurement: it feeds the surrogate (gap-corrected) but
+	// not the observation list, so it can never anchor the reserve or
+	// become the final pick until a full probe confirms it.
+	lowProbed map[string]float64
 	// failures counts infrastructure-failed probes per deployment;
 	// quarantined removes a deployment from the candidate set once the
 	// count exceeds Options.FailureRetries. A failed probe is a censored
@@ -225,14 +263,15 @@ func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenari
 		opts:        h.opts,
 		rng:         rngtape.New(h.opts.Seed),
 		profiled:    make(map[string]bool),
+		lowProbed:   make(map[string]float64),
 		failures:    make(map[string]int),
 		quarantined: make(map[string]bool),
 		priorBound:  make(map[string]int),
 	}
-	st.surr = bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng)
+	st.surr = bo.NewMultiFidelitySurrogate(bo.NewSurrogate(h.opts.Kernel.Clone(), st.rng), h.opts.GapPriorBeta)
 	st.perf = obs.NewPerf(h.opts.Metrics)
-	st.surr.Perf = st.perf
-	st.surr.FitWorkers = h.opts.Workers
+	st.surr.SetPerf(st.perf)
+	st.surr.SetFitWorkers(h.opts.Workers)
 	st.emit(obs.Event{
 		Kind: "search_started",
 		Note: fmt.Sprintf("%s %s, warm_start=%d", h.Name(), scen, len(h.opts.WarmStart)),
@@ -291,7 +330,7 @@ func (st *state) run() string {
 			if st.pruned(d) || !st.admissible(d) {
 				continue
 			}
-			st.probe(d, 0, "init")
+			st.probe(d, st.screenFid(), 0, "init")
 		}
 		// A censored init probe carries no signal about its deployment —
 		// and a censored *anchor* leaves its whole instance type
@@ -302,10 +341,12 @@ func (st *state) run() string {
 			if st.failures[d.Key()] == 0 || st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
 				continue
 			}
-			st.probe(d, 0, "init-retry")
+			st.probe(d, st.screenFid(), 0, "init-retry")
 		}
 	}
-	if len(st.obs) == 0 {
+	// With a ladder armed the anchors are sub-sampled hints, so an empty
+	// observation list alone does not mean the init failed.
+	if len(st.obs) == 0 && len(st.lowProbed) == 0 {
 		return "no admissible initial probe"
 	}
 
@@ -318,7 +359,7 @@ func (st *state) run() string {
 			// Replicated states that fit nowhere cannot be helped by
 			// more nodes; probe the largest-capacity node as a last try.
 			if cand, ok := st.cheapestCandidate(); ok {
-				st.probe(cand, 0, "feasibility-escalate")
+				st.probe(cand, 1, 0, "feasibility-escalate")
 			}
 		}
 	}
@@ -330,17 +371,98 @@ func (st *state) run() string {
 		st.updatePrior()
 		cand, score, ok := st.nextCandidate()
 		if !ok {
+			st.confirmPending()
 			return "no admissible candidate"
 		}
 		// Convergence: the surrogate works in log-objective, so EI is an
 		// expected log-ratio gain; stop when even the most promising
 		// candidate offers less than ~EITolerance×100 % improvement.
 		if explored >= st.opts.MinSteps && score.maxRawEI < st.opts.EITolerance {
+			st.confirmPending()
 			return "expected improvement below tolerance"
 		}
-		st.probe(cand, score.score, score.note)
+		st.probe(cand, score.fid, score.score, score.note)
 	}
+	st.confirmPending()
 	return "step cap reached"
+}
+
+// confirmPending spends full probes on the pending sub-sampled readings
+// that could still beat the feasible incumbent, so the final pick —
+// which only trusts full measurements — gets to see them. Without this
+// sweep a search that stops right after a promising screen would fall
+// back to a best-effort pick its own screen had already beaten. Each
+// confirmation can only raise the incumbent, so the loop shrinks its
+// own candidate set and the pending count bounds it.
+func (st *state) confirmPending() {
+	for range len(st.lowProbed) {
+		// With no usable full measurement at all, the first confirmation
+		// is the difference between an answer and "nothing runnable".
+		needAnchor := true
+		for _, o := range st.obs {
+			if o.Throughput > 0 {
+				needAnchor = false
+				break
+			}
+		}
+		bestObj, haveFeasible := st.confirmedIncumbentObjective()
+		var (
+			best   cloud.Deployment
+			bestMu float64
+			found  bool
+		)
+		// Ungated fallback: the best-mean pending, kept in reserve so an
+		// anchorless sweep whose every candidate fails the gates still
+		// produces one full measurement instead of "nothing runnable".
+		var (
+			fbBest  cloud.Deployment
+			fbMu    float64
+			fbFound bool
+		)
+		for i := 0; i < st.space.Len(); i++ {
+			d := st.space.At(i)
+			if _, pending := st.lowProbed[d.Key()]; !pending || st.profiled[d.Key()] || st.pruned(d) {
+				continue
+			}
+			mu, _ := st.surr.Predict(d)
+			if !fbFound || mu > fbMu {
+				fbBest, fbMu, fbFound = d, mu, true
+			}
+			// Contention is judged at the corrected MEAN against the
+			// confirmed incumbent, mirroring the exploitation half of
+			// the loop's stop rule: a pending whose own best estimate
+			// does not beat what a full probe already measured has
+			// negative expected value — the confirmation's cost is
+			// certain, the upside is not. Optimism-based contention
+			// here turned the sweep into a second exploration phase
+			// at full price.
+			if haveFeasible && mu <= bestObj {
+				continue
+			}
+			// Affordability is judged at the corrected MEAN, not the
+			// optimistic bound: a candidate whose own best estimate
+			// already breaks the remaining deadline/budget teaches
+			// nothing by being confirmed — and each such confirm
+			// erodes the headroom the eventual pick depends on. The
+			// gate applies even to the anchoring confirm: in the budget
+			// scenario the best-mean pending is the biggest deployment,
+			// and anchoring on a predictably-unaffordable one starts a
+			// descending chain of full probes that devours the budget.
+			if !st.teiPositiveAt(d, 1, mu) || !st.admissibleAt(d, 1) {
+				continue
+			}
+			if !found || mu > bestMu {
+				best, bestMu, found = d, mu, true
+			}
+		}
+		if !found {
+			if !needAnchor || !fbFound {
+				return
+			}
+			best = fbBest
+		}
+		st.probe(best, 1, 0, "confirm")
+	}
 }
 
 func abs(x float64) float64 {
@@ -428,7 +550,7 @@ func (st *state) anchorSharded() {
 			}
 			lastN[t.Name] = n
 			d := cloud.Deployment{Type: t, Nodes: n}
-			r := st.probe(d, 0, "feasibility-anchor")
+			r := st.probe(d, 1, 0, "feasibility-anchor")
 			progressed = true
 			if !r.Failed && r.Throughput > 0 {
 				feasible[t.Name] = true
@@ -550,18 +672,37 @@ func (st *state) affordableBracket(t cloud.InstanceType, hi int) int {
 	return 1
 }
 
-// probe profiles d and folds the result into every piece of state. It
-// returns the raw profiling result so callers (feasibility anchoring)
-// can tell a real measurement from a censored failure.
-func (st *state) probe(d cloud.Deployment, acq float64, note string) profiler.Result {
-	r := st.prof.Profile(st.job, d)
+// probe profiles d at fidelity fid (1 = the classic full probe) and
+// folds the result into every piece of state. It returns the raw
+// profiling result so callers (feasibility anchoring) can tell a real
+// measurement from a censored failure.
+func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profiler.Result {
+	r := profiler.ProbeAt(st.prof, st.job, d, fid)
+	// Trust the fidelity the profiler DELIVERED, not the one requested:
+	// a profiler without sub-sampling support silently runs (and bills)
+	// a full probe, and the books must follow the bill.
+	f := profiler.Fid(r.Fidelity)
+	// A sub-sampled success is a biased hint: it informs the surrogate
+	// through the gap model but never the observation list, so the
+	// reserve and the final pick only ever lean on full measurements.
+	// An OOM at low fidelity, by contrast, IS a full measurement — the
+	// crash happens during model build, before sub-sampling matters.
+	low := !r.Failed && f < 1 && r.Throughput > 0
 	// A failed probe is censored, not free: whatever the launch retries,
 	// boot hang, or partial run burned still debits the TEI headroom.
 	st.spentTime += r.Duration
 	st.spentCost += r.Cost
 	if !r.Failed {
-		st.profiled[d.Key()] = true
-		st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
+		if low {
+			st.lowProbed[d.Key()] = f
+		} else {
+			st.profiled[d.Key()] = true
+			st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
+		}
+	}
+	stepFid := 0.0
+	if f < 1 {
+		stepFid = f
 	}
 	st.steps = append(st.steps, search.Step{
 		Index:          len(st.steps) + 1,
@@ -573,11 +714,27 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) profiler.Re
 		CumProfileCost: st.spentCost,
 		Acquisition:    acq,
 		Failed:         r.Failed,
+		Fidelity:       stepFid,
 		Note:           note,
 	})
 	quarantinedNow := false
+	var gapUp *bo.GapUpdate
 	defer func() {
-		// Declared first so it runs after the probe event below: the
+		// Declared first so it runs last: a promotion's gap verdict
+		// trails both the probe event and any quarantine note.
+		if gapUp != nil {
+			st.emit(obs.Event{
+				Kind:        "fidelity_gap",
+				Deployment:  d.String(),
+				Fidelity:    gapUp.LowFidelity,
+				GapResidual: gapUp.Residual,
+				Note: fmt.Sprintf("promoted %s: gap observed %.4f predicted %.4f beta[%s]=%.4f",
+					d.String(), gapUp.Observed, gapUp.Predicted, gapUp.Key, gapUp.Beta),
+			})
+		}
+	}()
+	defer func() {
+		// Declared second so it runs after the probe event below: the
 		// quarantine verdict follows the probe that triggered it.
 		if quarantinedNow {
 			st.emit(obs.Event{
@@ -600,6 +757,7 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) profiler.Re
 			CumProfileHours: st.spentTime.Hours(),
 			CumProfileUSD:   st.spentCost,
 			Acquisition:     acq,
+			Fidelity:        stepFid,
 			Note:            st.steps[len(st.steps)-1].Note,
 		}
 		st.headroom(&e)
@@ -637,10 +795,17 @@ func (st *state) probe(d cloud.Deployment, acq float64, note string) profiler.Re
 	// multiplicatively on throughput, so the log makes their effects
 	// additive and lets the GP extrapolate growth trends sanely.
 	y := math.Log(search.Objective(st.scen, d, r.Throughput))
-	if err := st.surr.Observe(d, y); err != nil {
+	up, err := st.surr.ObserveAt(d, y, f)
+	if err != nil {
 		// A duplicate-feature observation can make the GP ill-
 		// conditioned; the search can continue on prior observations.
 		st.steps[len(st.steps)-1].Note += " (surrogate: " + err.Error() + ")"
+	}
+	if up != nil {
+		// This full probe confirmed a pending low-fidelity measurement:
+		// the exact pair just taught the gap model.
+		delete(st.lowProbed, d.Key())
+		gapUp = up
 	}
 	return r
 }
@@ -692,7 +857,44 @@ type candidateScore struct {
 	maxRawEI float64 // largest unpenalized EI over ALL candidates — the
 	// convergence test must look at this, or a promising-but-expensive
 	// candidate could never veto a premature "converged" verdict
+	fid  float64 // fidelity the winning probe should run at (1 = full)
 	note string
+}
+
+// fullOnly is the fidelity menu of the classic search: full probes.
+var fullOnly = []float64{1}
+
+// fidelityOptions lists the fidelities d may be probed at, descending
+// (full first, so ties in score resolve toward the real measurement).
+// A deployment with a pending low-fidelity reading has exactly one
+// refinement: the confirming full probe. Intermediate rungs would
+// re-pay the screen without unlocking the pick — the screen's verdict
+// (worth confirming or not) doesn't sharpen enough to cover a second
+// sub-sampled bill.
+func (st *state) fidelityOptions(d cloud.Deployment) []float64 {
+	if len(st.opts.Fidelities) == 0 {
+		return fullOnly
+	}
+	if _, pending := st.lowProbed[d.Key()]; pending {
+		return fullOnly
+	}
+	out := make([]float64, 0, len(st.opts.Fidelities)+1)
+	out = append(out, 1)
+	for i := len(st.opts.Fidelities) - 1; i >= 0; i-- {
+		out = append(out, st.opts.Fidelities[i])
+	}
+	return out
+}
+
+// screenFid is the fidelity init anchors run at: the cheapest rung of
+// the ladder when one is armed, else full. Anchors only seed the
+// surrogate — the pick never leans on them directly — so they are the
+// first place the heterogeneous-cost play pays off.
+func (st *state) screenFid() float64 {
+	if len(st.opts.Fidelities) == 0 {
+		return 1
+	}
+	return st.opts.Fidelities[0]
 }
 
 // nextCandidate scans the admissible space and returns the best-scoring
@@ -726,7 +928,16 @@ func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 	cands := make([]cloud.Deployment, 0, st.space.Len())
 	for i := 0; i < st.space.Len(); i++ {
 		d := st.space.At(i)
-		if st.profiled[d.Key()] || st.pruned(d) || !st.admissible(d) {
+		// The reserve filter admits a candidate if its *cheapest* offered
+		// fidelity fits: what can only be afforded sub-sampled stays in
+		// play, and the per-fidelity reserve check below settles the rest.
+		if st.profiled[d.Key()] || st.pruned(d) || !st.admissibleCheapest(d) {
+			continue
+		}
+		// A pending screen already informs the surrogate through the gap
+		// model; re-probing it buys little. Only the confirmation sweep
+		// may spend the full probe, and only if the point still contends.
+		if _, pending := st.lowProbed[d.Key()]; pending {
 			continue
 		}
 		cands = append(cands, d)
@@ -743,43 +954,64 @@ func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 		found     bool
 	)
 	for i, d := range cands {
-		optimistic := mu[i] + st.opts.ConfidenceZ*sigma[i]
+		// A pending low-fidelity reading entered the GP gap-corrected;
+		// the correction's own uncertainty widens the posterior there so
+		// a confirming probe stays worth considering. Zero otherwise, so
+		// the classic all-full search sees sigma unchanged.
+		sig := sigma[i] + st.surr.GapStd(d)
+		optimistic := mu[i] + st.opts.ConfidenceZ*sig
 		// 95 % CI filter (§III-C stop condition): skip candidates whose
 		// optimistic bound cannot beat the feasible incumbent.
 		if optimistic <= bestObj {
 			continue
 		}
-		// TEI headroom (Eqs. 5–6): even at its optimistic throughput,
-		// training at this candidate must fit what remains.
-		if !st.teiPositive(d, optimistic) {
+		// TEI headroom (Eqs. 5–6) and the protective reserve, per offered
+		// fidelity: a sub-sampled probe is cheaper but commits the search
+		// to a confirming full probe before its point can be picked, so
+		// its TEI check prices probe AND confirmation.
+		var passing []float64
+		for _, f := range st.fidelityOptions(d) {
+			if st.teiPositiveAt(d, f, optimistic) && st.admissibleAt(d, f) {
+				passing = append(passing, f)
+			}
+		}
+		if len(passing) == 0 {
 			continue
 		}
-		ei := st.opts.Acquisition.Score(mu[i], sigma[i], bestObj)
+		ei := st.opts.Acquisition.Score(mu[i], sig, bestObj)
 		if ei <= 0 {
 			continue
 		}
 		if ei > bestScore.maxRawEI {
 			bestScore.maxRawEI = ei
 		}
-		score := ei
-		note := "explore"
-		if !st.opts.DisableCostPenalty {
-			score = ei / st.penalty(d)
-			note = "explore/cost-aware"
-		}
-		if !found || score > bestScore.score {
-			best = d
-			bestScore.score, bestScore.rawEI, bestScore.note = score, ei, note
-			found = true
+		for _, f := range passing {
+			// √f discounts the information a short burst delivers; the
+			// heterogeneous penalty divides by what the probe costs. At
+			// f = 1 both reduce exactly to the paper's Eqs. 7–8 score.
+			score := ei * math.Sqrt(f)
+			note := "explore"
+			if !st.opts.DisableCostPenalty {
+				score = score / st.penaltyAt(d, f)
+				note = "explore/cost-aware"
+			}
+			if f < 1 {
+				note = "explore/low-fidelity"
+			}
+			if !found || score > bestScore.score {
+				best = d
+				bestScore.score, bestScore.rawEI, bestScore.fid, bestScore.note = score, ei, f, note
+				found = true
+			}
 		}
 	}
 	return best, bestScore, found
 }
 
-// feasibleIncumbentObjective returns the largest log-objective among
-// observations that satisfy the scenario constraint; found is false when
-// none do (every feasible candidate is then an improvement).
-func (st *state) feasibleIncumbentObjective() (float64, bool) {
+// confirmedIncumbentObjective returns the largest log-objective among
+// full observations that satisfy the scenario constraint; found is
+// false when none do (every feasible candidate is then an improvement).
+func (st *state) confirmedIncumbentObjective() (float64, bool) {
 	best, found := 0.0, false
 	// Feasibility here must match the final pick's (safety-margined)
 	// judgement: an observation the pick would reject must not act as
@@ -806,34 +1038,89 @@ func (st *state) feasibleIncumbentObjective() (float64, bool) {
 	return best, found
 }
 
-// teiPositive evaluates the True Expected Improvement headroom of
+// feasibleIncumbentObjective is the incumbent the exploration loop
+// anchors EI on: the confirmed incumbent, raised by any pending screen
+// whose estimate beats it.
+func (st *state) feasibleIncumbentObjective() (float64, bool) {
+	best, found := st.confirmedIncumbentObjective()
+	tight := st.tightened()
+	// A pending screen is a provisional incumbent for the EI anchor: its
+	// gap-corrected posterior mean is the best current estimate of the
+	// value its confirmation would land on. Without this a ladder search
+	// has no incumbent until the final sweep — EI stays anchored at the
+	// floor and the loop screens the whole space.
+	if len(st.lowProbed) > 0 && st.surr.Len() > 0 {
+		for i := 0; i < st.space.Len(); i++ {
+			d := st.space.At(i)
+			if _, pending := st.lowProbed[d.Key()]; !pending {
+				continue
+			}
+			mu, _ := st.surr.Predict(d)
+			// Invert the log-objective back to throughput for the same
+			// feasibility judgement the full observations get.
+			thr := math.Exp(mu)
+			if st.scen == search.CheapestWithDeadline {
+				thr *= d.HourlyCost()
+			}
+			switch st.scen {
+			case search.CheapestWithDeadline:
+				if st.spentTime+search.EstTrainTime(st.job, thr) > tight.Deadline {
+					continue
+				}
+			case search.FastestWithBudget:
+				if st.spentCost+search.EstTrainCost(st.job, d, thr) > tight.Budget {
+					continue
+				}
+			}
+			if !found || mu > best {
+				best, found = mu, true
+			}
+		}
+	}
+	return best, found
+}
+
+// teiPositiveAt evaluates the True Expected Improvement headroom of
 // Eqs. 5–6 at the candidate's optimistic log-objective value: profiling
-// d and then training there must fit the remaining deadline (Eq. 5) or
-// budget (Eq. 6).
-func (st *state) teiPositive(d cloud.Deployment, optimisticLogObj float64) bool {
+// d at fidelity f and then training there must fit the remaining
+// deadline (Eq. 5) or budget (Eq. 6). A sub-sampled probe additionally
+// prices the confirming full probe its point would need before the
+// final pick may use it — a low-fidelity detour must never consume the
+// headroom its own confirmation requires. At f = 1 this is exactly the
+// paper's check.
+func (st *state) teiPositiveAt(d cloud.Deployment, f, optimisticLogObj float64) bool {
 	optimistic := math.Exp(optimisticLogObj)
 	switch st.scen {
 	case search.CheapestWithDeadline:
 		thr := optimistic * d.HourlyCost() // objective is thr/$-rate
 		tt := search.EstTrainTime(st.job, thr)
-		return st.spentTime+profiler.Duration(d.Nodes)+tt <= st.cons.Deadline
+		probeT := profiler.DurationAt(d.Nodes, f)
+		if f < 1 {
+			probeT += profiler.Duration(d.Nodes)
+		}
+		return st.spentTime+probeT+tt <= st.cons.Deadline
 	case search.FastestWithBudget:
 		tc := search.EstTrainCost(st.job, d, optimistic)
-		return st.spentCost+profiler.Cost(d)+tc <= st.cons.Budget
+		probeC := profiler.CostAt(d, f)
+		if f < 1 {
+			probeC += profiler.Cost(d)
+		}
+		return st.spentCost+probeC+tc <= st.cons.Budget
 	default:
 		return true
 	}
 }
 
-// penalty is the heterogeneous exploration cost of probing d (Eqs. 7–8):
-// profiling time for the time-constrained scenarios, profiling dollars
-// when a monetary budget rules.
-func (st *state) penalty(d cloud.Deployment) float64 {
+// penaltyAt is the heterogeneous exploration cost of probing d at
+// fidelity f (Eqs. 7–8 scaled by the sub-sample): profiling time for
+// the time-constrained scenarios, profiling dollars when a monetary
+// budget rules.
+func (st *state) penaltyAt(d cloud.Deployment, f float64) float64 {
 	switch st.scen {
 	case search.FastestWithBudget:
-		return profiler.Cost(d)
+		return profiler.CostAt(d, f)
 	default:
-		return profiler.Duration(d.Nodes).Hours()
+		return profiler.DurationAt(d.Nodes, f).Hours()
 	}
 }
 
@@ -867,13 +1154,28 @@ func (st *state) pruned(d cloud.Deployment) bool {
 // once a constraint-satisfying fallback exists — before that, exploring
 // is the only route to feasibility and only the probe itself must fit.
 func (st *state) admissible(d cloud.Deployment) bool {
+	return st.admissibleAt(d, 1)
+}
+
+// admissibleCheapest applies the reserve at the cheapest fidelity the
+// search may offer d — the widest gate a candidate can pass through.
+func (st *state) admissibleCheapest(d cloud.Deployment) bool {
+	opts := st.fidelityOptions(d)
+	return st.admissibleAt(d, opts[len(opts)-1])
+}
+
+// admissibleAt is admissible priced at fidelity f: the probe's bill
+// shrinks with f (its confirming full probe is the TEI check's concern,
+// not the reserve's — the reserve only guards the fallback already in
+// hand, and a low probe alone never erodes more than it costs).
+func (st *state) admissibleAt(d cloud.Deployment, f float64) bool {
 	if st.opts.DisableReserve {
 		return true
 	}
 	tight := st.tightened()
 	switch st.scen {
 	case search.CheapestWithDeadline:
-		headroom := tight.Deadline - st.spentTime - profiler.Duration(d.Nodes)
+		headroom := tight.Deadline - st.spentTime - profiler.DurationAt(d.Nodes, f)
 		if headroom <= 0 {
 			return false
 		}
@@ -882,7 +1184,7 @@ func (st *state) admissible(d cloud.Deployment) bool {
 		}
 		return true
 	case search.FastestWithBudget:
-		headroom := tight.Budget - st.spentCost - profiler.Cost(d)
+		headroom := tight.Budget - st.spentCost - profiler.CostAt(d, f)
 		if headroom <= 0 {
 			return false
 		}

@@ -474,3 +474,42 @@ func TestRobustnessSweepAllCompliant(t *testing.T) {
 		t.Fatal("dataset export incomplete")
 	}
 }
+
+func TestMultiFidelityStudy(t *testing.T) {
+	r, err := MultiFidelity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLadder := map[string]MultiFidelityRow{}
+	for _, row := range r.Rows {
+		byLadder[row.Ladder] = row
+	}
+	full, ok := byLadder["full-only"]
+	if !ok {
+		t.Fatal("missing the full-only reference row")
+	}
+	if full.LowFiProbes != 0 {
+		t.Fatalf("full-only run took %d sub-sampled probes", full.LowFiProbes)
+	}
+	cheaper := false
+	for name, row := range byLadder {
+		if name == "full-only" {
+			continue
+		}
+		if row.LowFiProbes == 0 {
+			t.Errorf("ladder %s took no sub-sampled probes", name)
+		}
+		if row.Row.ProfileCost < full.Row.ProfileCost {
+			cheaper = true
+		}
+	}
+	if !cheaper {
+		t.Fatalf("no ladder cut profiling cost below full-only's $%.2f", full.Row.ProfileCost)
+	}
+	if s := r.String(); !strings.Contains(s, "full-only") {
+		t.Fatalf("render missing reference row:\n%s", s)
+	}
+	if d := r.Dataset(); len(d.Rows) != len(r.Rows) {
+		t.Fatal("dataset export incomplete")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlcd/internal/core"
+	"mlcd/internal/search"
+	"mlcd/internal/trace"
+	"mlcd/internal/workload"
+)
+
+// MultiFidelityRow is one ladder's aggregate outcome on the study setup.
+type MultiFidelityRow struct {
+	Ladder      string
+	Row         trace.BreakdownRow
+	Probes      int     // mean probes per run
+	LowFiProbes int     // mean sub-sampled probes per run
+	Regret      float64 // mean regret vs the ground-truth optimum
+}
+
+// MultiFidelityResult is the multi-fidelity probing study of DESIGN.md
+// §13: the same HeterBO search re-run with progressively deeper
+// sub-sampling ladders, scored against the clairvoyant optimum.
+type MultiFidelityResult struct {
+	Deadline string
+	Rows     []MultiFidelityRow
+}
+
+// MultiFidelity re-runs Scenario 2 (cheapest under deadline) on
+// ResNet/CIFAR-10 scale-out with no ladder and with three ladders of
+// increasing depth, averaged over three seeds. The interesting columns
+// are profiling dollars and regret: a good ladder cuts the former
+// without moving the latter.
+func MultiFidelity(cfg Config) (MultiFidelityResult, error) {
+	e := newEnv(cfg)
+	j := workload.ResNetCIFAR10
+	so := e.subSpace(8, "c5.large", "c5.xlarge", "c5.2xlarge", "c5.4xlarge")
+	cons := search.Constraints{Deadline: 8 * 3600e9}
+	opt := e.optRow(j, so, search.CheapestWithDeadline, cons)
+	ladders := []struct {
+		name   string
+		ladder []float64
+	}{
+		{"full-only", nil},
+		{"0.5", []float64{0.5}},
+		{"0.25,0.5", []float64{0.25, 0.5}},
+		{"0.1,0.3,0.6", []float64{0.1, 0.3, 0.6}},
+	}
+	const seeds = 3
+	res := MultiFidelityResult{Deadline: cons.Deadline.String()}
+	for _, l := range ladders {
+		agg := trace.BreakdownRow{Name: l.name}
+		probes, lowfi := 0, 0
+		regret := 0.0
+		for s := int64(0); s < seeds; s++ {
+			opts := core.Options{Seed: cfg.seed() + 11*s, Fidelities: l.ladder}
+			out, row, err := e.runSearcher(core.New(opts), j, so, search.CheapestWithDeadline, cons)
+			if err != nil {
+				return MultiFidelityResult{}, fmt.Errorf("%s: %w", l.name, err)
+			}
+			agg.ProfileTime += row.ProfileTime / seeds
+			agg.TrainTime += row.TrainTime / seeds
+			agg.ProfileCost += row.ProfileCost / seeds
+			agg.TrainCost += row.TrainCost / seeds
+			probes += len(out.Steps)
+			for _, st := range out.Steps {
+				if st.Fidelity > 0 && st.Fidelity < 1 {
+					lowfi++
+				}
+			}
+			// Scenario 2 regret: how much more the pick costs to train
+			// than the clairvoyant optimum, as a fraction.
+			if opt.TrainCost > 0 {
+				regret += (row.TrainCost - opt.TrainCost) / opt.TrainCost / seeds
+			}
+		}
+		res.Rows = append(res.Rows, MultiFidelityRow{
+			Ladder:      l.name,
+			Row:         agg,
+			Probes:      probes / seeds,
+			LowFiProbes: lowfi / seeds,
+			Regret:      regret,
+		})
+	}
+	return res, nil
+}
+
+// String renders the study.
+func (r MultiFidelityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-fidelity: probing ladders on Scenario 2 (deadline %s, 3-seed means)\n", r.Deadline)
+	fmt.Fprintf(&b, "%-14s %8s %8s %12s %12s %10s\n", "ladder", "probes", "low-fi", "profile-$", "total-$", "regret")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %8d %8d %12.2f %12.2f %9.1f%%\n",
+			row.Ladder, row.Probes, row.LowFiProbes, row.Row.ProfileCost, row.Row.TotalCost(), 100*row.Regret)
+	}
+	return b.String()
+}
+
+// Dataset exports the study.
+func (r MultiFidelityResult) Dataset() Dataset {
+	d := Dataset{Name: "multifidelity", Columns: []string{"ladder", "probes", "lowfi_probes", "profile_usd", "total_usd", "regret"}}
+	for _, row := range r.Rows {
+		d.Rows = append(d.Rows, []string{
+			row.Ladder, strconv.Itoa(row.Probes), strconv.Itoa(row.LowFiProbes),
+			f(row.Row.ProfileCost), f(row.Row.TotalCost()), f(row.Regret),
+		})
+	}
+	return d
+}

@@ -1,0 +1,124 @@
+package gp
+
+import "math"
+
+// GapRegressor learns the low→full fidelity gap of sub-sampled probes.
+// A short-burst measurement at fidelity f reads the log-objective low by
+// an amount that is — by construction in the simulator, and empirically
+// in TrimTuner-style systems — close to linear in (1−f) with a slope
+// that depends on the hardware/workload pair:
+//
+//	gap(f) = y_full − y_low ≈ β_key · (1−f)
+//
+// The regressor fits one through-the-origin slope β per key (the search
+// keys by instance-type name) from exact promotion pairs: the same
+// deployment measured first low then full. Keys with few pairs shrink
+// toward the global slope across all keys, which itself shrinks toward
+// a prior — so corrections are sane from the very first low probe.
+type GapRegressor struct {
+	// PriorBeta anchors every estimate before data arrives: the typical
+	// log-gap of a zero-length burst (DefaultPriorBeta matches the
+	// simulator's average γ).
+	PriorBeta float64
+	// PriorWeight is the prior's strength in pseudo-pairs at x = 1−f = 1.
+	PriorWeight float64
+
+	byKey  map[string]*gapFit
+	global gapFit
+}
+
+// DefaultPriorBeta is the prior slope: short bursts typically read
+// ~18 % low over the full fidelity range.
+const DefaultPriorBeta = 0.18
+
+// gapFit accumulates least-squares sufficient statistics for one
+// through-the-origin line gap = β·x, x = 1−f.
+type gapFit struct {
+	sxx, sxy float64
+	n        int
+}
+
+// NewGapRegressor returns a regressor anchored at priorBeta
+// (≤ 0 → DefaultPriorBeta).
+func NewGapRegressor(priorBeta float64) *GapRegressor {
+	if priorBeta <= 0 {
+		priorBeta = DefaultPriorBeta
+	}
+	return &GapRegressor{PriorBeta: priorBeta, PriorWeight: 1, byKey: make(map[string]*gapFit)}
+}
+
+// Observe records one measured pair: the same point's log-objective at
+// fidelity f and at full fidelity differed by gapLog = yFull − yLow.
+func (g *GapRegressor) Observe(key string, f, gapLog float64) {
+	x := 1 - f
+	if x <= 0 {
+		return
+	}
+	fit := g.byKey[key]
+	if fit == nil {
+		fit = &gapFit{}
+		g.byKey[key] = fit
+	}
+	fit.sxx += x * x
+	fit.sxy += x * gapLog
+	fit.n++
+	g.global.sxx += x * x
+	g.global.sxy += x * gapLog
+	g.global.n++
+}
+
+// Beta returns the estimated gap slope for key: the per-key least-
+// squares slope shrunk (one pseudo-pair) toward the global slope, which
+// is itself shrunk (PriorWeight pseudo-pairs) toward PriorBeta.
+func (g *GapRegressor) Beta(key string) float64 {
+	globalBeta := (g.global.sxy + g.PriorWeight*g.PriorBeta) / (g.global.sxx + g.PriorWeight)
+	fit := g.byKey[key]
+	if fit == nil {
+		return globalBeta
+	}
+	return (fit.sxy + globalBeta) / (fit.sxx + 1)
+}
+
+// Predict returns the expected log-gap of a fidelity-f measurement
+// under key (0 at full fidelity).
+func (g *GapRegressor) Predict(key string, f float64) float64 {
+	if f >= 1 {
+		return 0
+	}
+	return g.Beta(key) * (1 - f)
+}
+
+// Correct lifts a fidelity-f log-objective reading to its predicted
+// full-fidelity value.
+func (g *GapRegressor) Correct(key string, f, yLow float64) float64 {
+	return yLow + g.Predict(key, f)
+}
+
+// Residual returns observed − predicted log-gap for one pair — the
+// model's error, surfaced in traces and metrics.
+func (g *GapRegressor) Residual(key string, f, gapLog float64) float64 {
+	return gapLog - g.Predict(key, f)
+}
+
+// Uncertainty is a heuristic standard deviation of the gap correction
+// at fidelity f: the prior slope scale, shrunk by the pairs the key has
+// already taught. The search adds it to the GP posterior at corrected
+// points so a promotion probe stays worth considering.
+func (g *GapRegressor) Uncertainty(key string, f float64) float64 {
+	if f >= 1 {
+		return 0
+	}
+	n := 0
+	if fit := g.byKey[key]; fit != nil {
+		n = fit.n
+	}
+	return g.PriorBeta * (1 - f) / math.Sqrt(float64(1+n))
+}
+
+// Pairs reports how many promotion pairs key has contributed.
+func (g *GapRegressor) Pairs(key string) int {
+	if fit := g.byKey[key]; fit != nil {
+		return fit.n
+	}
+	return 0
+}

@@ -106,6 +106,11 @@ type Config struct {
 	Adapters []PlatformAdapter // nil → DefaultAdapters
 	Metrics  *obs.Registry     // nil → a fresh registry
 	Seed     int64
+	// Fidelities enables multi-fidelity probing in the default HeterBO
+	// searcher: fractions in (0, 1) probes may sub-sample at. Empty
+	// keeps every probe full — the classic pipeline, bit for bit.
+	// Ignored when an explicit Searcher is supplied.
+	Fidelities []float64
 	// Resilience tunes the fault-tolerant execution layer: launch retry
 	// backoff, the per-provider circuit breaker, and checkpoint/resume
 	// for the training run. The zero value keeps checkpointing off and
@@ -137,6 +142,7 @@ type sysMetrics struct {
 	probesOK     *obs.Counter
 	probesOOM    *obs.Counter
 	probesFailed *obs.Counter
+	probesLowFi  *obs.Counter
 	profileHours *obs.Counter
 	profileUSD   *obs.Counter
 	probeSeconds *obs.Histogram
@@ -178,6 +184,8 @@ func registerMetrics(r *obs.Registry) sysMetrics {
 		probesOK:     probes("ok"),
 		probesOOM:    probes("oom"),
 		probesFailed: probes("failed"),
+		probesLowFi: r.Counter("mlcd_profile_lowfi_probes_total",
+			"Sub-sampled (fidelity < 1) profiling probes taken."),
 		profileHours: r.Counter("mlcd_profile_hours_total",
 			"Virtual hours spent measuring probes (cache hits excluded)."),
 		profileUSD: r.Counter("mlcd_profile_usd_total",
@@ -229,7 +237,7 @@ func New(cfg Config) *System {
 	if cfg.Searcher == nil {
 		// The registry must be resolved first so the default searcher can
 		// publish its performance histograms on the system's /metrics.
-		cfg.Searcher = core.New(core.Options{Seed: cfg.Seed, Metrics: cfg.Metrics})
+		cfg.Searcher = core.New(core.Options{Seed: cfg.Seed, Metrics: cfg.Metrics, Fidelities: cfg.Fidelities})
 	}
 	if cfg.Adapters == nil {
 		cfg.Adapters = DefaultAdapters()
@@ -453,6 +461,63 @@ func (p *clusterProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.R
 	return res
 }
 
+// ProfileAt implements profiler.FidelityProfiler on the real cluster
+// pipeline: the identical launch/warm-up/teardown lifecycle, but the
+// measured run is cut to fidelity f of the full protocol. The short
+// burst still pays the cluster's setup floor and bills every second the
+// cluster ran — including an OOM crash, which on real hardware bills
+// the booked burst just like any other partial run on this path.
+func (p *clusterProfiler) ProfileAt(j workload.Job, d cloud.Deployment, f float64) profiler.Result {
+	f = profiler.Fid(f)
+	if f >= 1 {
+		return p.Profile(j, d)
+	}
+	m := &p.sys.m
+	dur := profiler.DurationAt(d.Nodes, f)
+	cl, waited, err := p.sys.launchWithRetry(p.ctx, d, p.tracer)
+	if err != nil {
+		return p.failedProbe(d, waited, 0)
+	}
+	defer p.sys.terminate(p.ctx, cl, p.tracer)
+	if err := p.sys.provider.WaitReady(cl); err != nil {
+		burned, cost := waited, 0.0
+		var wt *cloud.WaitTimeout
+		if errors.As(err, &wt) {
+			burned += wt.Waited
+			cost = d.CostFor(wt.Waited)
+		}
+		return p.failedProbe(d, burned, cost)
+	}
+	elapsed, err := cloud.RunElapsed(p.sys.provider, cl, dur)
+	if err != nil {
+		return p.failedProbe(d, waited+elapsed, d.CostFor(elapsed))
+	}
+	key := j.String() + "|" + d.Key()
+	meas := make([]float64, 0, 2)
+	for i := 0; i < 2; i++ {
+		meas = append(meas, p.sys.sim.MeasureThroughputAt(j, d, p.trials[key], f))
+		p.trials[key]++
+	}
+	res := profiler.Result{
+		Deployment: d,
+		Throughput: stats.Mean(meas),
+		Duration:   waited + elapsed,
+		Cost:       d.CostFor(elapsed),
+		Trials:     len(meas),
+		Fidelity:   f,
+	}
+	if res.Throughput > 0 {
+		m.probesOK.Inc()
+	} else {
+		m.probesOOM.Inc()
+	}
+	m.probesLowFi.Inc()
+	m.profileHours.Add(res.Duration.Hours())
+	m.profileUSD.Add(res.Cost)
+	m.probeSeconds.Observe(res.Duration.Seconds())
+	return res
+}
+
 // Report is Deploy's full account of a job's life.
 type Report struct {
 	Scenario    search.Scenario
@@ -507,6 +572,16 @@ func (p ctxProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.Result
 		return profiler.Result{Deployment: d, Failed: true}
 	}
 	return p.inner.Profile(j, d)
+}
+
+// ProfileAt keeps the cancellation guard on sub-sampled probes too,
+// delegating through profiler.ProbeAt so a fidelity-blind inner
+// profiler degrades to a full probe instead of an error.
+func (p ctxProfiler) ProfileAt(j workload.Job, d cloud.Deployment, f float64) profiler.Result {
+	if p.ctx.Err() != nil {
+		return profiler.Result{Deployment: d, Failed: true}
+	}
+	return profiler.ProbeAt(p.inner, j, d, f)
 }
 
 // Deploy runs the full MLCD pipeline for a job: analyze requirements,

@@ -50,6 +50,13 @@ type Event struct {
 	LostHours float64 `json:"lost_hours,omitempty"`
 	LostUSD   float64 `json:"lost_usd,omitempty"`
 
+	// Multi-fidelity probing (kinds "probe", "fidelity_gap"): the
+	// sub-sampling fraction a probe ran at (0 = full fidelity, so
+	// classic traces are byte-identical), and — on promotion events —
+	// the gap model's error on the measured (low, full) pair.
+	Fidelity    float64 `json:"fidelity,omitempty"`
+	GapResidual float64 `json:"gap_residual,omitempty"`
+
 	// Note carries the human-readable detail: init/explore notes, prior
 	// pruning bounds, stop reasons, failure messages.
 	Note string `json:"note,omitempty"`

@@ -1,0 +1,138 @@
+package profiler
+
+import (
+	"time"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/stats"
+	"mlcd/internal/workload"
+)
+
+// Multi-fidelity probing (TrimTuner-style sub-sampling): a probe at
+// fidelity f ∈ (0, 1) runs a short burst instead of the full profiling
+// protocol. It charges roughly f of the full Eq. 7 time — the fixed
+// setup floor is unavoidable — and returns a noisier, downward-biased
+// throughput estimate (short bursts over-weight warm-up and cold
+// caches; internal/sim owns the deterministic gap model). Fidelity 1 is
+// the paper's full probe, bit for bit.
+
+// SetupFloor is the irreducible part of a probe: cluster setup and the
+// first moments of warm-up cannot be sub-sampled away. It matches the
+// OOM-crash horizon — by then the job is visibly running (or dead).
+const SetupFloor = 2 * time.Minute
+
+// MinFidelity is the lowest fraction of a probe that still yields any
+// throughput signal; requests below it are clamped up.
+const MinFidelity = 0.05
+
+// Fid normalizes a fidelity value: zero (the unset field default) and
+// anything ≥ 1 mean a full-fidelity probe.
+func Fid(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		return 1
+	}
+	return f
+}
+
+// DurationAt is Eq. 7 at fidelity f: the setup floor plus f of the
+// sub-sampleable remainder. DurationAt(n, 1) == Duration(n) exactly.
+func DurationAt(nodes int, f float64) time.Duration {
+	full := Duration(nodes)
+	f = Fid(f)
+	if f >= 1 {
+		return full
+	}
+	if f < MinFidelity {
+		f = MinFidelity
+	}
+	return SetupFloor + time.Duration(f*float64(full-SetupFloor))
+}
+
+// CostAt is Eq. 8 at fidelity f: C_profile = P(m) · n · DurationAt.
+// CostAt(d, 1) == Cost(d) exactly.
+func CostAt(d cloud.Deployment, f float64) float64 {
+	return d.CostFor(DurationAt(d.Nodes, f))
+}
+
+// FidelityProfiler is a Profiler that can run sub-sampled probes. The
+// search only offers its fidelity ladder when the profiler implements
+// this; everything else stays on full probes.
+type FidelityProfiler interface {
+	Profiler
+	// ProfileAt measures d with a burst of fidelity f ∈ (0, 1]; f ≥ 1
+	// must be identical to Profile. The Result's Fidelity field reports
+	// what was actually delivered (0 = full).
+	ProfileAt(j workload.Job, d cloud.Deployment, f float64) Result
+}
+
+// ProbeAt profiles d at fidelity f through p, falling back to a plain
+// full-price probe when p cannot run partial ones. Callers must trust
+// the returned Result's Fidelity (not the requested f) when deciding
+// how to treat the measurement.
+func ProbeAt(p Profiler, j workload.Job, d cloud.Deployment, f float64) Result {
+	if Fid(f) < 1 {
+		if fp, ok := p.(FidelityProfiler); ok {
+			return fp.ProfileAt(j, d, f)
+		}
+	}
+	return p.Profile(j, d)
+}
+
+// lowFidelityIters is the burst's measurement count: two iterations. The
+// burst is too short for the stability-extension protocol — the gap
+// model and the search's promotion discipline own the extra variance.
+const lowFidelityIters = 2
+
+// ProfileAt implements FidelityProfiler on the simulator-backed
+// profiler: a short burst billed at DurationAt, measured through the
+// simulator's biased sub-sampled mode. OOM crashes are fidelity-
+// independent (the job dies during model build) and are billed exactly
+// like a full probe's OOM.
+func (p *SimProfiler) ProfileAt(j workload.Job, d cloud.Deployment, f float64) Result {
+	f = Fid(f)
+	if f >= 1 {
+		return p.Profile(j, d)
+	}
+	if f < MinFidelity {
+		f = MinFidelity
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := j.String() + "|" + d.Key()
+	if first := p.sim.MeasureThroughputAt(j, d, p.trials[key], f); first <= 0 {
+		p.trials[key]++
+		return Result{
+			Deployment: d,
+			Throughput: 0,
+			Duration:   OOMFailDuration,
+			Cost:       d.CostFor(OOMFailDuration),
+			Trials:     1,
+			Fidelity:   f,
+		}
+	}
+	meas := make([]float64, 0, lowFidelityIters)
+	for i := 0; i < lowFidelityIters; i++ {
+		meas = append(meas, p.sim.MeasureThroughputAt(j, d, p.trials[key], f))
+		p.trials[key]++
+	}
+	dur := DurationAt(d.Nodes, f)
+	return Result{
+		Deployment: d,
+		Throughput: stats.Mean(meas),
+		Duration:   dur,
+		Cost:       d.CostFor(dur),
+		Trials:     len(meas),
+		Fidelity:   f,
+	}
+}
+
+// ProfileAt implements FidelityProfiler on the meter, accumulating the
+// totals exactly like Profile does.
+func (m *Meter) ProfileAt(j workload.Job, d cloud.Deployment, f float64) Result {
+	r := ProbeAt(m.inner, j, d, f)
+	m.Time += r.Duration
+	m.Spend += r.Cost
+	m.Probes++
+	m.History = append(m.History, r)
+	return r
+}

@@ -54,6 +54,12 @@ type Result struct {
 	// never ready): the probe carries no signal about the deployment
 	// itself, unlike an OOM crash (Throughput 0 with Failed false).
 	Failed bool
+	// Fidelity is the sub-sampling fraction the probe actually ran at:
+	// a value in (0, 1) marks a short-burst measurement whose throughput
+	// is biased low (see internal/sim's gap model). Zero means a full-
+	// fidelity probe — the field stays unset on the classic path so
+	// full-probe results are unchanged byte for byte.
+	Fidelity float64
 }
 
 // Profiler measures candidate deployments.

@@ -832,3 +832,15 @@ func (p *cachingProfiler) Profile(j workload.Job, d cloud.Deployment) profiler.R
 	}
 	return res
 }
+
+// ProfileAt implements profiler.FidelityProfiler: sub-sampled probes
+// BYPASS the shared cache and the journal entirely. A biased short
+// burst must never be served to another tenant (or to a restarted
+// search, which would absorb it as a warm-start truth) as if it were a
+// full measurement — only full-fidelity probes are cacheable facts.
+func (p *cachingProfiler) ProfileAt(j workload.Job, d cloud.Deployment, f float64) profiler.Result {
+	if profiler.Fid(f) >= 1 {
+		return p.Profile(j, d)
+	}
+	return profiler.ProbeAt(p.inner, j, d, f)
+}

@@ -79,6 +79,7 @@ type Step struct {
 	CumProfileCost float64
 	Acquisition    float64 // score that selected this point (0 for init)
 	Failed         bool    // probe failed for infrastructure reasons (censored: cost charged, no signal)
+	Fidelity       float64 // sub-sampling fraction of the probe (0 = full fidelity)
 	Note           string  // "init", "explore", "exploit", "prior-pruned" ...
 }
 

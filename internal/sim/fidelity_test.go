@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/workload"
+)
+
+func fidDeployment(t *testing.T, typeName string, nodes int) cloud.Deployment {
+	t.Helper()
+	it, ok := cloud.DefaultCatalog().Lookup(typeName)
+	if !ok {
+		t.Fatalf("no catalog type %q", typeName)
+	}
+	return cloud.Deployment{Type: it, Nodes: nodes}
+}
+
+// TestFidelityGapDeterministic: the gap is a pure function of (model,
+// type, seed, f) — two simulators with the same seed agree exactly,
+// and a different seed draws a different gap.
+func TestFidelityGapDeterministic(t *testing.T) {
+	d := fidDeployment(t, "c5.xlarge", 4)
+	j := workload.ResNetCIFAR10
+	a, b := New(7), New(7)
+	if ga, gb := a.FidelityGap(j, d, 0.3), b.FidelityGap(j, d, 0.3); ga != gb {
+		t.Fatalf("same seed, different gaps: %v vs %v", ga, gb)
+	}
+	if ga, gc := a.FidelityGap(j, d, 0.3), New(8).FidelityGap(j, d, 0.3); ga == gc {
+		t.Fatalf("different seeds drew the identical gap %v", ga)
+	}
+}
+
+// TestFidelityGapBiasedLow: for f ∈ (0,1) the gap strictly discounts
+// (< 1), bounded by the configured γ range, and is exactly 1 at the
+// full-fidelity edges.
+func TestFidelityGapBiasedLow(t *testing.T) {
+	d := fidDeployment(t, "p3.2xlarge", 2)
+	j := workload.BERTTF
+	s := New(21)
+	for _, f := range []float64{0.05, 0.1, 0.5, 0.9} {
+		g := s.FidelityGap(j, d, f)
+		if g >= 1 || g <= 0 {
+			t.Fatalf("FidelityGap(f=%v) = %v, want in (0, 1)", f, g)
+		}
+		// γ ∈ [GapBase, GapBase+GapSpread) bounds the discount.
+		lo := math.Exp(-(defaultGapBase + defaultGapSpread) * (1 - f))
+		hi := math.Exp(-defaultGapBase * (1 - f))
+		if g < lo || g > hi {
+			t.Fatalf("FidelityGap(f=%v) = %v outside calibrated band [%v, %v]", f, g, lo, hi)
+		}
+	}
+	for _, f := range []float64{0, 1, 1.5, -0.2} {
+		if g := s.FidelityGap(j, d, f); g != 1 {
+			t.Fatalf("FidelityGap(f=%v) = %v, want exactly 1", f, g)
+		}
+	}
+}
+
+// TestFidelityGapLogLinear: the log-gap is exactly γ·(1−f) — linear in
+// (1−f) — which is the structure gp.GapRegressor assumes. Verified by
+// checking log-gap ratios match (1−f) ratios to float precision.
+func TestFidelityGapLogLinear(t *testing.T) {
+	d := fidDeployment(t, "c5.2xlarge", 3)
+	j := workload.AlexNetCIFAR10
+	s := New(13)
+	gapAt := func(f float64) float64 { return -math.Log(s.FidelityGap(j, d, f)) }
+	g50, g25 := gapAt(0.5), gapAt(0.25)
+	// (1−0.25)/(1−0.5) = 1.5 exactly.
+	if ratio := g25 / g50; math.Abs(ratio-1.5) > 1e-12 {
+		t.Fatalf("log-gap ratio %v, want 1.5 (linear in 1−f)", ratio)
+	}
+	// And the slope sits in the configured γ band.
+	gamma := g50 / 0.5
+	if gamma < defaultGapBase || gamma >= defaultGapBase+defaultGapSpread {
+		t.Fatalf("recovered γ = %v outside [%v, %v)", gamma, defaultGapBase, defaultGapSpread+defaultGapBase)
+	}
+}
+
+// TestThroughputAtInfeasibleReadsZero: OOM is about memory, not burst
+// length — an infeasible deployment reads zero at every fidelity.
+func TestThroughputAtInfeasibleReadsZero(t *testing.T) {
+	d := fidDeployment(t, "c5.large", 1)
+	j := workload.ZeRO8BJob
+	s := New(3)
+	for _, f := range []float64{0.1, 0.5, 1} {
+		if thr := s.ThroughputAt(j, d, f); thr != 0 {
+			t.Fatalf("infeasible deployment read %v at f=%v", thr, f)
+		}
+	}
+}
+
+// TestMeasureThroughputAtFullIdentity: at f ≥ 1 (or ≤ 0) the call IS
+// MeasureThroughput — same noise stream, bitwise-identical value. This
+// is the sim-layer anchor of the end-to-end byte-identity property.
+func TestMeasureThroughputAtFullIdentity(t *testing.T) {
+	d := fidDeployment(t, "c5.xlarge", 4)
+	j := workload.ResNetCIFAR10
+	s := New(17)
+	for trial := 0; trial < 5; trial++ {
+		want := s.MeasureThroughput(j, d, trial)
+		for _, f := range []float64{1, 0, 1.25} {
+			if got := s.MeasureThroughputAt(j, d, trial, f); got != want {
+				t.Fatalf("trial %d f=%v: got %v, want bitwise %v", trial, f, got, want)
+			}
+		}
+	}
+}
+
+// TestMeasureThroughputAtNoiseInflation: empirical spread of low-f
+// readings around their biased mean grows like 1/√f.
+func TestMeasureThroughputAtNoiseInflation(t *testing.T) {
+	d := fidDeployment(t, "c5.xlarge", 4)
+	j := workload.ResNetCIFAR10
+	s := New(29)
+	spread := func(f float64) float64 {
+		mean := s.ThroughputAt(j, d, f)
+		var ss float64
+		const n = 400
+		for trial := 0; trial < n; trial++ {
+			dev := s.MeasureThroughputAt(j, d, trial, f)/mean - 1
+			ss += dev * dev
+		}
+		return math.Sqrt(ss / n)
+	}
+	s10, s90 := spread(0.10), spread(0.90)
+	// σ(0.1)/σ(0.9) should be near √9 = 3; allow generous sampling slop.
+	if ratio := s10 / s90; ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("noise inflation ratio %v, want ≈ 3 (1/√f scaling)", ratio)
+	}
+}
+
+// TestMeasureThroughputAtDistinctStreams: the same trial at different
+// fidelities draws from different noise streams, so a later full probe
+// of the same deployment is statistically fresh.
+func TestMeasureThroughputAtDistinctStreams(t *testing.T) {
+	d := fidDeployment(t, "c5.xlarge", 4)
+	j := workload.ResNetCIFAR10
+	s := New(31)
+	a := s.MeasureThroughputAt(j, d, 0, 0.5) / s.ThroughputAt(j, d, 0.5)
+	b := s.MeasureThroughputAt(j, d, 0, 0.25) / s.ThroughputAt(j, d, 0.25)
+	if a == b {
+		t.Fatalf("fidelities 0.5 and 0.25 replayed the same relative noise %v", a)
+	}
+	// And deterministic per tuple.
+	if x, y := s.MeasureThroughputAt(j, d, 2, 0.5), s.MeasureThroughputAt(j, d, 2, 0.5); x != y {
+		t.Fatalf("same tuple, different readings: %v vs %v", x, y)
+	}
+}

@@ -49,6 +49,12 @@ type Config struct {
 	ScaleUpDecay float64
 	// MultiGPUExponent: k GPUs deliver k^MultiGPUExponent of one GPU.
 	MultiGPUExponent float64
+	// GapBase and GapSpread shape the sub-sampled profiling bias (see
+	// fidelity.go): a fidelity-f measurement reads low by a factor
+	// exp(−(GapBase + GapSpread·u)·(1−f)) with u a deterministic hash of
+	// (model, instance type, seed). Zero values disable the bias.
+	GapBase   float64
+	GapSpread float64
 }
 
 // DefaultConfig returns the calibrated constants.
@@ -61,6 +67,8 @@ func DefaultConfig() Config {
 		NoiseSigma:       0.03,
 		ScaleUpDecay:     0.05,
 		MultiGPUExponent: 0.92,
+		GapBase:          defaultGapBase,
+		GapSpread:        defaultGapSpread,
 	}
 }
 
