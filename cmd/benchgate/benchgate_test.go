@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// rawBench mimics `go test -bench` output across two packages, with a
+// -count=3 repeated benchmark, allocation counters, a custom metric,
+// and a GOMAXPROCS name suffix.
+const rawBench = `goos: linux
+goarch: amd64
+pkg: mlcd
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkFig01a 	       1	    474882 ns/op	     42.35 price-spread-x
+BenchmarkHeterBOSearch 	     400	    954238 ns/op
+BenchmarkHeterBOSearch 	     400	    937047 ns/op
+BenchmarkHeterBOSearch 	     400	    950331 ns/op
+PASS
+ok  	mlcd	2.1s
+goos: linux
+goarch: amd64
+pkg: mlcd/internal/core
+BenchmarkNextCandidate-4 	    1000	     16865 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	mlcd/internal/core	0.5s
+`
+
+func TestParseAndAggregate(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(samples))
+	}
+	rows := aggregate(samples)
+	if len(rows) != 3 {
+		t.Fatalf("aggregated into %d rows, want 3 (duplicates must collapse)", len(rows))
+	}
+
+	fig := rows[0]
+	if fig.Name != "BenchmarkFig01a" || fig.Package != "mlcd" || fig.Samples != 1 {
+		t.Fatalf("row 0 = %+v", fig)
+	}
+	if fig.NsMedian != nil {
+		t.Fatalf("single-sample row carries a median: %+v", fig)
+	}
+	if got := fig.Metrics["price-spread-x"]; got != 42.35 {
+		t.Fatalf("custom metric = %v, want 42.35", got)
+	}
+
+	search := rows[1]
+	if search.Name != "BenchmarkHeterBOSearch" || search.Samples != 3 {
+		t.Fatalf("row 1 = %+v", search)
+	}
+	if search.NsPerOp != 937047 {
+		t.Fatalf("ns_per_op = %v, want the min 937047", search.NsPerOp)
+	}
+	if search.NsMedian == nil || *search.NsMedian != 950331 {
+		t.Fatalf("median = %v, want 950331", search.NsMedian)
+	}
+
+	next := rows[2]
+	if next.Name != "BenchmarkNextCandidate" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", next.Name)
+	}
+	if next.Package != "mlcd/internal/core" {
+		t.Fatalf("package = %q", next.Package)
+	}
+	if next.AllocsPerOp == nil || *next.AllocsPerOp != 0 || next.BytesPerOp == nil || *next.BytesPerOp != 0 {
+		t.Fatalf("alloc counters not captured: %+v", next)
+	}
+}
+
+func TestFmtEmitsRecordWithSpeedup(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := runFmt(
+		[]string{"-out", out, "-ref", "BenchmarkHeterBOSearch=3089809"},
+		strings.NewReader(rawBench), &bytes.Buffer{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("emitted %d rows, want 3", len(rec.Benchmarks))
+	}
+	if got := rec.Speedup["BenchmarkHeterBOSearch"]; got != 3.3 {
+		t.Fatalf("speedup = %v, want 3.3 (3089809/937047 rounded)", got)
+	}
+}
+
+func TestFmtRejectsEmptyInput(t *testing.T) {
+	if err := runFmt(nil, strings.NewReader("PASS\nok mlcd 1s\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+// writeRecord drops a minimal benchmark JSON file for compare tests.
+func writeRecord(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareMinCollapsesDuplicateRows(t *testing.T) {
+	// Duplicate rows in the old record (the PR4 schema) must collapse by
+	// min, so the gate compares 1000 — not 1500 — against the fresh 1080:
+	// an 8% regression, inside the 10% allowance.
+	old := writeRecord(t, "old.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1500},
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1000},
+		{"name": "BenchmarkNextCandidate", "ns_per_op": 100}
+	]}`)
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1080},
+		{"name": "BenchmarkNextCandidate", "ns_per_op": 60}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare([]string{"-old", old, "-new", fresh}, &out); err != nil {
+		t.Fatalf("gate failed on an 8%% delta: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	old := writeRecord(t, "old.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1000},
+		{"name": "BenchmarkNextCandidate", "ns_per_op": 100}
+	]}`)
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1200},
+		{"name": "BenchmarkNextCandidate", "ns_per_op": 90}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare([]string{"-old", old, "-new", fresh}, &out)
+	if err == nil {
+		t.Fatalf("20%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHeterBOSearch") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestCompareFailsOnMissingWatchedBenchmark(t *testing.T) {
+	old := writeRecord(t, "old.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 1000},
+		{"name": "BenchmarkNextCandidate", "ns_per_op": 100}
+	]}`)
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkHeterBOSearch", "ns_per_op": 900}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare([]string{"-old", old, "-new", fresh}, &out); err == nil {
+		t.Fatal("missing watched benchmark passed the gate")
+	}
+}
+
+func TestCompareAgainstCommittedPR4Record(t *testing.T) {
+	// The real previous record must load, and its three duplicate
+	// HeterBOSearch rows must collapse to the 937047 min.
+	mins, err := loadMins("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mins["BenchmarkHeterBOSearch"]; got != 937047 {
+		t.Fatalf("BENCH_PR4 HeterBOSearch min = %v, want 937047", got)
+	}
+	if got := mins["BenchmarkNextCandidate"]; got != 56693 {
+		t.Fatalf("BENCH_PR4 NextCandidate min = %v, want 56693", got)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// loadMins reads a benchmark record (either the historical awk-emitted
+// schema or the one `benchgate fmt` writes — both are benchmarks[] of
+// {name, ns_per_op}) and returns each benchmark's best timing. Repeated
+// rows, as in BENCH_PR4.json's three BenchmarkHeterBOSearch entries,
+// collapse by min: on a shared machine the best of -count repeats is
+// the least noise-inflated sample, so it is the comparable one.
+func loadMins(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec struct {
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	mins := make(map[string]float64, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		if cur, ok := mins[b.Name]; !ok || b.NsPerOp < cur {
+			mins[b.Name] = b.NsPerOp
+		}
+	}
+	return mins, nil
+}
+
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "previous benchmark record (required)")
+	newPath := fs.String("new", "", "fresh benchmark record (required)")
+	watch := fs.String("bench", "BenchmarkHeterBOSearch,BenchmarkNextCandidate",
+		"comma-separated benchmarks to gate")
+	maxPct := fs.Float64("max-regress-pct", 10, "fail when a watched benchmark slows by more than this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("compare: -old and -new are required")
+	}
+	oldMins, err := loadMins(*oldPath)
+	if err != nil {
+		return err
+	}
+	newMins, err := loadMins(*newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, name := range strings.Split(*watch, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		oldNs, okOld := oldMins[name]
+		newNs, okNew := newMins[name]
+		switch {
+		case !okOld:
+			// A gated benchmark absent from the previous record can't be
+			// silently waved through — the gate would rot.
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, *oldPath))
+			continue
+		case !okNew:
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, *newPath))
+			continue
+		}
+		deltaPct := (newNs/oldNs - 1) * 100
+		verdict := "ok"
+		if deltaPct > *maxPct {
+			verdict = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%% > %+.1f%% allowed)",
+					name, oldNs, newNs, deltaPct, *maxPct))
+		}
+		fmt.Fprintf(stdout, "%-28s %12.0f ns/op -> %12.0f ns/op  %+7.1f%%  %s\n",
+			name, oldNs, newNs, deltaPct, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -15,7 +15,15 @@
 // the interleaving change — so a sharded soak checks the same ground
 // truth as a serial one.
 //
-// Exit status 1 when any case errors or violates an invariant.
+// Exit status 1 when any case errors or violates an invariant. The one
+// exception is rate-bounded: oracle-regret is a quality SLO on a
+// randomized optimizer, not a hard correctness property, so a case
+// whose ONLY violation is the regret bound counts as a tail outlier
+// and the soak fails on those only when their rate exceeds
+// -max-regret-outlier-rate (default 0: every outlier fails, the
+// historical behavior). Outliers are still reported, shrunk, and
+// written as reproducers either way — the allowance bounds the exit
+// status, never the evidence.
 package main
 
 import (
@@ -37,15 +45,16 @@ import (
 
 // config carries the soak parameters main parses from flags.
 type config struct {
-	cases       int
-	seed        int64
-	shards      int
-	shrink      bool
-	out         string
-	verbose     bool
-	fidelity    string
-	regretOut   string
-	regretCases int
+	cases          int
+	seed           int64
+	shards         int
+	shrink         bool
+	out            string
+	verbose        bool
+	fidelity       string
+	regretOut      string
+	regretCases    int
+	maxOutlierRate float64
 }
 
 func main() {
@@ -59,6 +68,8 @@ func main() {
 	flag.StringVar(&cfg.fidelity, "fidelity", "", "comma-separated sub-sampling ladder forced onto every soak case, e.g. 0.25,0.5 (empty = the generator's own rotation)")
 	flag.StringVar(&cfg.regretOut, "regret-out", "", "run the paired regret-vs-profiling-cost suite instead of the soak and write its JSON report here")
 	flag.IntVar(&cfg.regretCases, "regret-cases", 40, "case pairs for the regret suite (-regret-out mode)")
+	flag.Float64Var(&cfg.maxOutlierRate, "max-regret-outlier-rate", 0,
+		"fraction of cases allowed to fail the oracle-regret bound alone before the soak exits nonzero (0 = strict)")
 	flag.Parse()
 	if cfg.regretOut != "" {
 		if err := regretStudy(cfg, os.Stdout); err != nil {
@@ -122,21 +133,26 @@ func regretStudy(cfg config, stdout io.Writer) error {
 	return nil
 }
 
-// tally accumulates one soak partition's outcome.
+// tally accumulates one soak partition's outcome. failures are hard:
+// case errors and violations of any correctness invariant.
+// regretOutliers are cases whose only violation is the oracle-regret
+// quality bound — counted apart so the gate can budget them.
 type tally struct {
-	failures    int
-	declined    int
-	chaosCases  int
-	perScenario map[search.Scenario]int
-	regretSum   float64
-	regretMax   float64
-	regretN     int
+	failures       int
+	regretOutliers int
+	declined       int
+	chaosCases     int
+	perScenario    map[search.Scenario]int
+	regretSum      float64
+	regretMax      float64
+	regretN        int
 }
 
 func newTally() *tally { return &tally{perScenario: map[search.Scenario]int{}} }
 
 func (t *tally) merge(o *tally) {
 	t.failures += o.failures
+	t.regretOutliers += o.regretOutliers
 	t.declined += o.declined
 	t.chaosCases += o.chaosCases
 	for k, v := range o.perScenario {
@@ -147,6 +163,27 @@ func (t *tally) merge(o *tally) {
 	if o.regretMax > t.regretMax {
 		t.regretMax = o.regretMax
 	}
+}
+
+// regretOnly reports whether every violation is the oracle-regret
+// bound — the tail-outlier shape the soak may budget for.
+func regretOnly(vs []conformance.Violation) bool {
+	for _, v := range vs {
+		if v.Invariant != conformance.InvRegret {
+			return false
+		}
+	}
+	return len(vs) > 0
+}
+
+// gateFailures folds a soak's tallies into the count main exits on:
+// every hard failure, plus regret outliers beyond the budgeted rate.
+func gateFailures(hard, outliers, cases int, rate float64) int {
+	allowed := int(rate * float64(cases))
+	if excess := outliers - allowed; excess > 0 {
+		return hard + excess
+	}
+	return hard
 }
 
 // soak runs the randomized conformance loop and returns the failure
@@ -207,6 +244,10 @@ func soak(cfg config, stdout, stderr io.Writer) int {
 		cfg.cases, total.chaosCases,
 		total.perScenario[search.FastestUnlimited], total.perScenario[search.CheapestWithDeadline], total.perScenario[search.FastestWithBudget],
 		total.declined, total.failures)
+	if total.regretOutliers > 0 || cfg.maxOutlierRate > 0 {
+		fmt.Fprintf(stdout, ", %d regret outliers (budget %d)",
+			total.regretOutliers, int(cfg.maxOutlierRate*float64(cfg.cases)))
+	}
 	if total.regretN > 0 {
 		fmt.Fprintf(stdout, ", regret mean=%.3f max=%.3f over %d scored picks",
 			total.regretSum/float64(total.regretN), total.regretMax, total.regretN)
@@ -215,7 +256,7 @@ func soak(cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, " [%d shards]", cfg.shards)
 	}
 	fmt.Fprintln(stdout)
-	return total.failures
+	return gateFailures(total.failures, total.regretOutliers, cfg.cases, cfg.maxOutlierRate)
 }
 
 // runCases soaks one partition of the case set into t.
@@ -255,8 +296,14 @@ func runCases(cases []conformance.Case, cfg config, t *tally, stdout, stderr io.
 			}
 			continue
 		}
-		t.failures++
-		fmt.Fprintf(stderr, "FAIL %s (%d violations):\n", c.Name, len(vs))
+		verdict := "FAIL"
+		if regretOnly(vs) {
+			t.regretOutliers++
+			verdict = "TAIL" // regret-only: budgeted by -max-regret-outlier-rate
+		} else {
+			t.failures++
+		}
+		fmt.Fprintf(stderr, "%s %s (%d violations):\n", verdict, c.Name, len(vs))
 		for _, v := range vs {
 			fmt.Fprintf(stderr, "  %s\n", v)
 		}

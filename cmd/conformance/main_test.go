@@ -83,6 +83,71 @@ func TestSoakRejectsBadLadder(t *testing.T) {
 	}
 }
 
+// TestRegretOutlierClassification replays a shrunk seed-7 soak failure
+// (a scenario-2 case whose pick misses the oracle optimum by more than
+// the regret bound, with every correctness invariant clean): it must
+// land in the regretOutliers tally, not failures, and be reported as
+// TAIL with a reproducer still written.
+func TestRegretOutlierClassification(t *testing.T) {
+	c, err := conformance.LoadCase(filepath.Join("testdata", "regret-outlier.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "failures")
+	tl := newTally()
+	var stdout, stderr strings.Builder
+	runCases([]conformance.Case{c}, config{out: out}, tl, &stdout, &stderr)
+	if tl.failures != 0 || tl.regretOutliers != 1 {
+		t.Fatalf("failures=%d outliers=%d, want 0/1:\n%s", tl.failures, tl.regretOutliers, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "TAIL") || !strings.Contains(stderr.String(), "oracle-regret") {
+		t.Errorf("outlier report wrong:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(out, c.Name+".json")); err != nil {
+		t.Errorf("budgeted outlier must still leave a reproducer: %v", err)
+	}
+}
+
+// TestGateFailures pins the outlier-budget arithmetic: hard failures
+// always fail, outliers fail only beyond rate·cases.
+func TestGateFailures(t *testing.T) {
+	for _, tc := range []struct {
+		hard, outliers, cases int
+		rate                  float64
+		want                  int
+	}{
+		{0, 0, 2000, 0, 0},      // clean
+		{0, 4, 200, 0, 4},       // strict default: every outlier fails
+		{0, 8, 2000, 0.01, 0},   // 8 ≤ 20 budgeted
+		{0, 25, 2000, 0.01, 5},  // 5 beyond budget
+		{2, 8, 2000, 0.01, 2},   // hard failures never budgeted
+		{1, 30, 2000, 0.01, 11}, // both
+		{0, 1, 50, 0.01, 1},     // budget truncates to 0 at small counts
+	} {
+		got := gateFailures(tc.hard, tc.outliers, tc.cases, tc.rate)
+		if got != tc.want {
+			t.Errorf("gateFailures(%d,%d,%d,%v) = %d, want %d",
+				tc.hard, tc.outliers, tc.cases, tc.rate, got, tc.want)
+		}
+	}
+}
+
+// TestRegretOnly: mixed violations are hard failures, pure regret is a
+// tail outlier, no violations is neither.
+func TestRegretOnly(t *testing.T) {
+	reg := conformance.Violation{Invariant: conformance.InvRegret, Detail: "x"}
+	ledger := conformance.Violation{Invariant: conformance.InvLedger, Detail: "y"}
+	if !regretOnly([]conformance.Violation{reg, reg}) {
+		t.Error("pure regret violations must classify as outlier")
+	}
+	if regretOnly([]conformance.Violation{reg, ledger}) {
+		t.Error("regret mixed with a correctness violation must stay a hard failure")
+	}
+	if regretOnly(nil) {
+		t.Error("no violations is not an outlier")
+	}
+}
+
 // TestRegretStudyWritesReport drives the -regret-out mode end to end on
 // a small pairing and checks the report lands on disk with savings.
 func TestRegretStudyWritesReport(t *testing.T) {

@@ -85,6 +85,11 @@ func (m *MultiFidelitySurrogate) PredictAll(ds []cloud.Deployment, mu, sigma []f
 	m.serving().PredictAll(ds, mu, sigma, workers)
 }
 
+// PredictMatrix mirrors Surrogate.PredictMatrix on the serving model.
+func (m *MultiFidelitySurrogate) PredictMatrix(feats []float64, dim int, mu, sigma []float64, scratch *gp.PredictMatrixScratch) {
+	m.serving().PredictMatrix(feats, dim, mu, sigma, scratch)
+}
+
 // Predict mirrors Surrogate.Predict on the serving model.
 func (m *MultiFidelitySurrogate) Predict(d cloud.Deployment) (mu, sigma float64) {
 	return m.serving().Predict(d)

@@ -92,6 +92,19 @@ func (s *Surrogate) PredictAll(ds []cloud.Deployment, mu, sigma []float64, worke
 	s.model.PredictBatch(xs, mu, sigma, workers)
 }
 
+// PredictMatrix fills mu[c], sigma[c] with the posterior at the m
+// queries packed row-major in feats (len(feats) = m·dim), reusing the
+// caller's scratch so a hot search loop performs no per-sweep feature
+// encoding or allocation. The outputs are bit-identical to PredictAll
+// over the same queries in the same order; see gp.PredictMatrix for the
+// determinism argument.
+func (s *Surrogate) PredictMatrix(feats []float64, dim int, mu, sigma []float64, scratch *gp.PredictMatrixScratch) {
+	if s.model == nil || s.Len() == 0 {
+		panic("bo: PredictMatrix before any observation")
+	}
+	s.model.PredictMatrix(feats, dim, mu, sigma, scratch)
+}
+
 // Predict returns the posterior mean and standard deviation of the
 // objective at deployment d.
 func (s *Surrogate) Predict(d cloud.Deployment) (mu, sigma float64) {

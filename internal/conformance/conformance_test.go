@@ -11,8 +11,8 @@ import (
 	"mlcd/internal/cloud"
 	"mlcd/internal/obs"
 	"mlcd/internal/rngtape"
-	"mlcd/internal/sim"
 	"mlcd/internal/search"
+	"mlcd/internal/sim"
 )
 
 // TestRandomizedConformance is the bounded tier-1 slice of the soak

@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlcd/internal/obs"
+	"mlcd/internal/rngtape"
+)
+
+// The trace golden suite pins the search's decision sequence byte for
+// byte across the generator's case distribution: scenarios rotate
+// (idx%3), every 4th case arms a fault plan (censored probes and
+// quarantine), every 2nd arms a fidelity ladder, and the concave prior
+// fires wherever a type's scale-out curve rolls over. The goldens were
+// recorded from the pre-PR-8 three-pass scalar search; the vectorized
+// SoA/PredictMatrix path must reproduce every trace — probes, order,
+// acquisition values, prunings, stop reason, and pick — exactly.
+//
+// Regenerate (only after an intentional semantic change) with:
+//
+//	UPDATE_TRACE_GOLDEN=1 go test -run TestSearchTraceGolden ./internal/conformance/
+const (
+	traceGoldenCases = 24
+	traceGoldenSeed  = 20260808
+	traceGoldenPath  = "testdata/trace_golden/digests.json"
+)
+
+// traceGoldenEntry is one case's pinned outcome: the picked deployment
+// (human-readable anchor for reviewers) and a digest of the full trace
+// JSON. Errors (honest declines included) pin their message instead.
+type traceGoldenEntry struct {
+	Pick   string `json:"pick,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Digest string `json:"digest,omitempty"`
+}
+
+func runTraceGoldenCase(i int) (string, traceGoldenEntry) {
+	rng := rngtape.New(int64(traceGoldenSeed + i))
+	c := GenerateCase(rng, i)
+	c.Name = fmt.Sprintf("golden-%02d", i)
+	a, err := RunCase(c)
+	if err != nil {
+		return c.Name, traceGoldenEntry{Error: err.Error()}
+	}
+	b, merr := obs.MarshalTrace(a.Trace)
+	if merr != nil {
+		return c.Name, traceGoldenEntry{Error: "marshal: " + merr.Error()}
+	}
+	sum := sha256.Sum256(b)
+	return c.Name, traceGoldenEntry{
+		Pick:   a.Report.Outcome.Best.String(),
+		Digest: hex.EncodeToString(sum[:]),
+	}
+}
+
+func TestSearchTraceGolden(t *testing.T) {
+	got := make(map[string]traceGoldenEntry, traceGoldenCases)
+	for i := 0; i < traceGoldenCases; i++ {
+		name, e := runTraceGoldenCase(i)
+		got[name] = e
+	}
+
+	if os.Getenv("UPDATE_TRACE_GOLDEN") != "" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(traceGoldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), traceGoldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(traceGoldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (run with UPDATE_TRACE_GOLDEN=1 to record): %v", err)
+	}
+	var want map[string]traceGoldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", traceGoldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, suite produced %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing from this run", name)
+			continue
+		}
+		if g != w {
+			// Dump the diverging trace next to the test binary so the
+			// exact event sequence can be diffed against a pre-change
+			// checkout.
+			dump := filepath.Join(os.TempDir(), name+".trace.json")
+			t.Errorf("%s: trace diverged from pre-refactor golden\n  want pick=%s digest=%s err=%q\n  got  pick=%s digest=%s err=%q\n  (full trace dumpable via UPDATE_TRACE_GOLDEN into %s)",
+				name, w.Pick, w.Digest, w.Error, g.Pick, g.Digest, g.Error, dump)
+		}
+	}
+}

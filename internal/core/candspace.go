@@ -1,0 +1,142 @@
+// Flat candidate-space geometry for the acquisition hot loop.
+//
+// nextCandidate used to re-derive everything per candidate per sweep:
+// a fmt.Sprintf map key for each of three map filters, a fresh 5-float
+// feature slice for the GP, and a reserve check that re-ran the final
+// pick over all observations — for every candidate, every step. This
+// file flattens the space once per search into struct-of-arrays form
+// (precomputed keys, encoded features, capacity columns) plus mutable
+// masks the probe path maintains in O(1), so a sweep becomes: mask
+// filter → gather → one batched posterior → serial argmax. Every
+// floating-point operation and comparison of the original sweep is
+// preserved (see scanCandidates), so traces stay byte-identical.
+
+package core
+
+import (
+	"mlcd/internal/cloud"
+	"mlcd/internal/gp"
+)
+
+// candSpace is the flat view of one search's deployment space. The
+// geometry columns (deps … capTotal) are immutable after construction;
+// the mask columns mirror the state's string-keyed bookkeeping maps and
+// are kept in sync by state.probe (the only mutation site after the
+// view is seeded).
+type candSpace struct {
+	n   int // candidates (== space.Len())
+	dim int // feature dimensionality (len(cloud.Features))
+
+	deps  []cloud.Deployment
+	keys  []string  // precomputed Deployment.Key() per candidate
+	feats []float64 // n×dim row-major cloud.Features encodings
+	nodes []int     // node count per candidate
+
+	// canon[i] is the index of the first candidate sharing i's key.
+	// Masks are read and written at the canonical index, so duplicate
+	// deployments in a hand-built space filter together — exactly as
+	// the shared-map-key code did.
+	canon []int
+
+	typeIdx  []int                // per candidate: index into types
+	types    []cloud.InstanceType // distinct types, first-seen order
+	capGiB   []float64            // nodeCapacityGiB(type) per candidate
+	capTotal []float64            // capGiB·nodes (sharded OOM bound)
+	hourly   []float64            // HourlyCost() per candidate (Eq. 8's P(m)·n)
+
+	idxByKey map[string]int // key → canonical index
+
+	// Masks, indexed canonically. anyQuarantined gates the quarantine
+	// column the way len(st.quarantined) > 0 gated the map.
+	profiled       []bool
+	pending        []bool // a low-fidelity reading awaits confirmation
+	quarantined    []bool
+	anyQuarantined bool
+
+	// typeBound[t] caps explorable node counts per type (0 = unbounded);
+	// refreshed from state.priorBound at the top of every sweep.
+	typeBound []int
+}
+
+// newCandSpace flattens space. O(n) including the one-time key builds
+// the per-sweep hot loop no longer pays.
+func newCandSpace(space *cloud.Space) *candSpace {
+	n := space.Len()
+	dim := len(cloud.Features(space.At(0)))
+	cs := &candSpace{
+		n: n, dim: dim,
+		deps:        make([]cloud.Deployment, n),
+		keys:        make([]string, n),
+		feats:       make([]float64, n*dim),
+		nodes:       make([]int, n),
+		canon:       make([]int, n),
+		typeIdx:     make([]int, n),
+		capGiB:      make([]float64, n),
+		capTotal:    make([]float64, n),
+		hourly:      make([]float64, n),
+		idxByKey:    make(map[string]int, n),
+		profiled:    make([]bool, n),
+		pending:     make([]bool, n),
+		quarantined: make([]bool, n),
+	}
+	typeIdxByName := make(map[string]int)
+	for i := 0; i < n; i++ {
+		d := space.At(i)
+		cs.deps[i] = d
+		cs.keys[i] = d.Key()
+		copy(cs.feats[i*dim:(i+1)*dim], cloud.Features(d))
+		cs.nodes[i] = d.Nodes
+		ti, ok := typeIdxByName[d.Type.Name]
+		if !ok {
+			ti = len(cs.types)
+			typeIdxByName[d.Type.Name] = ti
+			cs.types = append(cs.types, d.Type)
+		}
+		cs.typeIdx[i] = ti
+		cap := nodeCapacityGiB(d.Type)
+		cs.capGiB[i] = cap
+		cs.capTotal[i] = cap * float64(d.Nodes)
+		cs.hourly[i] = d.HourlyCost()
+		if first, ok := cs.idxByKey[cs.keys[i]]; ok {
+			cs.canon[i] = first
+		} else {
+			cs.idxByKey[cs.keys[i]] = i
+			cs.canon[i] = i
+		}
+	}
+	cs.typeBound = make([]int, len(cs.types))
+	return cs
+}
+
+// refreshTypeBounds mirrors the concave-prior map into the flat column.
+// Bounds are always ≥ 1 node, so the absent-key zero means unbounded —
+// the same reading the map's ok-flag gave.
+func (cs *candSpace) refreshTypeBounds(bounds map[string]int) {
+	for ti := range cs.types {
+		cs.typeBound[ti] = bounds[cs.types[ti].Name]
+	}
+}
+
+// searchArena pools every per-sweep buffer of the acquisition loop:
+// the surviving-candidate index list, the gathered feature block, the
+// batched posterior outputs and their GP scratch, and the small
+// fidelity-menu slices. Buffers are resliced, never shrunk, so after
+// the first sweep (the largest — the candidate set only shrinks as
+// probes land) a steady-state sweep allocates nothing.
+type searchArena struct {
+	candIdx []int
+	feats   []float64
+	mu      []float64
+	sigma   []float64
+	menu    []float64
+	passing []float64
+	scratch gp.PredictMatrixScratch
+}
+
+// growFloats returns a length-n slice, reusing buf's capacity.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

@@ -228,6 +228,13 @@ type state struct {
 	// priorBound[type] caps explorable node counts after the concave
 	// prior fires (0 = unbounded).
 	priorBound map[string]int
+	// cand is the flat struct-of-arrays view of the space the hot sweep
+	// scans, built lazily at the first acquisition sweep (so probes that
+	// predate it — init anchors, warm starts — are folded in by the seed
+	// pass) and kept in sync by probe from then on. arena pools every
+	// per-sweep buffer; see candspace.go.
+	cand  *candSpace
+	arena searchArena
 	// Memory-feasibility bounds learned from OOM probes, in GiB of
 	// accelerator/host capacity. A replicated-state model that OOMs on a
 	// node with capacity c cannot fit any node with capacity ≤ c; a
@@ -678,6 +685,17 @@ func (st *state) affordableBracket(t cloud.InstanceType, hi int) int {
 // measurement from a censored failure.
 func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profiler.Result {
 	r := profiler.ProbeAt(st.prof, st.job, d, fid)
+	key := d.Key()
+	// ci is d's canonical slot in the flat candidate view: -1 before the
+	// view exists (init and warm-start probes — the view's seed pass
+	// covers those) or when d lies outside the space. Every mask the
+	// acquisition sweep reads is updated here, next to the map it mirrors.
+	ci := -1
+	if st.cand != nil {
+		if i, ok := st.cand.idxByKey[key]; ok {
+			ci = i
+		}
+	}
 	// Trust the fidelity the profiler DELIVERED, not the one requested:
 	// a profiler without sub-sampling support silently runs (and bills)
 	// a full probe, and the books must follow the bill.
@@ -694,9 +712,15 @@ func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profil
 	st.spentCost += r.Cost
 	if !r.Failed {
 		if low {
-			st.lowProbed[d.Key()] = f
+			st.lowProbed[key] = f
+			if ci >= 0 {
+				st.cand.pending[ci] = true
+			}
 		} else {
-			st.profiled[d.Key()] = true
+			st.profiled[key] = true
+			if ci >= 0 {
+				st.cand.profiled[ci] = true
+			}
 			st.obs = append(st.obs, search.Observation{Deployment: d, Throughput: r.Throughput})
 		}
 	}
@@ -740,7 +764,7 @@ func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profil
 			st.emit(obs.Event{
 				Kind:       "quarantined",
 				Deployment: d.String(),
-				Note:       fmt.Sprintf("%d failed probes", st.failures[d.Key()]),
+				Note:       fmt.Sprintf("%d failed probes", st.failures[key]),
 			})
 		}
 	}()
@@ -767,10 +791,13 @@ func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profil
 		// Infrastructure failure: no signal about the deployment, so no
 		// observation is recorded and the key stays eligible for a
 		// retry — until repeated failures quarantine it.
-		key := d.Key()
 		st.failures[key]++
 		if st.failures[key] > st.opts.FailureRetries {
 			st.quarantined[key] = true
+			if ci >= 0 {
+				st.cand.quarantined[ci] = true
+				st.cand.anyQuarantined = true
+			}
 			quarantinedNow = true
 			st.steps[len(st.steps)-1].Note += " (probe failed; quarantined)"
 		} else {
@@ -804,11 +831,25 @@ func (st *state) probe(d cloud.Deployment, fid, acq float64, note string) profil
 	if up != nil {
 		// This full probe confirmed a pending low-fidelity measurement:
 		// the exact pair just taught the gap model.
-		delete(st.lowProbed, d.Key())
+		delete(st.lowProbed, key)
+		if ci >= 0 {
+			st.cand.pending[ci] = false
+		}
 		gapUp = up
 	}
 	return r
 }
+
+// obsByNodes sorts observations by ascending node count. A concrete
+// sort.Interface spares updatePrior sort.Slice's per-call reflection
+// Swapper; both run the standard library's pdqsort, whose comparisons
+// and swaps depend only on Less results, so the resulting order —
+// including equal-node ties — is unchanged.
+type obsByNodes []search.Observation
+
+func (s obsByNodes) Len() int           { return len(s) }
+func (s obsByNodes) Less(i, j int) bool { return s[i].Deployment.Nodes < s[j].Deployment.Nodes }
+func (s obsByNodes) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // updatePrior applies the concave scale-out prior: for each type, find
 // the smallest profiled n₂ whose throughput declined versus the next
@@ -833,7 +874,7 @@ func (st *state) updatePrior() {
 	sort.Strings(names)
 	for _, name := range names {
 		list := byType[name]
-		sort.Slice(list, func(i, j int) bool { return list[i].Deployment.Nodes < list[j].Deployment.Nodes })
+		sort.Sort(obsByNodes(list))
 		for i := 1; i < len(list); i++ {
 			if list[i].Throughput < list[i-1].Throughput*noiseMargin {
 				bound := list[i].Deployment.Nodes
@@ -903,63 +944,226 @@ func (st *state) screenFid() float64 {
 // satisfies the user constraint, and a candidate only qualifies if even
 // its optimistic (95 % upper-bound) throughput would leave positive TEI
 // headroom — enough deadline/budget for the probe plus training there.
-//
-// The sweep runs in three passes. Pass 1 applies the cheap state-only
-// filters (profiled, pruned, reserve) serially to fix the candidate set.
-// Pass 2 — the expensive part, one GP posterior per candidate — fans out
-// over Options.Workers goroutines; each result lands in its candidate's
-// index slot, and the posterior only reads the surrogate. Pass 3 walks
-// the slots in index order applying the CI filter, TEI headroom, and the
-// strict-greater argmax, which is the identical comparison sequence a
-// serial sweep performs, so the selected probe, its score, and maxRawEI
-// are bit-for-bit independent of the worker count.
 func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 	if st.surr.Len() == 0 {
 		return cloud.Deployment{}, candidateScore{}, false
 	}
 	start := time.Now()
-	defer func() { st.perf.ObserveSearchScore(time.Since(start)) }()
+	d, score, ok := st.scanCandidates()
+	st.perf.ObserveSearchScore(time.Since(start))
+	return d, score, ok
+}
+
+// ensureCand builds the flat candidate view on first use and seeds its
+// masks from the bookkeeping maps, folding in every probe that predates
+// the view (init anchors, warm starts, feasibility anchoring). From here
+// on probe maintains the masks incrementally.
+func (st *state) ensureCand() {
+	if st.cand != nil {
+		return
+	}
+	cs := newCandSpace(st.space)
+	for i, key := range cs.keys {
+		ci := cs.canon[i]
+		if st.profiled[key] {
+			cs.profiled[ci] = true
+		}
+		if _, ok := st.lowProbed[key]; ok {
+			cs.pending[ci] = true
+		}
+		if len(st.quarantined) > 0 && st.quarantined[key] {
+			cs.quarantined[ci] = true
+			cs.anyQuarantined = true
+		}
+	}
+	st.cand = cs
+}
+
+// sweepMenu is the fidelity menu every pass-1 survivor shares: survivors
+// are never pending (the pending branch of fidelityOptions cannot fire),
+// so one menu — full first, then the ladder descending — serves the
+// whole sweep from the arena instead of a per-candidate allocation.
+func (st *state) sweepMenu() []float64 {
+	if len(st.opts.Fidelities) == 0 {
+		return fullOnly
+	}
+	menu := append(st.arena.menu[:0], 1)
+	for i := len(st.opts.Fidelities) - 1; i >= 0; i-- {
+		menu = append(menu, st.opts.Fidelities[i])
+	}
+	st.arena.menu = menu
+	return menu
+}
+
+// reserveGate is admissibleAt with its sweep-invariant parts hoisted:
+// the tightened constraint, the profiling spend, and the reserve pick
+// (one PickBest over the observations — formerly re-run per candidate
+// per fidelity) are fixed for a whole sweep, leaving only the probe's
+// own bill per call. The subtraction order matches admissibleAt's
+// left-to-right evaluation, so every admit verdict is bit-identical.
+type reserveGate struct {
+	open bool // DisableReserve or an unconstrained scenario: admit all
+	scen search.Scenario
+
+	deadlineLeft time.Duration // tightened deadline − spentTime
+	reserveT     time.Duration
+	haveT        bool
+
+	budgetLeft float64 // tightened budget − spentCost
+	reserveC   float64
+	haveC      bool
+}
+
+// reserveGateNow captures the sweep's reserve state.
+func (st *state) reserveGateNow() reserveGate {
+	g := reserveGate{scen: st.scen}
+	if st.opts.DisableReserve {
+		g.open = true
+		return g
+	}
+	tight := st.tightened()
+	switch st.scen {
+	case search.CheapestWithDeadline:
+		g.deadlineLeft = tight.Deadline - st.spentTime
+		g.reserveT, g.haveT = st.reserveTrainTime()
+	case search.FastestWithBudget:
+		g.budgetLeft = tight.Budget - st.spentCost
+		g.reserveC, g.haveC = st.reserveTrainCost()
+	default:
+		g.open = true
+	}
+	return g
+}
+
+// admits reports whether probing a deployment of the given node count
+// and $/hour at fidelity f leaves the reserve intact — admissibleAt,
+// minus the per-call recomputation. hourly is the precomputed
+// HourlyCost() (the same PricePerHr·n multiply CostAt performed per
+// call, so the probe bill hourly·DurationAt.Hours() is bit-identical).
+func (g reserveGate) admits(nodes int, hourly, f float64) bool {
+	if g.open {
+		return true
+	}
+	switch g.scen {
+	case search.CheapestWithDeadline:
+		headroom := g.deadlineLeft - profiler.DurationAt(nodes, f)
+		if headroom <= 0 {
+			return false
+		}
+		if g.haveT && headroom < g.reserveT {
+			return false
+		}
+		return true
+	case search.FastestWithBudget:
+		headroom := g.budgetLeft - hourly*profiler.DurationAt(nodes, f).Hours()
+		if headroom <= 0 {
+			return false
+		}
+		if g.haveC && headroom < g.reserveC {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// scanCandidates is the acquisition sweep over the flat candidate view:
+// mask filter → gather → one batched posterior → serial argmax. It
+// decides exactly what the original three-pass loop (per-candidate map
+// keys, per-candidate feature encodings, per-candidate reserve picks,
+// fan-out PredictAll) decided:
+//
+//   - pass 1's filters are pure state reads, so evaluating them from the
+//     masks — which probe keeps bit-for-bit in sync with the maps — and
+//     hoisting the reserve gate's sweep-invariant pieces reorders no
+//     floating-point operation that reaches a verdict;
+//   - pass 2 gathers the precomputed cloud.Features rows (the same bits
+//     PredictAll re-encoded per call) and takes ONE batched posterior,
+//     which gp.PredictMatrix guarantees bit-identical to the per-query
+//     loop at any worker count;
+//   - pass 3 walks survivors in space-index order applying the CI
+//     filter, TEI headroom, and strict-greater argmax in the original
+//     comparison sequence. Survivors are never pending, so GapStd — a
+//     map lookup behind a fresh Sprintf key — is identically zero and
+//     sigma is used as-is.
+//
+// The selected probe, its score, and maxRawEI are therefore byte-
+// identical to the pre-flattening sweep; the conformance trace goldens
+// and the SoA property test pin this.
+func (st *state) scanCandidates() (cloud.Deployment, candidateScore, bool) {
+	st.ensureCand()
+	cs, ar := st.cand, &st.arena
 	bestObj, haveFeasible := st.feasibleIncumbentObjective()
 	if !haveFeasible {
 		// Nothing feasible yet: every candidate is an improvement, so
 		// anchor EI below everything observed.
 		bestObj = st.surr.BestObserved() - 3
 	}
-	cands := make([]cloud.Deployment, 0, st.space.Len())
-	for i := 0; i < st.space.Len(); i++ {
-		d := st.space.At(i)
-		// The reserve filter admits a candidate if its *cheapest* offered
-		// fidelity fits: what can only be afforded sub-sampled stays in
-		// play, and the per-fidelity reserve check below settles the rest.
-		if st.profiled[d.Key()] || st.pruned(d) || !st.admissibleCheapest(d) {
-			continue
-		}
+	menu := st.sweepMenu()
+	// The reserve filter admits a candidate if its *cheapest* offered
+	// fidelity fits: what can only be afforded sub-sampled stays in
+	// play, and the per-fidelity reserve check in pass 3 settles the rest.
+	cheapest := menu[len(menu)-1]
+	gate := st.reserveGateNow()
+	cs.refreshTypeBounds(st.priorBound)
+	sharded := st.job.Model.ShardedStates
+
+	// Pass 1: mask filter (profiled/pending/quarantined/OOM bounds/
+	// concave prior — the former pruned()), then the reserve gate.
+	candIdx := ar.candIdx[:0]
+	for i := 0; i < cs.n; i++ {
+		ci := cs.canon[i]
 		// A pending screen already informs the surrogate through the gap
 		// model; re-probing it buys little. Only the confirmation sweep
 		// may spend the full probe, and only if the point still contends.
-		if _, pending := st.lowProbed[d.Key()]; pending {
+		if cs.profiled[ci] || cs.pending[ci] {
 			continue
 		}
-		cands = append(cands, d)
+		if cs.anyQuarantined && cs.quarantined[ci] {
+			continue
+		}
+		if sharded {
+			if cs.capTotal[i] <= st.oomShardedCap {
+				continue
+			}
+		} else if cs.capGiB[i] <= st.oomReplicatedCap {
+			continue
+		}
+		if b := cs.typeBound[cs.typeIdx[i]]; b > 0 && cs.nodes[i] > b {
+			continue
+		}
+		if !gate.admits(cs.nodes[i], cs.hourly[i], cheapest) {
+			continue
+		}
+		candIdx = append(candIdx, i)
 	}
-	if len(cands) == 0 {
+	ar.candIdx = candIdx
+	if len(candIdx) == 0 {
 		return cloud.Deployment{}, candidateScore{}, false
 	}
-	mu := make([]float64, len(cands))
-	sigma := make([]float64, len(cands))
-	st.surr.PredictAll(cands, mu, sigma, st.opts.Workers)
+
+	// Pass 2: gather the survivors' feature rows and take one batched
+	// posterior over the whole block.
+	m := len(candIdx)
+	ar.feats = growFloats(ar.feats, m*cs.dim)
+	for c, i := range candIdx {
+		copy(ar.feats[c*cs.dim:(c+1)*cs.dim], cs.feats[i*cs.dim:(i+1)*cs.dim])
+	}
+	ar.mu = growFloats(ar.mu, m)
+	ar.sigma = growFloats(ar.sigma, m)
+	st.surr.PredictMatrix(ar.feats, cs.dim, ar.mu, ar.sigma, &ar.scratch)
+
+	// Pass 3: serial argmax in space-index order.
 	var (
 		best      cloud.Deployment
 		bestScore candidateScore
 		found     bool
 	)
-	for i, d := range cands {
-		// A pending low-fidelity reading entered the GP gap-corrected;
-		// the correction's own uncertainty widens the posterior there so
-		// a confirming probe stays worth considering. Zero otherwise, so
-		// the classic all-full search sees sigma unchanged.
-		sig := sigma[i] + st.surr.GapStd(d)
-		optimistic := mu[i] + st.opts.ConfidenceZ*sig
+	for c, i := range candIdx {
+		d := cs.deps[i]
+		sig := ar.sigma[c]
+		optimistic := ar.mu[c] + st.opts.ConfidenceZ*sig
 		// 95 % CI filter (§III-C stop condition): skip candidates whose
 		// optimistic bound cannot beat the feasible incumbent.
 		if optimistic <= bestObj {
@@ -969,16 +1173,17 @@ func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 		// fidelity: a sub-sampled probe is cheaper but commits the search
 		// to a confirming full probe before its point can be picked, so
 		// its TEI check prices probe AND confirmation.
-		var passing []float64
-		for _, f := range st.fidelityOptions(d) {
-			if st.teiPositiveAt(d, f, optimistic) && st.admissibleAt(d, f) {
+		passing := ar.passing[:0]
+		for _, f := range menu {
+			if st.teiPositiveAt(d, f, optimistic) && gate.admits(cs.nodes[i], cs.hourly[i], f) {
 				passing = append(passing, f)
 			}
 		}
+		ar.passing = passing
 		if len(passing) == 0 {
 			continue
 		}
-		ei := st.opts.Acquisition.Score(mu[i], sig, bestObj)
+		ei := st.opts.Acquisition.Score(ar.mu[c], sig, bestObj)
 		if ei <= 0 {
 			continue
 		}
@@ -992,7 +1197,7 @@ func (st *state) nextCandidate() (cloud.Deployment, candidateScore, bool) {
 			score := ei * math.Sqrt(f)
 			note := "explore"
 			if !st.opts.DisableCostPenalty {
-				score = score / st.penaltyAt(d, f)
+				score = score / st.penaltyFlat(cs.nodes[i], cs.hourly[i], f)
 				note = "explore/cost-aware"
 			}
 			if f < 1 {
@@ -1050,11 +1255,15 @@ func (st *state) feasibleIncumbentObjective() (float64, bool) {
 	// has no incumbent until the final sweep — EI stays anchored at the
 	// floor and the loop screens the whole space.
 	if len(st.lowProbed) > 0 && st.surr.Len() > 0 {
-		for i := 0; i < st.space.Len(); i++ {
-			d := st.space.At(i)
-			if _, pending := st.lowProbed[d.Key()]; !pending {
+		st.ensureCand()
+		// The pending mask mirrors lowProbed for every in-space key and
+		// follows space-index order, so this visits exactly the
+		// deployments the space scan with per-candidate keys visited.
+		for i := 0; i < st.cand.n; i++ {
+			if !st.cand.pending[st.cand.canon[i]] {
 				continue
 			}
+			d := st.cand.deps[i]
 			mu, _ := st.surr.Predict(d)
 			// Invert the log-objective back to throughput for the same
 			// feasibility judgement the full observations get.
@@ -1116,11 +1325,18 @@ func (st *state) teiPositiveAt(d cloud.Deployment, f, optimisticLogObj float64) 
 // the time-constrained scenarios, profiling dollars when a monetary
 // budget rules.
 func (st *state) penaltyAt(d cloud.Deployment, f float64) float64 {
+	return st.penaltyFlat(d.Nodes, d.HourlyCost(), f)
+}
+
+// penaltyFlat is penaltyAt on the flat columns: CostAt(d, f) expands to
+// HourlyCost()·DurationAt(...).Hours(), so the precomputed hourly rate
+// reproduces it multiply for multiply.
+func (st *state) penaltyFlat(nodes int, hourly, f float64) float64 {
 	switch st.scen {
 	case search.FastestWithBudget:
-		return profiler.CostAt(d, f)
+		return hourly * profiler.DurationAt(nodes, f).Hours()
 	default:
-		return profiler.DurationAt(d.Nodes, f).Hours()
+		return profiler.DurationAt(nodes, f).Hours()
 	}
 }
 

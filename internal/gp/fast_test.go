@@ -176,6 +176,181 @@ func TestPredictIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBatchKernelMatchesScalar pins the devirtualized row-batch kernel
+// evaluations bit for bit against the scalar Eval/EvalDiff calls they
+// replace, for every stationary family, including the exact-zero
+// diagonal short-circuit.
+func TestBatchKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 30; trial++ {
+		dim := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(20)
+		for _, k := range fastKernels(dim, rng) {
+			bk, ok := k.(batchStationary)
+			if !ok {
+				t.Fatalf("%s: does not implement batchStationary", k.Name())
+			}
+			x := make([]float64, dim)
+			for d := range x {
+				x[d] = rng.NormFloat64() * 3
+			}
+			qs := make([]float64, m*dim)
+			for i := range qs {
+				qs[i] = rng.NormFloat64() * 3
+			}
+			// One query coincides with x so the r2 == 0 branch fires.
+			copy(qs[(m-1)*dim:], x)
+			dst := make([]float64, m)
+			bk.evalRowInto(dst, x, qs)
+			for c := 0; c < m; c++ {
+				if want := k.Eval(x, qs[c*dim:(c+1)*dim]); dst[c] != want {
+					t.Fatalf("%s: evalRowInto[%d] = %v, Eval = %v", k.Name(), c, dst[c], want)
+				}
+			}
+			diffs := make([]float64, m*dim)
+			for c := 0; c < m; c++ {
+				for d := 0; d < dim; d++ {
+					diffs[c*dim+d] = x[d] - qs[c*dim+d]
+				}
+			}
+			bk.evalDiffBatch(dst, diffs)
+			for c := 0; c < m; c++ {
+				if want := k.EvalDiff(diffs[c*dim : (c+1)*dim]); dst[c] != want {
+					t.Fatalf("%s: evalDiffBatch[%d] = %v, EvalDiff = %v", k.Name(), c, dst[c], want)
+				}
+			}
+			// appendParams must match Params exactly.
+			p := bk.appendParams(nil)
+			for i, v := range k.Params() {
+				if p[i] != v {
+					t.Fatalf("%s: appendParams[%d] = %v, Params = %v", k.Name(), i, p[i], v)
+				}
+			}
+		}
+	}
+}
+
+// packQueries flattens query points row-major for PredictMatrix.
+func packQueries(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(xs)*len(xs[0]))
+	for _, x := range xs {
+		out = append(out, x...)
+	}
+	return out
+}
+
+// TestPredictMatrixMatchesPredictInto is the batch posterior's core
+// contract: identical bits to a PredictInto loop over the same queries,
+// for every kernel family, across sizes, including queries that coincide
+// with training points.
+func TestPredictMatrixMatchesPredictInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(16)
+		for _, k := range fastKernels(dim, rng) {
+			g := fitRandom(t, k, n, dim, rng)
+			m := 1 + rng.Intn(30)
+			xs := make([][]float64, m)
+			for i := range xs {
+				xs[i] = make([]float64, dim)
+				for d := range xs[i] {
+					xs[i][d] = rng.NormFloat64() * 3
+				}
+			}
+			// One query sits exactly on a training point.
+			copy(xs[m-1], g.x[rng.Intn(n)])
+			var ps PredictScratch
+			wantMu := make([]float64, m)
+			wantSigma := make([]float64, m)
+			for i, x := range xs {
+				wantMu[i], wantSigma[i] = g.PredictInto(x, &ps)
+			}
+			var s PredictMatrixScratch
+			mu := make([]float64, m)
+			sigma := make([]float64, m)
+			g.PredictMatrix(packQueries(xs), dim, mu, sigma, &s)
+			for i := range xs {
+				if mu[i] != wantMu[i] || sigma[i] != wantSigma[i] {
+					t.Fatalf("%s trial %d: query %d: (%v,%v) want (%v,%v)",
+						k.Name(), trial, i, mu[i], sigma[i], wantMu[i], wantSigma[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictMatrixZeroAlloc extends the PredictInto zero-alloc pin to
+// the batch path: with warmed scratch, a steady-state PredictMatrix
+// sweep performs zero allocations.
+func TestPredictMatrixZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := fitRandom(t, NewMatern52(4), 20, 4, rng)
+	qs := make([]float64, 50*4)
+	for i := range qs {
+		qs[i] = rng.NormFloat64()
+	}
+	mu := make([]float64, 50)
+	sigma := make([]float64, 50)
+	var s PredictMatrixScratch
+	g.PredictMatrix(qs, 4, mu, sigma, &s) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		g.PredictMatrix(qs, 4, mu, sigma, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictMatrix allocates %v per call, want 0", allocs)
+	}
+}
+
+// FuzzPredictMatrix drives the batch posterior with fuzzer-chosen sizes
+// and seeds, asserting bit equality with the serial path — the same
+// harness shape FuzzCholeskyExtend uses for the incremental factor.
+func FuzzPredictMatrix(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(10))
+	f.Add(int64(42), uint8(1), uint8(1))
+	f.Add(int64(-3), uint8(12), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, size, queries uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		n := int(size%16) + 1
+		m := int(queries%40) + 1
+		g := New(NewMatern52(dim), 1e-4)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for d := range xs[i] {
+				xs[i][d] = rng.NormFloat64() * 2
+			}
+			ys[i] = rng.NormFloat64()
+		}
+		if err := g.Fit(xs, ys); err != nil {
+			t.Skip("conditioning failed")
+		}
+		q := make([][]float64, m)
+		for i := range q {
+			q[i] = make([]float64, dim)
+			for d := range q[i] {
+				q[i][d] = rng.NormFloat64() * 3
+			}
+		}
+		var ps PredictScratch
+		var s PredictMatrixScratch
+		mu := make([]float64, m)
+		sigma := make([]float64, m)
+		g.PredictMatrix(packQueries(q), dim, mu, sigma, &s)
+		for i, x := range q {
+			wm, ws := g.PredictInto(x, &ps)
+			if mu[i] != wm || sigma[i] != ws {
+				t.Fatalf("query %d: (%v,%v) want (%v,%v)", i, mu[i], sigma[i], wm, ws)
+			}
+		}
+	})
+}
+
 // TestPredictBatchMatchesSerial checks index-slot collection: any worker
 // count produces the byte-identical mu/sigma a serial loop would.
 func TestPredictBatchMatchesSerial(t *testing.T) {

@@ -34,8 +34,9 @@ var ErrNoData = errors.New("gp: no observations fitted")
 //     refactoring in O(n³).
 type GP struct {
 	kernel   Kernel
-	statk    Stationary // non-nil iff kernel is stationary (diff-cache fast path)
-	logNoise float64    // log of the noise *variance* in standardized units
+	statk    Stationary      // non-nil iff kernel is stationary (diff-cache fast path)
+	batchk   batchStationary // non-nil iff kernel supports row-batched evaluation
+	logNoise float64         // log of the noise *variance* in standardized units
 
 	x      [][]float64
 	y      []float64 // raw targets
@@ -46,10 +47,11 @@ type GP struct {
 	chol  *mat.Cholesky
 	alpha []float64 // K⁻¹ y (standardized)
 
-	diffs  diffCache    // raw pairwise differences (stationary kernels only)
-	kmat   *mat.Dense   // scratch: kernel matrix without the noise diagonal
-	spare  *mat.Cholesky // double buffer: CholeskyInto target, swapped with chol
-	rowBuf []float64    // scratch: bordering row for Cholesky.Extend
+	diffs    diffCache     // raw pairwise differences (stationary kernels only)
+	kmat     *mat.Dense    // scratch: kernel matrix without the noise diagonal
+	spare    *mat.Cholesky // double buffer: CholeskyInto target, swapped with chol
+	rowBuf   []float64     // scratch: bordering row for Cholesky.Extend
+	paramBuf []float64     // scratch: packed params for paramsUnchanged
 
 	factorN      int       // observation count the current factor covers (-1 = stale)
 	factorJitter float64   // diagonal jitter the current factor succeeded at
@@ -64,6 +66,7 @@ func New(k Kernel, noise float64) *GP {
 	}
 	g := &GP{kernel: k, logNoise: math.Log(noise), factorN: -1}
 	g.statk, _ = k.(Stationary)
+	g.batchk, _ = k.(batchStationary)
 	return g
 }
 
@@ -172,11 +175,24 @@ func samePrefix(x, old [][]float64) bool {
 	return true
 }
 
+// currentParams appends the kernel hyperparameters plus logNoise to dst.
+// Batch-capable kernels append in place; the generic path pays one
+// Params() allocation.
+func (g *GP) currentParams(dst []float64) []float64 {
+	if g.batchk != nil {
+		dst = g.batchk.appendParams(dst)
+	} else {
+		dst = append(dst, g.kernel.Params()...)
+	}
+	return append(dst, g.logNoise)
+}
+
 // paramsUnchanged reports whether the kernel hyperparameters and noise
 // match those of the current factorization.
 func (g *GP) paramsUnchanged() bool {
-	p := g.kernel.Params()
-	if len(g.factorParams) != len(p)+1 {
+	p := g.currentParams(g.paramBuf[:0])
+	g.paramBuf = p
+	if len(g.factorParams) != len(p) {
 		return false
 	}
 	for i, v := range p {
@@ -184,21 +200,17 @@ func (g *GP) paramsUnchanged() bool {
 			return false
 		}
 	}
-	return g.factorParams[len(p)] == g.logNoise
+	return true
 }
 
 // recordFactor notes the hyperparameters and jitter the live factor was
-// built under, enabling the incremental Fit path next time.
+// built under, enabling the incremental Fit path next time. It runs once
+// per FitMLE objective evaluation, so it must not allocate in steady
+// state.
 func (g *GP) recordFactor(n int, jitter float64) {
 	g.factorN = n
 	g.factorJitter = jitter
-	p := g.kernel.Params()
-	if cap(g.factorParams) < len(p)+1 {
-		g.factorParams = make([]float64, len(p)+1)
-	}
-	g.factorParams = g.factorParams[:len(p)+1]
-	copy(g.factorParams, p)
-	g.factorParams[len(p)] = g.logNoise
+	g.factorParams = g.currentParams(g.factorParams[:0])
 }
 
 // tryExtend appends the newest observation to the existing Cholesky
@@ -217,7 +229,13 @@ func (g *GP) tryExtend() bool {
 	}
 	row := g.rowBuf[:m]
 	var diag float64
-	if g.statk != nil {
+	if g.batchk != nil && m > 0 {
+		// Pairs (m, 0..m-1) are contiguous in the difference cache's
+		// triangle, so the whole bordering row is one batched call.
+		off := m * (m + 1) / 2 * g.diffs.dim
+		g.batchk.evalDiffBatch(row, g.diffs.data[off:off+m*g.diffs.dim])
+		diag = g.statk.EvalDiff(g.diffs.pair(m, m))
+	} else if g.statk != nil {
 		for j := 0; j < m; j++ {
 			row[j] = g.statk.EvalDiff(g.diffs.pair(m, j))
 		}
@@ -264,6 +282,16 @@ func (g *GP) buildK(n int) {
 		g.kmat = mat.NewDense(n, n)
 	} else {
 		g.kmat.Reset(n, n)
+	}
+	if g.batchk != nil && g.diffs.dim > 0 {
+		// Row i's pairs (i, 0..i) sit contiguously in the triangle, so
+		// each lower-triangle row fills with one devirtualized call.
+		dim := g.diffs.dim
+		for i := 0; i < n; i++ {
+			off := i * (i + 1) / 2 * dim
+			g.batchk.evalDiffBatch(g.kmat.Row(i)[:i+1], g.diffs.data[off:off+(i+1)*dim])
+		}
+		return
 	}
 	if g.statk != nil {
 		for i := 0; i < n; i++ {
@@ -401,6 +429,100 @@ func (g *GP) PredictBatch(xs [][]float64, mu, sigma []float64, workers int) {
 		}()
 	}
 	wg.Wait()
+}
+
+// PredictMatrixScratch holds the per-caller buffers for PredictMatrix.
+// A zero value is ready to use; buffers grow on demand and are reused
+// across calls, making steady-state batch prediction allocation-free.
+type PredictMatrixScratch struct {
+	ks    *mat.Dense // n×m cross-kernel block K(X, Q)
+	v     *mat.Dense // n×m forward-solved L⁻¹·K(X, Q)
+	muStd []float64  // m standardized posterior means
+	self  []float64  // m prior self-variances k(q, q)
+}
+
+func (s *PredictMatrixScratch) resize(n, m int) {
+	if s.ks == nil {
+		s.ks = mat.NewDense(n, m)
+	} else {
+		s.ks.Reset(n, m)
+	}
+	if cap(s.muStd) < m {
+		s.muStd = make([]float64, m)
+		s.self = make([]float64, m)
+	}
+	s.muStd = s.muStd[:m]
+	s.self = s.self[:m]
+}
+
+// PredictMatrix fills mu[c], sigma[c] with the posterior at the m queries
+// packed row-major in qs (len(qs) = m·dim), in original target units. It
+// is the batched form of a PredictInto loop and is bit-identical to it:
+//
+//   - row i of the cross-kernel block K* holds k(xᵢ, q_c) for every query,
+//     evaluated with exactly the operand order PredictInto's ks loop uses;
+//   - the posterior mean is one K*ᵀ·alpha product whose per-query
+//     accumulation order matches mat.Dot (mat.MulTVecInto);
+//   - the variance term backsolves the whole block against the Cholesky
+//     factor in one pass (mat.ForwardSolveBatchInto, per-column identical
+//     to ForwardSolveInto), then accumulates Σᵢ v²ᵢ per query in ascending
+//     i — mat.Dot's order — before the same clamp and rescale.
+//
+// Like PredictInto it only reads the GP and is safe to call concurrently
+// with distinct scratch as long as nothing refits the model.
+func (g *GP) PredictMatrix(qs []float64, dim int, mu, sigma []float64, s *PredictMatrixScratch) {
+	if g.chol == nil {
+		panic(ErrNoData)
+	}
+	if dim <= 0 || len(qs)%dim != 0 {
+		panic(fmt.Sprintf("gp: PredictMatrix packed queries %d not a multiple of dim %d", len(qs), dim))
+	}
+	m := len(qs) / dim
+	if len(mu) < m || len(sigma) < m {
+		panic(fmt.Sprintf("gp: PredictMatrix outputs %d,%d < %d queries", len(mu), len(sigma), m))
+	}
+	if m == 0 {
+		return
+	}
+	n := len(g.x)
+	s.resize(n, m)
+	if g.batchk != nil {
+		for i, xi := range g.x {
+			g.batchk.evalRowInto(s.ks.Row(i), xi, qs)
+		}
+	} else {
+		for i, xi := range g.x {
+			row := s.ks.Row(i)
+			for c := 0; c < m; c++ {
+				row[c] = g.kernel.Eval(xi, qs[c*dim:(c+1)*dim])
+			}
+		}
+	}
+	for c := 0; c < m; c++ {
+		q := qs[c*dim : (c+1)*dim]
+		s.self[c] = g.kernel.Eval(q, q)
+	}
+	mat.MulTVecInto(s.muStd, s.ks, g.alpha)
+	s.v = g.chol.ForwardSolveBatchInto(s.v, s.ks)
+	// sigma doubles as the Σ v² accumulator: ascending-i accumulation per
+	// column is exactly mat.Dot(v, v) on that query's solve vector.
+	for c := 0; c < m; c++ {
+		sigma[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		vrow := s.v.Row(i)
+		for c, vv := range vrow {
+			sigma[c] += vv * vv
+		}
+	}
+	for c := 0; c < m; c++ {
+		variance := s.self[c] - sigma[c]
+		if variance < 0 {
+			variance = 0
+		}
+		mu[c] = s.muStd[c]*g.yScale + g.yMean
+		sigma[c] = math.Sqrt(variance) * g.yScale
+	}
 }
 
 // PosteriorCov returns the joint posterior covariance matrix of the
@@ -577,5 +699,6 @@ func (g *GP) cloneForFit() *GP {
 		factorN:  -1,
 	}
 	c.statk, _ = c.kernel.(Stationary)
+	c.batchk, _ = c.kernel.(batchStationary)
 	return c
 }

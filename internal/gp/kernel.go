@@ -43,6 +43,24 @@ type Stationary interface {
 	EvalDiff(diff []float64) float64
 }
 
+// batchStationary is the in-package fast path behind GP.PredictMatrix
+// and the kernel-matrix rebuild: one devirtualized call evaluates a
+// whole row of pairs, replaying sqDist's per-pair operation sequence
+// with the lengthscale slice hoisted out of the loop. Every value is
+// bit-identical to the corresponding Eval/EvalDiff call — the batch
+// forms exist to amortize interface dispatch, never to change results.
+type batchStationary interface {
+	Stationary
+	// evalRowInto fills dst[c] = k(x, qs[c·dim : (c+1)·dim]) for the
+	// m = len(dst) queries packed row-major in qs (dim = len(x)).
+	evalRowInto(dst, x, qs []float64)
+	// evalDiffBatch fills dst[c] = EvalDiff(diffs[c·dim : (c+1)·dim]).
+	evalDiffBatch(dst, diffs []float64)
+	// appendParams appends the log-space hyperparameters to dst without
+	// allocating (the alloc-free counterpart of Params).
+	appendParams(dst []float64) []float64
+}
+
 // sqDist returns the ARD-scaled squared distance Σ ((x_i−y_i)/ℓ_i)².
 func sqDist(x, y, lengthscales []float64) float64 {
 	if len(x) != len(y) || len(x) != len(lengthscales) {
@@ -115,6 +133,49 @@ func (a *ard) setParams(p []float64) {
 	}
 }
 
+func (a *ard) appendParams(dst []float64) []float64 {
+	dst = append(dst, a.logSigma2)
+	return append(dst, a.logLen...)
+}
+
+// sqDistRow fills dst[c] with sqDist(x, qs[c·dim:(c+1)·dim], lens) for a
+// row-major block of queries: per query the exact subtract/divide/
+// square/accumulate sequence of sqDist, with lens hoisted once.
+func (a *ard) sqDistRow(dst, x, qs []float64) {
+	dim := len(a.lens)
+	if len(x) != dim || len(qs) != len(dst)*dim {
+		panic(fmt.Sprintf("gp: sqDistRow dims |x|=%d |qs|=%d |dst|=%d |ℓ|=%d", len(x), len(qs), len(dst), dim))
+	}
+	lens := a.lens
+	for c := range dst {
+		q := qs[c*dim : c*dim+dim]
+		var s float64
+		for k := range x {
+			d := (x[k] - q[k]) / lens[k]
+			s += d * d
+		}
+		dst[c] = s
+	}
+}
+
+// sqDistBatch fills dst[c] with sqDistDiff(diffs[c·dim:(c+1)·dim], lens).
+func (a *ard) sqDistBatch(dst, diffs []float64) {
+	dim := len(a.lens)
+	if len(diffs) != len(dst)*dim {
+		panic(fmt.Sprintf("gp: sqDistBatch dims |diffs|=%d |dst|=%d |ℓ|=%d", len(diffs), len(dst), dim))
+	}
+	lens := a.lens
+	for c := range dst {
+		df := diffs[c*dim : c*dim+dim]
+		var s float64
+		for k, v := range df {
+			d := v / lens[k]
+			s += d * d
+		}
+		dst[c] = s
+	}
+}
+
 func (a *ard) bounds() optim.Bounds {
 	n := 1 + len(a.logLen)
 	lo := make([]float64, n)
@@ -149,14 +210,40 @@ type SE struct{ ard }
 // NewSE returns a unit-variance, unit-lengthscale SE kernel over dim inputs.
 func NewSE(dim int) *SE { return &SE{newARD(dim)} }
 
+// fromR2 maps one ARD squared distance to the kernel value. The r2 == 0
+// short-circuit is exact, not approximate: σ²·exp(−0.5·0) multiplies σ²
+// by exactly 1.0, so skipping the exp on the kernel-matrix diagonal (and
+// any coincident pair) returns the identical bits at a fraction of the
+// cost.
+func (k *SE) fromR2(r2 float64) float64 {
+	if r2 == 0 {
+		return k.sig2
+	}
+	return k.sig2 * math.Exp(-0.5*r2)
+}
+
 // Eval implements Kernel.
 func (k *SE) Eval(x, y []float64) float64 {
-	return k.sigma2() * math.Exp(-0.5*sqDist(x, y, k.lengthscales()))
+	return k.fromR2(sqDist(x, y, k.lengthscales()))
 }
 
 // EvalDiff implements Stationary.
 func (k *SE) EvalDiff(diff []float64) float64 {
-	return k.sigma2() * math.Exp(-0.5*sqDistDiff(diff, k.lengthscales()))
+	return k.fromR2(sqDistDiff(diff, k.lengthscales()))
+}
+
+func (k *SE) evalRowInto(dst, x, qs []float64) {
+	k.sqDistRow(dst, x, qs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
+}
+
+func (k *SE) evalDiffBatch(dst, diffs []float64) {
+	k.sqDistBatch(dst, diffs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
 }
 
 // Params implements Kernel.
@@ -181,18 +268,40 @@ type Matern32 struct{ ard }
 // NewMatern32 returns a unit Matérn 3/2 kernel over dim inputs.
 func NewMatern32(dim int) *Matern32 { return &Matern32{newARD(dim)} }
 
+// fromR2 maps one ARD squared distance to the kernel value. At r2 == 0
+// the formula collapses to σ²·(1+0)·exp(−0) = σ²·1·1 exactly, so the
+// short-circuit returns identical bits while skipping the sqrt and exp.
+func (k *Matern32) fromR2(r2 float64) float64 {
+	if r2 == 0 {
+		return k.sig2
+	}
+	r := math.Sqrt(r2)
+	s := math.Sqrt(3) * r
+	return k.sig2 * (1 + s) * math.Exp(-s)
+}
+
 // Eval implements Kernel.
 func (k *Matern32) Eval(x, y []float64) float64 {
-	r := math.Sqrt(sqDist(x, y, k.lengthscales()))
-	s := math.Sqrt(3) * r
-	return k.sigma2() * (1 + s) * math.Exp(-s)
+	return k.fromR2(sqDist(x, y, k.lengthscales()))
 }
 
 // EvalDiff implements Stationary.
 func (k *Matern32) EvalDiff(diff []float64) float64 {
-	r := math.Sqrt(sqDistDiff(diff, k.lengthscales()))
-	s := math.Sqrt(3) * r
-	return k.sigma2() * (1 + s) * math.Exp(-s)
+	return k.fromR2(sqDistDiff(diff, k.lengthscales()))
+}
+
+func (k *Matern32) evalRowInto(dst, x, qs []float64) {
+	k.sqDistRow(dst, x, qs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
+}
+
+func (k *Matern32) evalDiffBatch(dst, diffs []float64) {
+	k.sqDistBatch(dst, diffs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
 }
 
 // Params implements Kernel.
@@ -220,20 +329,40 @@ type Matern52 struct{ ard }
 // NewMatern52 returns a unit Matérn 5/2 kernel over dim inputs.
 func NewMatern52(dim int) *Matern52 { return &Matern52{newARD(dim)} }
 
-// Eval implements Kernel.
-func (k *Matern52) Eval(x, y []float64) float64 {
-	r2 := sqDist(x, y, k.lengthscales())
+// fromR2 maps one ARD squared distance to the kernel value. At r2 == 0
+// the formula collapses to σ²·(1+0+0)·exp(−0) = σ²·1·1 exactly, so the
+// short-circuit returns identical bits while skipping the sqrt and exp.
+func (k *Matern52) fromR2(r2 float64) float64 {
+	if r2 == 0 {
+		return k.sig2
+	}
 	r := math.Sqrt(r2)
 	s := math.Sqrt(5) * r
-	return k.sigma2() * (1 + s + 5*r2/3) * math.Exp(-s)
+	return k.sig2 * (1 + s + 5*r2/3) * math.Exp(-s)
+}
+
+// Eval implements Kernel.
+func (k *Matern52) Eval(x, y []float64) float64 {
+	return k.fromR2(sqDist(x, y, k.lengthscales()))
 }
 
 // EvalDiff implements Stationary.
 func (k *Matern52) EvalDiff(diff []float64) float64 {
-	r2 := sqDistDiff(diff, k.lengthscales())
-	r := math.Sqrt(r2)
-	s := math.Sqrt(5) * r
-	return k.sigma2() * (1 + s + 5*r2/3) * math.Exp(-s)
+	return k.fromR2(sqDistDiff(diff, k.lengthscales()))
+}
+
+func (k *Matern52) evalRowInto(dst, x, qs []float64) {
+	k.sqDistRow(dst, x, qs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
+}
+
+func (k *Matern52) evalDiffBatch(dst, diffs []float64) {
+	k.sqDistBatch(dst, diffs)
+	for c, r2 := range dst {
+		dst[c] = k.fromR2(r2)
+	}
 }
 
 // Params implements Kernel.

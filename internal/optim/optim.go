@@ -92,6 +92,27 @@ func (s byF) Len() int           { return len(s) }
 func (s byF) Less(i, j int) bool { return s[i].f < s[j].f }
 func (s byF) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
+// sortSimplex orders the simplex by ascending f. The optimizer sorts
+// once per iteration, and sort.Sort's interface dispatch dominated the
+// FitMLE profile, so small simplexes (dim+1 ≤ 12, i.e. every GP
+// hyperparameter box in this repository) run an inlined insertion sort
+// instead. The standard library's pdqsort delegates to the identical
+// insertion sort below maxInsertion = 12 elements, so the resulting
+// vertex permutation — including the order of equal-f ties — is exactly
+// what sort.Sort produces; larger simplexes keep sort.Sort to preserve
+// that equivalence.
+func sortSimplex(s []vertex) {
+	if len(s) > 12 {
+		sort.Sort(byF(s))
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].f < s[j-1].f; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 // NelderMead minimizes f within bounds starting from x0.
 // Points proposed outside the box are clamped to it, which keeps the
 // method valid for the log-space hyperparameter boxes used by the GP.
@@ -163,7 +184,7 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 	}
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		sort.Sort(byF(simplex))
+		sortSimplex(simplex)
 		if simplex[dim].f-simplex[0].f < opts.TolF {
 			// A flat simplex can straddle a minimum (notably in 1-D), so
 			// require the vertices to have collapsed in x as well.
@@ -239,7 +260,7 @@ func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NelderMeadOpts) R
 		}
 	}
 
-	sort.Sort(byF(simplex))
+	sortSimplex(simplex)
 	return Result{X: simplex[0].x, F: simplex[0].f, Evals: evals}
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench_compare.sh — the benchmark regression gate.
+#
+# Diffs the fresh benchmark record against the committed previous one
+# and fails when BenchmarkHeterBOSearch or BenchmarkNextCandidate — the
+# two timings the flattening work is accountable for — slowed by more
+# than 10%. Duplicate rows in either record collapse by min before
+# comparison (BENCH_PR4.json predates the deduplication and carries
+# three BenchmarkHeterBOSearch rows).
+#
+# Usage:
+#   scripts/bench_compare.sh                      # BENCH_PR4.json vs BENCH_PR8.json
+#   scripts/bench_compare.sh old.json new.json
+set -eu
+
+cd "$(dirname "$0")/.."
+OLD="${1:-BENCH_PR4.json}"
+NEW="${2:-BENCH_PR8.json}"
+
+go run ./cmd/benchgate compare -old "$OLD" -new "$NEW" \
+	-bench BenchmarkHeterBOSearch,BenchmarkNextCandidate \
+	-max-regress-pct 10
