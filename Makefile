@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update bench conformance multifidelity loadgen ci clean
+.PHONY: all vet build test race cover cover-update bench conformance multifidelity loadgen loadgen-kill crashstorm ci clean
 
 all: ci
 
@@ -22,14 +22,16 @@ cover:
 	sh scripts/cover.sh
 
 # bench runs the figure, micro, and surrogate-engine benchmarks and
-# records ns/op plus custom metrics in BENCH_PR8.json — one row per
+# records ns/op plus custom metrics in BENCH_PR9.json — one row per
 # benchmark (cmd/benchgate aggregates -count repeats into min/median).
 bench:
 	sh scripts/bench.sh
 
 # bench-compare gates the fresh record against the committed previous
 # one: >10% regression on BenchmarkHeterBOSearch or
-# BenchmarkNextCandidate fails the build.
+# BenchmarkNextCandidate fails the build, as does more than 2% (or
+# 500ns, whichever is larger) of fault-free FS-indirection overhead on
+# the journal append pair.
 bench-compare:
 	sh scripts/bench_compare.sh
 
@@ -61,6 +63,26 @@ multifidelity:
 # full gate is 100k (see cmd/loadgen).
 loadgen:
 	$(GO) run ./cmd/loadgen -jobs 5000 -shards 4 -concurrency 256 -out BENCH_PR6.json
+
+# loadgen-kill is the shard-failover drill: the same storm, but one
+# shard is killed and restarted from its journal mid-flight. Recovery
+# time, 503s served while degraded, and post-restart admission p99
+# merge into BENCH_PR9.json under "loadgen_kill" (the benchmark rows in
+# the file survive the merge, and vice versa). Every acked submission
+# must still be resident after the restart — journal replay is on the
+# hook for that.
+loadgen-kill:
+	$(GO) run ./cmd/loadgen -jobs 2000 -shards 2 -concurrency 64 -tenants 64 \
+		-kill-shard-at 0.3 -kill-shard 1 -out BENCH_PR9.json -merge-key loadgen_kill
+
+# crashstorm soaks the journal stack under ≥500 seeded storage-fault
+# plans — crashes at every strided write/sync/rename point across
+# append, rotation, and compaction, plus flaky-disk overlays — and
+# checks the crash-consistency invariants after each simulated reboot.
+# Failures are shrunk to minimal reproducer JSON under
+# crashstorm-failures/.
+crashstorm:
+	$(GO) run ./cmd/crashstorm -plans 500 -seed 1 -out crashstorm-failures
 
 ci: vet build race cover
 

@@ -184,3 +184,106 @@ func TestCompareAgainstCommittedPR4Record(t *testing.T) {
 		t.Fatalf("BENCH_PR4 NextCandidate min = %v, want 56693", got)
 	}
 }
+
+func TestFmtPreservesForeignTopLevelKeys(t *testing.T) {
+	// loadgen -merge-key parks storm results next to the benchmark rows;
+	// a bench.sh re-run rewrites the record and must carry them over,
+	// while dropping the stale speedup section when no -ref is given.
+	out := filepath.Join(t.TempDir(), "bench.json")
+	prev := `{"benchmarks": [{"name": "Old", "ns_per_op": 1}],
+		"speedup": {"Old": 2.0},
+		"loadgen_kill": {"recovery_sec": 0.4}}`
+	if err := os.WriteFile(out, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runFmt([]string{"-out", out}, strings.NewReader(rawBench), &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := merged["loadgen_kill"]; !ok {
+		t.Fatalf("foreign key loadgen_kill dropped on rewrite:\n%s", buf)
+	}
+	if _, ok := merged["speedup"]; ok {
+		t.Fatalf("stale speedup section carried forward:\n%s", buf)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 3 || rec.Benchmarks[0].Name == "Old" {
+		t.Fatalf("benchmarks not replaced by the fresh rows: %+v", rec.Benchmarks)
+	}
+}
+
+func TestComparePairGatesOverhead(t *testing.T) {
+	// 1% over a large base: inside the 2% allowance.
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkJournalAppendDirect", "ns_per_op": 100000},
+		{"name": "BenchmarkJournalAppend", "ns_per_op": 101000}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare([]string{
+		"-new", fresh, "-bench", "",
+		"-pair", "BenchmarkJournalAppendDirect=BenchmarkJournalAppend",
+	}, &out)
+	if err != nil {
+		t.Fatalf("1%% overhead failed the 2%% gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestComparePairFailsOnOverhead(t *testing.T) {
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkJournalAppendDirect", "ns_per_op": 100000},
+		{"name": "BenchmarkJournalAppend", "ns_per_op": 104000}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare([]string{
+		"-new", fresh, "-bench", "",
+		"-pair", "BenchmarkJournalAppendDirect=BenchmarkJournalAppend",
+	}, &out)
+	if err == nil {
+		t.Fatalf("4%% overhead passed the 2%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkJournalAppend") {
+		t.Fatalf("failure does not name the candidate: %v", err)
+	}
+}
+
+func TestComparePairAbsoluteFloor(t *testing.T) {
+	// On a nanosecond-scale base, 2% is below measurement noise; the
+	// 500ns floor keeps the gate honest instead of flaky.
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkJournalAppendDirect", "ns_per_op": 800},
+		{"name": "BenchmarkJournalAppend", "ns_per_op": 1200}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare([]string{
+		"-new", fresh, "-bench", "",
+		"-pair", "BenchmarkJournalAppendDirect=BenchmarkJournalAppend",
+	}, &out)
+	if err != nil {
+		t.Fatalf("+400ns on an 800ns base tripped the gate despite the 500ns floor: %v", err)
+	}
+}
+
+func TestComparePairFailsOnMissingBenchmark(t *testing.T) {
+	fresh := writeRecord(t, "new.json", `{"benchmarks": [
+		{"name": "BenchmarkJournalAppendDirect", "ns_per_op": 100000}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare([]string{
+		"-new", fresh, "-bench", "",
+		"-pair", "BenchmarkJournalAppendDirect=BenchmarkJournalAppend",
+	}, &out)
+	if err == nil {
+		t.Fatal("pair with a missing candidate passed the gate")
+	}
+}

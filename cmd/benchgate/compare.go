@@ -41,33 +41,64 @@ func loadMins(path string) (map[string]float64, error) {
 	return mins, nil
 }
 
+// benchPair is one within-record overhead gate: candidate may not
+// exceed base by more than the allowed margin. Both names are looked up
+// in the -new record, so the gate holds even on the first record that
+// carries the pair (a cross-record compare would wave it through as
+// "missing from old").
+type benchPair struct {
+	base, cand string
+}
+
+type pairFlags []benchPair
+
+func (p *pairFlags) String() string { return fmt.Sprintf("%v", []benchPair(*p)) }
+
+func (p *pairFlags) Set(v string) error {
+	base, cand, ok := strings.Cut(v, "=")
+	if !ok || base == "" || cand == "" {
+		return fmt.Errorf("want Base=Candidate, got %q", v)
+	}
+	*p = append(*p, benchPair{base: base, cand: cand})
+	return nil
+}
+
 func runCompare(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	oldPath := fs.String("old", "", "previous benchmark record (required)")
+	oldPath := fs.String("old", "", "previous benchmark record (required unless -bench is empty)")
 	newPath := fs.String("new", "", "fresh benchmark record (required)")
 	watch := fs.String("bench", "BenchmarkHeterBOSearch,BenchmarkNextCandidate",
 		"comma-separated benchmarks to gate")
 	maxPct := fs.Float64("max-regress-pct", 10, "fail when a watched benchmark slows by more than this percentage")
+	var pairs pairFlags
+	fs.Var(&pairs, "pair", "within-record overhead gate, Base=Candidate (repeatable); both read from -new")
+	maxOverheadPct := fs.Float64("max-overhead-pct", 2, "fail a -pair when candidate exceeds base by more than this percentage")
+	overheadFloorNs := fs.Float64("overhead-floor-ns", 500, "absolute overhead always allowed on a -pair, so a percentage of a nanosecond-scale base can't flag noise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *oldPath == "" || *newPath == "" {
-		return fmt.Errorf("compare: -old and -new are required")
+	watched := splitNames(*watch)
+	if *newPath == "" {
+		return fmt.Errorf("compare: -new is required")
 	}
-	oldMins, err := loadMins(*oldPath)
-	if err != nil {
-		return err
+	if *oldPath == "" && len(watched) > 0 {
+		return fmt.Errorf("compare: -old is required when -bench names are gated")
+	}
+	if len(watched) == 0 && len(pairs) == 0 {
+		return fmt.Errorf("compare: nothing to gate (empty -bench and no -pair)")
 	}
 	newMins, err := loadMins(*newPath)
 	if err != nil {
 		return err
 	}
-	var failures []string
-	for _, name := range strings.Split(*watch, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	var oldMins map[string]float64
+	if *oldPath != "" {
+		if oldMins, err = loadMins(*oldPath); err != nil {
+			return err
 		}
+	}
+	var failures []string
+	for _, name := range watched {
 		oldNs, okOld := oldMins[name]
 		newNs, okNew := newMins[name]
 		switch {
@@ -91,8 +122,46 @@ func runCompare(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "%-28s %12.0f ns/op -> %12.0f ns/op  %+7.1f%%  %s\n",
 			name, oldNs, newNs, deltaPct, verdict)
 	}
+	for _, p := range pairs {
+		baseNs, okBase := newMins[p.base]
+		candNs, okCand := newMins[p.cand]
+		switch {
+		case !okBase:
+			failures = append(failures, fmt.Sprintf("pair %s=%s: %s missing from %s", p.base, p.cand, p.base, *newPath))
+			continue
+		case !okCand:
+			failures = append(failures, fmt.Sprintf("pair %s=%s: %s missing from %s", p.base, p.cand, p.cand, *newPath))
+			continue
+		}
+		allowed := baseNs * *maxOverheadPct / 100
+		if allowed < *overheadFloorNs {
+			allowed = *overheadFloorNs
+		}
+		delta := candNs - baseNs
+		verdict := "ok"
+		if delta > allowed {
+			verdict = "OVERHEAD"
+			failures = append(failures,
+				fmt.Sprintf("%s vs %s: %.0f ns/op over %.0f ns/op base (+%.0f ns > %.0f ns allowed)",
+					p.cand, p.base, candNs, baseNs, delta, allowed))
+		}
+		fmt.Fprintf(stdout, "%-28s %12.0f ns/op  vs %-28s %12.0f ns/op  %+7.0f ns (allowed %.0f)  %s\n",
+			p.cand, candNs, p.base, baseNs, delta, allowed, verdict)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// splitNames splits a comma-separated benchmark list, dropping empties,
+// so -bench "" means "gate nothing cross-record".
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }

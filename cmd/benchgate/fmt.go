@@ -204,14 +204,48 @@ func runFmt(args []string, in io.Reader, stdout io.Writer) error {
 			}
 		}
 	}
-	buf, err := json.MarshalIndent(rec, "", "  ")
+	buf, err := marshalRecord(rec, *out)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
 	if *out == "" {
 		_, err = stdout.Write(buf)
 		return err
 	}
 	return os.WriteFile(*out, buf, 0o644)
+}
+
+// marshalRecord renders rec, carrying over any foreign top-level keys an
+// existing record at out holds — `loadgen -merge-key` parks its storm
+// results (e.g. "loadgen_kill") alongside the benchmark rows, and a
+// bench.sh re-run must not silently discard them.
+func marshalRecord(rec record, out string) ([]byte, error) {
+	own, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	merged := map[string]json.RawMessage{}
+	if out != "" {
+		if prev, err := os.ReadFile(out); err == nil {
+			// An unparsable previous record is not worth failing fmt over;
+			// it is simply replaced.
+			_ = json.Unmarshal(prev, &merged)
+		}
+	}
+	var ownKeys map[string]json.RawMessage
+	if err := json.Unmarshal(own, &ownKeys); err != nil {
+		return nil, err
+	}
+	// Our keys always overwrite; reference/speedup vanish when no -ref
+	// flags were given rather than carrying stale ratios forward.
+	delete(merged, "reference")
+	delete(merged, "speedup")
+	for k, v := range ownKeys {
+		merged[k] = v
+	}
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }

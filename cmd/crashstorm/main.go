@@ -1,0 +1,171 @@
+// Command crashstorm soaks the scheduler's journal against storage
+// death: for each of a set of seeded operation scripts it rehearses the
+// script fault-free to count filesystem operations, then re-runs it
+// crashing at every interesting filesystem operation (all of them when
+// the budget allows, a seeded stride otherwise), over both a clean disk
+// and a flaky one (periodic EIO, short writes, failed fsyncs). Every
+// run restarts the journal over the surviving bytes and checks the
+// crash-recovery invariant family (no acked submission lost, no
+// duplicate terminal status, acked probes survive, byte-identical
+// duplicate raw records, clean replay, compaction idempotent under
+// crash-retry).
+//
+// Usage:
+//
+//	crashstorm -plans 500 -seed 1 -out crashstorm-failures
+//
+// A failing plan is greedily shrunk to a minimal reproducer and written
+// as replayable JSON into -out. Exit status 1 on any violation. The
+// storm also fails if any of the three crash phases (append, rotation,
+// compaction) was never exercised — a storm that misses a phase proves
+// nothing about it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mlcd/internal/faultfs"
+	"mlcd/internal/sched"
+)
+
+type config struct {
+	plans  int
+	seed   int64
+	shrink bool
+	out    string
+	v      bool
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.plans, "plans", 500, "minimum number of fault plans to run")
+	flag.Int64Var(&cfg.seed, "seed", 1, "storm seed")
+	flag.BoolVar(&cfg.shrink, "shrink", true, "shrink failing plans to minimal reproducers")
+	flag.StringVar(&cfg.out, "out", "crashstorm-failures", "directory for reproducer JSON files")
+	flag.BoolVar(&cfg.v, "v", false, "log every plan, not just failures")
+	flag.Parse()
+	if storm(cfg, os.Stdout, os.Stderr) > 0 {
+		os.Exit(1)
+	}
+}
+
+// basePlanForSeed derives a script shape from a seed: script length and
+// rotation pressure vary so different seeds exercise different segment
+// layouts.
+func basePlanForSeed(seed int64) sched.CrashPlan {
+	return sched.CrashPlan{
+		Seed:       seed,
+		Ops:        40 + int(seed%5)*10,
+		MaxRecords: 4 + int(seed%3)*2,
+	}
+}
+
+// flakyFaults is the non-crash fault mix layered under half the plans.
+func flakyFaults(seed int64) []faultfs.Fault {
+	return []faultfs.Fault{
+		{Op: faultfs.OpWrite, Path: "seg-", Mode: faultfs.ModeShort, Nth: 2 + int(seed%5), Keep: int(seed % 7)},
+		{Op: faultfs.OpSync, Path: "seg-", Mode: faultfs.ModeSyncFail, Nth: 4 + int(seed%3)},
+		{Op: faultfs.OpWrite, Path: "snapshot", Mode: faultfs.ModeENOSPC, Nth: 1 + int(seed%2)},
+	}
+}
+
+// storm runs the soak and returns the number of failing plans. It is
+// the testable core main wraps.
+func storm(cfg config, stdout, stderr io.Writer) int {
+	failures := 0
+	plansRun := 0
+	phases := map[string]int{}
+
+	// Outer loop over script seeds; inner loop over crash points. Stride
+	// the crash points so the plan budget spreads across many scripts
+	// instead of exhausting one; every FS op index is still hit across
+	// the storm because scripts differ in length and the stride rotates
+	// with the seed.
+	for scriptSeed := cfg.seed; plansRun < cfg.plans; scriptSeed++ {
+		for _, withFlaky := range []bool{false, true} {
+			base := basePlanForSeed(scriptSeed)
+			if withFlaky {
+				base.Faults = flakyFaults(scriptSeed)
+			}
+			rehearsal, err := sched.RunCrashPlan(base)
+			plansRun++
+			if err != nil {
+				failures += report(cfg, stderr, base, err)
+				continue
+			}
+			stride := int64(1 + (scriptSeed+boolInt(withFlaky))%4)
+			for at := 1 + scriptSeed%stride; at <= rehearsal.TotalFSOps && plansRun < cfg.plans+int(stride); at += stride {
+				plan := base
+				plan.CrashAtOp = at
+				plan.CrashSeed = scriptSeed*1000 + at
+				rep, err := sched.RunCrashPlan(plan)
+				plansRun++
+				if err != nil {
+					failures += report(cfg, stderr, plan, err)
+					continue
+				}
+				phases[rep.Phase]++
+				if cfg.v {
+					fmt.Fprintf(stdout, "plan seed=%d at=%d phase=%s acked=%d/%d/%d recovered=%d\n",
+						plan.Seed, at, rep.Phase, rep.AckedSubs, rep.AckedDones, rep.AckedProbes, rep.RecoveredSubs)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "crashstorm: %d plans, %d failures, phases append=%d rotation=%d compaction=%d open=%d\n",
+		plansRun, failures, phases["append"], phases["rotation"], phases["compaction"], phases["open"])
+	for _, phase := range []string{"append", "rotation", "compaction"} {
+		if phases[phase] == 0 {
+			fmt.Fprintf(stderr, "crashstorm: phase %q never exercised — storm proves nothing about it\n", phase)
+			failures++
+		}
+	}
+	return failures
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// report logs one failing plan, shrinks it, and writes the reproducer.
+// Returns 1 so callers can count it.
+func report(cfg config, stderr io.Writer, plan sched.CrashPlan, cause error) int {
+	fmt.Fprintf(stderr, "FAIL seed=%d at=%d: %v\n", plan.Seed, plan.CrashAtOp, cause)
+	min := plan
+	if cfg.shrink {
+		min = sched.ShrinkCrashPlan(plan, 200)
+	}
+	if cfg.out != "" {
+		if err := writeReproducer(cfg.out, min, cause); err != nil {
+			fmt.Fprintf(stderr, "crashstorm: writing reproducer: %v\n", err)
+		}
+	}
+	return 1
+}
+
+// reproducer is the JSON document a failing plan shrinks to.
+type reproducer struct {
+	Plan  sched.CrashPlan `json:"plan"`
+	Cause string          `json:"cause"`
+}
+
+func writeReproducer(dir string, plan sched.CrashPlan, cause error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(reproducer{Plan: plan, Cause: cause.Error()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("crash-seed%d-at%d.json", plan.Seed, plan.CrashAtOp)
+	return os.WriteFile(filepath.Join(dir, name), append(b, '\n'), 0o644)
+}

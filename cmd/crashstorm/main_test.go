@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStormBounded runs a small storm end-to-end: zero failures, all
+// three crash phases exercised, no reproducers written.
+func TestStormBounded(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "failures")
+	var stdout, stderr strings.Builder
+	cfg := config{plans: 80, seed: 1, shrink: true, out: out}
+	if got := storm(cfg, &stdout, &stderr); got != 0 {
+		t.Fatalf("storm failed %d plans:\n%s", got, stderr.String())
+	}
+	sum := stdout.String()
+	for _, want := range []string{"append=", "rotation=", "compaction="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q: %s", want, sum)
+		}
+	}
+	if strings.Contains(sum, "append=0") || strings.Contains(sum, "rotation=0") || strings.Contains(sum, "compaction=0") {
+		t.Fatalf("a phase was never exercised: %s", sum)
+	}
+	if ents, err := os.ReadDir(out); err == nil && len(ents) > 0 {
+		t.Fatalf("clean storm wrote reproducers: %v", ents)
+	}
+}
+
+// TestWriteReproducer pins the artifact format CI uploads.
+func TestWriteReproducer(t *testing.T) {
+	dir := t.TempDir()
+	plan := basePlanForSeed(7)
+	if err := writeReproducer(dir, plan, os.ErrInvalid); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "crash-seed7-at0.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"plan"`, `"cause"`, `"seed": 7`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("reproducer missing %q:\n%s", want, b)
+		}
+	}
+}

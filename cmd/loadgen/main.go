@@ -49,6 +49,9 @@ type config struct {
 	tenants     int
 	seed        int64
 	out         string
+	mergeKey    string
+	killShardAt float64 // fraction of the storm at which to kill a shard (0 = never)
+	killShard   int
 }
 
 // latencyMS is one percentile summary, in milliseconds.
@@ -77,6 +80,16 @@ type benchResult struct {
 	ResidentJobs    int       `json:"resident_jobs"`
 	QueuedJobs      int       `json:"queued_jobs"`
 	RunningJobs     int       `json:"running_jobs"`
+
+	// Shard-kill drill (-kill-shard-at > 0): one shard is killed and
+	// rebuilt over its journal mid-storm. Unavailable503 counts the
+	// submissions that hit the restarting shard's window; they are
+	// retryable by contract, not failures.
+	KillShardAt          float64    `json:"kill_shard_at,omitempty"`
+	KilledShard          int        `json:"killed_shard,omitempty"`
+	RecoverySec          float64    `json:"recovery_sec,omitempty"`
+	Unavailable503       int        `json:"unavailable_503,omitempty"`
+	PostRestartAdmission *latencyMS `json:"post_restart_admission_latency_ms,omitempty"`
 }
 
 func main() {
@@ -89,24 +102,54 @@ func main() {
 	flag.IntVar(&cfg.tenants, "tenants", 1024, "distinct tenants cycling through the storm")
 	flag.Int64Var(&cfg.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&cfg.out, "out", "BENCH_PR6.json", "result JSON path")
+	flag.StringVar(&cfg.mergeKey, "merge-key", "", "merge the result under this key in an existing JSON object at -out instead of overwriting")
+	flag.Float64Var(&cfg.killShardAt, "kill-shard-at", 0, "kill and restart one shard after this fraction of the storm has been submitted (0 = never; implies per-shard journals)")
+	flag.IntVar(&cfg.killShard, "kill-shard", 0, "which shard the kill drill targets")
 	flag.Parse()
 
 	res, err := run(cfg)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	b, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		log.Fatalf("loadgen: %v", err)
-	}
-	b = append(b, '\n')
-	if err := os.WriteFile(cfg.out, b, 0o644); err != nil {
+	if err := writeResult(cfg, res); err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
 	fmt.Printf("loadgen: %d jobs over %d shards — %d resident, %.0f submits/s, p50=%.2fms p95=%.2fms p99=%.2fms, %.2f%% rejected → %s\n",
 		res.Jobs, res.Shards, res.ResidentJobs, res.ThroughputRPS,
 		res.Admission.P50, res.Admission.P95, res.Admission.P99,
 		100*res.RejectionRate, cfg.out)
+	if res.KillShardAt > 0 {
+		fmt.Printf("loadgen: shard %d killed at %.0f%% — recovered in %.0fms, %d submissions hit the window, post-restart p99=%.2fms\n",
+			res.KilledShard, 100*res.KillShardAt, 1000*res.RecoverySec,
+			res.Unavailable503, res.PostRestartAdmission.P99)
+	}
+}
+
+// writeResult writes res to cfg.out — either as the whole file, or
+// merged under cfg.mergeKey into whatever JSON object is already there
+// (unknown keys are preserved, so one file can accumulate the plain
+// storm and the kill drill side by side).
+func writeResult(cfg config, res benchResult) error {
+	var doc any = res
+	if cfg.mergeKey != "" {
+		obj := map[string]json.RawMessage{}
+		if prev, err := os.ReadFile(cfg.out); err == nil {
+			if err := json.Unmarshal(prev, &obj); err != nil {
+				return fmt.Errorf("existing %s is not a JSON object: %w", cfg.out, err)
+			}
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		obj[cfg.mergeKey] = raw
+		doc = obj
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, append(b, '\n'), 0o644)
 }
 
 // run executes one storm. Split from main so the gate is testable at
@@ -114,6 +157,14 @@ func main() {
 func run(cfg config) (benchResult, error) {
 	if cfg.jobs < 1 || cfg.concurrency < 1 || cfg.shards < 1 || cfg.tenants < 1 {
 		return benchResult{}, errors.New("jobs, concurrency, shards, and tenants must all be >= 1")
+	}
+	if cfg.killShardAt < 0 || cfg.killShardAt >= 1 {
+		if cfg.killShardAt != 0 {
+			return benchResult{}, errors.New("kill-shard-at must be in (0, 1)")
+		}
+	}
+	if cfg.killShardAt > 0 && (cfg.shards < 2 || cfg.killShard < 0 || cfg.killShard >= cfg.shards) {
+		return benchResult{}, errors.New("the kill drill needs >= 2 shards and a valid -kill-shard index")
 	}
 	if cfg.concurrency > cfg.jobs {
 		cfg.concurrency = cfg.jobs
@@ -131,14 +182,26 @@ func run(cfg config) (benchResult, error) {
 	var gateOnce sync.Once
 	defer gateOnce.Do(func() { close(gate) })
 	sys := mlcdsys.New(mlcdsys.Config{Seed: cfg.seed})
-	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
+	apiCfg := mlcdapi.ServerConfig{
 		Shards:    cfg.shards,
 		Workers:   cfg.workers,
 		QueueSize: queue,
 		ProfilerMiddleware: func(inner profiler.Profiler) profiler.Profiler {
 			return gatedProfiler{gate: gate, inner: inner}
 		},
-	})
+	}
+	if cfg.killShardAt > 0 {
+		// The kill drill restarts a shard from its journal, so the storm
+		// runs journaled (every admission fsyncs — slower, and that is the
+		// point: the drill measures durable admission under failover).
+		dir, err := os.MkdirTemp("", "loadgen-journal-*")
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		apiCfg.JournalDir = dir
+	}
+	server, err := mlcdapi.NewServerWithConfig(sys, apiCfg)
 	if err != nil {
 		return benchResult{}, err
 	}
@@ -149,9 +212,35 @@ func run(cfg config) (benchResult, error) {
 	// control plane (routing, queueing, journal-less admission) from
 	// kernel socket behavior.
 	latencies := make([]time.Duration, cfg.jobs)
+	starts := make([]time.Time, cfg.jobs)
 	codes := make([]int32, cfg.jobs)
 	var next int64
 	var wg sync.WaitGroup
+
+	// The kill drill: once killIdx submissions have been pulled, one
+	// watcher kills the target shard (expired deadline — running searches
+	// are aborted, keeping their journal claim) and rebuilds it over its
+	// journal while the storm keeps hammering the plane.
+	var recovery time.Duration
+	var restartDone atomic.Int64 // ns timestamp of swap completion, 0 while pending
+	killIdx := int64(cfg.killShardAt * float64(cfg.jobs))
+	killFire := make(chan struct{}, 1)
+	if cfg.killShardAt > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-killFire
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now())
+			defer cancel()
+			d, err := server.Plane().RestartShard(ctx, cfg.killShard)
+			if err != nil {
+				log.Printf("loadgen: shard restart: %v", err)
+			}
+			recovery = d
+			restartDone.Store(time.Now().UnixNano())
+		}()
+	}
+
 	start := time.Now()
 	for c := 0; c < cfg.concurrency; c++ {
 		wg.Add(1)
@@ -162,6 +251,9 @@ func run(cfg config) (benchResult, error) {
 				if i >= cfg.jobs {
 					return
 				}
+				if cfg.killShardAt > 0 && int64(i) == killIdx {
+					killFire <- struct{}{}
+				}
 				body := fmt.Sprintf(`{"job":"resnet-cifar10","budget_usd":100,"tenant":"tenant-%04d"}`,
 					i%cfg.tenants)
 				req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewBufferString(body))
@@ -169,6 +261,7 @@ func run(cfg config) (benchResult, error) {
 				t0 := time.Now()
 				server.ServeHTTP(rec, req)
 				latencies[i] = time.Since(t0)
+				starts[i] = t0
 				codes[i] = int32(rec.Code)
 			}
 		}()
@@ -192,6 +285,14 @@ func run(cfg config) (benchResult, error) {
 			res.Accepted++
 		case http.StatusTooManyRequests:
 			res.Rejected++
+		case http.StatusServiceUnavailable:
+			// Legal only during the kill drill: submissions that raced the
+			// restarting shard's window. They are retryable, not failures —
+			// but outside a drill a 503 means something is actually broken.
+			if cfg.killShardAt == 0 {
+				return res, fmt.Errorf("job %d → 503 with no shard kill in play", i)
+			}
+			res.Unavailable503++
 		default:
 			return res, fmt.Errorf("job %d → unexpected status %d", i, codes[i])
 		}
@@ -199,6 +300,27 @@ func run(cfg config) (benchResult, error) {
 	res.RejectionRate = float64(res.Rejected) / float64(cfg.jobs)
 	res.ThroughputRPS = float64(cfg.jobs) / duration.Seconds()
 	res.Admission = percentiles(latencies)
+
+	if cfg.killShardAt > 0 {
+		res.KillShardAt = cfg.killShardAt
+		res.KilledShard = cfg.killShard
+		res.RecoverySec = recovery.Seconds()
+		// Admission latency for requests issued after the shard swap
+		// landed: proves the plane returns to nominal service, not just
+		// that it survived.
+		doneAt := time.Unix(0, restartDone.Load())
+		var post []time.Duration
+		for i, t0 := range starts {
+			if codes[i] == http.StatusAccepted && t0.After(doneAt) {
+				post = append(post, latencies[i])
+			}
+		}
+		if len(post) == 0 {
+			return res, errors.New("no accepted submissions after the shard restart; raise -jobs or lower -kill-shard-at")
+		}
+		p := percentiles(post)
+		res.PostRestartAdmission = &p
+	}
 
 	// Every accepted job must still be resident behind the gate.
 	stats := server.Plane().Stats()

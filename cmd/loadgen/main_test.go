@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -61,5 +64,65 @@ func TestRunOverflowCountsRejections(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := run(config{jobs: 0, concurrency: 1, shards: 1, tenants: 1}); err == nil {
 		t.Fatal("jobs=0 accepted")
+	}
+}
+
+// TestRunKillShardDrill: kill and restart one shard mid-storm. Every
+// durably admitted job must still be resident afterwards (the journal
+// replay re-enqueues the killed shard's jobs), 503s are confined to
+// the restart window, and the drill reports a recovery time and a
+// post-restart admission percentile summary.
+func TestRunKillShardDrill(t *testing.T) {
+	res, err := run(config{
+		jobs: 400, concurrency: 32, shards: 2, workers: 1, tenants: 32, seed: 1,
+		killShardAt: 0.3, killShard: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted+res.Rejected+res.Unavailable503 != res.Jobs {
+		t.Fatalf("accepted %d + rejected %d + unavailable %d != %d jobs",
+			res.Accepted, res.Rejected, res.Unavailable503, res.Jobs)
+	}
+	if res.ResidentJobs != res.Accepted {
+		t.Fatalf("resident %d != accepted %d — an acked submission was lost across the restart",
+			res.ResidentJobs, res.Accepted)
+	}
+	if res.RecoverySec <= 0 {
+		t.Fatalf("recovery time not recorded: %+v", res)
+	}
+	if res.PostRestartAdmission == nil || res.PostRestartAdmission.P99 <= 0 {
+		t.Fatalf("post-restart percentiles missing: %+v", res.PostRestartAdmission)
+	}
+	if res.KilledShard != 1 || res.KillShardAt != 0.3 {
+		t.Fatalf("drill metadata wrong: %+v", res)
+	}
+}
+
+// TestWriteResultMergeKey: merging under a key preserves unrelated
+// top-level keys already in the file.
+func TestWriteResultMergeKey(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(out, []byte(`{"existing":{"keep":true}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{out: out, mergeKey: "loadgen_kill"}
+	if err := writeResult(cfg, benchResult{Jobs: 7}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["existing"]; !ok {
+		t.Fatalf("merge dropped unrelated key: %s", b)
+	}
+	var got benchResult
+	if err := json.Unmarshal(doc["loadgen_kill"], &got); err != nil || got.Jobs != 7 {
+		t.Fatalf("merged result wrong: %s (%v)", b, err)
 	}
 }

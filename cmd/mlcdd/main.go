@@ -5,6 +5,7 @@
 //	curl localhost:9090/v1/jobs/job-0001
 //	curl -XDELETE localhost:9090/v1/jobs/job-0001
 //	curl localhost:9090/v1/stats
+//	curl localhost:9090/v1/health
 //
 // Submissions flow through a bounded queue into -workers concurrent
 // deployment searches sharing one profiling cache. With -journal set,
@@ -21,6 +22,13 @@
 // -compact-every:
 //
 //	mlcdd -addr :9090 -shards 4 -workers 2 -journal-dir /var/lib/mlcdd -compact-every 1m
+//
+// A background health loop (-health-every) probes each shard's journal;
+// after -degrade-after consecutive write failures a shard is marked
+// degraded — new tenants are rerouted to healthy shards, existing
+// tenants of the sick shard get 503 + Retry-After, and GET /v1/health
+// reports the per-shard states. A degraded shard is readmitted as soon
+// as its journal accepts writes again.
 package main
 
 import (
@@ -61,6 +69,8 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos provider's injection decisions")
 		ckptEvery    = flag.Duration("checkpoint-every", 0, "checkpoint interval for training runs (0 = no checkpointing)")
 		fidelity     = flag.String("fidelity", "", "comma-separated sub-sampling ladder for multi-fidelity probing, e.g. 0.25,0.5 (empty = full probes only)")
+		healthEvery  = flag.Duration("health-every", 0, "shard journal health probe cadence when sharded (0 = 1s default, negative = disabled)")
+		degradeAfter = flag.Int("degrade-after", 0, "consecutive journal-write failures before a shard is marked degraded (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -95,12 +105,14 @@ func main() {
 		Resilience: mlcdsys.Resilience{CheckpointEvery: *ckptEvery},
 	})
 	server, err := mlcdapi.NewServerWithConfig(sys, mlcdapi.ServerConfig{
-		Workers:      *workers,
-		QueueSize:    *queueSize,
-		JournalPath:  *journal,
-		Shards:       *shards,
-		JournalDir:   *journalDir,
-		CompactEvery: *compactEvery,
+		Workers:       *workers,
+		QueueSize:     *queueSize,
+		JournalPath:   *journal,
+		Shards:        *shards,
+		JournalDir:    *journalDir,
+		CompactEvery:  *compactEvery,
+		HealthEvery:   *healthEvery,
+		DegradedAfter: *degradeAfter,
 	})
 	if err != nil {
 		log.Fatalf("mlcdd: %v", err)

@@ -1,0 +1,130 @@
+// Package faultfs is the storage fault layer under the scheduler's
+// crash journal: a minimal filesystem interface (FS/File) that the
+// journal code writes through instead of calling the os package
+// directly, plus three implementations —
+//
+//   - OS: a zero-overhead passthrough to the real filesystem, the
+//     production default;
+//   - Mem: an in-memory filesystem with PAGE-CACHE semantics — written
+//     bytes stay volatile until Sync, metadata operations (create,
+//     rename, remove) stay volatile until a journal-ordered flush — and
+//     a deterministic, seeded Crash() that discards exactly what a
+//     power loss would discard, including torn tails of unsynced
+//     appends;
+//   - Injector: a plan-driven fault wrapper over any FS that fails the
+//     Nth matching operation with EIO, ENOSPC, a short write, a failed
+//     fsync, or a simulated crash, so every "what if the disk dies
+//     HERE" question becomes a deterministic test case.
+//
+// The paper's premise is that profiling observations are expensive and
+// must never be re-bought; the journal that preserves them is only as
+// trustworthy as its behavior under exactly these faults. The
+// crash-restart simulator (internal/sched's crashstorm) drives the
+// journal through Mem+Injector at every interesting crash point and
+// checks that no acknowledged state is ever lost.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle surface the journal layer needs: append/stream
+// writes, sequential and positional reads, durability (Sync), tail
+// repair (Truncate), and size discovery (Stat). *os.File satisfies it
+// directly.
+type File interface {
+	io.Writer
+	io.Reader
+	io.ReaderAt
+	Sync() error
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+	Close() error
+}
+
+// FS is the filesystem surface the journal layer needs. Every method
+// mirrors its os-package namesake; ReadDir returns base names only (the
+// journal never nests directories).
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+// OS is the production FS: a direct passthrough to the os package. The
+// zero value is ready to use.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ErrCrashed is returned by every operation on a filesystem (or a
+// handle) that has crashed: the simulated process must stop touching
+// storage until the harness "restarts" it over the surviving bytes.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrInjected wraps every error the Injector fabricates, so tests can
+// distinguish planned faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Flag aliases keep the os dependency out of Mem's file.
+const (
+	osRdonly = os.O_RDONLY
+	osCreate = os.O_CREATE
+	osTrunc  = os.O_TRUNC
+	osAppend = os.O_APPEND
+)
+
+// normPath canonicalizes paths so "dir/f", "./dir/f", and "dir//f" name
+// the same Mem entry.
+func normPath(name string) string { return filepath.Clean(name) }
+
+// sortedNames returns the keys of m in sorted order — Mem's ReadDir and
+// Crash must be deterministic regardless of map iteration order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,382 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+// TestOSPassthrough exercises the production FS end to end on a real
+// temp dir: the journal's whole surface in one pass.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OS
+	if err := fsys.MkdirAll(filepath.Join(dir, "j"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "j", "a.jnl")
+	writeAll(t, fsys, p, []byte("hello\n"), true)
+	got, err := fsys.ReadFile(p)
+	if err != nil || string(got) != "hello\n" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := fsys.ReadDir(filepath.Join(dir, "j"))
+	if err != nil || len(names) != 1 || names[0] != "a.jnl" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fsys.Rename(p, p+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(p + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open(p); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open after remove: %v", err)
+	}
+}
+
+// TestMemBasics: Mem behaves like a filesystem for the fault-free path.
+func TestMemBasics(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("j/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "j/a.jnl", []byte("one\n"), true)
+	writeAll(t, m, "j/a.jnl", []byte("two\n"), true) // append across handles
+	got, err := m.ReadFile("j/a.jnl")
+	if err != nil || string(got) != "one\ntwo\n" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := m.ReadDir("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.jnl" || names[1] != "sub" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadDir missing dir: %v", err)
+	}
+	if _, err := m.Open("j/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open missing: %v", err)
+	}
+
+	f, err := m.Open("j/a.jnl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if n, err := f.ReadAt(buf, 4); err != nil || string(buf[:n]) != "two" {
+		t.Fatalf("ReadAt = %q, %v", buf[:n], err)
+	}
+	all, err := io.ReadAll(f)
+	if err != nil || string(all) != "one\ntwo\n" {
+		t.Fatalf("ReadAll = %q, %v", all, err)
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != 8 {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadFile("j/a.jnl"); string(got) != "one\n" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+// TestMemCrashDropsUnsynced: unsynced bytes may be lost at a crash;
+// synced bytes never are; the surviving tail is a prefix of what was
+// written (torn, not scrambled).
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := NewMem()
+		writeAll(t, m, "a", []byte("durable\n"), true)
+		writeAll(t, m, "a", []byte("volatile\n"), false)
+		m.Crash(rand.New(rand.NewSource(seed)))
+		got, err := m.ReadFile("a")
+		if err != nil {
+			t.Fatalf("seed %d: file lost entirely: %v", seed, err)
+		}
+		full := "durable\nvolatile\n"
+		if len(got) < len("durable\n") || string(got) != full[:len(got)] {
+			t.Fatalf("seed %d: survivors %q not a torn prefix", seed, got)
+		}
+	}
+	// Some seed must actually tear (keep a strict prefix) and some must
+	// drop the whole extension, or the model is vacuous.
+	sawTorn, sawDropped := false, false
+	for seed := int64(0); seed < 50; seed++ {
+		m := NewMem()
+		writeAll(t, m, "a", []byte("d\n"), true)
+		writeAll(t, m, "a", []byte("volatile-tail\n"), false)
+		m.Crash(rand.New(rand.NewSource(seed)))
+		got, _ := m.ReadFile("a")
+		switch {
+		case len(got) == 2:
+			sawDropped = true
+		case len(got) > 2 && len(got) < 16:
+			sawTorn = true
+		}
+	}
+	if !sawTorn || !sawDropped {
+		t.Fatalf("crash model vacuous: torn=%v dropped=%v", sawTorn, sawDropped)
+	}
+}
+
+// TestMemCrashDeterministic: same seed, same survivors.
+func TestMemCrashDeterministic(t *testing.T) {
+	build := func() *Mem {
+		m := NewMem()
+		writeAll(t, m, "a", []byte("base\n"), true)
+		writeAll(t, m, "a", []byte("tail-bytes\n"), false)
+		writeAll(t, m, "b", []byte("unsynced-file\n"), false)
+		return m
+	}
+	m1, m2 := build(), build()
+	m1.Crash(rand.New(rand.NewSource(7)))
+	m2.Crash(rand.New(rand.NewSource(7)))
+	for _, name := range []string{"a", "b"} {
+		g1, e1 := m1.ReadFile(name)
+		g2, e2 := m2.ReadFile(name)
+		if (e1 == nil) != (e2 == nil) || string(g1) != string(g2) {
+			t.Fatalf("%s diverged: %q/%v vs %q/%v", name, g1, e1, g2, e2)
+		}
+	}
+}
+
+// TestMemCrashOrderedMetadata: a remove logged after a rename can only
+// survive the crash if the rename does too — never "unlink persisted,
+// rename lost" (which would fabricate data loss the real ordered
+// journal can't produce).
+func TestMemCrashOrderedMetadata(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := NewMem()
+		writeAll(t, m, "tmp", []byte("snapshot\n"), true)
+		writeAll(t, m, "old", []byte("old\n"), true)
+		if err := m.Rename("tmp", "snap"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Remove("old"); err != nil {
+			t.Fatal(err)
+		}
+		m.Crash(rand.New(rand.NewSource(seed)))
+		_, haveSnap := m.Durable("snap")
+		_, haveTmp := m.Durable("tmp")
+		_, haveOld := m.Durable("old")
+		if !haveSnap && !haveTmp {
+			t.Fatalf("seed %d: snapshot bytes vanished from both names", seed)
+		}
+		if !haveOld && !haveSnap {
+			t.Fatalf("seed %d: remove survived but earlier rename did not", seed)
+		}
+	}
+}
+
+// TestMemSyncFlushesDependentMetadata: fsync of a renamed file commits
+// the rename (ordered-journal contract tmp+fsync+rename relies on...
+// the fsync happens on tmp BEFORE rename; after rename, syncing the
+// new name must make the new name durable).
+func TestMemSyncFlushesDependentMetadata(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "tmp", []byte("data\n"), false)
+	if err := m.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("final", os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if data, ok := m.Durable("final"); !ok || string(data) != "data\n" {
+		t.Fatalf("final not durable after sync: %q, %v", data, ok)
+	}
+	if _, ok := m.Durable("tmp"); ok {
+		t.Fatal("tmp still durable after committed rename")
+	}
+}
+
+// TestMemCrashInvalidatesHandles: handles opened before the crash die
+// with ErrCrashed afterwards.
+func TestMemCrashInvalidatesHandles(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "a", []byte("x"), true)
+	f, err := m.OpenFile("a", os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(rand.New(rand.NewSource(1)))
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on dead handle: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync on dead handle: %v", err)
+	}
+}
+
+// TestInjectorModes: each fault mode produces its documented error and
+// errors.Is identity.
+func TestInjectorModes(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want error
+	}{
+		{ModeEIO, syscall.EIO},
+		{ModeSyncFail, syscall.EIO},
+		{ModeENOSPC, syscall.ENOSPC},
+	}
+	for _, tc := range cases {
+		in := NewInjector(NewMem(), nil)
+		in.SetPlan([]Fault{{Op: OpWrite, Mode: tc.mode, Nth: 1}})
+		f, err := in.OpenFile("a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("x")); !errors.Is(err, tc.want) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("mode %s: %v", tc.mode, err)
+		}
+	}
+}
+
+// TestInjectorShortWrite: ModeShort lands exactly Keep bytes then
+// fails, minting a torn record without a crash.
+func TestInjectorShortWrite(t *testing.T) {
+	m := NewMem()
+	in := NewInjector(m, nil)
+	in.SetPlan([]Fault{{Op: OpWrite, Mode: ModeShort, Nth: 1, Keep: 3}})
+	f, err := in.OpenFile("a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello-world\n"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	if got, _ := m.ReadFile("a"); string(got) != "hel" {
+		t.Fatalf("landed bytes = %q", got)
+	}
+}
+
+// TestInjectorNthAndPersist: Nth counts only matching ops; without
+// Persist the fault fires once; with it, forever after.
+func TestInjectorNthAndPersist(t *testing.T) {
+	m := NewMem()
+	in := NewInjector(m, nil)
+	in.SetPlan([]Fault{{Op: OpSync, Path: "a", Mode: ModeEIO, Nth: 2}})
+	f, _ := in.OpenFile("a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 should fail: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 should pass (no Persist): %v", err)
+	}
+
+	in.SetPlan([]Fault{{Op: OpSync, Mode: ModeEIO, Nth: 1, Persist: true}})
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("persistent sync %d should fail: %v", i, err)
+		}
+	}
+	in.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Heal: %v", err)
+	}
+}
+
+// TestInjectorAtOpCrash: AtOp pins a crash to one global op index; the
+// filesystem is poisoned afterwards, the crash point is recorded, and a
+// fresh Injector over the surviving Mem works.
+func TestInjectorAtOpCrash(t *testing.T) {
+	m := NewMem()
+	in := NewInjector(m, rand.New(rand.NewSource(3)))
+	// Rehearsal: count ops for one append sequence (open+write+sync+close).
+	f, _ := in.OpenFile("a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("rec1\n"))
+	f.Sync()
+	f.Close()
+	if n := in.CountOps(); n != 4 {
+		t.Fatalf("rehearsal ops = %d, want 4", n)
+	}
+
+	in.SetPlan([]Fault{{AtOp: 7, Mode: ModeCrash}}) // the second write
+	f, _ = in.OpenFile("a", os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte("x")) // op 6
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 7 should crash: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	cp, ok := in.LastCrashPoint()
+	if !ok || cp.Op != OpWrite || cp.OpSeq != 7 {
+		t.Fatalf("crash point = %+v, %v", cp, ok)
+	}
+	if _, err := in.OpenFile("a", os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open should fail: %v", err)
+	}
+	if _, err := in.ReadFile("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readfile should fail: %v", err)
+	}
+
+	// The restarted process: fresh injector, surviving bytes only. The
+	// synced "rec1\n" must have survived; the unsynced "x"/"y" may not.
+	in2 := NewInjector(m, nil)
+	got, err := in2.ReadFile("a")
+	if err != nil {
+		t.Fatalf("survivor read: %v", err)
+	}
+	if string(got[:5]) != "rec1\n" {
+		t.Fatalf("synced record lost: %q", got)
+	}
+}
+
+// TestInjectorRenamePathMatch: rename faults match against either side
+// of "old->new".
+func TestInjectorRenamePathMatch(t *testing.T) {
+	m := NewMem()
+	writeAll(t, m, "snap.tmp", []byte("s"), true)
+	in := NewInjector(m, nil)
+	in.SetPlan([]Fault{{Op: OpRename, Path: "snapshot.json", Mode: ModeEIO, Nth: 1}})
+	if err := in.Rename("snap.tmp", "snapshot.json"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename should fail: %v", err)
+	}
+	if err := in.Rename("snap.tmp", "snapshot.json"); err != nil {
+		t.Fatalf("second rename should pass: %v", err)
+	}
+}

@@ -1,0 +1,364 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// OpKind names one class of filesystem operation the Injector counts
+// and can fail. Read-only operations (Read, ReadAt, Stat, ReadFile,
+// ReadDir) are never counted: the journal's durability contract is
+// about writes, and keeping the op stream write-only makes crash-point
+// enumeration dense.
+type OpKind string
+
+const (
+	OpOpen     OpKind = "open"
+	OpWrite    OpKind = "write"
+	OpSync     OpKind = "sync"
+	OpTruncate OpKind = "truncate"
+	OpRename   OpKind = "rename"
+	OpRemove   OpKind = "remove"
+	OpClose    OpKind = "close"
+)
+
+// Mode is what happens when a Fault fires.
+type Mode string
+
+const (
+	// ModeEIO fails the operation with an error wrapping syscall.EIO.
+	ModeEIO Mode = "eio"
+	// ModeENOSPC fails the operation with an error wrapping
+	// syscall.ENOSPC.
+	ModeENOSPC Mode = "enospc"
+	// ModeShort lets the first Keep bytes of a write land, then fails
+	// with io.ErrShortWrite. On non-write operations it behaves as
+	// ModeEIO.
+	ModeShort Mode = "short"
+	// ModeSyncFail is ModeEIO under a name that documents intent: the
+	// bytes reached the file, the durability barrier did not.
+	ModeSyncFail Mode = "sync_fail"
+	// ModeCrash powers off the filesystem: the operation fails with
+	// ErrCrashed, the underlying Mem (if any) runs its seeded Crash,
+	// and every later operation through this Injector fails until the
+	// harness builds a fresh one over the survivors.
+	ModeCrash Mode = "crash"
+)
+
+// Fault is one entry in an injection plan. A fault fires when an
+// operation matches all of its filters:
+//
+//   - Op, if non-empty, must equal the operation kind;
+//   - Path, if non-empty, must be a substring of the operation's path
+//     (renames match against "old->new");
+//   - AtOp, if positive, must equal the global 1-based operation
+//     counter — the hook crash-point enumeration uses to ask "what if
+//     we die at exactly op N?";
+//   - Nth, if positive, fires on the Nth Op/Path-matching operation
+//     (1-based); with Persist it keeps firing from the Nth onward.
+//     Nth 0 with AtOp 0 fires on every match.
+//
+// Faults are plain data so plans serialize to JSON reproducers.
+type Fault struct {
+	Op      OpKind `json:"op,omitempty"`
+	Path    string `json:"path,omitempty"`
+	AtOp    int64  `json:"at_op,omitempty"`
+	Nth     int    `json:"nth,omitempty"`
+	Mode    Mode   `json:"mode"`
+	Persist bool   `json:"persist,omitempty"`
+	Keep    int    `json:"keep,omitempty"`
+}
+
+// CrashPoint records where a ModeCrash fault fired, so storms can
+// classify which journal phase (append, rotation, compaction) each
+// crash interrupted.
+type CrashPoint struct {
+	Op    OpKind `json:"op"`
+	Path  string `json:"path"`
+	OpSeq int64  `json:"op_seq"`
+}
+
+// Injector wraps an FS and fails operations per a plan of Faults. It
+// is safe for concurrent use. Crash faults are only fully meaningful
+// over a *Mem inner (the Injector then triggers Mem.Crash with its
+// seeded rng); over any other FS they still poison the Injector.
+type Injector struct {
+	inner FS
+	mem   *Mem // non-nil when inner is a *Mem: ModeCrash powers it off
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	plan    []Fault
+	seen    []int // per-fault count of Op/Path-matching operations
+	ops     int64
+	crashed bool
+	point   *CrashPoint
+}
+
+// NewInjector wraps inner. rng seeds crash outcomes (which torn-tail
+// prefix survives); it may be nil if the plan contains no ModeCrash
+// fault.
+func NewInjector(inner FS, rng *rand.Rand) *Injector {
+	in := &Injector{inner: inner, rng: rng}
+	if m, ok := inner.(*Mem); ok {
+		in.mem = m
+	}
+	return in
+}
+
+// SetPlan replaces the active plan and resets per-fault match counts.
+// The global operation counter keeps running.
+func (in *Injector) SetPlan(plan []Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = append([]Fault(nil), plan...)
+	in.seen = make([]int, len(in.plan))
+}
+
+// Heal clears the plan — the disk "recovers". It does not resurrect a
+// crashed filesystem; after ModeCrash, build a fresh Injector over the
+// survivors.
+func (in *Injector) Heal() { in.SetPlan(nil) }
+
+// CountOps reports how many countable operations have passed through,
+// including the one that crashed. A fault-free rehearsal run plus
+// CountOps bounds the AtOp range for exhaustive crash enumeration.
+func (in *Injector) CountOps() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether a ModeCrash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// LastCrashPoint returns where the crash fired, if one has.
+func (in *Injector) LastCrashPoint() (CrashPoint, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.point == nil {
+		return CrashPoint{}, false
+	}
+	return *in.point, true
+}
+
+// before counts one operation and decides its fate. A nil error means
+// proceed normally. mode is only meaningful alongside a non-nil error
+// (callers special-case ModeShort on writes via keep).
+func (in *Injector) before(op OpKind, path string) (mode Mode, keep int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return "", 0, fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	}
+	in.ops++
+	for i := range in.plan {
+		f := &in.plan[i]
+		if f.Op != "" && f.Op != op {
+			continue
+		}
+		if f.Path != "" && !contains(path, f.Path) {
+			continue
+		}
+		if f.AtOp > 0 {
+			if in.ops != f.AtOp {
+				continue
+			}
+		} else if f.Nth > 0 {
+			in.seen[i]++
+			if in.seen[i] < f.Nth || (in.seen[i] > f.Nth && !f.Persist) {
+				continue
+			}
+		}
+		return in.fireLocked(f, op, path)
+	}
+	return "", 0, nil
+}
+
+func (in *Injector) fireLocked(f *Fault, op OpKind, path string) (Mode, int, error) {
+	switch f.Mode {
+	case ModeCrash:
+		in.crashed = true
+		in.point = &CrashPoint{Op: op, Path: path, OpSeq: in.ops}
+		if in.mem != nil {
+			rng := in.rng
+			if rng == nil {
+				rng = rand.New(rand.NewSource(1))
+			}
+			in.mem.Crash(rng)
+		}
+		return ModeCrash, 0, fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	case ModeENOSPC:
+		return f.Mode, 0, fmt.Errorf("%s %s: %w", op, path, errors.Join(ErrInjected, syscall.ENOSPC))
+	case ModeShort:
+		if op == OpWrite {
+			return ModeShort, f.Keep, fmt.Errorf("%s %s: %w", op, path, errors.Join(ErrInjected, io.ErrShortWrite))
+		}
+		fallthrough
+	default: // ModeEIO, ModeSyncFail
+		return f.Mode, 0, fmt.Errorf("%s %s: %w", op, path, errors.Join(ErrInjected, syscall.EIO))
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if _, _, err := in.before(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+// Open implements FS.
+func (in *Injector) Open(name string) (File, error) {
+	return in.OpenFile(name, osRdonly, 0)
+}
+
+// ReadFile implements FS. Read-only: uncounted, but dead after a crash.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.checkAlive("readfile", name); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadFile(name)
+}
+
+// ReadDir implements FS. Read-only: uncounted, but dead after a crash.
+func (in *Injector) ReadDir(dir string) ([]string, error) {
+	if err := in.checkAlive("readdir", dir); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(dir)
+}
+
+// Rename implements FS. Path filters match against "old->new".
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, _, err := in.before(OpRename, oldpath+"->"+newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if _, _, err := in.before(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+// MkdirAll implements FS. Setup noise: uncounted, but dead after a
+// crash.
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err := in.checkAlive("mkdir", path); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) checkAlive(op, path string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	}
+	return nil
+}
+
+// injFile threads each handle operation back through the plan.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+// Write implements io.Writer. A ModeShort fault lands the first Keep
+// bytes before failing, which is how torn records are minted on a
+// filesystem that isn't crashing.
+func (h *injFile) Write(p []byte) (int, error) {
+	mode, keep, err := h.in.before(OpWrite, h.name)
+	if err != nil {
+		if mode == ModeShort {
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, werr := h.f.Write(p[:keep])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return h.f.Write(p)
+}
+
+// Read implements io.Reader. Uncounted, but dead after a crash.
+func (h *injFile) Read(p []byte) (int, error) {
+	if err := h.in.checkAlive("read", h.name); err != nil {
+		return 0, err
+	}
+	return h.f.Read(p)
+}
+
+// ReadAt implements io.ReaderAt. Uncounted, but dead after a crash.
+func (h *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := h.in.checkAlive("read", h.name); err != nil {
+		return 0, err
+	}
+	return h.f.ReadAt(p, off)
+}
+
+// Sync implements File.
+func (h *injFile) Sync() error {
+	if _, _, err := h.in.before(OpSync, h.name); err != nil {
+		return err
+	}
+	return h.f.Sync()
+}
+
+// Truncate implements File.
+func (h *injFile) Truncate(size int64) error {
+	if _, _, err := h.in.before(OpTruncate, h.name); err != nil {
+		return err
+	}
+	return h.f.Truncate(size)
+}
+
+// Stat implements File. Uncounted, but dead after a crash.
+func (h *injFile) Stat() (fs.FileInfo, error) {
+	if err := h.in.checkAlive("stat", h.name); err != nil {
+		return nil, err
+	}
+	return h.f.Stat()
+}
+
+// Close implements File. Countable (a plan may crash at close), but a
+// close after crash quietly succeeds so deferred cleanup doesn't spam.
+func (h *injFile) Close() error {
+	mode, _, err := h.in.before(OpClose, h.name)
+	_ = mode
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			_ = h.f.Close()
+			return nil
+		}
+		_ = h.f.Close()
+		return err
+	}
+	return h.f.Close()
+}

@@ -1,0 +1,426 @@
+package faultfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory filesystem with crash semantics modeled on a
+// journaling OS in ordered mode:
+//
+//   - file DATA written through a handle lands in the "page cache" (the
+//     current view every reader sees) and becomes durable only when that
+//     handle is Synced — except that a crash may additionally persist an
+//     arbitrary seeded prefix of the unsynced tail, which is exactly how
+//     torn journal records are born;
+//   - METADATA operations (create, rename, remove) apply to the current
+//     view immediately but stay in an ordered pending log until a flush.
+//     Syncing a file flushes every metadata operation up to and
+//     including the last one that touched it (committing a journal
+//     transaction commits its predecessors, as ext4's ordered journal
+//     does). A crash applies a seeded prefix of the still-pending log —
+//     so a rename can be lost, but a later remove can never survive a
+//     rename it depends on;
+//   - Crash(rng) rebuilds the current view from the durable one and
+//     invalidates every open handle (ErrCrashed), after which the
+//     "restarted process" reopens paths and sees only what a power loss
+//     would have left.
+//
+// Directories are durable as soon as they are created — the interesting
+// faults in the journal's life are all file-level.
+//
+// All methods are safe for concurrent use; Crash is deterministic given
+// the rng, provided the operation order is (single-threaded harnesses).
+type Mem struct {
+	mu      sync.Mutex
+	epoch   int
+	files   map[string]*memFile // current (page-cache) view
+	durable map[string][]byte   // crash-surviving image (after pending ops apply)
+	dirs    map[string]bool
+	pending []metaOp
+}
+
+type memFile struct {
+	data []byte
+}
+
+type metaKind int
+
+const (
+	metaCreate metaKind = iota
+	metaRename
+	metaRemove
+)
+
+type metaOp struct {
+	kind  metaKind
+	path  string // created / removed / rename source
+	path2 string // rename destination
+}
+
+func (op metaOp) touches(path string) bool {
+	return op.path == path || (op.kind == metaRename && op.path2 == path)
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{
+		files:   make(map[string]*memFile),
+		durable: make(map[string][]byte),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// pathError mirrors the os package's error shape so errors.Is
+// (fs.ErrNotExist etc.) works identically over Mem and OS.
+func pathError(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	name = normPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&osCreate == 0 {
+			return nil, pathError("open", name, fs.ErrNotExist)
+		}
+		f = &memFile{}
+		m.files[name] = f
+		m.pending = append(m.pending, metaOp{kind: metaCreate, path: name})
+	}
+	if flag&osTrunc != 0 {
+		f.data = nil
+	}
+	h := &memHandle{m: m, name: name, epoch: m.epoch, append_: flag&osAppend != 0}
+	return h, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(name string) (File, error) { return m.OpenFile(name, osRdonly, 0) }
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	name = normPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, pathError("open", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	dir = normPath(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return nil, pathError("open", dir, fs.ErrNotExist)
+	}
+	seen := make(map[string]bool)
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			seen[filepath.Base(name)] = true
+		}
+	}
+	for d := range m.dirs {
+		if filepath.Dir(d) == dir {
+			seen[filepath.Base(d)] = true
+		}
+	}
+	return sortedNames(seen), nil
+}
+
+// Rename implements FS.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	oldpath, newpath = normPath(oldpath), normPath(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return pathError("rename", oldpath, fs.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	m.pending = append(m.pending, metaOp{kind: metaRename, path: oldpath, path2: newpath})
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	name = normPath(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return pathError("remove", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	m.pending = append(m.pending, metaOp{kind: metaRemove, path: name})
+	return nil
+}
+
+// MkdirAll implements FS. Directories are durable immediately.
+func (m *Mem) MkdirAll(path string, _ fs.FileMode) error {
+	path = normPath(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// applyMetaLocked folds one pending metadata op into the durable image.
+func (m *Mem) applyMetaLocked(op metaOp) {
+	switch op.kind {
+	case metaCreate:
+		if _, ok := m.durable[op.path]; !ok {
+			m.durable[op.path] = nil
+		}
+	case metaRename:
+		data, ok := m.durable[op.path]
+		if !ok {
+			data = nil // inode never flushed: the name moves, the bytes were volatile
+		}
+		delete(m.durable, op.path)
+		m.durable[op.path2] = data
+	case metaRemove:
+		delete(m.durable, op.path)
+	}
+}
+
+// flushMetaThroughLocked applies every pending op up to and including
+// the last one touching path — the ordered-journal commit a successful
+// fsync of that file implies.
+func (m *Mem) flushMetaThroughLocked(path string) {
+	last := -1
+	for i, op := range m.pending {
+		if op.touches(path) {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		m.applyMetaLocked(m.pending[i])
+	}
+	if last >= 0 {
+		m.pending = append([]metaOp(nil), m.pending[last+1:]...)
+	}
+}
+
+// syncLocked makes path's current data durable.
+func (m *Mem) syncLocked(path string) error {
+	f, ok := m.files[path]
+	if !ok {
+		return pathError("sync", path, fs.ErrNotExist)
+	}
+	m.flushMetaThroughLocked(path)
+	m.durable[path] = append([]byte(nil), f.data...)
+	return nil
+}
+
+// Crash simulates power loss: a seeded prefix of the pending metadata
+// log reaches disk, every file keeps its last-synced bytes plus a
+// seeded prefix of any unsynced append tail (the torn record), all open
+// handles die, and the current view is rebuilt from the durable image.
+// The same rng stream yields the same post-crash filesystem.
+func (m *Mem) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := rng.Intn(len(m.pending) + 1)
+	for i := 0; i < k; i++ {
+		m.applyMetaLocked(m.pending[i])
+	}
+	m.pending = nil
+
+	for _, name := range sortedNames(m.durable) {
+		dur := m.durable[name]
+		cur, ok := m.files[name]
+		if !ok || len(cur.data) <= len(dur) || !bytes.HasPrefix(cur.data, dur) {
+			// No unsynced extension (or the volatile view diverged — an
+			// unsynced truncate — whose metadata is simply lost).
+			continue
+		}
+		ext := cur.data[len(dur):]
+		keep := rng.Intn(len(ext) + 1)
+		m.durable[name] = append(append([]byte(nil), dur...), ext[:keep]...)
+	}
+
+	m.files = make(map[string]*memFile, len(m.durable))
+	for name, data := range m.durable {
+		m.files[name] = &memFile{data: append([]byte(nil), data...)}
+	}
+	m.epoch++
+}
+
+// Durable returns the crash-surviving byte image of one file (nil, false
+// when the file would not survive). Test/diagnostic helper.
+func (m *Mem) Durable(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.durable[normPath(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// memHandle is one open descriptor.
+type memHandle struct {
+	m       *Mem
+	name    string
+	epoch   int
+	append_ bool
+	pos     int64
+	closed  bool
+}
+
+// check returns the live memFile, or the error state of the handle.
+func (h *memHandle) check(op string) (*memFile, error) {
+	if h.closed {
+		return nil, pathError(op, h.name, fs.ErrClosed)
+	}
+	if h.epoch != h.m.epoch {
+		return nil, fmt.Errorf("%s %s: %w", op, h.name, ErrCrashed)
+	}
+	f, ok := h.m.files[h.name]
+	if !ok {
+		return nil, pathError(op, h.name, fs.ErrNotExist)
+	}
+	return f, nil
+}
+
+// Write implements io.Writer: at the end with O_APPEND, at the handle
+// offset otherwise.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	f, err := h.check("write")
+	if err != nil {
+		return 0, err
+	}
+	if h.append_ {
+		f.data = append(f.data, p...)
+		h.pos = int64(len(f.data))
+		return len(p), nil
+	}
+	if need := h.pos + int64(len(p)); need > int64(len(f.data)) {
+		grown := make([]byte, need)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[h.pos:], p)
+	h.pos += int64(len(p))
+	return len(p), nil
+}
+
+// Read implements io.Reader.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	f, err := h.check("read")
+	if err != nil {
+		return 0, err
+	}
+	if h.pos >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	f, err := h.check("read")
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Sync implements File: current data (and the metadata ops it depends
+// on) become durable.
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if _, err := h.check("sync"); err != nil {
+		return err
+	}
+	return h.m.syncLocked(h.name)
+}
+
+// Truncate implements File. Like a real truncate, the size change is
+// volatile until the next sync.
+func (h *memHandle) Truncate(size int64) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	f, err := h.check("truncate")
+	if err != nil {
+		return err
+	}
+	switch {
+	case size < 0:
+		return pathError("truncate", h.name, fs.ErrInvalid)
+	case size <= int64(len(f.data)):
+		f.data = f.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	return nil
+}
+
+// Stat implements File.
+func (h *memHandle) Stat() (fs.FileInfo, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	f, err := h.check("stat")
+	if err != nil {
+		return nil, err
+	}
+	return memFileInfo{name: filepath.Base(h.name), size: int64(len(f.data))}, nil
+}
+
+// Close implements File. Idempotent.
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// memFileInfo is the minimal fs.FileInfo Stat returns.
+type memFileInfo struct {
+	name string
+	size int64
+}
+
+func (fi memFileInfo) Name() string       { return fi.name }
+func (fi memFileInfo) Size() int64        { return fi.size }
+func (fi memFileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi memFileInfo) ModTime() time.Time { return time.Time{} }
+func (fi memFileInfo) IsDir() bool        { return false }
+func (fi memFileInfo) Sys() any           { return nil }

@@ -1,0 +1,160 @@
+package mlcdapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"mlcd/internal/faultfs"
+	"mlcd/internal/shardplane"
+)
+
+// getHealth fetches /v1/health and decodes the plane picture.
+func getHealth(t *testing.T, base string) (int, shardplane.PlaneHealth) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var h shardplane.PlaneHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, h
+}
+
+// TestHealthEndpointDegradedMode is the degraded-mode end-to-end over
+// HTTP, run under -race in CI: one shard's journal storage turns
+// persistently broken, /v1/health reports it (still 200 — the plane is
+// partially serving), the degraded shard's existing tenant gets 503 +
+// Retry-After, NEW tenants keep being admitted on healthy shards, and
+// recovery re-admits the shard with no operator action.
+func TestHealthEndpointDegradedMode(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.NewMem(), rand.New(rand.NewSource(1)))
+	srv, hts := newService(t, ServerConfig{
+		Shards:      2,
+		JournalDir:  "plane",
+		FS:          inj,
+		MergeEvery:  -1,
+		HealthEvery: -1, // tests drive probe rounds explicitly
+	})
+	plane := srv.Plane()
+
+	// Find one tenant per shard.
+	tenantOn := func(shard int, prefix string) string {
+		for i := 0; i < 100000; i++ {
+			cand := fmt.Sprintf("%s-%d", prefix, i)
+			if plane.ShardFor(cand) == shard {
+				return cand
+			}
+		}
+		t.Fatalf("no tenant maps to shard %d", shard)
+		return ""
+	}
+	t1 := tenantOn(1, "tenant")
+	sub := submit(t, hts.URL, fmt.Sprintf(`{"job":"resnet-cifar10","tenant":%q,"budget_usd":100}`, t1))
+	await(t, hts.URL, sub.ID)
+
+	if code, h := getHealth(t, hts.URL); code != http.StatusOK || h.State != "healthy" || h.Healthy != 2 {
+		t.Fatalf("baseline health: %d %+v", code, h)
+	}
+
+	// Shard 1's disk dies.
+	inj.SetPlan([]faultfs.Fault{
+		{Op: faultfs.OpSync, Path: "shard-1", Mode: faultfs.ModeSyncFail, Nth: 1, Persist: true},
+	})
+	for i := 0; i < shardplane.DefaultDegradedAfter; i++ {
+		plane.CheckHealth()
+	}
+	code, h := getHealth(t, hts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("partially degraded plane must stay 200, got %d", code)
+	}
+	if h.State != "degraded" || h.Shards[1].State != "degraded" || h.Shards[1].LastError == "" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	// The existing shard-1 tenant: 503 with a Retry-After hint.
+	body := fmt.Sprintf(`{"job":"resnet-cifar10","tenant":%q,"budget_usd":100}`, t1)
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorJSON
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded-shard tenant: %d (%s), want 503", resp.StatusCode, e.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" || e.RetryAfterSec <= 0 {
+		t.Fatalf("503 without Retry-After: header=%q body=%+v", resp.Header.Get("Retry-After"), e)
+	}
+
+	// A NEW tenant homed on the degraded shard is admitted elsewhere.
+	fresh := tenantOn(1, "fresh")
+	rerouted := submit(t, hts.URL, fmt.Sprintf(`{"job":"resnet-cifar10","tenant":%q,"budget_usd":100}`, fresh))
+	await(t, hts.URL, rerouted.ID)
+
+	// Recovery: storage heals, one good probe round re-admits the shard.
+	inj.Heal()
+	plane.CheckHealth()
+	if code, h := getHealth(t, hts.URL); code != http.StatusOK || h.State != "healthy" {
+		t.Fatalf("post-recovery health: %d %+v", code, h)
+	}
+	again := submit(t, hts.URL, fmt.Sprintf(`{"job":"resnet-cifar10","tenant":%q,"budget_usd":100}`, t1))
+	await(t, hts.URL, again.ID)
+}
+
+// TestHealthEndpointDown: when no shard can persist, /v1/health itself
+// goes 503 — the signal for a load balancer to drain the instance.
+func TestHealthEndpointDown(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.NewMem(), rand.New(rand.NewSource(1)))
+	srv, hts := newService(t, ServerConfig{
+		Shards: 2, JournalDir: "plane", FS: inj, MergeEvery: -1, HealthEvery: -1,
+	})
+	inj.SetPlan([]faultfs.Fault{
+		{Op: faultfs.OpSync, Path: "shard-", Mode: faultfs.ModeSyncFail, Nth: 1, Persist: true},
+	})
+	for i := 0; i < shardplane.DefaultDegradedAfter; i++ {
+		srv.Plane().CheckHealth()
+	}
+	code, h := getHealth(t, hts.URL)
+	if code != http.StatusServiceUnavailable || h.State != "down" {
+		t.Fatalf("all-degraded plane: %d %+v", code, h)
+	}
+}
+
+// TestHealthEndpointSingleScheduler: without shards the endpoint probes
+// the lone journal on demand and reports it as shard 0.
+func TestHealthEndpointSingleScheduler(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.NewMem(), rand.New(rand.NewSource(1)))
+	_, hts := newService(t, ServerConfig{JournalDir: "jdir", FS: inj})
+
+	if code, h := getHealth(t, hts.URL); code != http.StatusOK || h.State != "healthy" || len(h.Shards) != 1 {
+		t.Fatalf("healthy single scheduler: %d %+v", code, h)
+	}
+	inj.SetPlan([]faultfs.Fault{
+		{Op: faultfs.OpSync, Path: "jdir", Mode: faultfs.ModeSyncFail, Nth: 1, Persist: true},
+	})
+	code, h := getHealth(t, hts.URL)
+	if code != http.StatusServiceUnavailable || h.State != "down" || h.Shards[0].State != "degraded" {
+		t.Fatalf("broken single scheduler: %d %+v", code, h)
+	}
+	inj.Heal()
+	if code, h := getHealth(t, hts.URL); code != http.StatusOK || h.State != "healthy" {
+		t.Fatalf("healed single scheduler: %d %+v", code, h)
+	}
+}
+
+// TestHealthEndpointNoJournal: a journal-less scheduler has nothing to
+// probe and is trivially healthy.
+func TestHealthEndpointNoJournal(t *testing.T) {
+	_, hts := newService(t, ServerConfig{})
+	if code, h := getHealth(t, hts.URL); code != http.StatusOK || h.State != "healthy" {
+		t.Fatalf("journal-less health: %d %+v", code, h)
+	}
+}

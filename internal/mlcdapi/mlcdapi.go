@@ -9,6 +9,7 @@
 //	DELETE /v1/jobs/{id}      → cancel a queued or running submission
 //	GET    /v1/jobs/{id}/trace → the job's deterministic search timeline (JSON)
 //	GET    /v1/stats          → queue depth, workers, jobs by status, cache savings
+//	GET    /v1/health         → per-shard and plane-wide journal health (503 only when no shard can persist)
 //	GET    /metrics           → Prometheus text exposition of every subsystem metric
 //
 // Lifecycle and execution live in the scheduler subsystem
@@ -35,6 +36,7 @@ import (
 	"strconv"
 	"time"
 
+	"mlcd/internal/faultfs"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -131,7 +133,21 @@ type ServerConfig struct {
 	// ProfilerMiddleware wraps the measuring profiler inside the shared
 	// cache (instrumentation; see sched.Config.ProfilerMiddleware).
 	ProfilerMiddleware func(profiler.Profiler) profiler.Profiler
+	// FS is the storage under every journal (nil → the real filesystem).
+	// The storage-fault test hook; see internal/faultfs.
+	FS faultfs.FS
+	// HealthEvery is the sharded plane's journal health-probe cadence
+	// (see shardplane.Config.HealthEvery; Shards >= 2 only).
+	HealthEvery time.Duration
+	// DegradedAfter is how many consecutive journal failures degrade a
+	// shard (see shardplane.Config.DegradedAfter; Shards >= 2 only).
+	DegradedAfter int
 }
+
+// degradedRetryAfterSec is the Retry-After hint on 503s caused by a
+// degraded shard journal: long enough for a health-probe round to
+// re-admit the shard, short enough that clients notice recovery fast.
+const degradedRetryAfterSec = 5
 
 // control is what the handlers need from whichever backend runs the
 // jobs — the single scheduler or the sharded plane.
@@ -200,6 +216,9 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 			CompactEvery:       cfg.CompactEvery,
 			MergeEvery:         cfg.MergeEvery,
 			ProfilerMiddleware: cfg.ProfilerMiddleware,
+			FS:                 cfg.FS,
+			HealthEvery:        cfg.HealthEvery,
+			DegradedAfter:      cfg.DegradedAfter,
 		})
 		if err != nil {
 			return nil, err
@@ -214,6 +233,7 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 			JournalDir:         cfg.JournalDir,
 			CompactEvery:       cfg.CompactEvery,
 			ProfilerMiddleware: cfg.ProfilerMiddleware,
+			FS:                 cfg.FS,
 		})
 		if err != nil {
 			return nil, err
@@ -227,6 +247,7 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
@@ -311,6 +332,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		retry := retryAfterSeconds(queued, workers)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error(), RetryAfterSec: retry})
+	case errors.Is(err, shardplane.ErrShardDegraded), errors.Is(err, sched.ErrJournal):
+		// The tenant's shard cannot persist the submission right now. The
+		// failure is retryable — the shard re-admits itself once journal
+		// writes succeed — so tell the client when to come back.
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfterSec))
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorJSON{Error: err.Error(), RetryAfterSec: degradedRetryAfterSec})
 	case errors.Is(err, sched.ErrShuttingDown):
 		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
 	default:
@@ -381,6 +409,33 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.ctl.statsJSON())
+}
+
+// handleHealth reports journal health. Sharded: the plane's per-shard
+// picture; the endpoint itself answers 503 only when NO shard can
+// persist, because a partially degraded plane still admits new tenants
+// on its healthy shards — a load balancer that drained it on any
+// degradation would turn a one-disk incident into a full outage.
+// Single scheduler: one on-demand probe, reported as shard 0.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	var h shardplane.PlaneHealth
+	if s.plane != nil {
+		h = s.plane.Health()
+	} else {
+		sh := shardplane.ShardHealth{Shard: 0, State: "healthy"}
+		h = shardplane.PlaneHealth{State: "healthy", Healthy: 1}
+		if err := s.sched.ProbeJournal(); err != nil {
+			sh.State, sh.LastError = "degraded", err.Error()
+			h.State, h.Healthy, h.Degraded = "down", 0, 1
+		}
+		sh.ErrStreak = int(s.sched.JournalErrStreak())
+		h.Shards = []shardplane.ShardHealth{sh}
+	}
+	code := http.StatusOK
+	if h.State == "down" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mlcd/internal/faultfs"
+	"mlcd/internal/search"
+)
+
+// TestCrashPlanFaultFree: a plan with no faults runs the whole script,
+// acks everything, and upholds every invariant.
+func TestCrashPlanFaultFree(t *testing.T) {
+	rep, err := RunCrashPlan(CrashPlan{Seed: 1, Ops: 60, MaxRecords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed || rep.Phase != "none" {
+		t.Fatalf("fault-free run crashed: %+v", rep)
+	}
+	if rep.AckedSubs == 0 || rep.AckedProbes == 0 || rep.AckedDones == 0 {
+		t.Fatalf("script too tame: %+v", rep)
+	}
+	if rep.TotalFSOps < 60 {
+		t.Fatalf("suspiciously few FS ops: %+v", rep)
+	}
+}
+
+// TestCrashPlanEveryPoint is the in-package mini-storm: one seed,
+// every single FS operation as the crash point, all invariants. The
+// CI-scale storm in cmd/crashstorm runs many seeds; this pins the
+// mechanism into tier-1.
+func TestCrashPlanEveryPoint(t *testing.T) {
+	base := CrashPlan{Seed: 42, Ops: 60, MaxRecords: 6}
+	rehearsal, err := RunCrashPlan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for at := int64(1); at <= rehearsal.TotalFSOps; at++ {
+		plan := base
+		plan.CrashAtOp = at
+		plan.CrashSeed = at // vary the torn tail too
+		rep, err := RunCrashPlan(plan)
+		if err != nil {
+			t.Fatalf("crash at op %d (phase %s): %v", at, rep.Phase, err)
+		}
+		if !rep.Crashed {
+			t.Fatalf("crash at op %d never fired (total ops %d)", at, rep.TotalFSOps)
+		}
+		phases[rep.Phase]++
+	}
+	for _, phase := range []string{"append", "rotation", "compaction"} {
+		if phases[phase] == 0 {
+			t.Fatalf("no crash point exercised the %s phase: %v", phase, phases)
+		}
+	}
+}
+
+// TestCrashPlanWithDiskFaults: crashes layered over a flaky disk
+// (periodic EIO and short writes) still uphold the contract.
+func TestCrashPlanWithDiskFaults(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		plan := CrashPlan{
+			Seed: seed, Ops: 50, MaxRecords: 5,
+			CrashAtOp: 40 + seed*7, CrashSeed: seed,
+			Faults: []faultfs.Fault{
+				{Op: faultfs.OpWrite, Path: "seg-", Mode: faultfs.ModeShort, Nth: 3, Keep: 2},
+				{Op: faultfs.OpSync, Path: "seg-", Mode: faultfs.ModeSyncFail, Nth: 5},
+			},
+		}
+		if rep, err := RunCrashPlan(plan); err != nil {
+			t.Fatalf("seed %d: %+v: %v", seed, rep, err)
+		}
+	}
+}
+
+// --- Negative tests: every invariant checker must fire on a violation. ---
+
+func mkState(subs []RecoveredSub, probes []RecoveredProbe) JournalState {
+	return JournalState{Subs: subs, Probes: probes}
+}
+
+func TestCheckUniqueSubsFires(t *testing.T) {
+	st := mkState([]RecoveredSub{{ID: "job-0001"}, {ID: "job-0001"}}, nil)
+	if err := checkUniqueSubs(st); err == nil || !strings.Contains(err.Error(), "unique-subs") {
+		t.Fatalf("duplicate sub not caught: %v", err)
+	}
+}
+
+func TestCheckNoAckedSubLostFires(t *testing.T) {
+	o := newSimOracle()
+	o.ackedSubs["job-0001"] = true
+	if err := checkNoAckedSubLost(o, mkState(nil, nil)); err == nil || !strings.Contains(err.Error(), "no-acked-sub-lost") {
+		t.Fatalf("lost acked sub not caught: %v", err)
+	}
+	// A shed-but-finished sub is NOT a violation.
+	o.triedDones["job-0001"] = true
+	if err := checkNoAckedSubLost(o, mkState(nil, nil)); err != nil {
+		t.Fatalf("legitimately compacted sub flagged: %v", err)
+	}
+}
+
+func TestCheckNoAckedTerminalLostFires(t *testing.T) {
+	o := newSimOracle()
+	o.ackedDones["job-0001"] = StatusDone
+	live := mkState([]RecoveredSub{{ID: "job-0001"}}, nil) // Status "" = live
+	if err := checkNoAckedTerminalLost(o, live); err == nil || !strings.Contains(err.Error(), "no-acked-terminal-lost") {
+		t.Fatalf("resurrected finished job not caught: %v", err)
+	}
+	flipped := mkState([]RecoveredSub{{ID: "job-0001", Status: StatusFailed}}, nil)
+	if err := checkNoAckedTerminalLost(o, flipped); err == nil {
+		t.Fatal("flipped terminal status not caught")
+	}
+	ok := mkState([]RecoveredSub{{ID: "job-0001", Status: StatusDone}}, nil)
+	if err := checkNoAckedTerminalLost(o, ok); err != nil {
+		t.Fatalf("correct terminal flagged: %v", err)
+	}
+}
+
+func TestCheckAckedProbesSurviveFires(t *testing.T) {
+	o := newSimOracle()
+	o.ackedProbes[probeKey("resnet-cifar10", "c5.4xlarge", 4)] = true
+	if err := checkAckedProbesSurvive(o, mkState(nil, nil)); err == nil || !strings.Contains(err.Error(), "acked-probes-survive") {
+		t.Fatalf("lost probe not caught: %v", err)
+	}
+	st := mkState(nil, []RecoveredProbe{{
+		Job:         "resnet-cifar10",
+		Observation: search.SavedObservation{Type: "c5.4xlarge", Nodes: 4},
+	}})
+	if err := checkAckedProbesSurvive(o, st); err != nil {
+		t.Fatalf("surviving probe flagged: %v", err)
+	}
+}
+
+func TestCheckRawSubmitRecordsFires(t *testing.T) {
+	mem := faultfs.NewMem()
+	if err := mem.MkdirAll(crashSimDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The ID-reuse disaster: one ID, two different submissions.
+	lines := `{"type":"submit","id":"job-0001","job":"a","tenant":"t1"}
+{"type":"submit","id":"job-0001","job":"b","tenant":"t2"}
+`
+	f, err := mem.OpenFile(segPath(crashSimDir, 1), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := checkRawSubmitRecords(mem); err == nil || !strings.Contains(err.Error(), "raw-records") {
+		t.Fatalf("ID reuse not caught: %v", err)
+	}
+}
+
+func TestCheckCompactionIdempotentFires(t *testing.T) {
+	a := mkState([]RecoveredSub{{ID: "job-0001"}}, nil)
+	b := mkState(nil, nil)
+	if err := checkCompactionIdempotent(a, b, b); err == nil || !strings.Contains(err.Error(), "compaction-idempotence") {
+		t.Fatalf("dropped live sub not caught: %v", err)
+	}
+	if err := checkCompactionIdempotent(a, a, b); err == nil {
+		t.Fatal("second-compact drift not caught")
+	}
+	if err := checkCompactionIdempotent(a, a, a); err != nil {
+		t.Fatalf("stable state flagged: %v", err)
+	}
+}
+
+// TestShrinkCrashPlan: shrinking a passing plan returns it unchanged
+// within bounds; shrinking preserves failure on a plan made to fail by
+// an always-on fault paired with a checker violation is hard to fake
+// here, so instead verify the mechanics: the shrinker only ever
+// returns plans that still fail, or the original.
+func TestShrinkCrashPlan(t *testing.T) {
+	// A passing plan: the shrinker's halving probe fails (plan passes),
+	// so the original comes back untouched.
+	plan := CrashPlan{Seed: 3, Ops: 40, MaxRecords: 8}
+	got := ShrinkCrashPlan(plan, 10)
+	if got.Ops != plan.Ops || len(got.Faults) != len(plan.Faults) {
+		t.Fatalf("passing plan was mutated: %+v", got)
+	}
+	// Budget zero: no runs at all, plan unchanged.
+	got = ShrinkCrashPlan(plan, 0)
+	if got.Ops != plan.Ops {
+		t.Fatalf("zero-budget shrink mutated plan: %+v", got)
+	}
+}

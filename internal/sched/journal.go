@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"mlcd/internal/faultfs"
 	"mlcd/internal/search"
 )
 
@@ -78,33 +79,46 @@ type journalSink interface {
 // Journal is an open, append-only scheduler journal.
 type Journal struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      faultfs.File
 	w      *bufio.Writer
+	off    int64 // bytes of complete, newline-terminated records
 	closed bool
+	wedged bool // failed rollback left torn bytes mid-file: fail stop
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
-// appending. A torn final line — the partial record of an append the
-// crash interrupted — is truncated away first: without the repair the
-// next record would concatenate onto the torn bytes and a later replay
-// would reject the journal as mid-file corruption.
+// appending, on the real filesystem.
 func OpenJournal(path string) (*Journal, error) {
-	if err := repairTornTail(path); err != nil {
+	return OpenJournalFS(faultfs.OS{}, path)
+}
+
+// OpenJournalFS is OpenJournal over an injectable filesystem — the
+// storage-fault test hook. A torn final line — the partial record of an
+// append the crash interrupted — is truncated away first: without the
+// repair the next record would concatenate onto the torn bytes and a
+// later replay would reject the journal as mid-file corruption.
+func OpenJournalFS(fsys faultfs.FS, path string) (*Journal, error) {
+	if err := repairTornTail(fsys, path); err != nil {
 		return nil, fmt.Errorf("sched: repairing journal tail: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sched: opening journal: %w", err)
 	}
-	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("sched: sizing journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), off: info.Size()}, nil
 }
 
 // repairTornTail truncates path back to its last newline when the file
 // does not end with one. The dropped bytes are a record whose fsync
 // never completed, so the operation it covered was never acknowledged
 // as durable — discarding it is the correct recovery, not data loss.
-func repairTornTail(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func repairTornTail(fsys faultfs.FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -148,12 +162,18 @@ func repairTornTail(path string) error {
 	return f.Truncate(0)
 }
 
-// append writes one record and fsyncs it.
+// append writes one record and fsyncs it. A failed write is rolled
+// back to the last record boundary (see SegmentedJournal.append for the
+// full contract); a failed fsync refuses the operation but needs no
+// rollback.
 func (jl *Journal) append(rec journalRecord) error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if jl.closed {
 		return errors.New("sched: journal is closed")
+	}
+	if jl.wedged {
+		return errors.New("sched: journal wedged by failed write rollback; reopen to repair")
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -161,15 +181,27 @@ func (jl *Journal) append(rec journalRecord) error {
 	}
 	b = append(b, '\n')
 	if _, err := jl.w.Write(b); err != nil {
+		jl.rollbackLocked()
 		return fmt.Errorf("sched: appending journal record: %w", err)
 	}
 	if err := jl.w.Flush(); err != nil {
+		jl.rollbackLocked()
 		return fmt.Errorf("sched: flushing journal: %w", err)
 	}
+	jl.off += int64(len(b))
 	if err := jl.f.Sync(); err != nil {
 		return fmt.Errorf("sched: syncing journal: %w", err)
 	}
 	return nil
+}
+
+// rollbackLocked truncates torn bytes of a failed append and replaces
+// the poisoned buffered writer. Callers hold jl.mu.
+func (jl *Journal) rollbackLocked() {
+	jl.w = bufio.NewWriter(jl.f)
+	if err := jl.f.Truncate(jl.off); err != nil {
+		jl.wedged = true
+	}
 }
 
 // Close flushes and closes the journal. Idempotent.
@@ -215,13 +247,18 @@ type JournalState struct {
 	MaxID  int // highest numeric job-NNNN suffix seen
 }
 
-// ReplayJournal reads the journal at path. A missing file is an empty
-// journal. A torn final line — the tail of a crashed append — is
-// ignored; corruption anywhere earlier is an error, since records after
-// it would silently vanish.
+// ReplayJournal reads the journal at path on the real filesystem. A
+// missing file is an empty journal. A torn final line — the tail of a
+// crashed append — is ignored; corruption anywhere earlier is an error,
+// since records after it would silently vanish.
 func ReplayJournal(path string) (JournalState, error) {
+	return ReplayJournalFS(faultfs.OS{}, path)
+}
+
+// ReplayJournalFS is ReplayJournal over an injectable filesystem.
+func ReplayJournalFS(fsys faultfs.FS, path string) (JournalState, error) {
 	var st JournalState
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return st, nil
 	}
@@ -244,6 +281,17 @@ func ReplayJournal(path string) (JournalState, error) {
 func applyRecord(st *JournalState, index map[string]int, rec journalRecord) {
 	switch rec.Type {
 	case "submit":
+		// A duplicate submit ID is legitimate journal history: a client
+		// whose first submit failed after the record landed (sync error,
+		// crash before the ack) retries and the scheduler re-appends. The
+		// first record wins; folding the duplicate into a SECOND Subs
+		// entry would re-enqueue — and re-run — the job twice.
+		if _, dup := index[rec.ID]; dup {
+			if n := idSeq(rec.ID); n > st.MaxID {
+				st.MaxID = n
+			}
+			return
+		}
 		index[rec.ID] = len(st.Subs)
 		st.Subs = append(st.Subs, RecoveredSub{
 			ID:            rec.ID,

@@ -25,9 +25,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlcd/internal/cloud"
+	"mlcd/internal/faultfs"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -69,6 +71,10 @@ var (
 	ErrUnknownJob   = errors.New("sched: unknown job")
 	ErrNotFound     = errors.New("sched: no such submission")
 	ErrFinished     = errors.New("sched: submission already finished")
+	// ErrJournal wraps every failed journal append: the triggering
+	// operation was refused because its record could not be made durable.
+	// The shard plane maps it to 503 and counts it toward shard health.
+	ErrJournal = errors.New("sched: journal write failed")
 )
 
 // Config assembles a Scheduler.
@@ -116,6 +122,9 @@ type Config struct {
 	// the default retention). The API layer serves its timelines at
 	// /v1/jobs/{id}/trace.
 	Traces *obs.Recorder
+	// FS is the storage under the journal (nil → the real filesystem).
+	// Tests inject storage faults and simulated crashes through it.
+	FS faultfs.FS
 }
 
 // Job is a caller-visible snapshot of one submission.
@@ -166,9 +175,15 @@ type Scheduler struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// journalErrStreak counts consecutive failed journal appends; any
+	// success resets it. Atomic because probe appends happen outside
+	// s.mu. The shard plane reads it to detect a dying disk.
+	journalErrStreak atomic.Int64
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
+	tenants  map[string]bool // every tenant that has ever submitted here
 	nextID   int
 	active   int  // workers currently running a search
 	closed   bool // no more submissions; queue channel closed
@@ -191,6 +206,7 @@ type schedMetrics struct {
 	cacheMisses     *obs.Counter
 	cacheSavedUSD   *obs.Counter
 	journalAppends  *obs.Counter
+	journalErrors   *obs.Counter
 	journalSeconds  *obs.Histogram
 	journalRotates  *obs.Counter
 	journalCompacts *obs.Counter
@@ -227,6 +243,8 @@ func registerSchedMetrics(reg *obs.Registry, shard string) schedMetrics {
 			"Profiling dollars spared by cache hits.", ls...),
 		journalAppends: reg.Counter("mlcd_sched_journal_appends_total",
 			"Records appended (and fsynced) to the crash journal.", ls...),
+		journalErrors: reg.Counter("mlcd_sched_journal_append_errors_total",
+			"Journal appends that failed (write, flush, or fsync error); the triggering operation was refused, never silently acked.", ls...),
 		journalSeconds: reg.Histogram("mlcd_sched_journal_append_seconds",
 			"Wall-clock latency of one journal append+fsync.", nil, ls...),
 		journalRotates: reg.Counter("mlcd_sched_journal_rotations_total",
@@ -291,6 +309,9 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 	if cfg.JournalPath != "" && cfg.JournalDir != "" {
 		return nil, errors.New("sched: JournalPath and JournalDir are mutually exclusive")
 	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS{}
+	}
 	s := &Scheduler{
 		sys:      sys,
 		menu:     cfg.Jobs,
@@ -301,24 +322,25 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 		traces:   cfg.Traces,
 		m:        registerSchedMetrics(sys.Metrics(), cfg.ShardLabel),
 		jobs:     make(map[string]*job),
+		tenants:  make(map[string]bool),
 	}
 	s.m.workers.Set(float64(cfg.Workers))
 
 	var recovered []*job
 	switch {
 	case cfg.JournalPath != "":
-		state, err := ReplayJournal(cfg.JournalPath)
+		state, err := ReplayJournalFS(cfg.FS, cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
 		recovered = s.absorb(state)
-		jl, err := OpenJournal(cfg.JournalPath)
+		jl, err := OpenJournalFS(cfg.FS, cfg.JournalPath)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jl
 	case cfg.JournalDir != "":
-		state, _, err := ReplaySegmented(cfg.JournalDir)
+		state, _, err := ReplaySegmentedFS(cfg.FS, cfg.JournalDir)
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +349,7 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 			Dir:          cfg.JournalDir,
 			MaxRecords:   cfg.SegmentMaxRecords,
 			CompactEvery: cfg.CompactEvery,
+			FS:           cfg.FS,
 			OnRotate:     s.m.journalRotates.Inc,
 			OnCompact: func(segments int, d time.Duration) {
 				s.m.journalCompacts.Inc()
@@ -389,6 +412,7 @@ func (s *Scheduler) absorb(state JournalState) []*job {
 			status: sub.Status,
 			err:    sub.Error,
 		}
+		s.tenants[sub.Tenant] = true
 		w, known := s.menu[sub.Job]
 		rec.workload = w
 		switch {
@@ -489,11 +513,15 @@ func (s *Scheduler) Submit(name, tenant string, req mlcdsys.Requirements) (Job, 
 		})
 		if err != nil {
 			// Durability is the journal's contract; an unjournaled job
-			// would silently vanish on restart, so refuse it.
-			s.nextID--
+			// would silently vanish on restart, so refuse it. The ID
+			// sequence stays consumed: a "failed" append can still have
+			// landed durably (fsync error after the write reached the
+			// file), and reusing the ID would bind two different
+			// submissions to one journal identity.
 			return Job{}, err
 		}
 	}
+	s.tenants[tenant] = true
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
 	s.queue <- rec
@@ -757,14 +785,48 @@ func (s *Scheduler) journalDone(rec *job) {
 }
 
 // journalAppend appends one record, timing the fsync for the metrics.
+// A failure increments mlcd_sched_journal_append_errors_total and the
+// consecutive-error streak (any success resets it), and comes back
+// wrapped in ErrJournal so callers — and the shard plane's health
+// checker — can tell storage failures from everything else.
 func (s *Scheduler) journalAppend(rec journalRecord) error {
 	start := time.Now()
 	err := s.journal.append(rec)
 	s.m.journalSeconds.Observe(time.Since(start).Seconds())
-	if err == nil {
-		s.m.journalAppends.Inc()
+	if err != nil {
+		s.m.journalErrors.Inc()
+		s.journalErrStreak.Add(1)
+		return fmt.Errorf("%w: %w", ErrJournal, err)
 	}
-	return err
+	s.journalErrStreak.Store(0)
+	s.m.journalAppends.Inc()
+	return nil
+}
+
+// JournalErrStreak reports how many journal appends in a row have
+// failed (0 = the last append succeeded, or none happened yet).
+func (s *Scheduler) JournalErrStreak() int {
+	return int(s.journalErrStreak.Load())
+}
+
+// ProbeJournal appends a no-op health record and reports whether it
+// became durable — the shard plane's liveness probe for this shard's
+// disk. Health records are ignored on replay and shed by compaction.
+// Returns nil when the scheduler does not journal (nothing to fail).
+func (s *Scheduler) ProbeJournal() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journalAppend(journalRecord{Type: "health"})
+}
+
+// HasTenant reports whether tenant has ever submitted to (or been
+// recovered by) this scheduler — the shard plane's "does this tenant
+// already have state here" test when routing around a degraded shard.
+func (s *Scheduler) HasTenant(tenant string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[tenant]
 }
 
 // snapshotLocked copies the record for callers. Callers hold s.mu.

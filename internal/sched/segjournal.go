@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mlcd/internal/faultfs"
 )
 
 // The segmented journal replaces the single ever-growing JSONL file with
@@ -73,18 +75,24 @@ type SegmentedConfig struct {
 	OnCompact func(segments int, d time.Duration)
 	// OnRotate, when non-nil, is invoked after each segment rotation.
 	OnRotate func()
+	// FS is the storage under the journal (nil → the real filesystem).
+	// The crash-restart simulator injects faults through it.
+	FS faultfs.FS
 }
 
 // SegmentedJournal is an open segmented scheduler journal.
 type SegmentedJournal struct {
 	cfg SegmentedConfig
+	fs  faultfs.FS // cfg.FS resolved (never nil)
 
 	mu     sync.Mutex
 	seq    int // active segment sequence number
-	f      *os.File
+	f      faultfs.File
 	w      *bufio.Writer
-	n      int // records appended to the active segment
+	n      int   // records appended to the active segment
+	off    int64 // bytes of complete, newline-terminated records in the active segment
 	closed bool
+	wedged bool // a failed rollback left torn bytes mid-file: fail stop
 
 	stop chan struct{} // closes the background compaction loop
 	done chan struct{} // loop exited
@@ -97,8 +105,8 @@ func segPath(dir string, seq int) string {
 
 // listSegments returns the segment sequence numbers present in dir, in
 // ascending order.
-func listSegments(dir string) ([]int, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -106,9 +114,9 @@ func listSegments(dir string) ([]int, error) {
 		return nil, err
 	}
 	var seqs []int
-	for _, e := range ents {
+	for _, name := range names {
 		var n int
-		if _, err := fmt.Sscanf(e.Name(), segmentPattern, &n); err == nil {
+		if _, err := fmt.Sscanf(name, segmentPattern, &n); err == nil {
 			seqs = append(seqs, n)
 		}
 	}
@@ -117,9 +125,9 @@ func listSegments(dir string) ([]int, error) {
 }
 
 // readSnapshot loads dir's snapshot; a missing file is an empty one.
-func readSnapshot(dir string) (snapshotFile, error) {
+func readSnapshot(fsys faultfs.FS, dir string) (snapshotFile, error) {
 	var snap snapshotFile
-	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	b, err := fsys.ReadFile(filepath.Join(dir, snapshotName))
 	if errors.Is(err, fs.ErrNotExist) {
 		return snap, nil
 	}
@@ -141,13 +149,18 @@ type ReplayStats struct {
 	TailSegments   int // segments replayed
 }
 
-// ReplaySegmented reads the segmented journal in dir: the snapshot
-// first, then every segment the snapshot does not cover, in order. A
-// missing directory is an empty journal.
+// ReplaySegmented reads the segmented journal in dir on the real
+// filesystem: the snapshot first, then every segment the snapshot does
+// not cover, in order. A missing directory is an empty journal.
 func ReplaySegmented(dir string) (JournalState, ReplayStats, error) {
+	return ReplaySegmentedFS(faultfs.OS{}, dir)
+}
+
+// ReplaySegmentedFS is ReplaySegmented over an injectable filesystem.
+func ReplaySegmentedFS(fsys faultfs.FS, dir string) (JournalState, ReplayStats, error) {
 	var st JournalState
 	var rs ReplayStats
-	snap, err := readSnapshot(dir)
+	snap, err := readSnapshot(fsys, dir)
 	if err != nil {
 		return st, rs, err
 	}
@@ -161,7 +174,7 @@ func ReplaySegmented(dir string) (JournalState, ReplayStats, error) {
 	rs.SnapshotSubs = len(snap.Subs)
 	rs.SnapshotProbes = len(snap.Probes)
 
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(fsys, dir)
 	if err != nil {
 		return st, rs, err
 	}
@@ -169,7 +182,7 @@ func ReplaySegmented(dir string) (JournalState, ReplayStats, error) {
 		if seq <= snap.Through {
 			continue // compacted but not yet deleted (crash window)
 		}
-		f, err := os.Open(segPath(dir, seq))
+		f, err := fsys.Open(segPath(dir, seq))
 		if err != nil {
 			return st, rs, err
 		}
@@ -195,10 +208,21 @@ func OpenSegmented(cfg SegmentedConfig) (*SegmentedJournal, error) {
 	if cfg.MaxRecords <= 0 {
 		cfg.MaxRecords = defaultMaxRecords
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sched: creating journal dir: %w", err)
 	}
-	seqs, err := listSegments(cfg.Dir)
+	// A crash between writing snapshot.json.tmp and renaming it leaves
+	// the tmp file behind; it covers nothing (only the rename publishes
+	// it) and a fresh compaction will rewrite it, so discard it rather
+	// than let it accumulate — or worse, be confused for state.
+	if err := fsys.Remove(filepath.Join(cfg.Dir, snapshotName+".tmp")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("sched: clearing stale snapshot tmp: %w", err)
+	}
+	seqs, err := listSegments(fsys, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -209,24 +233,31 @@ func OpenSegmented(cfg SegmentedConfig) (*SegmentedJournal, error) {
 	path := segPath(cfg.Dir, seq)
 	// Only the last segment can be torn (it was the active one when the
 	// crash hit); sealed segments were rotated away from after a flush.
-	if err := repairTornTail(path); err != nil {
+	if err := repairTornTail(fsys, path); err != nil {
 		return nil, fmt.Errorf("sched: repairing segment tail: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sched: opening segment: %w", err)
 	}
-	n, err := countRecords(path)
+	n, err := countRecords(fsys, path)
 	if err != nil {
 		_ = f.Close()
 		return nil, err
 	}
+	info, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("sched: sizing segment: %w", err)
+	}
 	j := &SegmentedJournal{
 		cfg: cfg,
+		fs:  fsys,
 		seq: seq,
 		f:   f,
 		w:   bufio.NewWriter(f),
 		n:   n,
+		off: info.Size(), // record-aligned: the tail was just repaired
 	}
 	if cfg.CompactEvery > 0 {
 		j.stop = make(chan struct{})
@@ -238,8 +269,8 @@ func OpenSegmented(cfg SegmentedConfig) (*SegmentedJournal, error) {
 
 // countRecords counts newline-terminated records in a segment so a
 // reopened active segment rotates at the same threshold as a fresh one.
-func countRecords(path string) (int, error) {
-	f, err := os.Open(path)
+func countRecords(fsys faultfs.FS, path string) (int, error) {
+	f, err := fsys.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return 0, nil
 	}
@@ -260,11 +291,23 @@ func countRecords(path string) (int, error) {
 
 // append writes one record to the active segment, fsyncs it, and
 // rotates when the segment is full. Implements journalSink.
+//
+// A failed write is rolled back: the active segment is truncated to the
+// last record boundary and the buffered writer replaced, so a short or
+// refused write never leaves torn bytes mid-file for the next append to
+// concatenate onto (which would read as corruption on replay). A failed
+// fsync needs no rollback — the record is complete and newline-aligned,
+// merely not durable — but the operation is still refused. If the
+// rollback truncate itself fails the journal wedges fail-stop: further
+// appends are refused until a reopen repairs the file.
 func (j *SegmentedJournal) append(rec journalRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return errors.New("sched: journal is closed")
+	}
+	if j.wedged {
+		return errors.New("sched: journal wedged by failed write rollback; reopen to repair")
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -272,11 +315,14 @@ func (j *SegmentedJournal) append(rec journalRecord) error {
 	}
 	b = append(b, '\n')
 	if _, err := j.w.Write(b); err != nil {
+		j.rollbackLocked()
 		return fmt.Errorf("sched: appending journal record: %w", err)
 	}
 	if err := j.w.Flush(); err != nil {
+		j.rollbackLocked()
 		return fmt.Errorf("sched: flushing journal: %w", err)
 	}
+	j.off += int64(len(b))
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("sched: syncing journal: %w", err)
 	}
@@ -289,7 +335,24 @@ func (j *SegmentedJournal) append(rec journalRecord) error {
 	return nil
 }
 
-// rotateLocked seals the active segment and opens the next. Callers
+// rollbackLocked restores the active segment to its last record
+// boundary after a failed write and discards the poisoned buffered
+// writer (bufio retains both its error and the unwritten remainder,
+// which would otherwise wedge or corrupt every later append). Callers
+// hold j.mu.
+func (j *SegmentedJournal) rollbackLocked() {
+	j.w = bufio.NewWriter(j.f)
+	if err := j.f.Truncate(j.off); err != nil {
+		// Torn bytes may remain mid-file; appending after them would be
+		// corruption, so refuse everything until a reopen repairs.
+		j.wedged = true
+	}
+}
+
+// rotateLocked seals the active segment and opens the next. The new
+// segment is opened BEFORE the old one is closed so a failed rotation
+// (EIO on the open, say) leaves the journal still appending to the old,
+// valid segment — the next append simply retries the rotation. Callers
 // hold j.mu.
 func (j *SegmentedJournal) rotateLocked() error {
 	if err := j.w.Flush(); err != nil {
@@ -298,17 +361,16 @@ func (j *SegmentedJournal) rotateLocked() error {
 	if err := j.f.Sync(); err != nil {
 		return err
 	}
-	if err := j.f.Close(); err != nil {
-		return err
-	}
-	j.seq++
-	f, err := os.OpenFile(segPath(j.cfg.Dir, j.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenFile(segPath(j.cfg.Dir, j.seq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("sched: rotating to segment %d: %w", j.seq, err)
+		return fmt.Errorf("sched: rotating to segment %d: %w", j.seq+1, err)
 	}
+	_ = j.f.Close() // sealed: already flushed and fsynced above
+	j.seq++
 	j.f = f
 	j.w = bufio.NewWriter(f)
 	j.n = 0
+	j.off = 0
 	if j.cfg.OnRotate != nil {
 		j.cfg.OnRotate()
 	}
@@ -337,11 +399,11 @@ func (j *SegmentedJournal) Compact() error {
 	through := j.seq - 1 // everything before the (fresh) active segment
 	j.mu.Unlock()
 
-	snap, err := readSnapshot(j.cfg.Dir)
+	snap, err := readSnapshot(j.fs, j.cfg.Dir)
 	if err != nil {
 		return err
 	}
-	seqs, err := listSegments(j.cfg.Dir)
+	seqs, err := listSegments(j.fs, j.cfg.Dir)
 	if err != nil {
 		return err
 	}
@@ -365,7 +427,7 @@ func (j *SegmentedJournal) Compact() error {
 	st.Probes = append(st.Probes, snap.Probes...)
 	st.MaxID = snap.MaxID
 	for _, seq := range sealed {
-		f, err := os.Open(segPath(j.cfg.Dir, seq))
+		f, err := j.fs.Open(segPath(j.cfg.Dir, seq))
 		if err != nil {
 			return err
 		}
@@ -403,11 +465,11 @@ func (j *SegmentedJournal) Compact() error {
 		next.Probes = append(next.Probes, p)
 	}
 
-	if err := writeSnapshot(j.cfg.Dir, next); err != nil {
+	if err := writeSnapshot(j.fs, j.cfg.Dir, next); err != nil {
 		return err
 	}
 	for _, seq := range sealed {
-		_ = os.Remove(segPath(j.cfg.Dir, seq))
+		_ = j.fs.Remove(segPath(j.cfg.Dir, seq))
 	}
 	if j.cfg.OnCompact != nil {
 		j.cfg.OnCompact(len(sealed), time.Since(start))
@@ -417,13 +479,13 @@ func (j *SegmentedJournal) Compact() error {
 
 // writeSnapshot atomically replaces dir's snapshot: write temp, fsync,
 // rename.
-func writeSnapshot(dir string, snap snapshotFile) error {
+func writeSnapshot(fsys faultfs.FS, dir string, snap snapshotFile) error {
 	b, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("sched: encoding snapshot: %w", err)
 	}
 	tmp := filepath.Join(dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -438,7 +500,7 @@ func writeSnapshot(dir string, snap snapshotFile) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, snapshotName))
+	return fsys.Rename(tmp, filepath.Join(dir, snapshotName))
 }
 
 // compactLoop compacts on the configured cadence until Close.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mlcd/internal/cloud"
+	"mlcd/internal/faultfs"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/profiler"
 	"mlcd/internal/search"
@@ -53,7 +54,7 @@ func TestSegmentedRoundTripAndRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestSegmentedCompactToleratesTornSealedSegment(t *testing.T) {
 	if rs.TailRecords != 0 || rs.SnapshotSubs != 1 {
 		t.Fatalf("replay stats = %+v, want everything in the snapshot", rs)
 	}
-	if seqs, _ := listSegments(dir); len(seqs) != 1 {
+	if seqs, _ := listSegments(faultfs.OS{}, dir); len(seqs) != 1 {
 		t.Fatalf("segments after compaction = %v, want just the fresh active one", seqs)
 	}
 }
@@ -220,7 +221,7 @@ func TestSegmentedCrashBetweenSnapshotAndDelete(t *testing.T) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeSnapshot(dir, snapshotFile{
+	if err := writeSnapshot(faultfs.OS{}, dir, snapshotFile{
 		Version: 1, Through: 1, MaxID: 1,
 		Subs: []RecoveredSub{{ID: "job-0001", Job: "resnet-cifar10", Tenant: "a"}},
 	}); err != nil {
@@ -332,7 +333,7 @@ func TestSegmentedBackgroundCompaction(t *testing.T) {
 	appendDeadJobs(t, j, 1, 20)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		snap, err := readSnapshot(dir)
+		snap, err := readSnapshot(faultfs.OS{}, dir)
 		if err != nil {
 			t.Fatal(err)
 		}

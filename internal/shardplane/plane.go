@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mlcd/internal/faultfs"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -52,6 +53,15 @@ type Config struct {
 	// (nil → a fresh one). Job IDs are globally unique, so one recorder
 	// serves every shard.
 	Traces *obs.Recorder
+	// FS is the storage under every shard journal (nil → the real
+	// filesystem). The storage-fault test hook; see internal/faultfs.
+	FS faultfs.FS
+	// HealthEvery is the journal health-probe cadence (0 → 1s; < 0
+	// disables the loop — tests then drive CheckHealth explicitly).
+	HealthEvery time.Duration
+	// DegradedAfter is how many consecutive journal failures degrade a
+	// shard (0 → DefaultDegradedAfter).
+	DegradedAfter int
 }
 
 // Plane routes tenants across N scheduler shards via a consistent-hash
@@ -61,16 +71,49 @@ type Config struct {
 // lookup, aggregate stats, and the shared cache snapshot tier.
 type Plane struct {
 	ring   *Ring
-	shards []*sched.Scheduler
 	caches []*sched.ProfileCache
 	traces *obs.Recorder
 
-	merges      *obs.Counter
-	snapEntries *obs.Gauge
+	// shards is guarded by mu: RestartShard swaps one entry while API
+	// traffic keeps flowing to the others. Everything else about a shard
+	// slot — its cache, config template, health record — is immutable.
+	mu        sync.RWMutex
+	shards    []*sched.Scheduler
+	sys       *mlcdsys.System
+	shardCfgs []sched.Config // rebuild templates for RestartShard
 
-	stop      chan struct{} // closes the merge loop
-	done      chan struct{} // merge loop exited
-	closeOnce sync.Once
+	health        []*shardHealthRec
+	degradedAfter int
+
+	merges        *obs.Counter
+	snapEntries   *obs.Gauge
+	healthyGauge  []*obs.Gauge
+	degradedTotal []*obs.Counter
+	readmitTotal  []*obs.Counter
+	rerouted      *obs.Counter
+	rejected      *obs.Counter
+
+	stop       chan struct{} // closes the merge loop
+	done       chan struct{} // merge loop exited
+	healthStop chan struct{}
+	healthDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// shard returns slot i's current scheduler; RestartShard may swap it.
+func (p *Plane) shard(i int) *sched.Scheduler {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.shards[i]
+}
+
+// allShards snapshots the shard slice for iteration.
+func (p *Plane) allShards() []*sched.Scheduler {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*sched.Scheduler, len(p.shards))
+	copy(out, p.shards)
+	return out
 }
 
 // New builds the plane over one MLCD system: the ring, then each shard
@@ -87,14 +130,23 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 	if cfg.Jobs == nil {
 		cfg.Jobs = sched.DefaultMenu()
 	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = DefaultDegradedAfter
+	}
 	reg := sys.Metrics()
 	p := &Plane{
-		ring:   NewRing(cfg.Shards, cfg.Replicas),
-		traces: cfg.Traces,
+		ring:          NewRing(cfg.Shards, cfg.Replicas),
+		traces:        cfg.Traces,
+		sys:           sys,
+		degradedAfter: cfg.DegradedAfter,
 		merges: reg.Counter("mlcd_shardplane_snapshot_merges_total",
 			"Cache snapshot merges published to every shard."),
 		snapEntries: reg.Gauge("mlcd_shardplane_snapshot_entries",
 			"Measurements in the current shared cache snapshot."),
+		rerouted: reg.Counter("mlcd_shardplane_rerouted_submissions_total",
+			"New-tenant submissions placed off their home shard because it was degraded."),
+		rejected: reg.Counter("mlcd_shardplane_rejected_degraded_total",
+			"Submissions refused because the tenant's shard was degraded."),
 	}
 	reg.Gauge("mlcd_shardplane_shards", "Scheduler shards in the control plane.").
 		Set(float64(cfg.Shards))
@@ -111,6 +163,7 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 			ShardLabel:         strconv.Itoa(i),
 			CompactEvery:       cfg.CompactEvery,
 			SegmentMaxRecords:  cfg.SegmentMaxRecords,
+			FS:                 cfg.FS,
 		}
 		if cfg.JournalDir != "" {
 			sc.JournalDir = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d", i))
@@ -124,6 +177,19 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 		}
 		p.shards = append(p.shards, shard)
 		p.caches = append(p.caches, cache)
+		p.shardCfgs = append(p.shardCfgs, sc)
+		p.health = append(p.health, &shardHealthRec{})
+		label := obs.L{Key: "shard", Value: strconv.Itoa(i)}
+		g := reg.Gauge("mlcd_shardplane_shard_healthy",
+			"1 while the shard's journal accepts writes, 0 while degraded.", label)
+		g.Set(1)
+		p.healthyGauge = append(p.healthyGauge, g)
+		p.degradedTotal = append(p.degradedTotal, reg.Counter(
+			"mlcd_shardplane_shard_degraded_total",
+			"Times this shard was flipped to degraded.", label))
+		p.readmitTotal = append(p.readmitTotal, reg.Counter(
+			"mlcd_shardplane_shard_readmitted_total",
+			"Times this shard recovered and rejoined the ring.", label))
 	}
 	// Journals replayed: publish what the shards recovered before any
 	// submission, so a tenant remapped by the restart (reshard) finds
@@ -139,6 +205,15 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 		p.done = make(chan struct{})
 		go p.mergeLoop(every)
 	}
+	healthEvery := cfg.HealthEvery
+	if healthEvery == 0 {
+		healthEvery = time.Second
+	}
+	if healthEvery > 0 {
+		p.healthStop = make(chan struct{})
+		p.healthDone = make(chan struct{})
+		go p.healthLoop(healthEvery)
+	}
 	return p, nil
 }
 
@@ -149,7 +224,7 @@ func (p *Plane) Ring() *Ring { return p.ring }
 func (p *Plane) Shards() int { return len(p.shards) }
 
 // Shard returns shard i's scheduler (stats, tests, direct control).
-func (p *Plane) Shard(i int) *sched.Scheduler { return p.shards[i] }
+func (p *Plane) Shard(i int) *sched.Scheduler { return p.shard(i) }
 
 // Traces returns the plane-wide timeline recorder.
 func (p *Plane) Traces() *obs.Recorder { return p.traces }
@@ -173,9 +248,28 @@ func (p *Plane) shardForID(id string) (int, bool) {
 	return n, true
 }
 
-// Submit routes one submission to its tenant's shard.
+// Submit routes one submission to its tenant's shard. A degraded home
+// shard splits the decision: a tenant the shard already knows is
+// refused with ErrShardDegraded (placing it elsewhere would fork its
+// history across two journals), while a tenant the shard has never seen
+// is placed on the next healthy shard clockwise — new business keeps
+// flowing during a partial storage outage.
 func (p *Plane) Submit(name, tenant string, req mlcdsys.Requirements) (sched.Job, error) {
-	return p.shards[p.ring.Shard(tenant)].Submit(name, tenant, req)
+	home := p.ring.Shard(tenant)
+	if !p.Degraded(home) {
+		return p.shard(home).Submit(name, tenant, req)
+	}
+	if p.shard(home).HasTenant(tenant) {
+		p.rejected.Inc()
+		return sched.Job{}, ErrShardDegraded
+	}
+	alt := p.ring.ShardExcluding(tenant, p.Degraded)
+	if alt < 0 {
+		p.rejected.Inc()
+		return sched.Job{}, ErrShardDegraded
+	}
+	p.rerouted.Inc()
+	return p.shard(alt).Submit(name, tenant, req)
 }
 
 // Get returns a snapshot of one submission, routed by ID.
@@ -184,7 +278,7 @@ func (p *Plane) Get(id string) (sched.Job, bool) {
 	if !ok {
 		return sched.Job{}, false
 	}
-	return p.shards[i].Get(id)
+	return p.shard(i).Get(id)
 }
 
 // Cancel aborts one submission, routed by ID.
@@ -193,7 +287,7 @@ func (p *Plane) Cancel(id string) (sched.Job, error) {
 	if !ok {
 		return sched.Job{}, sched.ErrNotFound
 	}
-	return p.shards[i].Cancel(id)
+	return p.shard(i).Cancel(id)
 }
 
 // List returns every shard's submissions, shard-major: shard 0's jobs
@@ -202,7 +296,7 @@ func (p *Plane) Cancel(id string) (sched.Job, error) {
 // across shards to interleave by.
 func (p *Plane) List(filter sched.Status) []sched.Job {
 	var out []sched.Job
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		out = append(out, s.List(filter)...)
 	}
 	return out
@@ -211,7 +305,7 @@ func (p *Plane) List(filter sched.Status) []sched.Job {
 // Load reports the queue occupancy, capacity, and worker count of the
 // shard that owns tenant — the inputs to a Retry-After hint.
 func (p *Plane) Load(tenant string) (queued, capacity, workers int) {
-	return p.shards[p.ring.Shard(tenant)].Load()
+	return p.shard(p.ring.Shard(tenant)).Load()
 }
 
 // Stats is the plane-wide load picture: per-shard scheduler stats plus
@@ -228,9 +322,9 @@ type Stats struct {
 
 // Stats snapshots every shard.
 func (p *Plane) Stats() Stats {
-	st := Stats{Shards: len(p.shards)}
+	st := Stats{Shards: p.Shards()}
 	agg := sched.Stats{JobsByStatus: make(map[sched.Status]int)}
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		ss := s.Stats()
 		st.PerShard = append(st.PerShard, ss)
 		agg.Workers += ss.Workers
@@ -296,12 +390,16 @@ func (p *Plane) mergeLoop(every time.Duration) {
 	}
 }
 
-// stopMerge halts the merge loop exactly once.
+// stopMerge halts the merge and health loops exactly once.
 func (p *Plane) stopMerge() {
 	p.closeOnce.Do(func() {
 		if p.stop != nil {
 			close(p.stop)
 			<-p.done
+		}
+		if p.healthStop != nil {
+			close(p.healthStop)
+			<-p.healthDone
 		}
 	})
 }
@@ -309,7 +407,7 @@ func (p *Plane) stopMerge() {
 // CompactJournals compacts every shard's segmented journal immediately,
 // returning the first error.
 func (p *Plane) CompactJournals() error {
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		if err := s.CompactJournal(); err != nil {
 			return err
 		}
@@ -317,11 +415,37 @@ func (p *Plane) CompactJournals() error {
 	return nil
 }
 
+// RestartShard stops shard i with the given deadline and rebuilds it
+// over whatever its journal directory holds — the process-level crash
+// drill: jobs mid-search when the deadline expires keep their journal
+// claim and are re-enqueued by the replay, the shard's hot cache and
+// the shared snapshot tier survive in the slot, and the shard rejoins
+// traffic the moment the swap lands. Returns how long the shard was
+// out of service. On rebuild failure the old (stopped) scheduler stays
+// in the slot, the health loop degrades it, and a later RestartShard
+// may try again.
+func (p *Plane) RestartShard(ctx context.Context, i int) (time.Duration, error) {
+	start := time.Now()
+	old := p.shard(i)
+	_ = old.Shutdown(ctx) // aborted jobs are journal-claimed; replay re-enqueues them
+	fresh, err := sched.New(p.sys, p.shardCfgs[i])
+	if err != nil {
+		return time.Since(start), fmt.Errorf("shardplane: rebuilding shard %d: %w", i, err)
+	}
+	p.mu.Lock()
+	p.shards[i] = fresh
+	p.mu.Unlock()
+	// Publish what the replay recovered so warm-starts survive the
+	// restart immediately instead of waiting for the merge tick.
+	p.MergeNow()
+	return time.Since(start), nil
+}
+
 // Close drains every shard gracefully (queued submissions still run),
 // in parallel, then stops the merge loop.
 func (p *Plane) Close() {
 	var wg sync.WaitGroup
-	for _, s := range p.shards {
+	for _, s := range p.allShards() {
 		wg.Add(1)
 		go func(s *sched.Scheduler) {
 			defer wg.Done()
@@ -337,9 +461,10 @@ func (p *Plane) Close() {
 // abort running searches (they keep their journal claim and are
 // recovered on restart).
 func (p *Plane) Shutdown(ctx context.Context) error {
-	errs := make([]error, len(p.shards))
+	shards := p.allShards()
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range p.shards {
+	for i, s := range shards {
 		wg.Add(1)
 		go func(i int, s *sched.Scheduler) {
 			defer wg.Done()

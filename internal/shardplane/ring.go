@@ -105,3 +105,21 @@ func (r *Ring) Shard(tenant string) int {
 	}
 	return r.points[i].shard
 }
+
+// ShardExcluding walks clockwise from the tenant's hash to the first
+// virtual node whose shard excluded() does not veto, preserving the
+// consistent-hash property for the healthy subset: tenants NOT owned by
+// an excluded shard keep their usual placement, and tenants that are
+// rerouted land deterministically (the same degraded set always yields
+// the same fallback). Returns -1 when every shard is excluded.
+func (r *Ring) ShardExcluding(tenant string, excluded func(shard int) bool) int {
+	h := hash64(tenant)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !excluded(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}

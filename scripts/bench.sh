@@ -6,7 +6,7 @@
 # point), the micro-benchmarks of the core machinery, the surrogate-
 # engine benchmarks, and the fault-free resilience benchmarks, then
 # feeds the raw `go test -bench` output through `benchgate fmt`, which
-# converts it into BENCH_PR8.json: one row per benchmark — -count
+# converts it into BENCH_PR9.json: one row per benchmark — -count
 # repeats are aggregated into min and median rather than emitted as
 # duplicate rows, which is how BENCH_PR4.json ended up with three
 # BenchmarkHeterBOSearch entries — with allocation counters and every
@@ -17,12 +17,12 @@
 # fresh record against the committed previous one.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR8.json at the repo root
+#   scripts/bench.sh                 # writes BENCH_PR9.json at the repo root
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${BENCH_OUT:-BENCH_PR8.json}"
+OUT="${BENCH_OUT:-BENCH_PR9.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -46,6 +46,9 @@ go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchtime 1s . >>"$RAW
 
 echo "bench.sh: fault-free resilience overhead" >&2
 go test -run '^$' -bench 'BenchmarkDeployFaultFree$' -benchtime 400x -count=3 . >>"$RAW"
+
+echo "bench.sh: journal append FS-indirection overhead pair" >&2
+go test -run '^$' -bench 'BenchmarkJournalAppend(Direct)?$' -benchtime 20000x -count=3 ./internal/sched/ >>"$RAW"
 
 echo "bench.sh: surrogate engine" >&2
 go test -run '^$' -bench 'BenchmarkSurrogateObserve' -benchtime 50x ./internal/bo/ >>"$RAW"

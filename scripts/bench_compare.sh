@@ -9,14 +9,16 @@
 # three BenchmarkHeterBOSearch rows).
 #
 # Usage:
-#   scripts/bench_compare.sh                      # BENCH_PR4.json vs BENCH_PR8.json
+#   scripts/bench_compare.sh                      # BENCH_PR8.json vs BENCH_PR9.json
 #   scripts/bench_compare.sh old.json new.json
 set -eu
 
 cd "$(dirname "$0")/.."
-OLD="${1:-BENCH_PR4.json}"
-NEW="${2:-BENCH_PR8.json}"
+OLD="${1:-BENCH_PR8.json}"
+NEW="${2:-BENCH_PR9.json}"
 
 go run ./cmd/benchgate compare -old "$OLD" -new "$NEW" \
 	-bench BenchmarkHeterBOSearch,BenchmarkNextCandidate \
-	-max-regress-pct 10
+	-max-regress-pct 10 \
+	-pair BenchmarkJournalAppendDirect=BenchmarkJournalAppend \
+	-max-overhead-pct 2 -overhead-floor-ns 500
