@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover cover-update bench conformance multifidelity loadgen loadgen-kill crashstorm ci clean
+.PHONY: all vet build test race cover cover-update bench conformance multifidelity fleet loadgen loadgen-kill crashstorm ci clean
 
 all: ci
 
@@ -56,6 +56,15 @@ conformance:
 # lands in BENCH_PR7.json; the ladder arm must not spend more.
 multifidelity:
 	$(GO) run ./cmd/conformance -regret-cases 40 -seed 1 -fidelity 0.25,0.5 -regret-out BENCH_PR7.json
+
+# fleet runs the paired cold-vs-fleet-warmed study: the same 40 generated
+# cases searched once with no prior and once with a synthetic fleet
+# meta-prior built from same-family donor curves, both arms oracle-scored
+# and invariant-checked. The report lands in BENCH_PR10.json; the gate is
+# zero violations in both arms and the warm arm reaching within 5% of the
+# oracle in strictly fewer probes (median) than cold.
+fleet:
+	$(GO) run ./cmd/conformance -fleet-cases 40 -seed 1 -fleet-out BENCH_PR10.json
 
 # loadgen is the control-plane scale smoke: a submission storm against
 # the sharded plane, with admission latency percentiles, throughput,

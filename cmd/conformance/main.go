@@ -15,6 +15,12 @@
 // the interleaving change — so a sharded soak checks the same ground
 // truth as a serial one.
 //
+// With -regret-out the binary runs the paired regret-vs-profiling-cost
+// suite instead of the soak; with -fleet-out it runs the paired
+// cold-vs-fleet-warmed study (BENCH_PR10.json), gating on zero invariant
+// violations and on the fleet-warmed arm converging to within 5 % of the
+// oracle in strictly fewer probes (median) than the cold arm.
+//
 // Exit status 1 when any case errors or violates an invariant. The one
 // exception is rate-bounded: oracle-regret is a quality SLO on a
 // randomized optimizer, not a hard correctness property, so a case
@@ -54,6 +60,8 @@ type config struct {
 	fidelity       string
 	regretOut      string
 	regretCases    int
+	fleetOut       string
+	fleetCases     int
 	maxOutlierRate float64
 }
 
@@ -68,11 +76,20 @@ func main() {
 	flag.StringVar(&cfg.fidelity, "fidelity", "", "comma-separated sub-sampling ladder forced onto every soak case, e.g. 0.25,0.5 (empty = the generator's own rotation)")
 	flag.StringVar(&cfg.regretOut, "regret-out", "", "run the paired regret-vs-profiling-cost suite instead of the soak and write its JSON report here")
 	flag.IntVar(&cfg.regretCases, "regret-cases", 40, "case pairs for the regret suite (-regret-out mode)")
+	flag.StringVar(&cfg.fleetOut, "fleet-out", "", "run the paired cold-vs-fleet-warmed study instead of the soak and write its JSON report here")
+	flag.IntVar(&cfg.fleetCases, "fleet-cases", 40, "case pairs for the fleet study (-fleet-out mode)")
 	flag.Float64Var(&cfg.maxOutlierRate, "max-regret-outlier-rate", 0,
 		"fraction of cases allowed to fail the oracle-regret bound alone before the soak exits nonzero (0 = strict)")
 	flag.Parse()
 	if cfg.regretOut != "" {
 		if err := regretStudy(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cfg.fleetOut != "" {
+		if err := fleetStudy(cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -129,6 +146,37 @@ func regretStudy(cfg config, stdout io.Writer) error {
 	if rep.Full.Violations+rep.Multi.Violations > 0 {
 		return fmt.Errorf("conformance: regret suite found %d invariant violations",
 			rep.Full.Violations+rep.Multi.Violations)
+	}
+	return nil
+}
+
+// fleetStudy runs the paired cold-vs-fleet-warmed suite and writes the
+// BENCH_PR10-shaped JSON report. It exits nonzero on any invariant
+// violation in either arm, or when the fleet-warmed arm does not reach
+// within 5 % of the oracle in strictly fewer probes (median) than cold —
+// the prior paying for itself is the property the study gates.
+func fleetStudy(cfg config, stdout io.Writer) error {
+	rep, err := conformance.FleetStudy(cfg.seed, cfg.fleetCases)
+	if err != nil {
+		return err
+	}
+	if err := conformance.WriteFleetReport(cfg.fleetOut, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fleet study: %d pairs (%d scored in both arms)\n", cfg.fleetCases, rep.Pairs)
+	fmt.Fprintf(stdout, "  cold: median probes-to-5%% %.1f (mean %.1f, %d never), mean regret %.4f, profiling $%.2f over %d probes\n",
+		rep.Cold.MedianProbesTo5, rep.Cold.MeanProbesTo5, rep.Cold.NeverWithin5, rep.Cold.MeanRegret, rep.Cold.ProfileUSD, rep.Cold.Probes)
+	fmt.Fprintf(stdout, "  warm: median probes-to-5%% %.1f (mean %.1f, %d never), mean regret %.4f, profiling $%.2f over %d probes\n",
+		rep.Warm.MedianProbesTo5, rep.Warm.MeanProbesTo5, rep.Warm.NeverWithin5, rep.Warm.MeanRegret, rep.Warm.ProfileUSD, rep.Warm.Probes)
+	fmt.Fprintf(stdout, "  paired: warm fewer %d, ties %d, cold fewer %d -> %s\n",
+		rep.WarmFewer, rep.Ties, rep.ColdFewer, cfg.fleetOut)
+	if rep.Cold.Violations+rep.Warm.Violations > 0 {
+		return fmt.Errorf("conformance: fleet study found %d invariant violations",
+			rep.Cold.Violations+rep.Warm.Violations)
+	}
+	if !rep.WarmMedianLower {
+		return fmt.Errorf("conformance: fleet-warmed median probes-to-5%% (%.1f) is not below cold (%.1f)",
+			rep.Warm.MedianProbesTo5, rep.Cold.MedianProbesTo5)
 	}
 	return nil
 }

@@ -29,6 +29,14 @@
 // tenants of the sick shard get 503 + Retry-After, and GET /v1/health
 // reports the per-shard states. A degraded shard is readmitted as soon
 // as its journal accepts writes again.
+//
+// With -fleet-prior (on by default) the scheduler aggregates every
+// tenant's full-fidelity probes into per-(model family, instance type)
+// transfer curves — the fleet meta-prior — and arms each new search's
+// surrogate with them, so tenants submitting a model family the fleet
+// has seen before converge in fewer probes. Sharded, the prior is
+// rebuilt from the merged cache at every snapshot merge and published
+// to all shards. GET /v1/fleet shows the current prior.
 package main
 
 import (
@@ -71,6 +79,7 @@ func main() {
 		fidelity     = flag.String("fidelity", "", "comma-separated sub-sampling ladder for multi-fidelity probing, e.g. 0.25,0.5 (empty = full probes only)")
 		healthEvery  = flag.Duration("health-every", 0, "shard journal health probe cadence when sharded (0 = 1s default, negative = disabled)")
 		degradeAfter = flag.Int("degrade-after", 0, "consecutive journal-write failures before a shard is marked degraded (0 = default 3)")
+		fleetPrior   = flag.Bool("fleet-prior", true, "learn a fleet meta-prior from all tenants' probes and warm-start every search's surrogate with it (inspect at GET /v1/fleet)")
 	)
 	flag.Parse()
 
@@ -113,6 +122,7 @@ func main() {
 		CompactEvery:  *compactEvery,
 		HealthEvery:   *healthEvery,
 		DegradedAfter: *degradeAfter,
+		FleetPrior:    *fleetPrior,
 	})
 	if err != nil {
 		log.Fatalf("mlcdd: %v", err)
@@ -148,6 +158,9 @@ func main() {
 	}
 	if *journalDir != "" {
 		fmt.Printf("mlcdd: segmented journals under %s\n", *journalDir)
+	}
+	if *fleetPrior {
+		fmt.Println("mlcdd: fleet meta-prior enabled — searches start from cross-tenant transfer curves (GET /v1/fleet)")
 	}
 
 	sigCh := make(chan os.Signal, 1)

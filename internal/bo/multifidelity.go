@@ -69,6 +69,17 @@ func (m *MultiFidelitySurrogate) SetPerf(p *obs.Perf) { m.inner.Perf = p }
 // Surrogate.FitWorkers).
 func (m *MultiFidelitySurrogate) SetFitWorkers(n int) { m.inner.FitWorkers = n }
 
+// SetMean installs a prior mean function on the serving surrogate and
+// on every future rebuild (mirrors Surrogate.SetMean). Installing it
+// before the first observation keeps the classic delegation exact: a
+// nil mean changes nothing, bit for bit.
+func (m *MultiFidelitySurrogate) SetMean(mean gp.Mean) {
+	m.inner.SetMean(mean)
+	if m.cur != nil {
+		m.cur.SetMean(mean)
+	}
+}
+
 // serving returns the surrogate answering queries right now.
 func (m *MultiFidelitySurrogate) serving() *Surrogate {
 	if m.mixed {
@@ -174,6 +185,7 @@ func (m *MultiFidelitySurrogate) rebuild() error {
 	fresh := NewSurrogate(m.inner.kernel.Clone(), m.inner.rng)
 	fresh.FitWorkers = m.inner.FitWorkers
 	fresh.Perf = m.inner.Perf
+	fresh.SetMean(m.inner.mean)
 	fresh.RefitEvery = len(m.ds)
 	if fresh.RefitEvery < 1 {
 		fresh.RefitEvery = 1

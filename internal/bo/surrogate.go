@@ -22,6 +22,7 @@ type Surrogate struct {
 	xs       [][]float64
 	ys       []float64
 	model    *gp.GP
+	mean     gp.Mean
 	sinceFit int
 	// RefitEvery controls how often hyperparameters are re-optimized
 	// (every observation would be wasteful; default 1 ⇒ always, which is
@@ -52,6 +53,20 @@ func NewSurrogate(kernel gp.Kernel, rng *rand.Rand) *Surrogate {
 // Len returns the number of observations absorbed.
 func (s *Surrogate) Len() int { return len(s.ys) }
 
+// SetMean installs a prior mean function on the underlying GP (nil
+// restores the zero mean). The GP is created lazily at the first
+// observation, so the mean is remembered and applied then; setting it
+// after observations re-conditions in place. See gp.Mean.
+func (s *Surrogate) SetMean(m gp.Mean) {
+	s.mean = m
+	if s.model != nil {
+		s.model.SetMean(m)
+	}
+}
+
+// Mean returns the installed prior mean function (nil = zero mean).
+func (s *Surrogate) Mean() gp.Mean { return s.mean }
+
 // Observe adds a (deployment, objective) pair and re-conditions the GP.
 // When the hyperparameters are unchanged since the last refit, the GP
 // extends its Cholesky factor incrementally in O(n²); the periodic
@@ -62,6 +77,9 @@ func (s *Surrogate) Observe(d cloud.Deployment, y float64) error {
 	s.ys = append(s.ys, y)
 	if s.model == nil {
 		s.model = gp.New(s.kernel, s.noise)
+		if s.mean != nil {
+			s.model.SetMean(s.mean)
+		}
 	}
 	if err := s.model.Fit(s.xs, s.ys); err != nil {
 		return fmt.Errorf("bo: conditioning surrogate: %w", err)

@@ -66,7 +66,31 @@ type Case struct {
 	// It exists so the suite can prove the invariant engine catches a
 	// deliberately broken reserve; generated cases never set it.
 	DisableReserve bool `json:"disable_reserve,omitempty"`
+
+	// FleetPrior arms the search with a fleet meta-prior synthesized for
+	// the case ("" = none — the classic search, bit for bit):
+	//
+	//	donors           same-family donor curves at simulator ground truth
+	//	                 (what a warm fleet would have learned);
+	//	empty            an armed but keyless prior — must be bit-identical
+	//	                 to "" (the byte-identity regression hook);
+	//	poison-sign      donor curves with every mean negated — a fleet
+	//	                 that learned the opposite of the truth;
+	//	poison-confident the negated curves served with near-zero variance
+	//	                 and inflated evidence — confidently wrong.
+	//
+	// The poison modes exist for the negative suite: a corrupted prior
+	// may cost probes, but must never break an invariant.
+	FleetPrior string `json:"fleet_prior,omitempty"`
 }
+
+// FleetPrior modes for Case.FleetPrior.
+const (
+	FleetPriorDonors          = "donors"
+	FleetPriorEmpty           = "empty"
+	FleetPriorPoisonSign      = "poison-sign"
+	FleetPriorPoisonConfident = "poison-confident"
+)
 
 // jobMenu maps case job names onto the predefined workloads. BERTMXNet
 // is keyed separately because it shares workload.Job.Name with BERTTF.
@@ -114,6 +138,11 @@ func (c Case) Validate() error {
 		if f <= 0 || f >= 1 {
 			return fmt.Errorf("conformance: fidelity %v outside (0,1)", f)
 		}
+	}
+	switch c.FleetPrior {
+	case "", FleetPriorDonors, FleetPriorEmpty, FleetPriorPoisonSign, FleetPriorPoisonConfident:
+	default:
+		return fmt.Errorf("conformance: unknown fleet_prior mode %q", c.FleetPrior)
 	}
 	return nil
 }
@@ -239,6 +268,10 @@ func RunCase(c Case) (*Artifacts, error) {
 	if err != nil {
 		return nil, err
 	}
+	prior, err := casePrior(c, job, simulator, space)
+	if err != nil {
+		return nil, err
+	}
 	scen := search.Scenario(c.Scenario)
 
 	// Quota is sized well past one cluster: a chaos terminate_error can
@@ -256,7 +289,7 @@ func RunCase(c Case) (*Artifacts, error) {
 	sys := mlcdsys.New(mlcdsys.Config{
 		Catalog:  catalog,
 		Limits:   limits,
-		Searcher: core.New(core.Options{Seed: c.Seed, Metrics: reg, DisableReserve: c.DisableReserve, Fidelities: c.Fidelities}),
+		Searcher: core.New(core.Options{Seed: c.Seed, Metrics: reg, DisableReserve: c.DisableReserve, Fidelities: c.Fidelities, FleetPrior: prior}),
 		Provider: provider,
 		Sim:      simulator,
 		Metrics:  reg,

@@ -1,0 +1,283 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/search"
+	"mlcd/internal/sim"
+	"mlcd/internal/workload"
+)
+
+// The cold-vs-warm fleet study: the same generated case population is
+// searched twice — once cold (no prior, today's search bit for bit) and
+// once warmed with a synthetic fleet meta-prior built from same-family
+// donor jobs measured at the simulator's ground truth. The paired design
+// isolates the prior axis: any difference in probes-to-convergence comes
+// from the transfer curves alone, not from the case draw.
+
+// casePrior synthesizes the case's fleet meta-prior per Case.FleetPrior.
+// Donor curves come from every same-family job in the menu measured at
+// ground truth over the case's own space — what a fleet that had already
+// run those tenants' searches to exhaustion would have journaled. A job
+// whose family has no other menu member donates to itself (the "fleet
+// re-trains the same model" degenerate case), so every warm arm is
+// actually warm.
+func casePrior(c Case, job workload.Job, simulator *sim.Simulator, space *cloud.Space) (*fleetprior.Prior, error) {
+	switch c.FleetPrior {
+	case "":
+		return nil, nil
+	case FleetPriorEmpty:
+		return fleetprior.Build(nil), nil
+	case FleetPriorDonors, FleetPriorPoisonSign, FleetPriorPoisonConfident:
+	default:
+		return nil, fmt.Errorf("conformance: unknown fleet_prior mode %q", c.FleetPrior)
+	}
+
+	family := fleetprior.Family(job)
+	var donors []workload.Job
+	names := make([]string, 0, len(jobMenu))
+	for name := range jobMenu {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		j := jobMenu[name]
+		if fleetprior.Family(j) == family && j.String() != job.String() {
+			donors = append(donors, j)
+		}
+	}
+	if len(donors) == 0 {
+		donors = []workload.Job{job}
+	}
+
+	var samples []fleetprior.Sample
+	for _, d := range donors {
+		for i := 0; i < space.Len(); i++ {
+			dep := space.At(i)
+			thr := simulator.Throughput(d, dep)
+			if thr <= 0 {
+				continue
+			}
+			samples = append(samples, fleetprior.Sample{
+				JobKey:     d.String(),
+				Family:     family,
+				Type:       dep.Type.Name,
+				Nodes:      dep.Nodes,
+				Throughput: thr,
+			})
+		}
+	}
+	p := fleetprior.Build(samples)
+
+	switch c.FleetPrior {
+	case FleetPriorPoisonSign:
+		poisonPrior(p, false)
+	case FleetPriorPoisonConfident:
+		poisonPrior(p, true)
+	}
+	return p, nil
+}
+
+// poisonPrior corrupts a built prior in place: every mean is negated (the
+// fleet "learned" the inverse of the truth — types that scale look like
+// they collapse, and vice versa). With confident set, the lie is served
+// at near-zero variance and massive evidence, so confidence shrinkage
+// cannot soften it. The negative suite runs searches under both.
+func poisonPrior(p *fleetprior.Prior, confident bool) {
+	for _, byType := range p.Curves {
+		for typ, c := range byType {
+			for i := range c.Points {
+				c.Points[i].Mu = -c.Points[i].Mu
+				if confident {
+					c.Points[i].Var = 1e-4
+					c.Points[i].Evidence = 1_000_000
+				}
+			}
+			byType[typ] = c
+		}
+	}
+}
+
+// FleetArm aggregates one arm's results over the study.
+type FleetArm struct {
+	Name       string `json:"name"`
+	Cases      int    `json:"cases"`
+	Declined   int    `json:"declined"`
+	Violations int    `json:"violations"`
+
+	// Oracle proximity over the scored (non-declined) cases.
+	MeanRegret float64 `json:"mean_regret"`
+	Within5Pct int     `json:"within_5pct_of_oracle"`
+
+	// What the search phase consumed, summed over scored cases.
+	Probes     int     `json:"probes"`
+	ProfileUSD float64 `json:"profile_usd"`
+
+	// Probes-to-within-5%: for each case, the smallest probe prefix k
+	// after which the searcher's feasibility-aware pick over the first k
+	// probes is already within 5 % of the oracle optimum. A case that
+	// never gets there scores len(probes)+1.
+	MedianProbesTo5 float64 `json:"median_probes_to_5pct"`
+	MeanProbesTo5   float64 `json:"mean_probes_to_5pct"`
+	NeverWithin5    int     `json:"never_within_5pct"`
+
+	probesTo5 []int
+}
+
+// FleetReport is the study's full result — the shape of BENCH_PR10.json.
+type FleetReport struct {
+	Suite string `json:"suite"`
+	Seed  int64  `json:"seed"`
+	Cases int    `json:"cases"`
+
+	Cold FleetArm `json:"cold"`
+	Warm FleetArm `json:"warm"`
+
+	// Paired per-case comparison over cases scored in both arms.
+	Pairs           int  `json:"pairs"`
+	WarmFewer       int  `json:"warm_fewer_probes"`
+	Ties            int  `json:"ties"`
+	ColdFewer       int  `json:"cold_fewer_probes"`
+	WarmMedianLower bool `json:"warm_median_lower"`
+}
+
+// FleetStudy runs n paired fault-free cases from seed: each case is
+// searched once cold and once fleet-warmed, both runs invariant-checked
+// and oracle-scored. Chaos and the fidelity ladder are stripped so the
+// pairing isolates the prior axis, and the regret bound is measured
+// rather than asserted (MaxRegret 0) — but every other invariant must
+// hold in both arms.
+func FleetStudy(seed int64, n int) (FleetReport, error) {
+	rep := FleetReport{Suite: "fleet-cold-vs-warm", Seed: seed, Cases: n,
+		Cold: FleetArm{Name: "cold"}, Warm: FleetArm{Name: "fleet-warmed"}}
+	rng := rngtape.New(seed)
+	for i := 0; i < n; i++ {
+		c := GenerateCase(rng, i)
+		c.Chaos = nil
+		c.ChaosSeed = 0
+		c.MaxRegret = 0
+		c.Fidelities = nil
+
+		cold := c
+		cold.Name = fmt.Sprintf("fleet-%d-cold", i)
+		cold.FleetPrior = ""
+		ck, cScored, err := scoreFleetArm(cold, &rep.Cold)
+		if err != nil {
+			return rep, err
+		}
+
+		warm := c
+		warm.Name = fmt.Sprintf("fleet-%d-warm", i)
+		warm.FleetPrior = FleetPriorDonors
+		wk, wScored, err := scoreFleetArm(warm, &rep.Warm)
+		if err != nil {
+			return rep, err
+		}
+
+		if cScored && wScored {
+			rep.Pairs++
+			switch {
+			case wk < ck:
+				rep.WarmFewer++
+			case wk > ck:
+				rep.ColdFewer++
+			default:
+				rep.Ties++
+			}
+		}
+	}
+	finishFleetArm(&rep.Cold)
+	finishFleetArm(&rep.Warm)
+	rep.WarmMedianLower = rep.Warm.MedianProbesTo5 < rep.Cold.MedianProbesTo5
+	return rep, nil
+}
+
+// scoreFleetArm runs one case under one arm and folds it in; it returns
+// the case's probes-to-5% and whether the case was scored (not declined).
+func scoreFleetArm(c Case, arm *FleetArm) (int, bool, error) {
+	a, err := RunCase(c)
+	if err != nil {
+		if Declined(err) {
+			arm.Declined++
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("conformance: fleet case %s: %w", c.Name, err)
+	}
+	arm.Cases++
+	arm.Violations += len(Check(a))
+	out := a.Report.Outcome
+	if r, ok := a.Oracle.Regret(a.Scenario, a.UserCons, out.Best); ok {
+		arm.MeanRegret += (r - arm.MeanRegret) / float64(arm.Cases)
+		if r <= 0.05 {
+			arm.Within5Pct++
+		}
+	}
+	arm.Probes += len(out.Steps)
+	arm.ProfileUSD += out.ProfileCost
+	k := ProbesToWithin5(a)
+	if k > len(out.Steps) {
+		arm.NeverWithin5++
+	}
+	arm.probesTo5 = append(arm.probesTo5, k)
+	return k, true, nil
+}
+
+// finishFleetArm computes the arm's probes-to-5% summary statistics.
+func finishFleetArm(arm *FleetArm) {
+	if len(arm.probesTo5) == 0 {
+		return
+	}
+	sorted := append([]int(nil), arm.probesTo5...)
+	sort.Ints(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		arm.MedianProbesTo5 = float64(sorted[n/2])
+	} else {
+		arm.MedianProbesTo5 = float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	sum := 0
+	for _, k := range sorted {
+		sum += k
+	}
+	arm.MeanProbesTo5 = float64(sum) / float64(n)
+}
+
+// ProbesToWithin5 replays a finished search prefix by prefix and returns
+// the smallest k such that the feasibility-aware pick over the first k
+// probes (full-fidelity successes only, at the time/cost spent by probe
+// k) has ground-truth regret ≤ 5 %. A search that never gets within 5 %
+// scores len(steps)+1, so "never" always sorts after "eventually".
+func ProbesToWithin5(a *Artifacts) int {
+	steps := a.Report.Outcome.Steps
+	var obs []search.Observation
+	for k := 1; k <= len(steps); k++ {
+		st := steps[k-1]
+		if !st.Failed && st.Fidelity == 0 {
+			obs = append(obs, search.Observation{Deployment: st.Deployment, Throughput: st.Throughput})
+		}
+		pick, ok := search.PickBest(a.Job, a.Scenario, a.SearchCons, st.CumProfileTime, st.CumProfileCost, obs)
+		if !ok {
+			continue
+		}
+		if r, ok := a.Oracle.Regret(a.Scenario, a.UserCons, pick.Deployment); ok && r <= 0.05 {
+			return k
+		}
+	}
+	return len(steps) + 1
+}
+
+// WriteFleetReport renders the report as indented JSON with a trailing
+// newline — the canonical BENCH_PR10.json shape.
+func WriteFleetReport(path string, rep FleetReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

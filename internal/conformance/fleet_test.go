@@ -1,0 +1,249 @@
+package conformance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
+	"mlcd/internal/obs"
+	"mlcd/internal/rngtape"
+	"mlcd/internal/sim"
+)
+
+// TestFleetPriorOffByteIdentity is the regression half of the fleet
+// prior's bit-identity guarantee: with the prior disabled ("") AND with
+// an armed-but-keyless prior ("empty"), every golden case must reproduce
+// the committed pre-fleet trace digests byte for byte. The feature must
+// be invisible until it has something to say.
+func TestFleetPriorOffByteIdentity(t *testing.T) {
+	raw, err := os.ReadFile(traceGoldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens: %v", err)
+	}
+	var want map[string]traceGoldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", traceGoldenPath, err)
+	}
+
+	for _, mode := range []string{"", FleetPriorEmpty} {
+		label := mode
+		if label == "" {
+			label = "disabled"
+		}
+		t.Run(label, func(t *testing.T) {
+			for i := 0; i < traceGoldenCases; i++ {
+				rng := rngtape.New(int64(traceGoldenSeed + i))
+				c := GenerateCase(rng, i)
+				c.Name = fmt.Sprintf("golden-%02d", i)
+				c.FleetPrior = mode
+				a, err := RunCase(c)
+				if err != nil {
+					if w := want[c.Name]; w.Error == err.Error() {
+						continue // the golden pinned this exact error
+					}
+					t.Fatalf("%s: %v", c.Name, err)
+				}
+				b, err := obs.MarshalTrace(a.Trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := sha256.Sum256(b)
+				got := hex.EncodeToString(sum[:])
+				if w := want[c.Name]; got != w.Digest {
+					t.Errorf("%s: fleet_prior=%q changed the trace (digest %s, golden %s) — the off/empty path must be bit-identical",
+						c.Name, mode, got, w.Digest)
+				}
+			}
+		})
+	}
+}
+
+// TestCasePriorModes pins the synthesis itself: donors cover the job's
+// family, empty is keyless, the poison modes actually negate the curves
+// (confidently so for poison-confident), and an unknown mode is rejected
+// before anything runs.
+func TestCasePriorModes(t *testing.T) {
+	c := Case{
+		Seed:     7,
+		Job:      "resnet-cifar10",
+		Types:    []string{"c5.xlarge", "c5.4xlarge"},
+		MaxNodes: 6,
+	}
+	job, err := c.ResolveJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := cloud.DefaultCatalog().Subset(c.Types...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cloud.NewSpace(catalog, cloud.SpaceLimits{MaxCPUNodes: c.MaxNodes, MaxGPUNodes: c.MaxNodes})
+	simulator := sim.New(c.Seed)
+
+	build := func(mode string) *fleetprior.Prior {
+		t.Helper()
+		cc := c
+		cc.FleetPrior = mode
+		p, err := casePrior(cc, job, simulator, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if p := build(""); p != nil {
+		t.Fatal("mode \"\" must synthesize no prior at all")
+	}
+	if p := build(FleetPriorEmpty); p.KeyCount() != 0 {
+		t.Fatalf("empty mode produced %d keys", p.KeyCount())
+	}
+
+	donors := build(FleetPriorDonors)
+	family := fleetprior.Family(job)
+	if !donors.HasFamily(family) {
+		t.Fatalf("donor prior lacks the job's own family %q", family)
+	}
+	if donors.KeyCount() != len(c.Types) {
+		t.Fatalf("donor prior has %d keys, want one per type (%d)", donors.KeyCount(), len(c.Types))
+	}
+
+	sign := build(FleetPriorPoisonSign)
+	confident := build(FleetPriorPoisonConfident)
+	for _, typ := range c.Types {
+		for n := 1; n <= c.MaxNodes; n++ {
+			mu, _, ok := donors.MeanVar(family, typ, n)
+			if !ok {
+				t.Fatalf("donor prior has no cell for %s@%d", typ, n)
+			}
+			smu, _, _ := sign.MeanVar(family, typ, n)
+			if smu != -mu {
+				t.Fatalf("poison-sign %s@%d: mu %v, want %v", typ, n, smu, -mu)
+			}
+			cmu, cv, _ := confident.MeanVar(family, typ, n)
+			if cmu != -mu {
+				t.Fatalf("poison-confident %s@%d: mu %v, want %v", typ, n, cmu, -mu)
+			}
+			if cv > 1e-3 {
+				t.Fatalf("poison-confident %s@%d: var %v, want near-zero (the lie must be confident)", typ, n, cv)
+			}
+		}
+	}
+
+	bad := c
+	bad.FleetPrior = "totally-bogus"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown fleet_prior mode must fail validation")
+	}
+}
+
+// TestPoisonedPriorKeepsInvariants is the negative suite: a corrupted
+// fleet prior — curves with the truth's sign flipped, served either at
+// honest confidence or at near-zero variance with inflated evidence —
+// may waste probes, but the search must still converge and every
+// invariant (protective reserve and the generated regret tripwire
+// included) must hold. The prior only ever biases where the surrogate
+// looks first; measurements, constraints, and the reserve stay sovereign.
+func TestPoisonedPriorKeepsInvariants(t *testing.T) {
+	const cases = 12
+	rng := rngtape.New(42)
+	ran, declined := 0, 0
+	for i := 0; i < cases; i++ {
+		c := GenerateCase(rng, i)
+		if i%2 == 0 {
+			c.FleetPrior = FleetPriorPoisonSign
+		} else {
+			c.FleetPrior = FleetPriorPoisonConfident
+		}
+		c.Name = fmt.Sprintf("poison-%d-%s", i, c.FleetPrior)
+		art, err := RunCase(c)
+		if Declined(err) {
+			declined++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, c, err)
+		}
+		if vs := Check(art); len(vs) > 0 {
+			res := Shrink(c, vs)
+			b, _ := MarshalCase(res.Case)
+			t.Fatalf("poisoned prior broke %d invariants: %v\nshrunk reproducer:\n%s", len(vs), vs, b)
+		}
+		if !art.Report.Outcome.Found && art.Report.Outcome.Stopped == "" {
+			t.Fatalf("case %d never converged: %+v", i, art.Report.Outcome)
+		}
+		ran++
+	}
+	if ran < 8 {
+		t.Fatalf("only %d poisoned cases ran clean (%d declined); want >= 8", ran, declined)
+	}
+}
+
+// TestFleetStudySmoke runs a small paired cold-vs-warm study end to end
+// and pins its report contract: every case scored in both arms, zero
+// invariant violations anywhere, and the report round-trips through the
+// BENCH_PR10.json writer. The full ≥40-case study runs via `make fleet`.
+func TestFleetStudySmoke(t *testing.T) {
+	rep, err := FleetStudy(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold.Violations != 0 || rep.Warm.Violations != 0 {
+		t.Fatalf("study arms violated invariants: cold=%d warm=%d", rep.Cold.Violations, rep.Warm.Violations)
+	}
+	if rep.Pairs == 0 {
+		t.Fatal("no case was scored in both arms")
+	}
+	if rep.Pairs != rep.WarmFewer+rep.Ties+rep.ColdFewer {
+		t.Fatalf("pair accounting leaks: %d pairs vs %d+%d+%d", rep.Pairs, rep.WarmFewer, rep.Ties, rep.ColdFewer)
+	}
+	if rep.Cold.MedianProbesTo5 <= 0 || rep.Warm.MedianProbesTo5 <= 0 {
+		t.Fatalf("probes-to-5%% medians unset: cold=%v warm=%v", rep.Cold.MedianProbesTo5, rep.Warm.MedianProbesTo5)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_PR10.json")
+	if err := WriteFleetReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FleetReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cold.Cases != rep.Cold.Cases || back.Warm.MedianProbesTo5 != rep.Warm.MedianProbesTo5 {
+		t.Fatalf("report does not round-trip: %+v vs %+v", back, rep)
+	}
+}
+
+// TestFleetStudyDeterminism pins that the paired study is replayable:
+// the same seed yields the same report (the property BENCH_PR10.json
+// comparisons across commits rely on).
+func TestFleetStudyDeterminism(t *testing.T) {
+	a, err := FleetStudy(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetStudy(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatalf("same seed produced different studies:\n%s\nvs\n%s", ab, bb)
+	}
+}

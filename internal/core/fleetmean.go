@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
+	"mlcd/internal/search"
+	"mlcd/internal/workload"
+)
+
+// fleetMean adapts the fleet meta-prior to gp.Mean for one search: it
+// decodes the surrogate's 5-D feature vector back to (instance type,
+// node count), looks up the prior's centered log-throughput curve for
+// the job's model family, and converts the value into the scenario's
+// log-objective units. The surrogate models log(Objective):
+//
+//   - FastestUnlimited / FastestWithBudget maximize throughput, so the
+//     centered curve applies directly;
+//   - CheapestWithDeadline maximizes throughput per $/hour, so the
+//     deployment's log hourly cost — a deterministic function of the
+//     decoded (type, nodes) — is subtracted. The prior's per-donor
+//     centering offset is a constant per recipient job and the GP's
+//     residual standardization absorbs it exactly in both cases.
+//
+// Features outside the decode table (a type the prior never saw, a
+// node count that is not a power-of-two round trip) fall back to the
+// zero mean with zero extra variance — a fleet prior must never invent
+// hardware it cannot name.
+type fleetMean struct {
+	prior  *fleetprior.Prior
+	family string
+	scen   search.Scenario
+	// types maps the first four feature dimensions (vcpus/gpus/mem/net,
+	// log-encoded — node count excluded) to the instance type's name and
+	// per-node price. Built from the search space, so every candidate
+	// the acquisition sweep can query decodes exactly.
+	types map[[4]float64]typeEntry
+}
+
+type typeEntry struct {
+	name       string
+	pricePerHr float64
+}
+
+// newFleetMean builds the adapter for one search, or nil when the prior
+// has nothing to say about the job's family — the caller must then
+// leave the surrogate's zero mean untouched.
+func newFleetMean(p *fleetprior.Prior, j workload.Job, space *cloud.Space, scen search.Scenario) *fleetMean {
+	family := fleetprior.Family(j)
+	if p == nil || !p.HasFamily(family) {
+		return nil
+	}
+	types := make(map[[4]float64]typeEntry)
+	for _, t := range space.Types() {
+		f := cloud.Features(cloud.Deployment{Type: t, Nodes: 1})
+		key := [4]float64{f[0], f[1], f[2], f[3]}
+		if _, dup := types[key]; !dup {
+			types[key] = typeEntry{name: t.Name, pricePerHr: t.PricePerHr}
+		}
+	}
+	return &fleetMean{prior: p, family: family, scen: scen, types: types}
+}
+
+// MeanVar implements gp.Mean over the shared feature encoding.
+func (m *fleetMean) MeanVar(x []float64) (float64, float64) {
+	t, ok := m.types[[4]float64{x[0], x[1], x[2], x[3]}]
+	if !ok {
+		return 0, 0
+	}
+	nodes := int(math.Round(math.Exp2(x[4])))
+	mu, v, ok := m.prior.MeanVar(m.family, t.name, nodes)
+	if !ok {
+		return 0, 0
+	}
+	if m.scen == search.CheapestWithDeadline {
+		mu -= math.Log(t.pricePerHr * float64(nodes))
+	}
+	return mu, v
+}

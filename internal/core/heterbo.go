@@ -27,6 +27,7 @@ import (
 
 	"mlcd/internal/bo"
 	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/gp"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -54,6 +55,17 @@ type Options struct {
 	// exhaustive-profiling critique that "any change re-performs the
 	// expensive search" (§II-C).
 	WarmStart []search.Observation
+
+	// FleetPrior, when non-nil, is the fleet meta-prior
+	// (internal/fleetprior): cross-job transfer curves learned from every
+	// tenant's journaled probes. When the prior holds a curve for the
+	// job's model family, the surrogate starts from the fleet's
+	// throughput-vs-nodes shape (with confidence-scaled variance) instead
+	// of the zero mean. Unlike WarmStart observations, the prior never
+	// substitutes for a measurement — it only shapes where the search
+	// looks first. A nil or empty prior leaves the search bit-identical
+	// to one without this field.
+	FleetPrior *fleetprior.Prior
 
 	// Tracer, when non-nil, receives one observability event per probe
 	// (with its heterogeneous cost and acquisition value), per concave-
@@ -196,6 +208,15 @@ func (h *HeterBO) WithTracer(sink obs.EventSink) search.Searcher {
 	return New(opts)
 }
 
+// WithFleetPrior implements search.FleetPriorStarter: it returns a new
+// HeterBO whose surrogate starts from the fleet meta-prior. The receiver
+// is unchanged; a nil or empty prior yields a bit-identical search.
+func (h *HeterBO) WithFleetPrior(p *fleetprior.Prior) search.Searcher {
+	opts := h.opts
+	opts.FleetPrior = p
+	return New(opts)
+}
+
 // state tracks one search run.
 type state struct {
 	job       workload.Job
@@ -283,6 +304,18 @@ func (h *HeterBO) Search(j workload.Job, space *cloud.Space, scen search.Scenari
 		Kind: "search_started",
 		Note: fmt.Sprintf("%s %s, warm_start=%d", h.Name(), scen, len(h.opts.WarmStart)),
 	})
+	// The fleet prior arms only when it actually covers the job's model
+	// family: an absent or irrelevant prior must leave the surrogate's
+	// zero mean untouched (and emit nothing), keeping prior-off searches
+	// byte-identical to the committed trace goldens.
+	if fm := newFleetMean(h.opts.FleetPrior, j, space, scen); fm != nil {
+		st.surr.SetMean(fm)
+		fs := h.opts.FleetPrior.Stats()
+		st.emit(obs.Event{
+			Kind: "fleet_prior",
+			Note: fmt.Sprintf("armed: family=%s keys=%d donor_jobs=%d samples=%d", fm.family, fs.Keys, fs.Jobs, fs.Samples),
+		})
+	}
 
 	stopped := st.run()
 	st.emit(obs.Event{

@@ -9,9 +9,11 @@ import (
 
 	"mlcd/internal/bo"
 	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/profiler"
 	"mlcd/internal/rngtape"
 	"mlcd/internal/search"
+	"mlcd/internal/sim"
 	"mlcd/internal/workload"
 )
 
@@ -179,6 +181,44 @@ type soaCase struct {
 	cons       search.Constraints
 	fidelities []float64
 	flakyRate  float64
+	fleet      bool // arm a fleet meta-prior on the surrogate
+}
+
+// soaFleetPrior synthesizes the fleet meta-prior a warm shard would hold
+// for the case's model family: donor jobs from the same family, probed at
+// the simulator's ground truth over the case's own space. The donor set
+// excludes the case's job when the family has siblings, matching how
+// cross-job transfer looks in production.
+func soaFleetPrior(c soaCase, s *sim.Simulator) *fleetprior.Prior {
+	family := fleetprior.Family(c.job)
+	var donors []workload.Job
+	for _, j := range []workload.Job{
+		workload.ResNetCIFAR10, workload.AlexNetCIFAR10, workload.InceptionImageNet,
+		workload.CharRNNText, workload.BERTTF, workload.BERTMXNet,
+		workload.ZeRO8BJob, workload.ZeRO20BJob,
+	} {
+		if fleetprior.Family(j) == family && j.String() != c.job.String() {
+			donors = append(donors, j)
+		}
+	}
+	if len(donors) == 0 {
+		donors = []workload.Job{c.job}
+	}
+	var samples []fleetprior.Sample
+	for _, j := range donors {
+		for i := 0; i < c.space.Len(); i++ {
+			d := c.space.At(i)
+			thr := s.Throughput(j, d)
+			if thr <= 0 {
+				continue
+			}
+			samples = append(samples, fleetprior.Sample{
+				JobKey: j.String(), Family: family,
+				Type: d.Type.Name, Nodes: d.Nodes, Throughput: thr,
+			})
+		}
+	}
+	return fleetprior.Build(samples)
 }
 
 // soaCases mirrors the regimes the conformance generator rotates
@@ -213,6 +253,14 @@ func soaCases() []soaCase {
 		{name: "chaos-ladder", job: workload.ResNetCIFAR10, space: multi,
 			scen: search.FastestUnlimited, fidelities: []float64{0.25}, flakyRate: 0.2},
 		{name: "sharded-oom", job: workload.ZeRO8BJob, space: multi, scen: search.FastestUnlimited},
+		{name: "fleet-warm", job: workload.ResNetCIFAR10, space: multi,
+			scen: search.FastestUnlimited, fleet: true},
+		{name: "fleet-deadline", job: workload.BERTTF, space: multi,
+			scen: search.CheapestWithDeadline, cons: search.Constraints{Deadline: 24 * time.Hour},
+			fleet: true},
+		{name: "fleet-ladder", job: workload.AlexNetCIFAR10, space: multi,
+			scen: search.FastestWithBudget, cons: search.Constraints{Budget: 150},
+			fidelities: []float64{0.25, 0.5}, fleet: true},
 	}
 }
 
@@ -230,13 +278,18 @@ func newSoAState(c soaCase, seed int64) *state {
 		quarantined: make(map[string]bool),
 		priorBound:  make(map[string]int),
 	}
-	_, prof := newProf(seed)
+	simul, prof := newProf(seed)
 	if c.flakyRate > 0 {
 		prof = &flakyProfiler{inner: prof, rng: rand.New(rand.NewSource(seed + 7)), rate: c.flakyRate}
 	}
 	st.prof = prof
 	st.surr = bo.NewMultiFidelitySurrogate(bo.NewSurrogate(opts.Kernel.Clone(), st.rng), opts.GapPriorBeta)
 	st.surr.SetFitWorkers(opts.Workers)
+	if c.fleet {
+		if fm := newFleetMean(soaFleetPrior(c, simul), c.job, c.space, c.scen); fm != nil {
+			st.surr.SetMean(fm)
+		}
+	}
 	return st
 }
 

@@ -1,0 +1,341 @@
+// Package fleetprior aggregates the fleet's journaled profiling history
+// into a cross-job transfer prior for the deployment search — the
+// roadmap's "fleet is the cheapest profiler" play. Every full-fidelity
+// probe any tenant ever paid for is a point on some throughput-vs-nodes
+// curve; jobs of the same model family trace curves of the same *shape*
+// on the same hardware, differing mostly by a per-job vertical offset
+// (model size, batch size, dataset). The prior therefore:
+//
+//   - centers each donor job's log-throughput observations by that job's
+//     own mean, so what transfers is the curve shape — how type m scales
+//     from 1 to n nodes — never the donor's absolute speed;
+//   - aggregates centered values per (model family, instance type, node
+//     count) cell with the median, so one weird tenant cannot bend the
+//     fleet's curve;
+//   - attaches a confidence to every cell that shrinks with evidence:
+//     prior variance varFloor + (varBase + spread)/(1 + evidence), so a
+//     cell backed by fifty tenants is trusted and a cell backed by one
+//     is barely a hint. More fleet evidence never makes the prior less
+//     certain — the monotonicity the property tests pin.
+//
+// The consumer is gp.Mean: the surrogate fits residuals against the
+// prior curve, and the GP's own residual standardization absorbs the
+// recipient job's unknown vertical offset exactly. A new tenant on any
+// shard starts with the fleet's shape knowledge and two probes pin the
+// offset — instead of twelve probes rediscovering that, say, ResNet on
+// c5.4xlarge stops scaling at eight nodes.
+package fleetprior
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mlcd/internal/workload"
+)
+
+// Shrinkage constants, in squared log-throughput units. varFloor keeps
+// even an infinitely-evidenced prior honestly imperfect (cross-job
+// transfer can never be exact); varBase is the skepticism applied to a
+// single-donor cell; extrapolVar is the per-log2(nodes) variance added
+// beyond a curve's observed range.
+const (
+	varFloor    = 0.05
+	varBase     = 0.50
+	extrapolVar = 0.25
+)
+
+// Point is one cell of a prior curve: the fleet's centered
+// log-throughput estimate for a node count of some (family, type).
+type Point struct {
+	Nodes    int     `json:"nodes"`
+	Mu       float64 `json:"mu"`       // median centered log-throughput
+	Var      float64 `json:"var"`      // confidence-shrunk prior variance
+	Evidence int     `json:"evidence"` // donor observations behind the cell
+}
+
+// Curve is one (family, instance type)'s throughput-vs-nodes prior,
+// points ascending in Nodes.
+type Curve struct {
+	Points []Point `json:"points"`
+}
+
+// Prior is the published fleet meta-prior: per-family, per-instance-type
+// curves plus provenance counters. It is immutable once built and safe
+// to share across shards and searches.
+type Prior struct {
+	// Curves[family][typeName] — family as in Family().
+	Curves  map[string]map[string]Curve `json:"curves"`
+	Jobs    int                         `json:"jobs"`    // donor jobs aggregated
+	Samples int                         `json:"samples"` // observations aggregated
+}
+
+// Sample is one journaled full-fidelity measurement attributed to a
+// donor job. Throughput ≤ 0 (OOM probes) carries no speed information
+// and is skipped by Build.
+type Sample struct {
+	JobKey     string // donor identity (workload.Job.String()) for centering
+	Family     string // model family the observation transfers within
+	Type       string // instance type name
+	Nodes      int
+	Throughput float64 // samples/sec
+}
+
+// Family buckets a job for cross-job transfer: architecture class, with
+// ZeRO-style sharded-state models split out — their memory-vs-nodes
+// behavior (and hence feasible-region shape) differs fundamentally from
+// replicated training of the same architecture.
+func Family(j workload.Job) string {
+	f := j.Model.Arch.String()
+	if j.Model.ShardedStates {
+		f += "-sharded"
+	}
+	return f
+}
+
+// Resolver maps a donor job key (workload.Job.String()) to its family.
+// BuildFromCache uses it to attribute cache entries; unknown keys are
+// skipped — a journal may hold jobs a newer menu no longer serves.
+type Resolver func(jobKey string) (family string, ok bool)
+
+// MenuResolver builds a Resolver from a job menu (typically
+// workload.All() or the scheduler's configured jobs).
+func MenuResolver(jobs []workload.Job) Resolver {
+	byKey := make(map[string]string, len(jobs))
+	for _, j := range jobs {
+		byKey[j.String()] = Family(j)
+	}
+	return func(jobKey string) (string, bool) {
+		f, ok := byKey[jobKey]
+		return f, ok
+	}
+}
+
+// Build aggregates donor samples into a Prior. It is deterministic:
+// samples are re-sorted internally, so callers may pass them in any
+// order (map iteration included) and get byte-identical priors.
+func Build(samples []Sample) *Prior {
+	// 1. Per-job centering offsets: one mean log-throughput per donor,
+	// across every type and node count it was measured on. Subtracting
+	// it transfers curve shape, not donor speed.
+	byJob := make(map[string][]int) // sample indices per donor
+	valid := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if s.Throughput <= 0 || s.Nodes < 1 || s.Family == "" || s.Type == "" {
+			continue
+		}
+		valid = append(valid, s)
+	}
+	sort.Slice(valid, func(a, b int) bool {
+		if valid[a].JobKey != valid[b].JobKey {
+			return valid[a].JobKey < valid[b].JobKey
+		}
+		if valid[a].Type != valid[b].Type {
+			return valid[a].Type < valid[b].Type
+		}
+		if valid[a].Nodes != valid[b].Nodes {
+			return valid[a].Nodes < valid[b].Nodes
+		}
+		return valid[a].Throughput < valid[b].Throughput
+	})
+	for i, s := range valid {
+		byJob[s.JobKey] = append(byJob[s.JobKey], i)
+	}
+	offset := make(map[string]float64, len(byJob))
+	for job, idxs := range byJob {
+		var sum float64
+		for _, i := range idxs {
+			sum += math.Log(valid[i].Throughput)
+		}
+		offset[job] = sum / float64(len(idxs))
+	}
+
+	// 2. Centered values per (family, type, nodes) cell.
+	type cellKey struct {
+		family, typ string
+		nodes       int
+	}
+	cells := make(map[cellKey][]float64)
+	for _, s := range valid {
+		k := cellKey{s.Family, s.Type, s.Nodes}
+		cells[k] = append(cells[k], math.Log(s.Throughput)-offset[s.JobKey])
+	}
+
+	// 3. Median + shrunk variance per cell, assembled into curves.
+	p := &Prior{Curves: make(map[string]map[string]Curve), Jobs: len(byJob), Samples: len(valid)}
+	for k, vs := range cells {
+		med := median(vs)
+		spread := variance(vs, med)
+		pt := Point{
+			Nodes:    k.nodes,
+			Mu:       med,
+			Var:      varFloor + (varBase+spread)/(1+float64(len(vs))),
+			Evidence: len(vs),
+		}
+		byType := p.Curves[k.family]
+		if byType == nil {
+			byType = make(map[string]Curve)
+			p.Curves[k.family] = byType
+		}
+		c := byType[k.typ]
+		c.Points = append(c.Points, pt)
+		byType[k.typ] = c
+	}
+	for _, byType := range p.Curves {
+		for typ, c := range byType {
+			sort.Slice(c.Points, func(a, b int) bool { return c.Points[a].Nodes < c.Points[b].Nodes })
+			byType[typ] = c
+		}
+	}
+	return p
+}
+
+// median of vs (vs is sorted in place; Build's cell slices are private).
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// variance of vs around center c (population form; 0 for a single value).
+func variance(vs []float64, c float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vs {
+		d := v - c
+		ss += d * d
+	}
+	return ss / float64(len(vs))
+}
+
+// MeanVar returns the prior's centered log-throughput mean and variance
+// for family on typ at nodes. Between observed node counts it
+// interpolates linearly in log2(nodes) — the axis scale-out curves are
+// naturally smooth in; beyond the observed range it extrapolates flat
+// from the nearest point with extrapolVar added per log2 step, so far
+// extrapolations are honestly uncertain. ok is false when the prior has
+// no curve for (family, typ) — the caller must fall back to the zero
+// mean, never to a fabricated value.
+func (p *Prior) MeanVar(family, typ string, nodes int) (mu, v float64, ok bool) {
+	if p == nil || nodes < 1 {
+		return 0, 0, false
+	}
+	byType, ok := p.Curves[family]
+	if !ok {
+		return 0, 0, false
+	}
+	c, ok := byType[typ]
+	if !ok || len(c.Points) == 0 {
+		return 0, 0, false
+	}
+	pts := c.Points
+	ln := math.Log2(float64(nodes))
+	if nodes <= pts[0].Nodes {
+		d := math.Log2(float64(pts[0].Nodes)) - ln
+		return pts[0].Mu, pts[0].Var + extrapolVar*d, true
+	}
+	last := pts[len(pts)-1]
+	if nodes >= last.Nodes {
+		d := ln - math.Log2(float64(last.Nodes))
+		return last.Mu, last.Var + extrapolVar*d, true
+	}
+	// Bracket and interpolate in log2(nodes).
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Nodes >= nodes })
+	hi := pts[i]
+	if hi.Nodes == nodes {
+		return hi.Mu, hi.Var, true
+	}
+	lo := pts[i-1]
+	l0, l1 := math.Log2(float64(lo.Nodes)), math.Log2(float64(hi.Nodes))
+	t := (ln - l0) / (l1 - l0)
+	return lo.Mu + t*(hi.Mu-lo.Mu), lo.Var + t*(hi.Var-lo.Var), true
+}
+
+// KeyCount reports how many (family, instance type) curves the prior
+// holds — the fleet_prior_keys gauge.
+func (p *Prior) KeyCount() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, byType := range p.Curves {
+		n += len(byType)
+	}
+	return n
+}
+
+// HasFamily reports whether the prior has any curve for the family.
+func (p *Prior) HasFamily(family string) bool {
+	if p == nil {
+		return false
+	}
+	return len(p.Curves[family]) > 0
+}
+
+// Stats is the debug-endpoint view of a prior.
+type Stats struct {
+	Families int `json:"families"`
+	Keys     int `json:"keys"`
+	Jobs     int `json:"jobs"`
+	Samples  int `json:"samples"`
+}
+
+// Stats summarizes the prior for /v1/fleet and logs.
+func (p *Prior) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{Families: len(p.Curves), Keys: p.KeyCount(), Jobs: p.Jobs, Samples: p.Samples}
+}
+
+// Encode serializes the prior to canonical JSON (map keys sorted, points
+// ascending in nodes): the wire form shards exchange at snapshot merges.
+func (p *Prior) Encode() ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// Decode parses an encoded prior, validating curve structure: nodes must
+// be ≥ 1 and strictly ascending within a curve, variances non-negative
+// and finite, so a corrupted or adversarial payload cannot smuggle NaNs
+// into the surrogate.
+func Decode(b []byte) (*Prior, error) {
+	var p Prior
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("fleetprior: decode: %w", err)
+	}
+	for family, byType := range p.Curves {
+		for typ, c := range byType {
+			prev := 0
+			for _, pt := range c.Points {
+				if pt.Nodes < 1 || pt.Nodes <= prev {
+					return nil, fmt.Errorf("fleetprior: %s/%s: nodes not strictly ascending from 1", family, typ)
+				}
+				if pt.Var < 0 || math.IsNaN(pt.Var) || math.IsInf(pt.Var, 0) || math.IsNaN(pt.Mu) || math.IsInf(pt.Mu, 0) {
+					return nil, fmt.Errorf("fleetprior: %s/%s@%d: non-finite point", family, typ, pt.Nodes)
+				}
+				if pt.Evidence < 0 {
+					return nil, fmt.Errorf("fleetprior: %s/%s@%d: negative evidence", family, typ, pt.Nodes)
+				}
+				prev = pt.Nodes
+			}
+		}
+	}
+	return &p, nil
+}
+
+// ParseCacheKey splits a profile-cache key ("job[platform/topo]|n×type")
+// into its job key and deployment key. ok is false for malformed keys.
+func ParseCacheKey(key string) (jobKey, depKey string, ok bool) {
+	i := strings.IndexByte(key, '|')
+	if i <= 0 || i == len(key)-1 {
+		return "", "", false
+	}
+	return key[:i], key[i+1:], true
+}

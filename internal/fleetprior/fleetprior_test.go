@@ -1,0 +1,246 @@
+package fleetprior
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlcd/internal/cloud"
+	"mlcd/internal/profiler"
+	"mlcd/internal/workload"
+)
+
+// donorSamples fabricates k donor jobs of one family tracing the same
+// concave scale-out shape with per-job vertical offsets — the structure
+// the prior is built to recover.
+func donorSamples(k int, family string, offsets []float64) []Sample {
+	shape := func(n int) float64 { return 2 * math.Log2(1+float64(n)) }
+	var out []Sample
+	for j := 0; j < k; j++ {
+		off := 1.0
+		if j < len(offsets) {
+			off = offsets[j]
+		}
+		for _, n := range []int{1, 2, 4, 8} {
+			out = append(out, Sample{
+				JobKey:     string(rune('a'+j)) + "-job",
+				Family:     family,
+				Type:       "c5.4xlarge",
+				Nodes:      n,
+				Throughput: off * math.Exp(shape(n)),
+			})
+		}
+	}
+	return out
+}
+
+func TestBuildCentersPerJob(t *testing.T) {
+	// Two donors, identical shape, 10× apart in absolute speed: the
+	// centered curves must coincide, so every cell has evidence 2 and
+	// the cell spread is ~0.
+	p := Build(donorSamples(2, "cnn", []float64{1, 10}))
+	if p.Jobs != 2 || p.Samples != 8 {
+		t.Fatalf("jobs=%d samples=%d, want 2/8", p.Jobs, p.Samples)
+	}
+	c := p.Curves["cnn"]["c5.4xlarge"]
+	if len(c.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(c.Points))
+	}
+	for _, pt := range c.Points {
+		if pt.Evidence != 2 {
+			t.Fatalf("evidence at %d nodes = %d, want 2", pt.Nodes, pt.Evidence)
+		}
+	}
+	// Shape transfer: mu(8) − mu(1) must equal the donors' own log-gain,
+	// independent of their absolute offsets.
+	wantGain := 2 * (math.Log2(9.0) - math.Log2(2.0))
+	gain := c.Points[3].Mu - c.Points[0].Mu
+	if math.Abs(gain-wantGain) > 1e-9 {
+		t.Fatalf("centered gain = %v, want %v", gain, wantGain)
+	}
+}
+
+func TestBuildOrderIndependent(t *testing.T) {
+	samples := donorSamples(3, "cnn", []float64{1, 5, 25})
+	a := Build(samples)
+	shuffled := append([]Sample(nil), samples...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := Build(shuffled)
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("prior depends on sample order:\n%s\nvs\n%s", ea, eb)
+	}
+}
+
+func TestMeanVarInterpolatesInLog2Nodes(t *testing.T) {
+	p := Build(donorSamples(2, "cnn", []float64{1, 2}))
+	mu1, _, ok := p.MeanVar("cnn", "c5.4xlarge", 1)
+	if !ok {
+		t.Fatal("expected a curve")
+	}
+	mu2, _, _ := p.MeanVar("cnn", "c5.4xlarge", 2)
+	mu4, _, _ := p.MeanVar("cnn", "c5.4xlarge", 4)
+	// 2 nodes is hit exactly; 3 nodes interpolates between 2 and 4 in
+	// log2 space and must land strictly between them.
+	mu3, _, _ := p.MeanVar("cnn", "c5.4xlarge", 3)
+	if !(mu2 < mu3 && mu3 < mu4) {
+		t.Fatalf("interpolation not monotone: mu(2)=%v mu(3)=%v mu(4)=%v", mu2, mu3, mu4)
+	}
+	wantT := (math.Log2(3) - 1) / (2 - 1)
+	want := mu2 + wantT*(mu4-mu2)
+	if math.Abs(mu3-want) > 1e-12 {
+		t.Fatalf("mu(3) = %v, want log2-linear %v", mu3, want)
+	}
+	_ = mu1
+}
+
+func TestMeanVarExtrapolatesFlatWithPenalty(t *testing.T) {
+	p := Build(donorSamples(2, "cnn", nil))
+	mu8, v8, _ := p.MeanVar("cnn", "c5.4xlarge", 8)
+	mu32, v32, _ := p.MeanVar("cnn", "c5.4xlarge", 32)
+	mu64, v64, _ := p.MeanVar("cnn", "c5.4xlarge", 64)
+	if mu32 != mu8 || mu64 != mu8 {
+		t.Fatalf("extrapolation must be flat: mu(8)=%v mu(32)=%v mu(64)=%v", mu8, mu32, mu64)
+	}
+	if !(v32 > v8 && v64 > v32) {
+		t.Fatalf("extrapolation variance must grow: v(8)=%v v(32)=%v v(64)=%v", v8, v32, v64)
+	}
+	if math.Abs((v32-v8)-2*extrapolVar) > 1e-12 {
+		t.Fatalf("penalty per log2 step: got %v, want %v", v32-v8, 2*extrapolVar)
+	}
+}
+
+func TestMeanVarUnknownKeysFallBack(t *testing.T) {
+	p := Build(donorSamples(1, "cnn", nil))
+	if _, _, ok := p.MeanVar("rnn", "c5.4xlarge", 2); ok {
+		t.Fatal("unknown family must report ok=false")
+	}
+	if _, _, ok := p.MeanVar("cnn", "p3.2xlarge", 2); ok {
+		t.Fatal("unknown type must report ok=false")
+	}
+	var nilP *Prior
+	if _, _, ok := nilP.MeanVar("cnn", "c5.4xlarge", 2); ok {
+		t.Fatal("nil prior must report ok=false")
+	}
+	if nilP.KeyCount() != 0 || nilP.HasFamily("cnn") {
+		t.Fatal("nil prior must be empty")
+	}
+}
+
+// The satellite property: prior variance is monotonically non-
+// increasing in fleet evidence weight — more donors agreeing on a cell
+// can only tighten it.
+func TestPriorVarianceMonotoneInEvidence(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 1; k <= 12; k++ {
+		offsets := make([]float64, k)
+		for i := range offsets {
+			offsets[i] = float64(1 + i) // identical shapes, varying offsets
+		}
+		p := Build(donorSamples(k, "cnn", offsets))
+		_, v, ok := p.MeanVar("cnn", "c5.4xlarge", 4)
+		if !ok {
+			t.Fatal("expected a curve")
+		}
+		if v > prev {
+			t.Fatalf("evidence %d raised prior variance: %v > %v", k, v, prev)
+		}
+		if v < varFloor {
+			t.Fatalf("variance %v fell below the floor %v", v, varFloor)
+		}
+		prev = v
+	}
+}
+
+func TestFamilyBuckets(t *testing.T) {
+	if f := Family(workload.ResNetCIFAR10); f != "cnn" {
+		t.Fatalf("resnet family = %q", f)
+	}
+	if f := Family(workload.CharRNNText); f != "rnn" {
+		t.Fatalf("charrnn family = %q", f)
+	}
+	if f := Family(workload.BERTTF); f != "transformer" {
+		t.Fatalf("bert family = %q", f)
+	}
+	if f := Family(workload.ZeRO8BJob); f != "transformer-sharded" {
+		t.Fatalf("zero-8b family = %q", f)
+	}
+}
+
+func TestBuildFromCacheFilters(t *testing.T) {
+	types := cloud.DefaultCatalog().Types()
+	d := cloud.Deployment{Type: types[0], Nodes: 2}
+	resolve := MenuResolver(workload.All())
+	job := workload.ResNetCIFAR10.String()
+	entries := map[string]profiler.Result{
+		job + "|" + d.Key():                           {Deployment: d, Throughput: 100},
+		job + "|3×" + types[0].Name:                   {Deployment: cloud.Deployment{Type: types[0], Nodes: 3}, Throughput: 50, Fidelity: 0.25}, // sub-sampled: skip
+		job + "|4×" + types[0].Name:                   {Deployment: cloud.Deployment{Type: types[0], Nodes: 4}, Failed: true},                   // failed: skip
+		job + "|5×" + types[0].Name:                   {Deployment: cloud.Deployment{Type: types[0], Nodes: 5}},                                 // OOM: skip
+		"ghost[tf/ps]|" + d.Key():                     {Deployment: d, Throughput: 10},                                                          // unknown job: skip
+		"malformed-key-without-a-pipe":                {Deployment: d, Throughput: 10},                                                          // skip
+		workload.CharRNNText.String() + "|" + d.Key(): {Deployment: d, Throughput: 70},
+	}
+	p := BuildFromCache(entries, resolve)
+	if p.Samples != 2 {
+		t.Fatalf("samples = %d, want 2 (only full, known-job successes)", p.Samples)
+	}
+	if !p.HasFamily("cnn") || !p.HasFamily("rnn") {
+		t.Fatalf("families missing: %+v", p.Stats())
+	}
+}
+
+func TestDecodeRejectsCorruptPriors(t *testing.T) {
+	bad := []string{
+		`{"curves":{"cnn":{"t":{"points":[{"nodes":0,"mu":1,"var":1}]}}}}`,               // nodes < 1
+		`{"curves":{"cnn":{"t":{"points":[{"nodes":2,"mu":1,"var":1},{"nodes":2}]}}}}`,   // not ascending
+		`{"curves":{"cnn":{"t":{"points":[{"nodes":1,"mu":1,"var":-2}]}}}}`,              // negative var
+		`{"curves":{"cnn":{"t":{"points":[{"nodes":1,"mu":1,"var":1,"evidence":-1}]}}}}`, // negative evidence
+	}
+	for _, s := range bad {
+		if _, err := Decode([]byte(s)); err == nil {
+			t.Fatalf("Decode accepted corrupt prior %s", s)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Build(donorSamples(3, "cnn", []float64{1, 3, 9}))
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestParseCacheKey(t *testing.T) {
+	j, d, ok := ParseCacheKey("resnet-cifar10[tensorflow/ps]|10×c5.4xlarge")
+	if !ok || j != "resnet-cifar10[tensorflow/ps]" || d != "10×c5.4xlarge" {
+		t.Fatalf("parse: %q %q %v", j, d, ok)
+	}
+	for _, bad := range []string{"", "nopipe", "|leading", "trailing|"} {
+		if _, _, ok := ParseCacheKey(bad); ok {
+			t.Fatalf("ParseCacheKey accepted %q", bad)
+		}
+	}
+}

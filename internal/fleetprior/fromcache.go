@@ -1,0 +1,37 @@
+package fleetprior
+
+import (
+	"mlcd/internal/profiler"
+)
+
+// BuildFromCache aggregates a profile-cache export (or snapshot merge)
+// into a Prior. Entries are keyed "jobString|deploymentKey" and carry
+// the measured result; resolve attributes each job key to a model
+// family. Skipped entries — unknown jobs, failed probes, sub-sampled
+// (fidelity < 1) readings, OOMs — teach the prior nothing: only a
+// confirmed full measurement is fleet-grade evidence. Build's internal
+// sort makes the result independent of map iteration order.
+func BuildFromCache(entries map[string]profiler.Result, resolve Resolver) *Prior {
+	samples := make([]Sample, 0, len(entries))
+	for key, res := range entries {
+		jobKey, _, ok := ParseCacheKey(key)
+		if !ok || res.Failed || res.Throughput <= 0 {
+			continue
+		}
+		if res.Fidelity > 0 && res.Fidelity < 1 {
+			continue
+		}
+		family, ok := resolve(jobKey)
+		if !ok {
+			continue
+		}
+		samples = append(samples, Sample{
+			JobKey:     jobKey,
+			Family:     family,
+			Type:       res.Deployment.Type.Name,
+			Nodes:      res.Deployment.Nodes,
+			Throughput: res.Throughput,
+		})
+	}
+	return Build(samples)
+}

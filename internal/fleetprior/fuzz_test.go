@@ -1,0 +1,58 @@
+package fleetprior
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzMetaPriorRoundTrip pins the wire form the plane publishes at
+// snapshot merges: any payload Decode accepts must re-encode to a
+// canonical form that survives a second round trip byte for byte, and
+// every accepted prior must answer MeanVar with finite values for any
+// key — corrupted fleet state may be rejected, but it must never leak
+// NaNs into a tenant's surrogate.
+func FuzzMetaPriorRoundTrip(f *testing.F) {
+	seed := Build(donorSamples(3, "cnn", []float64{1, 4, 16}))
+	if b, err := seed.Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"curves":{"rnn":{"m5.xlarge":{"points":[{"nodes":1,"mu":-0.5,"var":0.6,"evidence":2},{"nodes":4,"mu":0.9,"var":0.3,"evidence":7}]}}},"jobs":2,"samples":9}`))
+	f.Add([]byte(`{"curves":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"curves":{"cnn":{"t":{"points":[{"nodes":2,"mu":1,"var":1},{"nodes":2}]}}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected inputs are fine; crashing is not
+		}
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted prior failed to encode: %v", err)
+		}
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-decode: %v\n%s", err, enc)
+		}
+		enc2, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+		for family, byType := range p.Curves {
+			for typ := range byType {
+				for _, n := range []int{1, 3, 7, 100, 1 << 20} {
+					mu, v, ok := p.MeanVar(family, typ, n)
+					if !ok {
+						continue
+					}
+					if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+						t.Fatalf("MeanVar(%s,%s,%d) = %v,%v from accepted prior", family, typ, n, mu, v)
+					}
+				}
+			}
+		}
+	})
+}

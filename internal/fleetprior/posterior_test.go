@@ -1,0 +1,54 @@
+package fleetprior
+
+import (
+	"math"
+	"testing"
+
+	"mlcd/internal/gp"
+)
+
+// priorMean adapts a Prior to gp.Mean over a 1-D "log2 nodes" feature,
+// mirroring (in miniature) how the search's adapter consumes it.
+type priorMean struct {
+	p           *Prior
+	family, typ string
+}
+
+func (m priorMean) MeanVar(x []float64) (float64, float64) {
+	n := int(math.Round(math.Exp2(x[0])))
+	mu, v, ok := m.p.MeanVar(m.family, m.typ, n)
+	if !ok {
+		return 0, 0
+	}
+	return mu, v
+}
+
+// The satellite property at the surrogate level: with the same two
+// warm-start observations, the GP's posterior variance at an unprofiled
+// scale-out is monotonically non-increasing in the fleet evidence
+// behind the prior — more donors never make the search less certain.
+func TestWarmPosteriorVarianceMonotoneInEvidence(t *testing.T) {
+	shape := func(n int) float64 { return 2 * math.Log2(1+float64(n)) }
+	x := [][]float64{{0}, {1}} // observed: 1 and 2 nodes
+	y := []float64{shape(1), shape(2)}
+	query := []float64{3} // unprofiled: 8 nodes
+
+	prev := math.Inf(1)
+	for k := 1; k <= 10; k++ {
+		offsets := make([]float64, k)
+		for i := range offsets {
+			offsets[i] = 1 + 0.5*float64(i)
+		}
+		p := Build(donorSamples(k, "cnn", offsets))
+		g := gp.New(gp.NewMatern52(1), 1e-6)
+		g.SetMean(priorMean{p: p, family: "cnn", typ: "c5.4xlarge"})
+		if err := g.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		_, sigma := g.Predict(query)
+		if sigma > prev+1e-12 {
+			t.Fatalf("evidence %d raised posterior sigma: %v > %v", k, sigma, prev)
+		}
+		prev = sigma
+	}
+}

@@ -16,6 +16,18 @@ import (
 // attempted before Fit has seen any observations.
 var ErrNoData = errors.New("gp: no observations fitted")
 
+// Mean is an optional nonzero prior mean function for the GP, in raw
+// target units. MeanVar returns the prior mean m(x) and an additional
+// prior variance v(x) ≥ 0 expressing how much the mean itself is
+// trusted at x: the GP fits residuals y − m(x) and reports predictions
+// as posterior-over-residuals + m(x), with v(x) added to the posterior
+// variance. A zero v means "the mean is exact there" and leaves the
+// posterior spread untouched. Implementations must be pure functions of
+// x — the GP may evaluate them at any time, from multiple goroutines.
+type Mean interface {
+	MeanVar(x []float64) (mu, v float64)
+}
+
 // GP is an exact Gaussian-process regressor with fixed Gaussian
 // observation noise. Targets are internally standardized (zero mean,
 // unit variance) so kernel hyperparameter boxes stay scale-free.
@@ -40,9 +52,17 @@ type GP struct {
 
 	x      [][]float64
 	y      []float64 // raw targets
-	yStd   []float64 // standardized targets
+	yStd   []float64 // standardized targets (of residuals when mean is set)
 	yMean  float64
 	yScale float64
+
+	// mean, when non-nil, is the prior mean function: the GP conditions
+	// on residuals y − mean(x) and adds the mean back at prediction. A
+	// nil mean is the hard-coded zero mean — that path's arithmetic is
+	// untouched, so mean-free fits and predictions stay bit-identical to
+	// a build without this field.
+	mean    Mean
+	priorMu []float64 // mean(x_i) per observation, synced by standardize
 
 	chol  *mat.Cholesky
 	alpha []float64 // K⁻¹ y (standardized)
@@ -78,6 +98,25 @@ func (g *GP) Noise() float64 { return math.Exp(g.logNoise) }
 
 // N returns the number of fitted observations.
 func (g *GP) N() int { return len(g.y) }
+
+// SetMean installs a prior mean function (nil restores the zero mean).
+// If the GP already holds observations, the residual targets and alpha
+// are recomputed in place: the Cholesky factor depends only on the
+// inputs and hyperparameters, so it survives a mean change and only the
+// solve against the new residuals is repeated.
+func (g *GP) SetMean(m Mean) {
+	if g.mean == nil && m == nil {
+		return
+	}
+	g.mean = m
+	if len(g.y) == 0 {
+		return
+	}
+	g.standardize()
+	if g.chol != nil && g.factorN == len(g.y) {
+		g.solveAlpha()
+	}
+}
 
 // diffCache stores the raw per-dimension differences x_i − x_j for every
 // pair j ≤ i, laid out as a row-major triangle so appending observation n
@@ -249,8 +288,14 @@ func (g *GP) tryExtend() bool {
 	return g.chol.Extend(row, diag+g.factorJitter) == nil
 }
 
-// standardize computes yStd = (y − mean) / scale.
+// standardize computes yStd = (y − mean) / scale. With a prior mean set
+// it standardizes the residuals y − m(x) instead; the zero-mean branch
+// is the original code, untouched, so mean-free fits are bit-identical.
 func (g *GP) standardize() {
+	if g.mean != nil {
+		g.standardizeResiduals()
+		return
+	}
 	var s float64
 	for _, v := range g.y {
 		s += v
@@ -271,6 +316,44 @@ func (g *GP) standardize() {
 	g.yStd = g.yStd[:len(g.y)]
 	for i, v := range g.y {
 		g.yStd[i] = (v - g.yMean) / g.yScale
+	}
+}
+
+// standardizeResiduals is standardize over the residuals y − m(x): the
+// prior mean absorbs the fleet's shape knowledge and the GP models what
+// this job deviates from it. The residuals get the same center/scale
+// treatment raw targets do, so kernel hyperparameter boxes stay
+// scale-free regardless of how far the prior sits from the truth.
+func (g *GP) standardizeResiduals() {
+	n := len(g.y)
+	if cap(g.priorMu) < n {
+		g.priorMu = make([]float64, n)
+	}
+	g.priorMu = g.priorMu[:n]
+	for i, x := range g.x {
+		pm, _ := g.mean.MeanVar(x)
+		g.priorMu[i] = pm
+	}
+	var s float64
+	for i, v := range g.y {
+		s += v - g.priorMu[i]
+	}
+	g.yMean = s / float64(n)
+	var ss float64
+	for i, v := range g.y {
+		d := v - g.priorMu[i] - g.yMean
+		ss += d * d
+	}
+	g.yScale = math.Sqrt(ss / float64(n))
+	if g.yScale < 1e-12 {
+		g.yScale = 1
+	}
+	if cap(g.yStd) < n {
+		g.yStd = make([]float64, n)
+	}
+	g.yStd = g.yStd[:n]
+	for i, v := range g.y {
+		g.yStd[i] = (v - g.priorMu[i] - g.yMean) / g.yScale
 	}
 }
 
@@ -391,6 +474,16 @@ func (g *GP) PredictInto(x []float64, s *PredictScratch) (mu, sigma float64) {
 	}
 	mu = muStd*g.yScale + g.yMean
 	sigma = math.Sqrt(variance) * g.yScale
+	if g.mean != nil {
+		pm, pv := g.mean.MeanVar(x)
+		mu += pm
+		// The pv==0 gate matters for bit-identity: Sqrt(sigma²) is not
+		// guaranteed to reproduce sigma, so a confident prior must not
+		// launder the posterior spread through a square/sqrt round trip.
+		if pv > 0 {
+			sigma = math.Sqrt(sigma*sigma + pv)
+		}
+	}
 	return mu, sigma
 }
 
@@ -522,6 +615,17 @@ func (g *GP) PredictMatrix(qs []float64, dim int, mu, sigma []float64, s *Predic
 		}
 		mu[c] = s.muStd[c]*g.yScale + g.yMean
 		sigma[c] = math.Sqrt(variance) * g.yScale
+	}
+	if g.mean != nil {
+		// Same per-query adjustment PredictInto applies, in the same
+		// order, so the batched path stays bit-identical to the loop.
+		for c := 0; c < m; c++ {
+			pm, pv := g.mean.MeanVar(qs[c*dim : (c+1)*dim])
+			mu[c] += pm
+			if pv > 0 {
+				sigma[c] = math.Sqrt(sigma[c]*sigma[c] + pv)
+			}
+		}
 	}
 }
 
@@ -695,6 +799,8 @@ func (g *GP) cloneForFit() *GP {
 		yStd:     g.yStd,
 		yMean:    g.yMean,
 		yScale:   g.yScale,
+		mean:     g.mean,
+		priorMu:  g.priorMu,
 		diffs:    g.diffs,
 		factorN:  -1,
 	}

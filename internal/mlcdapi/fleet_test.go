@@ -1,0 +1,104 @@
+package mlcdapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getFleet(t *testing.T, base string) fleetJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet → %d", resp.StatusCode)
+	}
+	var out fleetJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFleetEndpointDisabledByDefault(t *testing.T) {
+	_, hts := newService(t, ServerConfig{})
+	f := getFleet(t, hts.URL)
+	if f.Enabled || f.Keys != 0 || f.Prior != nil {
+		t.Fatalf("fleet prior off must report enabled=false and no prior, got %+v", f)
+	}
+}
+
+// One tenant's finished search must teach the fleet prior, the endpoint
+// must expose what was learned, and the next search of the same model
+// family must start armed (visible as a fleet_prior event in its trace).
+func TestFleetPriorLearnedServedAndArmed(t *testing.T) {
+	_, hts := newService(t, ServerConfig{FleetPrior: true})
+
+	f := getFleet(t, hts.URL)
+	if !f.Enabled {
+		t.Fatalf("fleet prior on must report enabled=true, got %+v", f)
+	}
+	if f.Keys != 0 {
+		t.Fatalf("nothing submitted yet, keys = %d", f.Keys)
+	}
+
+	first := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100,"tenant":"alice"}`)
+	if done := await(t, hts.URL, first.ID); done.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", done.Status, done.Error)
+	}
+
+	f = getFleet(t, hts.URL)
+	if f.Keys == 0 || f.DonorJobs == 0 || f.Samples == 0 || f.Prior == nil {
+		t.Fatalf("finished job taught the prior nothing: %+v", f)
+	}
+	if _, ok := f.Prior.Curves["cnn"]; !ok {
+		t.Fatalf("resnet probes must land in the cnn family, curves = %v", f.Prior.Curves)
+	}
+
+	// A different job, same family, different tenant: no warm-start
+	// observations of its own, but the surrogate starts fleet-warmed.
+	second := submit(t, hts.URL, `{"job":"alexnet-cifar10","budget_usd":100,"tenant":"bob"}`)
+	if done := await(t, hts.URL, second.ID); done.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", done.Status, done.Error)
+	}
+	resp, err := http.Get(hts.URL + "/v1/jobs/" + second.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"fleet_prior"`) {
+		t.Fatalf("second cnn search must arm the fleet prior; trace lacks a fleet_prior event:\n%s", body)
+	}
+}
+
+// In the sharded plane a merge publishes one fleet-wide prior to every
+// shard, so a tenant routed anywhere starts from the same curves.
+func TestFleetPriorPublishedToEveryShard(t *testing.T) {
+	srv, hts := newService(t, ServerConfig{FleetPrior: true, Shards: 2})
+
+	sub := submit(t, hts.URL, `{"job":"resnet-cifar10","budget_usd":100,"tenant":"alice"}`)
+	if done := await(t, hts.URL, sub.ID); done.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", done.Status, done.Error)
+	}
+	srv.Plane().MergeNow()
+
+	f := getFleet(t, hts.URL)
+	if f.Keys == 0 {
+		t.Fatalf("merge must publish a learned prior, got %+v", f)
+	}
+	want := srv.Plane().FleetPrior()
+	for i := 0; i < srv.Plane().Shards(); i++ {
+		if got := srv.Plane().Shard(i).FleetPrior(); got != want {
+			t.Fatalf("shard %d holds a different prior (%p vs %p)", i, got, want)
+		}
+	}
+}

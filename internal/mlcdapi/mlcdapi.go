@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"mlcd/internal/faultfs"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -142,6 +143,11 @@ type ServerConfig struct {
 	// DegradedAfter is how many consecutive journal failures degrade a
 	// shard (see shardplane.Config.DegradedAfter; Shards >= 2 only).
 	DegradedAfter int
+	// FleetPrior enables the fleet meta-prior: cross-job transfer curves
+	// learned from every tenant's journaled probes, armed on each search's
+	// surrogate and (sharded) republished fleet-wide at every snapshot
+	// merge. Inspect the current prior at GET /v1/fleet.
+	FleetPrior bool
 }
 
 // degradedRetryAfterSec is the Retry-After hint on 503s caused by a
@@ -158,6 +164,7 @@ type control interface {
 	List(filter sched.Status) []sched.Job
 	Load(tenant string) (queued, capacity, workers int)
 	statsJSON() any
+	fleetPrior() *fleetprior.Prior
 	Traces() *obs.Recorder
 	Close()
 	Shutdown(ctx context.Context) error
@@ -169,11 +176,13 @@ type schedControl struct{ *sched.Scheduler }
 
 func (c schedControl) Load(string) (queued, capacity, workers int) { return c.Scheduler.Load() }
 func (c schedControl) statsJSON() any                              { return c.Scheduler.Stats() }
+func (c schedControl) fleetPrior() *fleetprior.Prior               { return c.Scheduler.FleetPrior() }
 
 // planeControl adapts the sharded plane.
 type planeControl struct{ *shardplane.Plane }
 
-func (c planeControl) statsJSON() any { return c.Plane.Stats() }
+func (c planeControl) statsJSON() any                { return c.Plane.Stats() }
+func (c planeControl) fleetPrior() *fleetprior.Prior { return c.Plane.FleetPrior() }
 
 // Server exposes an MLCD system as an HTTP service.
 type Server struct {
@@ -219,6 +228,7 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 			FS:                 cfg.FS,
 			HealthEvery:        cfg.HealthEvery,
 			DegradedAfter:      cfg.DegradedAfter,
+			FleetPrior:         cfg.FleetPrior,
 		})
 		if err != nil {
 			return nil, err
@@ -234,6 +244,7 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 			CompactEvery:       cfg.CompactEvery,
 			ProfilerMiddleware: cfg.ProfilerMiddleware,
 			FS:                 cfg.FS,
+			FleetPrior:         cfg.FleetPrior,
 		})
 		if err != nil {
 			return nil, err
@@ -247,6 +258,7 @@ func NewServerWithConfig(sys *mlcdsys.System, cfg ServerConfig) (*Server, error)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -409,6 +421,37 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.ctl.statsJSON())
+}
+
+// fleetJSON is the GET /v1/fleet debug view: the provenance counters
+// plus the full prior (its canonical wire form) when one is armed.
+type fleetJSON struct {
+	Enabled   bool              `json:"enabled"`
+	Families  int               `json:"families"`
+	Keys      int               `json:"keys"`
+	DonorJobs int               `json:"donor_jobs"`
+	Samples   int               `json:"samples"`
+	Prior     *fleetprior.Prior `json:"prior,omitempty"`
+}
+
+// handleFleet reports the fleet meta-prior currently armed on searches.
+// With the feature off (or nothing learned yet) it answers 200 with
+// enabled=false / zero counters, never an error — the endpoint is a
+// debugging window, not a health check.
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	p := s.ctl.fleetPrior()
+	st := p.Stats()
+	out := fleetJSON{
+		Enabled:   p != nil,
+		Families:  st.Families,
+		Keys:      st.Keys,
+		DonorJobs: st.Jobs,
+		Samples:   st.Samples,
+	}
+	if p.KeyCount() > 0 {
+		out.Prior = p
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealth reports journal health. Sharded: the plane's per-shard

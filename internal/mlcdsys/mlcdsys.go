@@ -24,6 +24,7 @@ import (
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/core"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/search"
@@ -547,6 +548,11 @@ type DeployOptions struct {
 	// of the same job (at zero profiling cost) when the configured
 	// searcher implements search.WarmStarter; other searchers ignore it.
 	WarmStart []search.Observation
+	// FleetPrior arms the search's surrogate with the fleet meta-prior
+	// (cross-job transfer curves) when the configured searcher implements
+	// search.FleetPriorStarter; other searchers ignore it. A nil or empty
+	// prior leaves the search untouched, bit for bit.
+	FleetPrior *fleetprior.Prior
 	// WrapProfiler, when non-nil, wraps the per-run cluster profiler —
 	// the scheduler's shared profiling cache hooks in here. The wrapper
 	// sits inside the cancellation guard, so a cancelled job never
@@ -628,6 +634,11 @@ func (s *System) DeployCtx(ctx context.Context, j workload.Job, req Requirements
 	if len(opts.WarmStart) > 0 {
 		if ws, ok := searcher.(search.WarmStarter); ok {
 			searcher = ws.WithWarmStart(opts.WarmStart)
+		}
+	}
+	if opts.FleetPrior.KeyCount() > 0 {
+		if fp, ok := searcher.(search.FleetPriorStarter); ok {
+			searcher = fp.WithFleetPrior(opts.FleetPrior)
 		}
 	}
 	if opts.Tracer != nil {

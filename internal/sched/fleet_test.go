@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mlcd/internal/mlcdsys"
+)
+
+// A restarted scheduler must come back fleet-warm: the journal's probes
+// prime the cache during replay, and the prior is rebuilt from them
+// before the worker pool starts — the first search after a crash starts
+// from everything the fleet had already paid to learn.
+func TestFleetPriorRebuiltFromJournalReplay(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "sched.journal")
+
+	a, err := New(newTestSystem(t), Config{JournalPath: journalPath, FleetPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FleetPrior().KeyCount() != 0 {
+		t.Fatal("fresh scheduler must start with an empty prior")
+	}
+	job, err := a.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, a, job.ID, StatusDone)
+	learned := a.FleetPrior()
+	if learned.KeyCount() == 0 {
+		t.Fatal("finished job must teach the prior")
+	}
+	a.Close()
+
+	b, err := New(newTestSystem(t), Config{JournalPath: journalPath, FleetPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	recovered := b.FleetPrior()
+	if recovered.KeyCount() == 0 {
+		t.Fatal("replayed journal must rebuild the prior before the first submission")
+	}
+	le, err := learned.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := recovered.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(le) != string(re) {
+		t.Fatalf("recovered prior differs from the learned one:\n%s\nvs\n%s", re, le)
+	}
+}
+
+// With the feature off every knob is inert: no prior is learned, served,
+// or installable — the bit-identity guarantee's control-plane half.
+func TestFleetPriorOffIsInert(t *testing.T) {
+	s, err := New(newTestSystem(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	job, err := s.Submit("resnet-cifar10", "acme", mlcdsys.Requirements{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, s, job.ID, StatusDone)
+	if s.FleetPrior() != nil {
+		t.Fatal("feature off must never serve a prior")
+	}
+	s.RebuildFleetPrior()
+	if s.FleetPrior() != nil {
+		t.Fatal("RebuildFleetPrior must be a no-op with the feature off")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"mlcd/internal/cloud"
 	"mlcd/internal/faultfs"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -125,6 +126,14 @@ type Config struct {
 	// FS is the storage under the journal (nil → the real filesystem).
 	// Tests inject storage faults and simulated crashes through it.
 	FS faultfs.FS
+	// FleetPrior enables the fleet meta-prior: the scheduler learns
+	// cross-job transfer curves from its profile cache (seeded by journal
+	// replay) and arms every search's surrogate with them. Inside the
+	// shard plane the merge loop replaces the local prior with the
+	// fleet-wide one via SetFleetPrior. Off by default: with it off (or
+	// with nothing learned yet) every search is bit-identical to a
+	// scheduler without the feature.
+	FleetPrior bool
 }
 
 // Job is a caller-visible snapshot of one submission.
@@ -180,6 +189,12 @@ type Scheduler struct {
 	// s.mu. The shard plane reads it to detect a dying disk.
 	journalErrStreak atomic.Int64
 
+	// fleetOn gates the meta-prior; fleet holds the current prior (nil
+	// until something is learned). Atomic so the plane's merge loop can
+	// publish a fleet-wide prior while workers arm searches with it.
+	fleetOn bool
+	fleet   atomic.Pointer[fleetprior.Prior]
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
@@ -211,6 +226,8 @@ type schedMetrics struct {
 	journalRotates  *obs.Counter
 	journalCompacts *obs.Counter
 	compactSeconds  *obs.Histogram
+	fleetPriorKeys  *obs.Gauge
+	fleetArmed      *obs.Counter
 }
 
 // shardLabels renders the label set metrics of one shard carry: empty
@@ -253,6 +270,10 @@ func registerSchedMetrics(reg *obs.Registry, shard string) schedMetrics {
 			"Journal compactions folding sealed segments into the snapshot.", ls...),
 		compactSeconds: reg.Histogram("mlcd_sched_journal_compact_seconds",
 			"Wall-clock latency of one journal compaction.", nil, ls...),
+		fleetPriorKeys: reg.Gauge("mlcd_sched_fleet_prior_keys",
+			"(family, instance type) transfer curves in the current fleet meta-prior.", ls...),
+		fleetArmed: reg.Counter("mlcd_sched_fleet_prior_armed_total",
+			"Searches started with a fleet meta-prior on the surrogate.", ls...),
 	}
 }
 
@@ -323,6 +344,7 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 		m:        registerSchedMetrics(sys.Metrics(), cfg.ShardLabel),
 		jobs:     make(map[string]*job),
 		tenants:  make(map[string]bool),
+		fleetOn:  cfg.FleetPrior,
 	}
 	s.m.workers.Set(float64(cfg.Workers))
 
@@ -360,6 +382,12 @@ func New(sys *mlcdsys.System, cfg Config) (*Scheduler, error) {
 			return nil, err
 		}
 		s.journal = jl
+	}
+
+	if s.fleetOn {
+		// Replayed probes are already in the cache; learn from them now so
+		// the first search after a restart starts fleet-warm.
+		s.RebuildFleetPrior()
 	}
 
 	size := cfg.QueueSize
@@ -443,6 +471,42 @@ func (s *Scheduler) Cache() *ProfileCache { return s.cache }
 
 // Traces returns the per-job timeline recorder.
 func (s *Scheduler) Traces() *obs.Recorder { return s.traces }
+
+// FleetPrior returns the meta-prior searches are currently armed with
+// (nil when the feature is off or nothing has been learned yet).
+func (s *Scheduler) FleetPrior() *fleetprior.Prior {
+	if !s.fleetOn {
+		return nil
+	}
+	return s.fleet.Load()
+}
+
+// SetFleetPrior installs a prior built elsewhere — the shard plane's
+// merge loop publishes the fleet-wide prior to every shard through it.
+// A no-op when the feature is off; installing nil disarms.
+func (s *Scheduler) SetFleetPrior(p *fleetprior.Prior) {
+	if !s.fleetOn {
+		return
+	}
+	s.fleet.Store(p)
+	s.m.fleetPriorKeys.Set(float64(p.KeyCount()))
+}
+
+// RebuildFleetPrior relearns the meta-prior from this scheduler's own
+// profile cache (full-fidelity successes only) and installs it. Called
+// at startup after journal replay and after each completed job; the
+// shard plane's merge loop overwrites the result with the fleet-wide
+// prior. A no-op when the feature is off.
+func (s *Scheduler) RebuildFleetPrior() {
+	if !s.fleetOn {
+		return
+	}
+	jobs := make([]workload.Job, 0, len(s.menu))
+	for _, j := range s.menu {
+		jobs = append(jobs, j)
+	}
+	s.SetFleetPrior(fleetprior.BuildFromCache(s.cache.Export(), fleetprior.MenuResolver(jobs)))
+}
 
 // scenarioName renders the scenario a requirement set maps to ("" when
 // the requirements are invalid).
@@ -716,11 +780,16 @@ func (s *Scheduler) runJob(rec *job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	prior := s.FleetPrior()
+	if prior.KeyCount() > 0 {
+		s.m.fleetArmed.Inc()
+	}
 	rec.trace.Emit(obs.Event{Kind: "started",
 		Note: fmt.Sprintf("search started with %d warm-start observation(s)", len(warm))})
 
 	rep, err := s.sys.DeployCtx(ctx, rec.workload, rec.req, mlcdsys.DeployOptions{
-		WarmStart: warm,
+		WarmStart:  warm,
+		FleetPrior: prior,
 		WrapProfiler: func(inner profiler.Profiler) profiler.Profiler {
 			if s.mw != nil {
 				inner = s.mw(inner)
@@ -741,6 +810,11 @@ func (s *Scheduler) runJob(rec *job) {
 		rec.report = &rep
 		s.journalDone(rec)
 		s.m.terminal(StatusDone)
+		// The finished search's journaled probes are in the cache now;
+		// fold them into the prior so the next tenant starts warmer.
+		// Inside the shard plane the next merge replaces this with the
+		// fleet-wide prior.
+		s.RebuildFleetPrior()
 		rec.trace.Emit(obs.Event{
 			Kind:            "done",
 			Deployment:      rep.Outcome.Best.String(),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mlcd/internal/cloud"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
 	"mlcd/internal/workload"
@@ -147,6 +148,21 @@ type WarmStarter interface {
 	// WithWarmStart returns a searcher seeded with obs; the receiver is
 	// not modified.
 	WithWarmStart(obs []Observation) Searcher
+}
+
+// FleetPriorStarter is implemented by searchers whose surrogate can
+// start from a fleet meta-prior (internal/fleetprior): cross-job
+// transfer curves learned from every tenant's journaled probes. Unlike
+// WarmStarter — exact measurements of the *same* job, eligible as final
+// picks — the fleet prior only shapes the surrogate's prior mean and
+// variance; it never substitutes for a measurement. The scheduler
+// arms it on every search when the fleet prior is enabled.
+type FleetPriorStarter interface {
+	Searcher
+	// WithFleetPrior returns a searcher whose surrogate starts from the
+	// prior; the receiver is not modified. A nil or empty prior must
+	// leave the search bit-identical to the receiver's.
+	WithFleetPrior(p *fleetprior.Prior) Searcher
 }
 
 // Traceable is implemented by searchers that can narrate their search to

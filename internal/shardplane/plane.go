@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mlcd/internal/faultfs"
+	"mlcd/internal/fleetprior"
 	"mlcd/internal/mlcdsys"
 	"mlcd/internal/obs"
 	"mlcd/internal/profiler"
@@ -62,6 +63,12 @@ type Config struct {
 	// DegradedAfter is how many consecutive journal failures degrade a
 	// shard (0 → DefaultDegradedAfter).
 	DegradedAfter int
+	// FleetPrior enables the fleet meta-prior on every shard: each merge
+	// aggregates the union of all shards' full-fidelity measurements into
+	// cross-job transfer curves and publishes them fleet-wide, so a new
+	// tenant on any shard starts from what every other tenant has paid to
+	// learn. Off by default.
+	FleetPrior bool
 }
 
 // Plane routes tenants across N scheduler shards via a consistent-hash
@@ -84,6 +91,11 @@ type Plane struct {
 
 	health        []*shardHealthRec
 	degradedAfter int
+
+	// fleetResolve is non-nil when the fleet meta-prior is on: it maps a
+	// cache key's job back to its model family when merges rebuild the
+	// fleet-wide prior.
+	fleetResolve fleetprior.Resolver
 
 	merges        *obs.Counter
 	snapEntries   *obs.Gauge
@@ -150,6 +162,13 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 	}
 	reg.Gauge("mlcd_shardplane_shards", "Scheduler shards in the control plane.").
 		Set(float64(cfg.Shards))
+	if cfg.FleetPrior {
+		jobs := make([]workload.Job, 0, len(cfg.Jobs))
+		for _, j := range cfg.Jobs {
+			jobs = append(jobs, j)
+		}
+		p.fleetResolve = fleetprior.MenuResolver(jobs)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		cache := sched.NewProfileCache()
 		sc := sched.Config{
@@ -164,6 +183,7 @@ func New(sys *mlcdsys.System, cfg Config) (*Plane, error) {
 			CompactEvery:       cfg.CompactEvery,
 			SegmentMaxRecords:  cfg.SegmentMaxRecords,
 			FS:                 cfg.FS,
+			FleetPrior:         cfg.FleetPrior,
 		}
 		if cfg.JournalDir != "" {
 			sc.JournalDir = filepath.Join(cfg.JournalDir, fmt.Sprintf("shard-%d", i))
@@ -370,8 +390,29 @@ func (p *Plane) MergeNow() {
 	for _, c := range p.caches {
 		c.SetSnapshot(snap)
 	}
+	if p.fleetResolve != nil {
+		// The same merged union, read as transfer evidence: publish the
+		// fleet-wide meta-prior so a new tenant on any shard starts from
+		// every other tenant's full-fidelity measurements. BuildFromCache
+		// sorts internally, so the prior is identical on every shard
+		// regardless of map iteration order.
+		prior := fleetprior.BuildFromCache(merged, p.fleetResolve)
+		for _, s := range p.allShards() {
+			s.SetFleetPrior(prior)
+		}
+	}
 	p.merges.Inc()
 	p.snapEntries.Set(float64(snap.Len()))
+}
+
+// FleetPrior returns the fleet-wide meta-prior the last merge published
+// (nil when the feature is off or nothing has been learned yet). Every
+// shard holds the same prior; shard 0 speaks for all.
+func (p *Plane) FleetPrior() *fleetprior.Prior {
+	if p.fleetResolve == nil {
+		return nil
+	}
+	return p.shard(0).FleetPrior()
 }
 
 // mergeLoop republishes the shared snapshot on a fixed cadence until
